@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out:
+ *
+ *  (a) NN^T fitting in raw vs log2 performance space (the paper fits
+ *      raw SPEC ratios; log space linearizes the power-law relations
+ *      of the latent model).
+ *  (b) MLP^T feature normalization: transductive (over predictive +
+ *      target machines) vs WEKA's training-only normalization, in the
+ *      few-predictive-machines regime of Table 4.
+ *  (c) GA-kNN with honest benchmark characteristics (disguises
+ *      disabled): the baseline's outlier weakness disappears, which is
+ *      the structural argument for the characteristic substitution in
+ *      the synthetic dataset.
+ *  (d) GA-kNN neighbour weighting: uniform vs inverse-distance.
+ */
+
+#include <iostream>
+
+#include "core/linear_transposition.h"
+#include "core/metrics.h"
+#include "core/mlp_transposition.h"
+#include "core/selection.h"
+#include "core/transposition.h"
+#include "dataset/mica.h"
+#include "dataset/synthetic_spec.h"
+#include "experiments/family_cv.h"
+#include "util/cli.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+using namespace dtrank;
+
+namespace
+{
+
+struct CvSummary
+{
+    double rankAvg = 0.0;
+    double rankWorst = 0.0;
+    double top1Avg = 0.0;
+    double top1Worst = 0.0;
+    double meanErr = 0.0;
+};
+
+CvSummary
+summarize(const experiments::FamilyCvResults &results,
+          experiments::Method method)
+{
+    CvSummary s;
+    const auto rank = results.rankAggregate(method);
+    const auto top1 = results.top1Aggregate(method);
+    s.rankAvg = rank.average;
+    s.rankWorst = rank.worst;
+    s.top1Avg = top1.average;
+    s.top1Worst = top1.worst;
+    s.meanErr = results.meanErrorAggregate(method).average;
+    return s;
+}
+
+void
+addRow(util::TablePrinter &table, const std::string &label,
+       const CvSummary &s)
+{
+    table.addRow({label, util::formatFixed(s.rankAvg, 3),
+                  util::formatFixed(s.rankWorst, 3),
+                  util::formatFixed(s.top1Avg, 2),
+                  util::formatFixed(s.top1Worst, 2),
+                  util::formatFixed(s.meanErr, 2)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args("bench_ablations");
+    args.addOption("seed", "dataset generator seed", "2011");
+    args.addOption("epochs", "MLP training epochs", "300");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const auto seed = static_cast<std::uint64_t>(args.getLong("seed"));
+    const auto epochs =
+        static_cast<std::size_t>(args.getLong("epochs"));
+    const dataset::PerfDatabase db = dataset::makePaperDataset(seed);
+    const linalg::Matrix chars =
+        dataset::MicaGenerator().generateForCatalog();
+
+    util::TablePrinter table({"configuration", "rank avg", "rank worst",
+                              "top-1 avg %", "top-1 worst %",
+                              "mean err %"});
+
+    // --- (a) NN^T raw vs log space -------------------------------
+    {
+        experiments::MethodSuiteConfig raw_cfg;
+        raw_cfg.mlp.mlp.epochs = epochs;
+        const experiments::SplitEvaluator raw_eval(db, chars, raw_cfg);
+        const auto raw = experiments::FamilyCrossValidation(raw_eval)
+                             .run({experiments::Method::NnT});
+        addRow(table, "NN^T, raw space (paper)",
+               summarize(raw, experiments::Method::NnT));
+
+        experiments::MethodSuiteConfig log_cfg = raw_cfg;
+        log_cfg.linear.logSpace = true;
+        const experiments::SplitEvaluator log_eval(db, chars, log_cfg);
+        const auto log = experiments::FamilyCrossValidation(log_eval)
+                             .run({experiments::Method::NnT});
+        addRow(table, "NN^T, log2 space (ablation)",
+               summarize(log, experiments::Method::NnT));
+    }
+    table.addSeparator();
+
+    // --- (b) MLP^T transductive vs WEKA-only normalization, few
+    //         predictive machines -----------------------------------
+    {
+        const auto targets = db.machineIndicesByYear(2009);
+        const auto candidates = db.machineIndicesByYear(2008);
+        util::Rng rng(5);
+        const auto predictive =
+            core::selectRandomMachines(candidates, 3, rng);
+
+        for (bool transductive : {true, false}) {
+            core::MlpTranspositionConfig config;
+            config.mlp.epochs = epochs;
+            config.transductiveNormalization = transductive;
+
+            double rank = 0.0;
+            double top1 = 0.0;
+            double err = 0.0;
+            double rank_w = 1.0;
+            double top1_w = 0.0;
+            const auto target_db = db.selectMachines(targets);
+            for (std::size_t b = 0; b < db.benchmarkCount(); ++b) {
+                const auto problem = core::makeProblemFromSplit(
+                    db, predictive, targets, db.benchmark(b).name);
+                core::MlpTransposition predictor(config);
+                const auto metrics = core::evaluatePrediction(
+                    target_db.benchmarkScores(b),
+                    predictor.predict(problem));
+                rank += metrics.rankCorrelation;
+                top1 += metrics.top1ErrorPercent;
+                err += metrics.meanErrorPercent;
+                rank_w = std::min(rank_w, metrics.rankCorrelation);
+                top1_w = std::max(top1_w, metrics.top1ErrorPercent);
+            }
+            const double n = static_cast<double>(db.benchmarkCount());
+            CvSummary s;
+            s.rankAvg = rank / n;
+            s.rankWorst = rank_w;
+            s.top1Avg = top1 / n;
+            s.top1Worst = top1_w;
+            s.meanErr = err / n;
+            addRow(table,
+                   transductive
+                       ? "MLP^T, 3 machines, transductive norm"
+                       : "MLP^T, 3 machines, WEKA-only norm (ablation)",
+                   s);
+        }
+    }
+    table.addSeparator();
+
+    // --- (c) GA-kNN with honest vs disguised characteristics ------
+    // --- (d) GA-kNN uniform vs inverse-distance weighting ---------
+    {
+        struct GaVariant
+        {
+            std::string label;
+            bool disguises;
+            ml::KnnWeighting weighting;
+        };
+        const std::vector<GaVariant> variants = {
+            {"GA-10NN, disguised chars, uniform (paper)", true,
+             ml::KnnWeighting::Uniform},
+            {"GA-10NN, honest chars (ablation)", false,
+             ml::KnnWeighting::Uniform},
+            {"GA-10NN, inverse-distance (ablation)", true,
+             ml::KnnWeighting::InverseDistance},
+        };
+        for (const GaVariant &variant : variants) {
+            dataset::MicaConfig mica_config;
+            mica_config.disguiseOutliers = variant.disguises;
+            const linalg::Matrix variant_chars =
+                dataset::MicaGenerator(mica_config).generateForCatalog();
+
+            experiments::MethodSuiteConfig config;
+            config.gaKnn.weighting = variant.weighting;
+            const experiments::SplitEvaluator evaluator(
+                db, variant_chars, config);
+            const auto results =
+                experiments::FamilyCrossValidation(evaluator).run(
+                    {experiments::Method::GaKnn});
+            addRow(table, variant.label,
+                   summarize(results, experiments::Method::GaKnn));
+        }
+    }
+
+    std::cout << "== Ablations over the processor-family "
+                 "cross-validation ==\n\n";
+    table.print(std::cout);
+    std::cout
+        << "\nReading guide: (a) log-space fitting linearizes the "
+           "latent power laws and tightens\nNN^T; (b) without "
+           "transductive normalization the MLP saturates outside the\n"
+           "3-machine training range; (c) with honest characteristics "
+           "the GA-kNN outlier\nfailures (top-1 worst >100%) disappear "
+           "— the disguise models the real-world\ncharacteristic gap "
+           "the paper's evaluation exposes.\n";
+    return 0;
+}

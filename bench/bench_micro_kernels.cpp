@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the computational kernels the
+ * reproduction is built on: simple/multiple regression fits, Spearman
+ * rank correlation, MLP training and prediction, GA-kNN distance
+ * evaluation, k-medoids clustering, and the full NN^T predictor.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/ga_knn.h"
+#include "core/linear_transposition.h"
+#include "core/mlp_transposition.h"
+#include "core/transposition.h"
+#include "dataset/mica.h"
+#include "dataset/synthetic_spec.h"
+#include "ml/kmedoids.h"
+#include "ml/pca.h"
+#include "ml/mlp.h"
+#include "stats/bootstrap.h"
+#include "stats/correlation.h"
+#include "stats/kendall.h"
+#include "stats/spline.h"
+#include "stats/regression.h"
+#include "util/rng.h"
+
+using namespace dtrank;
+
+namespace
+{
+
+std::vector<double>
+randomVector(std::size_t n, util::Rng &rng)
+{
+    std::vector<double> v(n);
+    for (double &x : v)
+        x = rng.uniform(1.0, 100.0);
+    return v;
+}
+
+const dataset::PerfDatabase &
+paperDb()
+{
+    static const dataset::PerfDatabase db = dataset::makePaperDataset();
+    return db;
+}
+
+core::TranspositionProblem
+xeonProblem()
+{
+    const dataset::PerfDatabase &db = paperDb();
+    const auto target = db.machineIndicesByFamily("Intel Xeon");
+    std::vector<std::size_t> predictive;
+    for (std::size_t m = 0; m < db.machineCount(); ++m)
+        if (db.machine(m).family != "Intel Xeon")
+            predictive.push_back(m);
+    return core::makeProblemFromSplit(db, predictive, target,
+                                      "libquantum");
+}
+
+void
+BM_SimpleLinearRegression(benchmark::State &state)
+{
+    util::Rng rng(1);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomVector(n, rng);
+    const auto y = randomVector(n, rng);
+    for (auto _ : state) {
+        stats::SimpleLinearRegression fit(x, y);
+        benchmark::DoNotOptimize(fit.slope());
+    }
+}
+BENCHMARK(BM_SimpleLinearRegression)->Arg(28)->Arg(280);
+
+void
+BM_Spearman(benchmark::State &state)
+{
+    util::Rng rng(2);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomVector(n, rng);
+    const auto y = randomVector(n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::spearman(x, y));
+    }
+}
+BENCHMARK(BM_Spearman)->Arg(39)->Arg(117);
+
+void
+BM_MultipleRegression(benchmark::State &state)
+{
+    util::Rng rng(3);
+    const std::size_t rows = 100;
+    const auto cols = static_cast<std::size_t>(state.range(0));
+    linalg::Matrix x(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            x(r, c) = rng.uniform(0.0, 10.0);
+    const auto y = randomVector(rows, rng);
+    for (auto _ : state) {
+        stats::MultipleLinearRegression fit(x, y);
+        benchmark::DoNotOptimize(fit.rSquared());
+    }
+}
+BENCHMARK(BM_MultipleRegression)->Arg(8)->Arg(28);
+
+void
+BM_MlpTrainEpochs(benchmark::State &state)
+{
+    util::Rng rng(4);
+    const std::size_t rows = 100;
+    const std::size_t cols = 28;
+    linalg::Matrix x(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            x(r, c) = rng.uniform(1.0, 50.0);
+    const auto y = randomVector(rows, rng);
+    ml::MlpConfig config;
+    config.epochs = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        ml::Mlp net(config);
+        net.fit(x, y);
+        benchmark::DoNotOptimize(net.trainingMse());
+    }
+}
+BENCHMARK(BM_MlpTrainEpochs)->Arg(10)->Arg(50);
+
+void
+BM_MlpPredict(benchmark::State &state)
+{
+    util::Rng rng(5);
+    const std::size_t rows = 50;
+    const std::size_t cols = 28;
+    linalg::Matrix x(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            x(r, c) = rng.uniform(1.0, 50.0);
+    const auto y = randomVector(rows, rng);
+    ml::MlpConfig config;
+    config.epochs = 20;
+    ml::Mlp net(config);
+    net.fit(x, y);
+    const auto query = randomVector(cols, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.predict(query));
+    }
+}
+BENCHMARK(BM_MlpPredict);
+
+void
+BM_LinearTransposition(benchmark::State &state)
+{
+    const core::TranspositionProblem problem = xeonProblem();
+    for (auto _ : state) {
+        core::LinearTransposition predictor;
+        benchmark::DoNotOptimize(predictor.predict(problem));
+    }
+}
+BENCHMARK(BM_LinearTransposition);
+
+void
+BM_GaKnnTraining(benchmark::State &state)
+{
+    const dataset::PerfDatabase &db = paperDb();
+    const linalg::Matrix chars =
+        dataset::MicaGenerator().generateForCatalog();
+    baseline::GaKnnConfig config;
+    config.ga.populationSize = 20;
+    config.ga.generations =
+        static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        baseline::GaKnnModel model(config);
+        model.train(chars, db.scores());
+        benchmark::DoNotOptimize(model.trainingFitness());
+    }
+}
+BENCHMARK(BM_GaKnnTraining)->Arg(2)->Arg(5);
+
+void
+BM_KMedoids(benchmark::State &state)
+{
+    const dataset::PerfDatabase &db = paperDb();
+    std::vector<std::size_t> machines(db.machineCount());
+    for (std::size_t m = 0; m < machines.size(); ++m)
+        machines[m] = m;
+    std::vector<std::vector<double>> points;
+    for (std::size_t m = 0; m < machines.size(); ++m)
+        points.push_back(db.machineScores(m));
+    const ml::EuclideanDistance metric;
+    const ml::KMedoids clusterer;
+    for (auto _ : state) {
+        util::Rng rng(7);
+        benchmark::DoNotOptimize(
+            clusterer.cluster(points,
+                              static_cast<std::size_t>(state.range(0)),
+                              metric, rng));
+    }
+}
+BENCHMARK(BM_KMedoids)->Arg(4)->Arg(10);
+
+void
+BM_SplineFit(benchmark::State &state)
+{
+    util::Rng rng(8);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomVector(n, rng);
+    const auto y = randomVector(n, rng);
+    for (auto _ : state) {
+        stats::SplineRegression fit(x, y, 4);
+        benchmark::DoNotOptimize(fit.rSquared());
+    }
+}
+BENCHMARK(BM_SplineFit)->Arg(28)->Arg(280);
+
+void
+BM_KendallTau(benchmark::State &state)
+{
+    util::Rng rng(9);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomVector(n, rng);
+    const auto y = randomVector(n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::kendallTau(x, y));
+    }
+}
+BENCHMARK(BM_KendallTau)->Arg(39)->Arg(117);
+
+void
+BM_BootstrapSpearman(benchmark::State &state)
+{
+    util::Rng rng(10);
+    const auto x = randomVector(100, rng);
+    const auto y = randomVector(100, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            stats::bootstrapSpearman(x, y, 0.95,
+                                     static_cast<std::size_t>(
+                                         state.range(0))));
+    }
+}
+BENCHMARK(BM_BootstrapSpearman)->Arg(100)->Arg(1000);
+
+void
+BM_PcaFit(benchmark::State &state)
+{
+    util::Rng rng(11);
+    const auto dims = static_cast<std::size_t>(state.range(0));
+    linalg::Matrix x(117, dims);
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        for (std::size_t c = 0; c < dims; ++c)
+            x(r, c) = rng.uniform(0.0, 10.0);
+    for (auto _ : state) {
+        ml::Pca pca{};
+        pca.fit(x);
+        benchmark::DoNotOptimize(pca.explainedVariance());
+    }
+}
+BENCHMARK(BM_PcaFit)->Arg(12)->Arg(29);
+
+void
+BM_SyntheticDatasetGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dataset::makePaperDataset(42));
+    }
+}
+BENCHMARK(BM_SyntheticDatasetGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Table 1 of the paper: the 117 machines of the study sorted
+ * by processor family, with three machines per CPU nickname, plus
+ * summary statistics of the synthetic SPEC database that substitutes
+ * for the published spec.org numbers.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "dataset/synthetic_spec.h"
+#include "stats/descriptive.h"
+#include "util/cli.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+using namespace dtrank;
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args("bench_table1_dataset");
+    args.addOption("seed", "dataset generator seed", "2011");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const dataset::PerfDatabase db = dataset::makePaperDataset(
+        static_cast<std::uint64_t>(args.getLong("seed")));
+
+    std::cout << "== Table 1: machines considered in this study, by "
+                 "processor family ==\n\n";
+
+    // family -> nickname -> count
+    std::map<std::string, std::map<std::string, int>> catalog;
+    for (std::size_t m = 0; m < db.machineCount(); ++m) {
+        const dataset::MachineInfo &info = db.machine(m);
+        ++catalog[info.family][info.nickname];
+    }
+
+    util::TablePrinter table({"Processor family", "CPU nickname",
+                              "machines", "year"});
+    for (const auto &[family, nicknames] : catalog) {
+        bool first = true;
+        for (const auto &[nickname, count] : nicknames) {
+            int year = 0;
+            for (std::size_t m = 0; m < db.machineCount(); ++m) {
+                if (db.machine(m).family == family &&
+                    db.machine(m).nickname == nickname) {
+                    year = db.machine(m).releaseYear;
+                    break;
+                }
+            }
+            table.addRow({first ? family : "", nickname,
+                          std::to_string(count), std::to_string(year)});
+            first = false;
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTotals: " << db.machineCount() << " machines ("
+              << "paper: 117), " << db.benchmarkCount()
+              << " benchmarks (paper: 29), " << db.families().size()
+              << " families (paper: 17)\n";
+
+    // Score-scale sanity summary.
+    stats::Summary all;
+    for (std::size_t b = 0; b < db.benchmarkCount(); ++b)
+        for (std::size_t m = 0; m < db.machineCount(); ++m)
+            all.add(db.score(b, m));
+    std::cout << "Speed ratios: min "
+              << util::formatFixed(all.min(), 2) << ", mean "
+              << util::formatFixed(all.mean(), 2) << ", max "
+              << util::formatFixed(all.max(), 2) << "\n";
+    return 0;
+}

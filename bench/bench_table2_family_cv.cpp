@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces Table 2 of the paper: rank correlation, top-1 error and
+ * mean error of NN^T, MLP^T and GA-10NN under processor-family
+ * cross-validation on the 117-machine database. Prints the paper's
+ * reported numbers next to our measured ones.
+ */
+
+#include <iostream>
+
+#include "dataset/mica.h"
+#include "dataset/synthetic_spec.h"
+#include "experiments/family_cv.h"
+#include "experiments/paper_reference.h"
+#include "util/cli.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+using namespace dtrank;
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args("bench_table2_family_cv");
+    args.addOption("seed", "dataset generator seed", "2011");
+    args.addOption("epochs", "MLP training epochs", "500");
+    args.addFlag("verbose", "print per-family progress");
+    if (!args.parse(argc, argv))
+        return 0;
+    if (args.getFlag("verbose"))
+        util::setLogLevel(util::LogLevel::Info);
+
+    const dataset::PerfDatabase db = dataset::makePaperDataset(
+        static_cast<std::uint64_t>(args.getLong("seed")));
+    const linalg::Matrix chars =
+        dataset::MicaGenerator().generateForCatalog();
+
+    experiments::MethodSuiteConfig config;
+    config.mlp.mlp.epochs =
+        static_cast<std::size_t>(args.getLong("epochs"));
+    const experiments::SplitEvaluator evaluator(db, chars, config);
+    const experiments::FamilyCrossValidation cv(evaluator);
+
+    std::cout << "== Table 2: processor-family cross-validation ==\n"
+              << "(measured on the synthetic SPEC database; paper values "
+                 "in brackets refer to the\n real spec.org data, so only "
+                 "the qualitative ordering is expected to match)\n\n";
+
+    const auto results = cv.run(experiments::allMethods());
+
+    util::TablePrinter table({"metric", "NN^T", "MLP^T", "GA-10NN"});
+    const auto &ref = experiments::paper::table2();
+
+    auto row = [&](const std::string &label, auto measured_fn,
+                   auto ref_fn, int decimals) {
+        std::vector<std::string> cells = {label};
+        for (experiments::Method m : experiments::allMethods()) {
+            const experiments::MetricAggregate a = measured_fn(m);
+            const auto &r = ref_fn(ref.at(m));
+            cells.push_back(
+                experiments::formatAggregate(a, decimals) + "  [paper " +
+                util::formatFixed(r.average, decimals) + " (" +
+                util::formatFixed(r.worst, decimals) + ")]");
+        }
+        table.addRow(cells);
+    };
+
+    row("Rank correlation",
+        [&](experiments::Method m) { return results.rankAggregate(m); },
+        [](const experiments::paper::Table2Column &c) -> const auto & {
+            return c.rankCorrelation;
+        },
+        2);
+    row("Top-1 error (%)",
+        [&](experiments::Method m) { return results.top1Aggregate(m); },
+        [](const experiments::paper::Table2Column &c) -> const auto & {
+            return c.top1Error;
+        },
+        2);
+    row("Mean error (%)",
+        [&](experiments::Method m) {
+            return results.meanErrorAggregate(m);
+        },
+        [](const experiments::paper::Table2Column &c) -> const auto & {
+            return c.meanError;
+        },
+        2);
+
+    table.print(std::cout);
+    std::cout << "\nTarget families evaluated: "
+              << results.families.size() << "\n";
+    return 0;
+}

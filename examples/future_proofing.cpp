@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Performance prediction for unavailable hardware: the paper's
+ * Section 4 applications "performance prediction of unavailable
+ * hardware" and "fast design space exploration".
+ *
+ * A team in 2008 owns that year's machines and wants to know how their
+ * application will perform on next year's (2009) processors, whose SPEC
+ * numbers have just been published but which they cannot buy yet. The
+ * example predicts with NN^T and MLP^T and compares against the actual
+ * scores, showing the Table 3 "one year into the future" scenario as a
+ * user-facing workflow.
+ */
+
+#include <iostream>
+
+#include "core/linear_transposition.h"
+#include "core/metrics.h"
+#include "core/mlp_transposition.h"
+#include "core/ranking.h"
+#include "core/transposition.h"
+#include "dataset/synthetic_spec.h"
+#include "util/cli.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+using namespace dtrank;
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args("future_proofing");
+    args.addOption("app", "application of interest", "soplex");
+    args.addOption("seed", "dataset generator seed", "2011");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const dataset::PerfDatabase db = dataset::makePaperDataset(
+        static_cast<std::uint64_t>(args.getLong("seed")));
+    const std::string app = args.get("app");
+
+    const auto owned = db.machineIndicesByYear(2008);
+    const auto future = db.machineIndicesByYear(2009);
+    std::cout << "Owned 2008 machines: " << owned.size()
+              << "; upcoming 2009 machines: " << future.size() << "\n\n";
+
+    const auto problem =
+        core::makeProblemFromSplit(db, owned, future, app);
+    const auto future_db = db.selectMachines(future);
+    const auto actual =
+        future_db.benchmarkScores(future_db.benchmarkIndex(app));
+
+    core::LinearTransposition nn{};
+    core::MlpTransposition mlp{};
+    const auto pred_nn = nn.predict(problem);
+    const auto pred_mlp = mlp.predict(problem);
+
+    util::TablePrinter table({"2009 machine", "actual", "NN^T",
+                              "MLP^T"});
+    for (std::size_t t = 0; t < future.size(); ++t) {
+        table.addRow({future_db.machine(t).name(),
+                      util::formatFixed(actual[t], 2),
+                      util::formatFixed(pred_nn[t], 2),
+                      util::formatFixed(pred_mlp[t], 2)});
+    }
+    table.print(std::cout);
+
+    const auto m_nn = core::evaluatePrediction(actual, pred_nn);
+    const auto m_mlp = core::evaluatePrediction(actual, pred_mlp);
+    std::cout << "\nAccuracy for '" << app << "' one year out:\n"
+              << "  NN^T : rank corr "
+              << util::formatFixed(m_nn.rankCorrelation, 3)
+              << ", mean error "
+              << util::formatFixed(m_nn.meanErrorPercent, 1) << "%\n"
+              << "  MLP^T: rank corr "
+              << util::formatFixed(m_mlp.rankCorrelation, 3)
+              << ", mean error "
+              << util::formatFixed(m_mlp.meanErrorPercent, 1) << "%\n";
+
+    const core::MachineRanking ranking(pred_mlp);
+    std::cout << "\nPredicted best 2009 machine: "
+              << future_db.machine(ranking.best()).name() << "\n";
+    return 0;
+}

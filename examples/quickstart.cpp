@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: the data-transposition workflow in ~40 lines.
+ *
+ * 1. Load (here: generate) a published performance database.
+ * 2. Pick the machines you own (the predictive machines).
+ * 3. Measure your application of interest on them (here: a held-out
+ *    benchmark plays that role).
+ * 4. Predict its performance on every machine you do NOT own, and rank
+ *    them.
+ */
+
+#include <iostream>
+
+#include "core/mlp_transposition.h"
+#include "core/ranking.h"
+#include "core/transposition.h"
+#include "dataset/synthetic_spec.h"
+#include "util/cli.h"
+
+using namespace dtrank;
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args("quickstart");
+    args.addOption("app", "application of interest (a benchmark name)",
+                   "omnetpp");
+    args.addOption("seed", "dataset generator seed", "2011");
+    args.addOption("top", "how many machines to print", "10");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    // 1. The published database: 29 benchmarks x 117 machines.
+    const dataset::PerfDatabase db = dataset::makePaperDataset(
+        static_cast<std::uint64_t>(args.getLong("seed")));
+
+    // 2. Suppose we own the first machine of six different families.
+    std::vector<std::size_t> predictive;
+    std::vector<std::size_t> targets;
+    std::string last_family;
+    for (std::size_t m = 0; m < db.machineCount(); ++m) {
+        const auto &info = db.machine(m);
+        if (predictive.size() < 6 && info.family != last_family) {
+            predictive.push_back(m);
+            last_family = info.family;
+        } else {
+            targets.push_back(m);
+        }
+    }
+
+    // 3 + 4. Build the transposition problem and predict with MLP^T.
+    const std::string app = args.get("app");
+    const auto problem =
+        core::makeProblemFromSplit(db, predictive, targets, app);
+    core::MlpTransposition predictor{};
+    const auto predicted = predictor.predict(problem);
+
+    // Rank the machines we do not own.
+    const core::MachineRanking ranking(predicted);
+    std::cout << "Predicted best machines for '" << app << "':\n\n"
+              << ranking.toTable(
+                     db.selectMachines(targets),
+                     static_cast<std::size_t>(args.getLong("top")));
+    return 0;
+}

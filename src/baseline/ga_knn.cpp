@@ -1,0 +1,270 @@
+#include "baseline/ga_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dtrank::baseline
+{
+
+namespace
+{
+
+/**
+ * Orders candidate indices by weighted squared distance to the query,
+ * keeping the first `k`, deterministic under ties.
+ */
+std::vector<std::size_t>
+nearestByWeightedDistance(const std::vector<double> &query,
+                          const linalg::Matrix &candidates,
+                          const std::vector<double> &weights,
+                          std::size_t k,
+                          std::size_t exclude = SIZE_MAX)
+{
+    const std::size_t n = candidates.rows();
+    std::vector<double> d2(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < candidates.cols(); ++c) {
+            const double diff = query[c] - candidates(i, c);
+            acc += weights[c] * diff * diff;
+        }
+        d2[i] = acc;
+    }
+
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (i != exclude)
+            order.push_back(i);
+    const std::size_t take = std::min(k, order.size());
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(take),
+                      order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          if (d2[a] != d2[b])
+                              return d2[a] < d2[b];
+                          return a < b;
+                      });
+    order.resize(take);
+    return order;
+}
+
+/** Combines neighbour scores according to the weighting rule. */
+double
+combineNeighborScores(const std::vector<std::size_t> &nn,
+                      const std::vector<double> &d2,
+                      const linalg::Matrix &scores, std::size_t machine,
+                      ml::KnnWeighting weighting)
+{
+    if (weighting == ml::KnnWeighting::Uniform) {
+        double acc = 0.0;
+        for (std::size_t j : nn)
+            acc += scores(j, machine);
+        return acc / static_cast<double>(nn.size());
+    }
+    constexpr double eps = 1e-9;
+    double wsum = 0.0;
+    double acc = 0.0;
+    for (std::size_t j : nn) {
+        const double w = 1.0 / (std::sqrt(d2[j]) + eps);
+        wsum += w;
+        acc += w * scores(j, machine);
+    }
+    return acc / wsum;
+}
+
+} // namespace
+
+GaKnnModel::GaKnnModel(GaKnnConfig config) : config_(config)
+{
+    util::require(config_.k >= 1, "GaKnnModel: k must be >= 1");
+}
+
+void
+GaKnnModel::train(const linalg::Matrix &characteristics,
+                  const linalg::Matrix &train_scores)
+{
+    const std::size_t n_bench = characteristics.rows();
+    const std::size_t n_char = characteristics.cols();
+    util::require(n_bench >= 2, "GaKnnModel::train: needs >= 2 "
+                                "benchmarks");
+    util::require(n_char >= 1, "GaKnnModel::train: needs >= 1 "
+                               "characteristic");
+    util::require(train_scores.rows() == n_bench,
+                  "GaKnnModel::train: score row mismatch");
+    util::require(train_scores.cols() >= 1,
+                  "GaKnnModel::train: needs >= 1 training machine");
+
+    const std::size_t n_machine = train_scores.cols();
+
+    // Precompute per-pair, per-characteristic squared differences so a
+    // fitness evaluation is a dot product per pair.
+    std::vector<std::vector<std::vector<double>>> pair_d2(
+        n_bench, std::vector<std::vector<double>>(
+                     n_bench, std::vector<double>(n_char, 0.0)));
+    for (std::size_t i = 0; i < n_bench; ++i) {
+        for (std::size_t j = i + 1; j < n_bench; ++j) {
+            for (std::size_t c = 0; c < n_char; ++c) {
+                const double diff =
+                    characteristics(i, c) - characteristics(j, c);
+                pair_d2[i][j][c] = diff * diff;
+                pair_d2[j][i][c] = diff * diff;
+            }
+        }
+    }
+
+    // Fitness: negative mean relative error of leave-one-benchmark-out
+    // kNN prediction across the training machines.
+    const auto fitness = [&](const std::vector<double> &w) {
+        // Pairwise weighted squared distances under w.
+        std::vector<std::vector<double>> d2(
+            n_bench, std::vector<double>(n_bench, 0.0));
+        for (std::size_t i = 0; i < n_bench; ++i) {
+            for (std::size_t j = i + 1; j < n_bench; ++j) {
+                double acc = 0.0;
+                for (std::size_t c = 0; c < n_char; ++c)
+                    acc += w[c] * pair_d2[i][j][c];
+                d2[i][j] = acc;
+                d2[j][i] = acc;
+            }
+        }
+
+        double error_sum = 0.0;
+        std::size_t error_count = 0;
+        for (std::size_t i = 0; i < n_bench; ++i) {
+            // k nearest other benchmarks to benchmark i.
+            std::vector<std::size_t> order;
+            order.reserve(n_bench - 1);
+            for (std::size_t j = 0; j < n_bench; ++j)
+                if (j != i)
+                    order.push_back(j);
+            const std::size_t take =
+                std::min(config_.k, order.size());
+            std::partial_sort(
+                order.begin(),
+                order.begin() + static_cast<std::ptrdiff_t>(take),
+                order.end(), [&](std::size_t a, std::size_t b) {
+                    if (d2[i][a] != d2[i][b])
+                        return d2[i][a] < d2[i][b];
+                    return a < b;
+                });
+            order.resize(take);
+
+            for (std::size_t m = 0; m < n_machine; ++m) {
+                const double pred = combineNeighborScores(
+                    order, d2[i], train_scores, m, config_.weighting);
+                const double actual = train_scores(i, m);
+                error_sum += std::fabs(pred - actual) / actual * 100.0;
+                ++error_count;
+            }
+        }
+        return -error_sum / static_cast<double>(error_count);
+    };
+
+    const std::vector<double> lower(n_char, 0.0);
+    const std::vector<double> upper(n_char, 1.0);
+    const ml::GeneticAlgorithm ga(config_.ga, lower, upper);
+    util::Rng rng(config_.seed);
+    const ml::GaResult result = ga.optimize(fitness, rng);
+
+    weights_ = result.bestGenome;
+    training_fitness_ = result.bestFitness;
+    trained_ = true;
+}
+
+const std::vector<double> &
+GaKnnModel::weights() const
+{
+    util::require(trained_, "GaKnnModel: not trained");
+    return weights_;
+}
+
+double
+GaKnnModel::trainingFitness() const
+{
+    util::require(trained_, "GaKnnModel: not trained");
+    return training_fitness_;
+}
+
+std::vector<std::size_t>
+GaKnnModel::neighbors(const std::vector<double> &app_characteristics,
+                      const linalg::Matrix &candidate_chars) const
+{
+    util::require(trained_, "GaKnnModel: not trained");
+    util::require(app_characteristics.size() == candidate_chars.cols(),
+                  "GaKnnModel::neighbors: characteristic count mismatch");
+    util::require(candidate_chars.cols() == weights_.size(),
+                  "GaKnnModel::neighbors: trained on a different "
+                  "characteristic count");
+    return nearestByWeightedDistance(app_characteristics, candidate_chars,
+                                     weights_, config_.k);
+}
+
+std::vector<double>
+GaKnnModel::predictApp(const std::vector<double> &app_characteristics,
+                       const linalg::Matrix &candidate_chars,
+                       const linalg::Matrix &candidate_scores) const
+{
+    util::require(trained_, "GaKnnModel: not trained");
+    util::require(candidate_chars.rows() == candidate_scores.rows(),
+                  "GaKnnModel::predictApp: candidate row mismatch");
+    const auto nn = neighbors(app_characteristics, candidate_chars);
+    DTRANK_ASSERT(!nn.empty());
+
+    // Squared distances for the weighting rule.
+    std::vector<double> d2(candidate_chars.rows(), 0.0);
+    for (std::size_t i = 0; i < candidate_chars.rows(); ++i) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < candidate_chars.cols(); ++c) {
+            const double diff =
+                app_characteristics[c] - candidate_chars(i, c);
+            acc += weights_[c] * diff * diff;
+        }
+        d2[i] = acc;
+    }
+
+    std::vector<double> out(candidate_scores.cols());
+    for (std::size_t m = 0; m < candidate_scores.cols(); ++m)
+        out[m] = combineNeighborScores(nn, d2, candidate_scores, m,
+                                       config_.weighting);
+    return out;
+}
+
+GaKnnTransposition::GaKnnTransposition(
+    std::shared_ptr<const GaKnnModel> model,
+    linalg::Matrix bench_characteristics,
+    std::vector<double> app_characteristics)
+    : model_(std::move(model)),
+      bench_characteristics_(std::move(bench_characteristics)),
+      app_characteristics_(std::move(app_characteristics))
+{
+    util::require(model_ != nullptr,
+                  "GaKnnTransposition: model must not be null");
+    util::require(model_->trained(),
+                  "GaKnnTransposition: model must be trained");
+}
+
+std::vector<double>
+GaKnnTransposition::predict(const core::TranspositionProblem &problem)
+{
+    problem.validate();
+    util::require(problem.benchmarkCount() ==
+                      bench_characteristics_.rows(),
+                  "GaKnnTransposition: problem rows do not match the "
+                  "benchmark characteristics");
+    return model_->predictApp(app_characteristics_,
+                              bench_characteristics_,
+                              problem.targetBenchScores);
+}
+
+std::string
+GaKnnTransposition::name() const
+{
+    return "GA-" + std::to_string(model_->config().k) + "NN";
+}
+
+} // namespace dtrank::baseline

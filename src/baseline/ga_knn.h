@@ -1,0 +1,145 @@
+/**
+ * @file
+ * GA-kNN, the prior-art baseline of Hoste et al. (PACT 2006) the paper
+ * compares against (referred to as GA-kNN / GA-10NN in Section 6).
+ *
+ * The method works in workload space: each benchmark is described by
+ * microarchitecture-independent characteristics; a genetic algorithm
+ * learns per-characteristic weights so that weighted distance in
+ * characteristic space tracks performance difference; the performance
+ * of an application of interest on a target machine is then predicted
+ * from the scores of its k = 10 nearest benchmarks on that machine.
+ * Unlike data transposition it needs no measurements on predictive
+ * machines at prediction time — but it inherits the weakness the paper
+ * demonstrates: applications dissimilar to every benchmark (outliers)
+ * have no informative neighbours.
+ */
+
+#ifndef DTRANK_BASELINE_GA_KNN_H_
+#define DTRANK_BASELINE_GA_KNN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/transposition.h"
+#include "linalg/matrix.h"
+#include "ml/genetic.h"
+#include "ml/knn.h"
+
+namespace dtrank::baseline
+{
+
+/** Configuration of the GA-kNN baseline. */
+struct GaKnnConfig
+{
+    /** Number of nearest-neighbour benchmarks (the paper uses 10). */
+    std::size_t k = 10;
+    /** How neighbour scores are combined. */
+    ml::KnnWeighting weighting = ml::KnnWeighting::Uniform;
+    /** Genetic algorithm hyperparameters. */
+    ml::GaConfig ga;
+    /** Seed for the GA's randomness. */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * A trained GA-kNN model: learned characteristic weights plus the
+ * machinery to predict an application's score on arbitrary machines
+ * from its characteristic vector.
+ */
+class GaKnnModel
+{
+  public:
+    explicit GaKnnModel(GaKnnConfig config = GaKnnConfig{});
+
+    /**
+     * Learns the characteristic weights.
+     *
+     * @param characteristics One row per benchmark (B x C).
+     * @param train_scores Benchmark scores on the training machines
+     *        (B x M). The GA maximizes leave-one-benchmark-out kNN
+     *        prediction accuracy on these machines.
+     */
+    void train(const linalg::Matrix &characteristics,
+               const linalg::Matrix &train_scores);
+
+    /** True once train() has completed. */
+    bool trained() const { return trained_; }
+
+    /** The learned per-characteristic weights. */
+    const std::vector<double> &weights() const;
+
+    /** Best GA fitness (negative mean relative error, %). */
+    double trainingFitness() const;
+
+    /**
+     * Indices (into `candidate_chars` rows) of the k benchmarks nearest
+     * to the application, closest first.
+     */
+    std::vector<std::size_t>
+    neighbors(const std::vector<double> &app_characteristics,
+              const linalg::Matrix &candidate_chars) const;
+
+    /**
+     * Predicts the application's score on each machine.
+     *
+     * @param app_characteristics Characteristic vector of the
+     *        application of interest.
+     * @param candidate_chars Characteristics of the candidate
+     *        neighbour benchmarks (N x C).
+     * @param candidate_scores Scores of those benchmarks on the
+     *        machines of interest (N x T).
+     * @return One predicted score per machine (T).
+     */
+    std::vector<double>
+    predictApp(const std::vector<double> &app_characteristics,
+               const linalg::Matrix &candidate_chars,
+               const linalg::Matrix &candidate_scores) const;
+
+    const GaKnnConfig &config() const { return config_; }
+
+  private:
+    GaKnnConfig config_;
+    std::vector<double> weights_;
+    double training_fitness_ = 0.0;
+    bool trained_ = false;
+};
+
+/**
+ * Adapter exposing a trained GaKnnModel through the common
+ * TranspositionPredictor interface. The adapter carries the
+ * characteristics of the training benchmarks (aligned with the problem
+ * rows) and of the application of interest; the problem's predictive
+ * machines are ignored, as GA-kNN does not use them at prediction
+ * time.
+ */
+class GaKnnTransposition : public core::TranspositionPredictor
+{
+  public:
+    /**
+     * @param model Trained model (shared).
+     * @param bench_characteristics Characteristics of the training
+     *        benchmarks, row-aligned with the problems this adapter
+     *        will see (N x C).
+     * @param app_characteristics Characteristics of the application.
+     */
+    GaKnnTransposition(std::shared_ptr<const GaKnnModel> model,
+                       linalg::Matrix bench_characteristics,
+                       std::vector<double> app_characteristics);
+
+    std::vector<double>
+    predict(const core::TranspositionProblem &problem) override;
+
+    std::string name() const override;
+
+  private:
+    std::shared_ptr<const GaKnnModel> model_;
+    linalg::Matrix bench_characteristics_;
+    std::vector<double> app_characteristics_;
+};
+
+} // namespace dtrank::baseline
+
+#endif // DTRANK_BASELINE_GA_KNN_H_

@@ -1,0 +1,89 @@
+#include "core/linear_transposition.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/regression.h"
+#include "util/error.h"
+
+namespace dtrank::core
+{
+
+LinearTransposition::LinearTransposition(LinearTranspositionConfig config)
+    : config_(config)
+{
+}
+
+std::vector<double>
+LinearTransposition::predict(const TranspositionProblem &problem)
+{
+    problem.validate();
+    const std::size_t n_bench = problem.benchmarkCount();
+    const std::size_t n_pred = problem.predictiveMachineCount();
+    const std::size_t n_target = problem.targetMachineCount();
+    util::require(n_bench >= 2,
+                  "LinearTransposition: needs >= 2 training benchmarks");
+
+    auto maybe_log = [&](double v) {
+        return config_.logSpace ? std::log2(v) : v;
+    };
+    auto maybe_exp = [&](double v) {
+        return config_.logSpace ? std::exp2(v) : v;
+    };
+
+    // Pre-extract predictive machine columns (x vectors).
+    std::vector<std::vector<double>> pred_cols(n_pred);
+    for (std::size_t p = 0; p < n_pred; ++p) {
+        pred_cols[p] = problem.predictiveBenchScores.column(p);
+        if (config_.logSpace)
+            for (double &v : pred_cols[p])
+                v = std::log2(v);
+    }
+
+    diagnostics_ = LinearTranspositionDiagnostics{};
+    diagnostics_.chosenPredictive.assign(n_target, 0);
+    diagnostics_.fitRSquared.assign(n_target, 0.0);
+    diagnostics_.intercept.assign(n_target, 0.0);
+    diagnostics_.slope.assign(n_target, 0.0);
+
+    std::vector<double> predictions(n_target, 0.0);
+    for (std::size_t t = 0; t < n_target; ++t) {
+        std::vector<double> y = problem.targetBenchScores.column(t);
+        if (config_.logSpace)
+            for (double &v : y)
+                v = std::log2(v);
+
+        double best_score = std::numeric_limits<double>::infinity();
+        std::size_t best_p = 0;
+        double best_intercept = 0.0;
+        double best_slope = 0.0;
+        double best_r2 = 0.0;
+
+        for (std::size_t p = 0; p < n_pred; ++p) {
+            const stats::SimpleLinearRegression fit(pred_cols[p], y);
+            // Both criteria are expressed as "smaller is better".
+            const double score =
+                config_.criterion == FitCriterion::ResidualSumSquares
+                    ? fit.residualSumSquares()
+                    : -fit.rSquared();
+            if (score < best_score) {
+                best_score = score;
+                best_p = p;
+                best_intercept = fit.intercept();
+                best_slope = fit.slope();
+                best_r2 = fit.rSquared();
+            }
+        }
+
+        const double app_x = maybe_log(problem.predictiveAppScores[best_p]);
+        predictions[t] = maybe_exp(best_intercept + best_slope * app_x);
+
+        diagnostics_.chosenPredictive[t] = best_p;
+        diagnostics_.fitRSquared[t] = best_r2;
+        diagnostics_.intercept[t] = best_intercept;
+        diagnostics_.slope[t] = best_slope;
+    }
+    return predictions;
+}
+
+} // namespace dtrank::core

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * NN^T: data transposition through best-fit simple linear regression
+ * (Section 3.2.1 of the paper).
+ *
+ * For each target machine a y = a + b*x regression is fitted against
+ * every predictive machine over the training benchmarks; the predictive
+ * machine with the best fit — the target machine's "nearest neighbour"
+ * in machine space — supplies the prediction for the application of
+ * interest.
+ */
+
+#ifndef DTRANK_CORE_LINEAR_TRANSPOSITION_H_
+#define DTRANK_CORE_LINEAR_TRANSPOSITION_H_
+
+#include <vector>
+
+#include "core/transposition.h"
+
+namespace dtrank::core
+{
+
+/** How NN^T scores candidate predictive machines. */
+enum class FitCriterion
+{
+    ResidualSumSquares, ///< Lowest RSS wins (the paper's "best fit").
+    RSquared            ///< Highest R² wins (equivalent ordering unless
+                        ///< the target machine has zero variance).
+};
+
+/** Configuration of the NN^T predictor. */
+struct LinearTranspositionConfig
+{
+    FitCriterion criterion = FitCriterion::ResidualSumSquares;
+    /**
+     * Fit and predict in log performance space. The paper regresses raw
+     * SPEC ratios; log space is provided as an ablation (scores are
+     * multiplicative in nature).
+     */
+    bool logSpace = false;
+};
+
+/** Diagnostics from the last predict() call. */
+struct LinearTranspositionDiagnostics
+{
+    /** Chosen predictive machine per target machine. */
+    std::vector<std::size_t> chosenPredictive;
+    /** Fit R² of the chosen model per target machine. */
+    std::vector<double> fitRSquared;
+    /** Intercept of the chosen model per target machine. */
+    std::vector<double> intercept;
+    /** Slope of the chosen model per target machine. */
+    std::vector<double> slope;
+};
+
+/**
+ * The NN^T predictor. Stateless between calls apart from diagnostics
+ * describing the most recent prediction.
+ */
+class LinearTransposition : public TranspositionPredictor
+{
+  public:
+    explicit LinearTransposition(
+        LinearTranspositionConfig config = LinearTranspositionConfig{});
+
+    std::vector<double>
+    predict(const TranspositionProblem &problem) override;
+
+    std::string name() const override { return "NN^T"; }
+
+    /** Diagnostics for the most recent predict() call. */
+    const LinearTranspositionDiagnostics &diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+    const LinearTranspositionConfig &config() const { return config_; }
+
+  private:
+    LinearTranspositionConfig config_;
+    LinearTranspositionDiagnostics diagnostics_;
+};
+
+} // namespace dtrank::core
+
+#endif // DTRANK_CORE_LINEAR_TRANSPOSITION_H_

@@ -1,0 +1,34 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "stats/correlation.h"
+#include "stats/error_metrics.h"
+#include "util/error.h"
+
+namespace dtrank::core
+{
+
+PredictionMetrics
+evaluatePrediction(const std::vector<double> &actual,
+                   const std::vector<double> &predicted)
+{
+    util::require(actual.size() == predicted.size(),
+                  "evaluatePrediction: size mismatch");
+    util::require(actual.size() >= 2,
+                  "evaluatePrediction: needs >= 2 target machines");
+
+    PredictionMetrics m;
+    m.rankCorrelation = stats::spearman(actual, predicted);
+    m.top1ErrorPercent = stats::top1DeficiencyPercent(actual, predicted);
+    m.meanErrorPercent =
+        stats::meanRelativeErrorPercent(actual, predicted);
+    m.maxErrorPercent = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        m.maxErrorPercent =
+            std::max(m.maxErrorPercent,
+                     stats::relativeErrorPercent(actual[i], predicted[i]));
+    return m;
+}
+
+} // namespace dtrank::core

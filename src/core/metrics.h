@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The paper's three accuracy metrics (Section 6.1) bundled for one
+ * prediction task: Spearman rank correlation between predicted and
+ * actual machine rankings, top-1 deficiency, and mean relative error.
+ */
+
+#ifndef DTRANK_CORE_METRICS_H_
+#define DTRANK_CORE_METRICS_H_
+
+#include <vector>
+
+namespace dtrank::core
+{
+
+/** Accuracy of one prediction across a set of target machines. */
+struct PredictionMetrics
+{
+    /** Spearman rank correlation of predicted vs actual ranking. */
+    double rankCorrelation = 0.0;
+    /** Performance lost by purchasing the predicted top machine (%). */
+    double top1ErrorPercent = 0.0;
+    /** Mean relative prediction error across target machines (%). */
+    double meanErrorPercent = 0.0;
+    /** Largest single-machine relative prediction error (%). */
+    double maxErrorPercent = 0.0;
+};
+
+/**
+ * Evaluates predicted scores against measured scores on the target
+ * machines.
+ *
+ * @param actual Measured application-of-interest scores (positive).
+ * @param predicted Predicted scores, same length (>= 2 machines).
+ */
+PredictionMetrics evaluatePrediction(const std::vector<double> &actual,
+                                     const std::vector<double> &predicted);
+
+} // namespace dtrank::core
+
+#endif // DTRANK_CORE_METRICS_H_

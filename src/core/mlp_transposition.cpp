@@ -1,0 +1,92 @@
+#include "core/mlp_transposition.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dtrank::core
+{
+
+MlpTransposition::MlpTransposition(MlpTranspositionConfig config)
+    : config_(std::move(config))
+{
+}
+
+std::vector<double>
+MlpTransposition::predict(const TranspositionProblem &problem)
+{
+    problem.validate();
+    const std::size_t n_bench = problem.benchmarkCount();
+    const std::size_t n_pred = problem.predictiveMachineCount();
+    const std::size_t n_target = problem.targetMachineCount();
+
+    auto maybe_log = [&](double v) {
+        return config_.logSpace ? std::log2(v) : v;
+    };
+    auto maybe_exp = [&](double v) {
+        return config_.logSpace ? std::exp2(v) : v;
+    };
+
+    // Training matrix: one row per predictive machine (transposed view
+    // of the benchmark x machine data — the "data transposition").
+    linalg::Matrix train(n_pred, n_bench);
+    std::vector<double> targets(n_pred);
+    for (std::size_t p = 0; p < n_pred; ++p) {
+        for (std::size_t b = 0; b < n_bench; ++b)
+            train(p, b) = maybe_log(problem.predictiveBenchScores(b, p));
+        targets[p] = maybe_log(problem.predictiveAppScores[p]);
+    }
+    linalg::Matrix test(n_target, n_bench);
+    for (std::size_t t = 0; t < n_target; ++t)
+        for (std::size_t b = 0; b < n_bench; ++b)
+            test(t, b) = maybe_log(problem.targetBenchScores(b, t));
+
+    ml::MlpConfig mlp_config = config_.mlp;
+    ml::RangeNormalizer target_norm;
+    if (config_.transductiveNormalization) {
+        // Feature scaling over predictive + target machines (all
+        // published data). The network's own normalizer would refit on
+        // the training rows alone and undo this, so normalization is
+        // handled entirely here — including the numeric target.
+        linalg::Matrix all(n_pred + n_target, n_bench);
+        for (std::size_t p = 0; p < n_pred; ++p)
+            all.setRow(p, train.row(p));
+        for (std::size_t t = 0; t < n_target; ++t)
+            all.setRow(n_pred + t, test.row(t));
+        ml::RangeNormalizer norm;
+        norm.fit(all);
+        train = norm.transform(train);
+        test = norm.transform(test);
+        target_norm.fitSeries(targets);
+        for (double &v : targets)
+            v = target_norm.transformScalar(v);
+        mlp_config.normalize = false;
+    }
+
+    ml::Mlp network(mlp_config);
+    network.fit(train, targets);
+    last_mse_ = network.trainingMse();
+
+    std::vector<double> predictions(n_target);
+    for (std::size_t t = 0; t < n_target; ++t) {
+        double raw = network.predict(test.row(t));
+        if (config_.transductiveNormalization)
+            raw = target_norm.inverseTransformScalar(raw);
+        predictions[t] = maybe_exp(raw);
+        // SPEC ratios are positive; clamp pathological extrapolations.
+        if (!config_.logSpace && predictions[t] <= 0.0)
+            predictions[t] = 1e-6;
+    }
+    return predictions;
+}
+
+double
+MlpTransposition::lastTrainingMse() const
+{
+    util::require(last_mse_.has_value(),
+                  "MlpTransposition::lastTrainingMse: no prediction made "
+                  "yet");
+    return *last_mse_;
+}
+
+} // namespace dtrank::core

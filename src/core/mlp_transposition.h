@@ -1,0 +1,73 @@
+/**
+ * @file
+ * MLP^T: data transposition through a multilayer perceptron
+ * (Section 3.2.2 of the paper).
+ *
+ * The network is trained on the predictive machines: each training row
+ * is one predictive machine, its features are the benchmark-suite
+ * scores on that machine and its target is the application-of-interest
+ * score. Prediction feeds each target machine's published benchmark
+ * scores through the trained network. The implicit assumption — that
+ * the relationship between the suite and the application transfers
+ * across machines — is the paper's machine-similarity intuition.
+ */
+
+#ifndef DTRANK_CORE_MLP_TRANSPOSITION_H_
+#define DTRANK_CORE_MLP_TRANSPOSITION_H_
+
+#include <optional>
+
+#include "core/transposition.h"
+#include "ml/mlp.h"
+
+namespace dtrank::core
+{
+
+/** Configuration of the MLP^T predictor. */
+struct MlpTranspositionConfig
+{
+    /** Network hyperparameters; defaults replicate WEKA v3. */
+    ml::MlpConfig mlp;
+    /** Train and predict in log2 performance space (ablation). */
+    bool logSpace = false;
+    /**
+     * Normalize the input features over the union of predictive and
+     * target machines (default). The target machines' benchmark scores
+     * are published data available before training, and including them
+     * keeps every input inside the sigmoid's sensitive range even when
+     * only a handful of predictive machines are available — the
+     * robustness the paper demonstrates in Table 4. Disabling this
+     * falls back to WEKA's training-data-only normalization (an
+     * ablation).
+     */
+    bool transductiveNormalization = true;
+};
+
+/**
+ * The MLP^T predictor. A fresh network is trained on every predict()
+ * call (each application of interest needs its own model).
+ */
+class MlpTransposition : public TranspositionPredictor
+{
+  public:
+    explicit MlpTransposition(
+        MlpTranspositionConfig config = MlpTranspositionConfig{});
+
+    std::vector<double>
+    predict(const TranspositionProblem &problem) override;
+
+    std::string name() const override { return "MLP^T"; }
+
+    /** Training MSE of the most recently trained network. */
+    double lastTrainingMse() const;
+
+    const MlpTranspositionConfig &config() const { return config_; }
+
+  private:
+    MlpTranspositionConfig config_;
+    std::optional<double> last_mse_;
+};
+
+} // namespace dtrank::core
+
+#endif // DTRANK_CORE_MLP_TRANSPOSITION_H_

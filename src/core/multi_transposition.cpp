@@ -1,0 +1,103 @@
+#include "core/multi_transposition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/regression.h"
+#include "util/error.h"
+
+namespace dtrank::core
+{
+
+MultiTransposition::MultiTransposition(MultiTranspositionConfig config)
+    : config_(config)
+{
+    util::require(config_.proxies >= 1,
+                  "MultiTransposition: proxies must be >= 1");
+    util::require(config_.ridge >= 0.0,
+                  "MultiTransposition: ridge must be >= 0");
+}
+
+std::string
+MultiTransposition::name() const
+{
+    return std::to_string(config_.proxies) + "NN^T";
+}
+
+std::vector<double>
+MultiTransposition::predict(const TranspositionProblem &problem)
+{
+    problem.validate();
+    const std::size_t n_bench = problem.benchmarkCount();
+    const std::size_t n_pred = problem.predictiveMachineCount();
+    const std::size_t n_target = problem.targetMachineCount();
+    util::require(n_bench >= 2,
+                  "MultiTransposition: needs >= 2 training benchmarks");
+
+    auto maybe_log = [&](double v) {
+        return config_.logSpace ? std::log2(v) : v;
+    };
+    auto maybe_exp = [&](double v) {
+        return config_.logSpace ? std::exp2(v) : v;
+    };
+
+    std::vector<std::vector<double>> pred_cols(n_pred);
+    for (std::size_t p = 0; p < n_pred; ++p) {
+        pred_cols[p] = problem.predictiveBenchScores.column(p);
+        if (config_.logSpace)
+            for (double &v : pred_cols[p])
+                v = std::log2(v);
+    }
+
+    const std::size_t k = std::min(config_.proxies, n_pred);
+    diagnostics_ = MultiTranspositionDiagnostics{};
+    diagnostics_.chosenProxies.assign(n_target, {});
+    diagnostics_.fitRSquared.assign(n_target, 0.0);
+
+    std::vector<double> predictions(n_target, 0.0);
+    for (std::size_t t = 0; t < n_target; ++t) {
+        std::vector<double> y = problem.targetBenchScores.column(t);
+        if (config_.logSpace)
+            for (double &v : y)
+                v = std::log2(v);
+
+        // Rank predictive machines by their single-proxy fit, as NN^T
+        // does, then keep the k best as joint regressors.
+        std::vector<double> rss(n_pred);
+        for (std::size_t p = 0; p < n_pred; ++p)
+            rss[p] = stats::SimpleLinearRegression(pred_cols[p], y)
+                         .residualSumSquares();
+        std::vector<std::size_t> order(n_pred);
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::partial_sort(order.begin(),
+                          order.begin() + static_cast<std::ptrdiff_t>(k),
+                          order.end(),
+                          [&](std::size_t a, std::size_t b) {
+                              if (rss[a] != rss[b])
+                                  return rss[a] < rss[b];
+                              return a < b;
+                          });
+        order.resize(k);
+
+        linalg::Matrix design(n_bench, k);
+        for (std::size_t j = 0; j < k; ++j)
+            design.setColumn(j, pred_cols[order[j]]);
+        const stats::MultipleLinearRegression fit(design, y,
+                                                  config_.ridge);
+
+        std::vector<double> app_features(k);
+        for (std::size_t j = 0; j < k; ++j)
+            app_features[j] =
+                maybe_log(problem.predictiveAppScores[order[j]]);
+        predictions[t] = maybe_exp(fit.predict(app_features));
+        if (!config_.logSpace && predictions[t] <= 0.0)
+            predictions[t] = 1e-6;
+
+        diagnostics_.chosenProxies[t] = order;
+        diagnostics_.fitRSquared[t] = fit.rSquared();
+    }
+    return predictions;
+}
+
+} // namespace dtrank::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Predictive machine selection (Section 6.5 of the paper): random
+ * selection versus k-medoid clustering over machine space. The cluster
+ * medoids become the predictive machines — a diverse set that maximizes
+ * the chance of finding a close-enough predictive machine for every
+ * target machine.
+ */
+
+#ifndef DTRANK_CORE_SELECTION_H_
+#define DTRANK_CORE_SELECTION_H_
+
+#include <vector>
+
+#include "dataset/perf_database.h"
+#include "util/rng.h"
+
+namespace dtrank::core
+{
+
+/** Uniformly samples k of the candidate machines (no replacement). */
+std::vector<std::size_t>
+selectRandomMachines(const std::vector<std::size_t> &candidates,
+                     std::size_t k, util::Rng &rng);
+
+/**
+ * Machine feature vectors for clustering: each machine's benchmark
+ * scores in log2 space, z-normalized per benchmark so no single
+ * benchmark dominates the distance.
+ */
+std::vector<std::vector<double>>
+machineFeatureVectors(const dataset::PerfDatabase &db,
+                      const std::vector<std::size_t> &machines);
+
+/**
+ * Selects k predictive machines by k-medoid clustering of the
+ * candidates in machine space; returns the medoid machine indices
+ * (ascending).
+ */
+std::vector<std::size_t>
+selectMachinesByKMedoids(const dataset::PerfDatabase &db,
+                         const std::vector<std::size_t> &candidates,
+                         std::size_t k, util::Rng &rng);
+
+} // namespace dtrank::core
+
+#endif // DTRANK_CORE_SELECTION_H_

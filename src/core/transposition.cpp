@@ -1,0 +1,89 @@
+#include "core/transposition.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dtrank::core
+{
+
+void
+TranspositionProblem::validate() const
+{
+    util::require(predictiveBenchScores.rows() > 0,
+                  "TranspositionProblem: no training benchmarks");
+    util::require(predictiveBenchScores.cols() > 0,
+                  "TranspositionProblem: no predictive machines");
+    util::require(targetBenchScores.cols() > 0,
+                  "TranspositionProblem: no target machines");
+    util::require(predictiveAppScores.size() ==
+                      predictiveBenchScores.cols(),
+                  "TranspositionProblem: app score count must match "
+                  "predictive machine count");
+    util::require(targetBenchScores.rows() ==
+                      predictiveBenchScores.rows(),
+                  "TranspositionProblem: benchmark row mismatch between "
+                  "predictive and target sets");
+    for (double s : predictiveAppScores)
+        util::require(s > 0.0, "TranspositionProblem: scores must be "
+                               "positive");
+}
+
+TranspositionProblem
+makeProblem(const dataset::PerfDatabase &predictive,
+            const dataset::PerfDatabase &target,
+            const std::string &app_benchmark)
+{
+    util::require(predictive.hasBenchmark(app_benchmark),
+                  "makeProblem: predictive database lacks the "
+                  "application of interest '" + app_benchmark + "'");
+    const std::size_t app_row = predictive.benchmarkIndex(app_benchmark);
+
+    // Training benchmarks = all predictive rows except the app row,
+    // matched by name in the target database.
+    std::vector<std::size_t> pred_rows;
+    std::vector<std::size_t> target_rows;
+    for (std::size_t b = 0; b < predictive.benchmarkCount(); ++b) {
+        if (b == app_row)
+            continue;
+        const std::string &name = predictive.benchmark(b).name;
+        util::require(target.hasBenchmark(name),
+                      "makeProblem: target database lacks benchmark '" +
+                          name + "'");
+        pred_rows.push_back(b);
+        target_rows.push_back(target.benchmarkIndex(name));
+    }
+    util::require(!pred_rows.empty(),
+                  "makeProblem: no training benchmarks besides the "
+                  "application of interest");
+
+    TranspositionProblem problem;
+    problem.predictiveBenchScores =
+        predictive.scores().selectRows(pred_rows);
+    problem.predictiveAppScores = predictive.benchmarkScores(app_row);
+    problem.targetBenchScores = target.scores().selectRows(target_rows);
+    problem.validate();
+    return problem;
+}
+
+TranspositionProblem
+makeProblemFromSplit(const dataset::PerfDatabase &db,
+                     const std::vector<std::size_t> &predictive_machines,
+                     const std::vector<std::size_t> &target_machines,
+                     const std::string &app_benchmark)
+{
+    util::require(!predictive_machines.empty(),
+                  "makeProblemFromSplit: empty predictive set");
+    util::require(!target_machines.empty(),
+                  "makeProblemFromSplit: empty target set");
+    for (std::size_t p : predictive_machines)
+        util::require(std::find(target_machines.begin(),
+                                target_machines.end(),
+                                p) == target_machines.end(),
+                      "makeProblemFromSplit: predictive and target "
+                      "machine sets overlap");
+    return makeProblem(db.selectMachines(predictive_machines),
+                       db.selectMachines(target_machines), app_benchmark);
+}
+
+} // namespace dtrank::core

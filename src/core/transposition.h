@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Data transposition (Section 3 of the paper): the problem statement and
+ * the common predictor interface.
+ *
+ * A TranspositionProblem is the pair of data sets in Figure 2: scores of
+ * the benchmark suite plus the application of interest on the predictive
+ * machines the user owns, and scores of the benchmark suite only on the
+ * target machines (published by a benchmarking consortium). A
+ * TranspositionPredictor fills in the missing row: the application of
+ * interest on every target machine.
+ */
+
+#ifndef DTRANK_CORE_TRANSPOSITION_H_
+#define DTRANK_CORE_TRANSPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "dataset/perf_database.h"
+#include "linalg/matrix.h"
+
+namespace dtrank::core
+{
+
+/** The two data sets of Figure 2, aligned on a common benchmark suite. */
+struct TranspositionProblem
+{
+    /**
+     * Scores of the N training benchmarks on the P predictive machines
+     * (N x P). Row order matches targetBenchScores.
+     */
+    linalg::Matrix predictiveBenchScores;
+    /** Application-of-interest score on each predictive machine (P). */
+    std::vector<double> predictiveAppScores;
+    /** Scores of the N training benchmarks on the T target machines. */
+    linalg::Matrix targetBenchScores;
+
+    std::size_t benchmarkCount() const
+    {
+        return predictiveBenchScores.rows();
+    }
+    std::size_t predictiveMachineCount() const
+    {
+        return predictiveBenchScores.cols();
+    }
+    std::size_t targetMachineCount() const
+    {
+        return targetBenchScores.cols();
+    }
+
+    /** Checks internal consistency; throws InvalidArgument otherwise. */
+    void validate() const;
+};
+
+/**
+ * Builds a TranspositionProblem from two databases sharing the same
+ * benchmark suite.
+ *
+ * @param predictive Database of the machines the user owns; must
+ *        contain the application of interest as one of its rows.
+ * @param target Database of the machines to rank; the application row,
+ *        if present, is ignored (it is what we predict).
+ * @param app_benchmark Name of the application-of-interest row.
+ */
+TranspositionProblem
+makeProblem(const dataset::PerfDatabase &predictive,
+            const dataset::PerfDatabase &target,
+            const std::string &app_benchmark);
+
+/**
+ * Leave-one-out problem from a single database: machines are split
+ * into predictive and target sets and the named benchmark becomes the
+ * application of interest (the cross-validation setup of Figure 5).
+ */
+TranspositionProblem
+makeProblemFromSplit(const dataset::PerfDatabase &db,
+                     const std::vector<std::size_t> &predictive_machines,
+                     const std::vector<std::size_t> &target_machines,
+                     const std::string &app_benchmark);
+
+/** Common interface of NN^T, MLP^T (and the GA-kNN baseline adapter). */
+class TranspositionPredictor
+{
+  public:
+    virtual ~TranspositionPredictor() = default;
+
+    /**
+     * Predicts the application-of-interest score on every target
+     * machine.
+     *
+     * @return One predicted score per target machine (length T).
+     */
+    virtual std::vector<double>
+    predict(const TranspositionProblem &problem) = 0;
+
+    /** Method name as used in the paper ("NN^T", "MLP^T", ...). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace dtrank::core
+
+#endif // DTRANK_CORE_TRANSPOSITION_H_

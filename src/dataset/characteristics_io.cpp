@@ -1,0 +1,62 @@
+#include "dataset/characteristics_io.h"
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/string_utils.h"
+
+namespace dtrank::dataset
+{
+
+void
+saveCharacteristicsCsv(const std::string &path,
+                       const CharacteristicsTable &table)
+{
+    util::require(table.benchmarks.size() == table.values.rows(),
+                  "saveCharacteristicsCsv: benchmark/row mismatch");
+    util::require(table.characteristics.size() == table.values.cols(),
+                  "saveCharacteristicsCsv: characteristic/column "
+                  "mismatch");
+
+    util::CsvRows rows;
+    std::vector<std::string> header = {"benchmark"};
+    header.insert(header.end(), table.characteristics.begin(),
+                  table.characteristics.end());
+    rows.push_back(std::move(header));
+
+    for (std::size_t b = 0; b < table.values.rows(); ++b) {
+        std::vector<std::string> row = {table.benchmarks[b]};
+        for (std::size_t c = 0; c < table.values.cols(); ++c)
+            row.push_back(util::formatFixed(table.values(b, c), 9));
+        rows.push_back(std::move(row));
+    }
+    util::writeCsvFile(path, rows);
+}
+
+CharacteristicsTable
+loadCharacteristicsCsv(const std::string &path)
+{
+    const util::CsvRows rows = util::readCsvFile(path);
+    if (rows.size() < 2 || rows.front().size() < 2)
+        throw util::IoError("loadCharacteristicsCsv: malformed file '" +
+                            path + "'");
+
+    CharacteristicsTable table;
+    const auto &header = rows.front();
+    for (std::size_t c = 1; c < header.size(); ++c)
+        table.characteristics.push_back(header[c]);
+
+    table.values = linalg::Matrix(rows.size() - 1,
+                                  table.characteristics.size());
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+        const auto &row = rows[r];
+        if (row.size() != header.size())
+            throw util::IoError("loadCharacteristicsCsv: ragged row in "
+                                "'" + path + "'");
+        table.benchmarks.push_back(row[0]);
+        for (std::size_t c = 1; c < row.size(); ++c)
+            table.values(r - 1, c - 1) = util::parseDouble(row[c]);
+    }
+    return table;
+}
+
+} // namespace dtrank::dataset

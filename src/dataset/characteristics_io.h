@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CSV persistence for benchmark characteristic matrices, so a GA-kNN
+ * setup (or an external profiler's real MICA data) can be shipped
+ * alongside the performance database.
+ */
+
+#ifndef DTRANK_DATASET_CHARACTERISTICS_IO_H_
+#define DTRANK_DATASET_CHARACTERISTICS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dtrank::dataset
+{
+
+/** A named characteristics table: rows = benchmarks, cols = metrics. */
+struct CharacteristicsTable
+{
+    /** Benchmark names, one per matrix row. */
+    std::vector<std::string> benchmarks;
+    /** Characteristic names, one per matrix column. */
+    std::vector<std::string> characteristics;
+    /** The values (benchmarks x characteristics). */
+    linalg::Matrix values;
+};
+
+/**
+ * Writes a characteristics table as CSV: a header row of
+ * "benchmark,<characteristic...>" followed by one row per benchmark.
+ *
+ * @throws InvalidArgument on shape mismatches; IoError on I/O failure.
+ */
+void saveCharacteristicsCsv(const std::string &path,
+                            const CharacteristicsTable &table);
+
+/**
+ * Reads back a table written by saveCharacteristicsCsv.
+ *
+ * @throws IoError on malformed input.
+ */
+CharacteristicsTable loadCharacteristicsCsv(const std::string &path);
+
+} // namespace dtrank::dataset
+
+#endif // DTRANK_DATASET_CHARACTERISTICS_IO_H_

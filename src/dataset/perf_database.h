@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The performance database at the heart of the methodology (Figure 2 of
+ * the paper): a benchmarks x machines matrix of SPEC-style speed ratios
+ * plus machine and benchmark metadata.
+ */
+
+#ifndef DTRANK_DATASET_PERF_DATABASE_H_
+#define DTRANK_DATASET_PERF_DATABASE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dtrank::dataset
+{
+
+/** Integer vs floating-point side of SPEC CPU2006. */
+enum class BenchmarkDomain { Integer, FloatingPoint };
+
+/** Metadata for one benchmark in the suite. */
+struct BenchmarkInfo
+{
+    /** SPEC short name, e.g. "leslie3d". */
+    std::string name;
+    BenchmarkDomain domain = BenchmarkDomain::Integer;
+    /** Source language, e.g. "C", "C++", "Fortran". */
+    std::string language;
+    /** Application area, e.g. "Quantum Computing". */
+    std::string area;
+};
+
+/** Metadata for one commercial machine (one column of the database). */
+struct MachineInfo
+{
+    /** Vendor, e.g. "Intel". */
+    std::string vendor;
+    /** Processor family as in Table 1, e.g. "Intel Xeon". */
+    std::string family;
+    /** CPU nickname as in Table 1, e.g. "Gainestown". */
+    std::string nickname;
+    /** Instruction-set architecture, e.g. "x86-64". */
+    std::string isa;
+    /** Year the machine type was released. */
+    int releaseYear = 0;
+    /** Which of the (three) machines of this nickname this is (0-based). */
+    int variant = 0;
+
+    /** Unique display name, e.g. "Intel Xeon/Gainestown#1". */
+    std::string name() const;
+};
+
+/**
+ * Immutable performance database: benchmark rows, machine columns,
+ * strictly positive SPEC-style speed ratios.
+ */
+class PerfDatabase
+{
+  public:
+    PerfDatabase() = default;
+
+    /**
+     * @param benchmarks Row metadata.
+     * @param machines Column metadata.
+     * @param scores benchmarks.size() x machines.size() matrix of
+     *        positive speed ratios.
+     */
+    PerfDatabase(std::vector<BenchmarkInfo> benchmarks,
+                 std::vector<MachineInfo> machines,
+                 linalg::Matrix scores);
+
+    std::size_t benchmarkCount() const { return benchmarks_.size(); }
+    std::size_t machineCount() const { return machines_.size(); }
+
+    const BenchmarkInfo &benchmark(std::size_t b) const;
+    const MachineInfo &machine(std::size_t m) const;
+    const std::vector<BenchmarkInfo> &benchmarks() const
+    {
+        return benchmarks_;
+    }
+    const std::vector<MachineInfo> &machines() const { return machines_; }
+
+    /** Speed ratio of benchmark b on machine m. */
+    double score(std::size_t b, std::size_t m) const;
+
+    /** Whole score matrix (benchmarks x machines). */
+    const linalg::Matrix &scores() const { return scores_; }
+
+    /** Scores of one benchmark across all machines (a matrix row). */
+    std::vector<double> benchmarkScores(std::size_t b) const;
+
+    /** Scores of all benchmarks on one machine (a matrix column). */
+    std::vector<double> machineScores(std::size_t m) const;
+
+    /** Index of the named benchmark. @throws InvalidArgument if absent. */
+    std::size_t benchmarkIndex(const std::string &name) const;
+
+    /** True when the named benchmark exists. */
+    bool hasBenchmark(const std::string &name) const;
+
+    /** Database restricted to the given machine columns (in order). */
+    PerfDatabase selectMachines(
+        const std::vector<std::size_t> &machine_indices) const;
+
+    /** Database restricted to the given benchmark rows (in order). */
+    PerfDatabase selectBenchmarks(
+        const std::vector<std::size_t> &benchmark_indices) const;
+
+    /** Indices of machines matching a predicate, ascending. */
+    std::vector<std::size_t> machinesWhere(
+        const std::function<bool(const MachineInfo &)> &pred) const;
+
+    /** Indices of machines in the given processor family. */
+    std::vector<std::size_t>
+    machineIndicesByFamily(const std::string &family) const;
+
+    /** Indices of machines released in the given year. */
+    std::vector<std::size_t> machineIndicesByYear(int year) const;
+
+    /** Indices of machines released strictly before the given year. */
+    std::vector<std::size_t> machineIndicesBeforeYear(int year) const;
+
+    /** Sorted unique processor family names. */
+    std::vector<std::string> families() const;
+
+    /** Sorted unique release years. */
+    std::vector<int> releaseYears() const;
+
+    /** Geometric-mean score of each machine across all benchmarks. */
+    std::vector<double> machineGeometricMeans() const;
+
+    /** Serializes to CSV (header row + one row per benchmark). */
+    void saveCsv(const std::string &path) const;
+
+    /** Reads back a database written by saveCsv. */
+    static PerfDatabase loadCsv(const std::string &path);
+
+  private:
+    std::vector<BenchmarkInfo> benchmarks_;
+    std::vector<MachineInfo> machines_;
+    linalg::Matrix scores_;
+};
+
+} // namespace dtrank::dataset
+
+#endif // DTRANK_DATASET_PERF_DATABASE_H_

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Generator producing the synthetic SPEC CPU2006 performance database
+ * that substitutes for the paper's published spec.org numbers (117
+ * machines, 29 benchmarks).
+ */
+
+#ifndef DTRANK_DATASET_SYNTHETIC_SPEC_H_
+#define DTRANK_DATASET_SYNTHETIC_SPEC_H_
+
+#include <cstdint>
+
+#include "dataset/latent_model.h"
+#include "dataset/perf_database.h"
+
+namespace dtrank::dataset
+{
+
+/** Knobs of the synthetic database generator. */
+struct SyntheticSpecConfig
+{
+    /** Seed controlling every random draw in the generator. */
+    std::uint64_t seed = 2011;
+    /**
+     * Per-(benchmark, machine) measurement noise, log2 stddev. Models
+     * compiler flag, memory configuration and run-to-run differences in
+     * published results.
+     */
+    double measurementNoiseSigma = 0.02;
+    /**
+     * Log2 stddev of a per-machine bias applied to all floating-point
+     * benchmarks. Models toolchain and platform effects in published
+     * results (different vendors submit with different compilers,
+     * which shift the integer/floating-point balance of a machine).
+     */
+    double fpDomainBiasSigma = 0.05;
+    /**
+     * Log2 half-range of the per-variant clock bin: the three machines
+     * of one nickname are the same silicon at different clock speeds.
+     * The bin shifts all core-clock-domain capabilities (frequency,
+     * ILP, FP, integer, branch) together.
+     */
+    double variantSpread = 0.22;
+    /**
+     * Log2 half-range of the per-machine memory configuration
+     * (FSB/DRAM speed, channel population). Independent of the clock
+     * bin, so machines of one nickname rank differently for
+     * memory-bound than for compute-bound workloads — the app-specific
+     * ranking signal the paper's per-application predictors exploit.
+     */
+    double variantMemSpread = 0.18;
+    /** Log2 half-range of the per-machine cache configuration. */
+    double variantCacheSpread = 0.05;
+    /** Small per-variant, per-dimension capability jitter (log2). */
+    double variantCapabilityJitter = 0.06;
+    /**
+     * Extra log2 score on machines whose nickname carries the
+     * streaming-platform boost, applied to benchmarks with bandwidth
+     * demand >= streamingBoostThreshold. See
+     * NicknameProfile::streamingPlatformBoost.
+     */
+    double streamingBoost = 0.25;
+    /** Bandwidth-demand threshold for the streaming boost. */
+    double streamingBoostThreshold = 0.50;
+    /**
+     * Log2 stddev, per benchmark per year of machine age, of a
+     * benchmark-specific temporal drift. Older machines were measured
+     * with older compilers and libraries, so the relationship between
+     * a benchmark and the rest of the suite is not quite stationary
+     * over time — the effect behind Table 3's degradation with
+     * predictive-set age (and behind GA-kNN's relative advantage far
+     * out, since it only consumes target-machine data).
+     */
+    double temporalDriftSigma = 0.04;
+    /** Reference year the drift is measured from (newest machines). */
+    int driftReferenceYear = 2009;
+    /** Machines generated per CPU nickname (the paper uses 3). */
+    int machinesPerNickname = kMachinesPerNickname;
+};
+
+/**
+ * Deterministic synthetic SPEC database builder.
+ *
+ * For each machine the generator perturbs its nickname's capability
+ * vector (variant bin + jitter) and emits scores
+ * 2^(offset + demand . capability + noise) for every benchmark, i.e.
+ * log performance is bilinear in workload demand and machine
+ * capability — the structural assumption that makes both the paper's
+ * method and its baselines meaningful.
+ */
+class SyntheticSpecGenerator
+{
+  public:
+    explicit SyntheticSpecGenerator(
+        SyntheticSpecConfig config = SyntheticSpecConfig{});
+
+    /** Builds the full 117-machine, 29-benchmark database. */
+    PerfDatabase generate() const;
+
+    const SyntheticSpecConfig &config() const { return config_; }
+
+  private:
+    SyntheticSpecConfig config_;
+};
+
+/** Convenience: the default paper dataset (default config). */
+PerfDatabase makePaperDataset(std::uint64_t seed = 2011);
+
+} // namespace dtrank::dataset
+
+#endif // DTRANK_DATASET_SYNTHETIC_SPEC_H_

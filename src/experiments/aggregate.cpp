@@ -1,0 +1,60 @@
+#include "experiments/aggregate.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/string_utils.h"
+
+namespace dtrank::experiments
+{
+
+MetricAggregate
+aggregateRankCorrelation(const std::vector<core::PredictionMetrics> &m)
+{
+    util::require(!m.empty(), "aggregateRankCorrelation: empty input");
+    MetricAggregate a;
+    a.worst = m.front().rankCorrelation;
+    for (const auto &x : m) {
+        a.average += x.rankCorrelation;
+        a.worst = std::min(a.worst, x.rankCorrelation);
+    }
+    a.average /= static_cast<double>(m.size());
+    return a;
+}
+
+MetricAggregate
+aggregateTop1Error(const std::vector<core::PredictionMetrics> &m)
+{
+    util::require(!m.empty(), "aggregateTop1Error: empty input");
+    MetricAggregate a;
+    a.worst = m.front().top1ErrorPercent;
+    for (const auto &x : m) {
+        a.average += x.top1ErrorPercent;
+        a.worst = std::max(a.worst, x.top1ErrorPercent);
+    }
+    a.average /= static_cast<double>(m.size());
+    return a;
+}
+
+MetricAggregate
+aggregateMeanError(const std::vector<core::PredictionMetrics> &m)
+{
+    util::require(!m.empty(), "aggregateMeanError: empty input");
+    MetricAggregate a;
+    a.worst = m.front().maxErrorPercent;
+    for (const auto &x : m) {
+        a.average += x.meanErrorPercent;
+        a.worst = std::max(a.worst, x.maxErrorPercent);
+    }
+    a.average /= static_cast<double>(m.size());
+    return a;
+}
+
+std::string
+formatAggregate(const MetricAggregate &a, int decimals)
+{
+    return util::formatFixed(a.average, decimals) + " (" +
+           util::formatFixed(a.worst, decimals) + ")";
+}
+
+} // namespace dtrank::experiments

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Aggregation of per-task metrics into the paper's "average (worst
+ * case)" table cells.
+ */
+
+#ifndef DTRANK_EXPERIMENTS_AGGREGATE_H_
+#define DTRANK_EXPERIMENTS_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace dtrank::experiments
+{
+
+/** Average and worst case of one metric over a set of tasks. */
+struct MetricAggregate
+{
+    double average = 0.0;
+    double worst = 0.0;
+};
+
+/**
+ * Aggregates rank correlations: worst case is the minimum (lower is
+ * worse). Requires a non-empty input.
+ */
+MetricAggregate
+aggregateRankCorrelation(const std::vector<core::PredictionMetrics> &m);
+
+/** Aggregates top-1 errors: worst case is the maximum. */
+MetricAggregate
+aggregateTop1Error(const std::vector<core::PredictionMetrics> &m);
+
+/**
+ * Aggregates mean prediction error: average of per-task means; worst
+ * case is the largest single-machine error observed in any task.
+ */
+MetricAggregate
+aggregateMeanError(const std::vector<core::PredictionMetrics> &m);
+
+/** Formats "avg (worst)" with the given decimals, e.g. "0.93 (0.71)". */
+std::string formatAggregate(const MetricAggregate &a, int decimals);
+
+} // namespace dtrank::experiments
+
+#endif // DTRANK_EXPERIMENTS_AGGREGATE_H_

@@ -1,0 +1,129 @@
+#include "experiments/family_cv.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace dtrank::experiments
+{
+
+core::PredictionMetrics
+FamilyCvResults::pooledMetrics(Method m, const std::string &bench) const
+{
+    const auto it = cells.find(m);
+    util::require(it != cells.end(),
+                  "FamilyCvResults: method was not evaluated");
+    std::vector<double> actual;
+    std::vector<double> predicted;
+    for (const FamilyCvCell &c : it->second) {
+        if (c.task.benchmark != bench)
+            continue;
+        actual.insert(actual.end(), c.task.actual.begin(),
+                      c.task.actual.end());
+        predicted.insert(predicted.end(), c.task.predicted.begin(),
+                         c.task.predicted.end());
+    }
+    util::require(!actual.empty(),
+                  "FamilyCvResults: unknown benchmark '" + bench + "'");
+    return core::evaluatePrediction(actual, predicted);
+}
+
+std::vector<core::PredictionMetrics>
+FamilyCvResults::metricsOf(Method m) const
+{
+    std::vector<core::PredictionMetrics> out;
+    out.reserve(benchmarks.size());
+    for (const std::string &bench : benchmarks)
+        out.push_back(pooledMetrics(m, bench));
+    return out;
+}
+
+MetricAggregate
+FamilyCvResults::rankAggregate(Method m) const
+{
+    return aggregateRankCorrelation(metricsOf(m));
+}
+
+MetricAggregate
+FamilyCvResults::top1Aggregate(Method m) const
+{
+    return aggregateTop1Error(metricsOf(m));
+}
+
+MetricAggregate
+FamilyCvResults::meanErrorAggregate(Method m) const
+{
+    return aggregateMeanError(metricsOf(m));
+}
+
+double
+FamilyCvResults::benchmarkMeanRank(Method m, const std::string &bench) const
+{
+    return pooledMetrics(m, bench).rankCorrelation;
+}
+
+double
+FamilyCvResults::benchmarkMeanTop1(Method m, const std::string &bench) const
+{
+    return pooledMetrics(m, bench).top1ErrorPercent;
+}
+
+FamilyCrossValidation::FamilyCrossValidation(const SplitEvaluator &evaluator,
+                                             std::size_t min_family_size)
+    : evaluator_(evaluator), min_family_size_(min_family_size)
+{
+    util::require(min_family_size_ >= 2,
+                  "FamilyCrossValidation: min_family_size must be >= 2");
+}
+
+FamilyCvResults
+FamilyCrossValidation::run(const std::vector<Method> &methods) const
+{
+    const dataset::PerfDatabase &db = evaluator_.database();
+    FamilyCvResults results;
+    for (std::size_t b = 0; b < db.benchmarkCount(); ++b)
+        results.benchmarks.push_back(db.benchmark(b).name);
+
+    const std::vector<std::string> families = db.families();
+    std::uint64_t split_tag = 0;
+    for (const std::string &family : families) {
+        // One processor family is held out as the target set; every
+        // machine of the other families is available as a predictive
+        // machine (Section 6.2: "we consider a single processor family
+        // as the set of target machines, and we use the machines from
+        // the other families as predictive machines").
+        const std::vector<std::size_t> target =
+            db.machineIndicesByFamily(family);
+        if (target.size() < min_family_size_) {
+            util::warn("family CV: skipping family '" + family +
+                       "' with fewer than " +
+                       std::to_string(min_family_size_) + " machines");
+            continue;
+        }
+        std::vector<std::size_t> predictive;
+        for (std::size_t m = 0; m < db.machineCount(); ++m)
+            if (db.machine(m).family != family)
+                predictive.push_back(m);
+
+        util::inform("family CV: target family '" + family + "' (" +
+                     std::to_string(target.size()) + " machines)");
+        const SplitResults split = evaluator_.evaluateSplit(
+            predictive, target, methods, split_tag++);
+
+        results.families.push_back(family);
+        for (const auto &[method, tasks] : split) {
+            for (const TaskResult &task : tasks) {
+                FamilyCvCell cell;
+                cell.family = family;
+                cell.task = task;
+                results.cells[method].push_back(std::move(cell));
+            }
+        }
+    }
+    util::require(!results.families.empty(),
+                  "FamilyCrossValidation: no usable target families");
+    return results;
+}
+
+} // namespace dtrank::experiments

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Future-machine prediction (Section 6.3, Table 3 of the paper):
+ * predicting the performance of machines released in 2009 using only
+ * machines released in 2008, in 2007, or before 2007 as the predictive
+ * set, to probe how far into the future data transposition remains
+ * reliable.
+ */
+
+#ifndef DTRANK_EXPERIMENTS_FUTURE_H_
+#define DTRANK_EXPERIMENTS_FUTURE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiments/aggregate.h"
+#include "experiments/harness.h"
+
+namespace dtrank::experiments
+{
+
+/** Results for one predictive era (one column of Table 3). */
+struct EraResults
+{
+    /** Era label: "2008", "2007" or "older". */
+    std::string label;
+    /** Predictive machine indices of this era. */
+    std::vector<std::size_t> predictiveMachines;
+    /** Per-method task outcomes (one task per held-out benchmark). */
+    std::map<Method, std::vector<TaskResult>> tasks;
+
+    MetricAggregate rankAggregate(Method m) const;
+    MetricAggregate top1Aggregate(Method m) const;
+    MetricAggregate meanErrorAggregate(Method m) const;
+};
+
+/** Full results of the future-prediction experiment. */
+struct FuturePredictionResults
+{
+    /** Target machine indices (the newest year). */
+    std::vector<std::size_t> targetMachines;
+    /** One entry per predictive era, newest first. */
+    std::vector<EraResults> eras;
+};
+
+/** The Table 3 protocol driver. */
+class FuturePrediction
+{
+  public:
+    /**
+     * @param evaluator Split evaluator over the full database.
+     * @param target_year Machines of this year are the targets.
+     */
+    explicit FuturePrediction(const SplitEvaluator &evaluator,
+                              int target_year = 2009);
+
+    /**
+     * Runs the protocol: eras are target_year-1, target_year-2, and
+     * everything older.
+     */
+    FuturePredictionResults run(const std::vector<Method> &methods) const;
+
+  private:
+    const SplitEvaluator &evaluator_;
+    int target_year_;
+};
+
+} // namespace dtrank::experiments
+
+#endif // DTRANK_EXPERIMENTS_FUTURE_H_

@@ -1,0 +1,148 @@
+#include "experiments/harness.h"
+
+#include <algorithm>
+
+#include "core/transposition.h"
+#include "util/error.h"
+
+namespace dtrank::experiments
+{
+
+std::string
+methodName(Method m)
+{
+    switch (m) {
+      case Method::NnT:
+        return "NN^T";
+      case Method::MlpT:
+        return "MLP^T";
+      case Method::GaKnn:
+        return "GA-10NN";
+      case Method::SplT:
+        return "SPL^T";
+      case Method::MultiNnT:
+        return "kNN^T";
+    }
+    DTRANK_ASSERT_MSG(false, "unknown method");
+}
+
+const std::vector<Method> &
+allMethods()
+{
+    static const std::vector<Method> methods = {Method::NnT, Method::MlpT,
+                                                Method::GaKnn};
+    return methods;
+}
+
+const std::vector<Method> &
+extendedMethods()
+{
+    static const std::vector<Method> methods = {
+        Method::NnT, Method::MultiNnT, Method::SplT, Method::MlpT,
+        Method::GaKnn};
+    return methods;
+}
+
+SplitEvaluator::SplitEvaluator(const dataset::PerfDatabase &db,
+                               linalg::Matrix characteristics,
+                               MethodSuiteConfig config)
+    : db_(db), characteristics_(std::move(characteristics)),
+      config_(std::move(config))
+{
+    util::require(characteristics_.rows() == db_.benchmarkCount(),
+                  "SplitEvaluator: characteristics must have one row per "
+                  "benchmark");
+    util::require(db_.benchmarkCount() >= 3,
+                  "SplitEvaluator: needs >= 3 benchmarks");
+}
+
+SplitResults
+SplitEvaluator::evaluateSplit(const std::vector<std::size_t> &predictive,
+                              const std::vector<std::size_t> &target,
+                              const std::vector<Method> &methods,
+                              std::uint64_t split_tag) const
+{
+    util::require(!methods.empty(),
+                  "SplitEvaluator::evaluateSplit: no methods requested");
+    util::require(target.size() >= 2,
+                  "SplitEvaluator::evaluateSplit: needs >= 2 target "
+                  "machines for ranking metrics");
+
+    const dataset::PerfDatabase pred_db = db_.selectMachines(predictive);
+    const dataset::PerfDatabase target_db = db_.selectMachines(target);
+    const std::size_t n_bench = db_.benchmarkCount();
+
+    const bool want_gaknn =
+        std::find(methods.begin(), methods.end(), Method::GaKnn) !=
+        methods.end();
+
+    // GA-kNN learns its characteristic weights once per split from the
+    // machines available to the user (matching Hoste et al., who train
+    // the GA across the benchmark suite on a set of training machines).
+    baseline::GaKnnModel gaknn_model(config_.gaKnn);
+    if (want_gaknn)
+        gaknn_model.train(characteristics_, pred_db.scores());
+
+    SplitResults results;
+    for (std::size_t app = 0; app < n_bench; ++app) {
+        const std::string &app_name = db_.benchmark(app).name;
+        const core::TranspositionProblem problem =
+            core::makeProblem(pred_db, target_db, app_name);
+        const std::vector<double> actual =
+            target_db.benchmarkScores(app);
+
+        // Candidate rows for GA-kNN: every benchmark but the app.
+        std::vector<std::size_t> other_rows;
+        other_rows.reserve(n_bench - 1);
+        for (std::size_t b = 0; b < n_bench; ++b)
+            if (b != app)
+                other_rows.push_back(b);
+
+        for (Method method : methods) {
+            std::vector<double> predicted;
+            switch (method) {
+              case Method::NnT: {
+                core::LinearTransposition predictor(config_.linear);
+                predicted = predictor.predict(problem);
+                break;
+              }
+              case Method::MlpT: {
+                core::MlpTranspositionConfig cfg = config_.mlp;
+                // Task-specific seed: stable regardless of order.
+                cfg.mlp.seed = config_.mlpSeedBase +
+                               split_tag * 1000003ULL + app * 7919ULL;
+                core::MlpTransposition predictor(cfg);
+                predicted = predictor.predict(problem);
+                break;
+              }
+              case Method::GaKnn: {
+                predicted = gaknn_model.predictApp(
+                    characteristics_.row(app),
+                    characteristics_.selectRows(other_rows),
+                    target_db.scores().selectRows(other_rows));
+                break;
+              }
+              case Method::SplT: {
+                core::SplineTransposition predictor(config_.spline);
+                predicted = predictor.predict(problem);
+                break;
+              }
+              case Method::MultiNnT: {
+                core::MultiTransposition predictor(config_.multi);
+                predicted = predictor.predict(problem);
+                break;
+              }
+            }
+
+            TaskResult task;
+            task.benchmark = app_name;
+            task.metrics = core::evaluatePrediction(actual, predicted);
+            task.predicted = std::move(predicted);
+            task.actual = actual;
+            results[method].push_back(std::move(task));
+        }
+    }
+    return results;
+}
+
+} // namespace dtrank::experiments

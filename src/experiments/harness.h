@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared experiment harness: evaluates the three methods of the paper
+ * (NN^T, MLP^T, GA-kNN) on one predictive/target machine split with
+ * benchmark-level leave-one-out cross-validation (Figure 5 of the
+ * paper).
+ */
+
+#ifndef DTRANK_EXPERIMENTS_HARNESS_H_
+#define DTRANK_EXPERIMENTS_HARNESS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/ga_knn.h"
+#include "core/linear_transposition.h"
+#include "core/metrics.h"
+#include "core/mlp_transposition.h"
+#include "core/multi_transposition.h"
+#include "core/spline_transposition.h"
+#include "dataset/perf_database.h"
+#include "linalg/matrix.h"
+
+namespace dtrank::experiments
+{
+
+/** The prediction methods the harness can evaluate. */
+enum class Method
+{
+    NnT,     ///< Data transposition, best-fit linear regression.
+    MlpT,    ///< Data transposition, multilayer perceptron.
+    GaKnn,   ///< Prior art: GA-weighted kNN in workload space.
+    SplT,    ///< Extension: best-fit spline transposition.
+    MultiNnT ///< Extension: multi-proxy linear transposition.
+};
+
+/** Paper-style method name ("NN^T", "MLP^T", "GA-10NN", ...). */
+std::string methodName(Method m);
+
+/** The paper's three methods, in its column order. */
+const std::vector<Method> &allMethods();
+
+/** The paper's methods plus the repository's extensions. */
+const std::vector<Method> &extendedMethods();
+
+/** Configuration shared by every experiment protocol. */
+struct MethodSuiteConfig
+{
+    core::LinearTranspositionConfig linear;
+    core::MlpTranspositionConfig mlp;
+    baseline::GaKnnConfig gaKnn;
+    core::SplineTranspositionConfig spline;
+    core::MultiTranspositionConfig multi;
+    /**
+     * Base seed for the MLP; each (split, benchmark) task derives its
+     * own seed so results do not depend on evaluation order.
+     */
+    std::uint64_t mlpSeedBase = 1;
+};
+
+/** Outcome of one (method, application-of-interest) task on a split. */
+struct TaskResult
+{
+    /** The application of interest (a held-out benchmark). */
+    std::string benchmark;
+    /** Accuracy metrics across the split's target machines. */
+    core::PredictionMetrics metrics;
+    /** Predicted application scores, one per target machine. */
+    std::vector<double> predicted;
+    /** Measured application scores, one per target machine. */
+    std::vector<double> actual;
+};
+
+/** Per-method results of a whole split (one entry per benchmark). */
+using SplitResults = std::map<Method, std::vector<TaskResult>>;
+
+/**
+ * Evaluates methods on machine splits of one database.
+ *
+ * The evaluator owns the database plus the benchmark characteristics
+ * matrix the GA-kNN baseline needs (rows aligned with the database's
+ * benchmarks).
+ */
+class SplitEvaluator
+{
+  public:
+    /**
+     * @param db The full performance database.
+     * @param characteristics Benchmark characteristics, one row per
+     *        database benchmark (same order).
+     * @param config Method hyperparameters.
+     */
+    SplitEvaluator(const dataset::PerfDatabase &db,
+                   linalg::Matrix characteristics,
+                   MethodSuiteConfig config = MethodSuiteConfig{});
+
+    /**
+     * Runs the requested methods on one predictive/target split with
+     * leave-one-out over all benchmarks.
+     *
+     * @param predictive Machine indices available to the user.
+     * @param target Machine indices to rank (disjoint from predictive).
+     * @param methods Which methods to run.
+     * @param split_tag Disambiguates MLP seeds across splits.
+     */
+    SplitResults evaluateSplit(const std::vector<std::size_t> &predictive,
+                               const std::vector<std::size_t> &target,
+                               const std::vector<Method> &methods,
+                               std::uint64_t split_tag = 0) const;
+
+    const dataset::PerfDatabase &database() const { return db_; }
+    const linalg::Matrix &characteristics() const
+    {
+        return characteristics_;
+    }
+    const MethodSuiteConfig &config() const { return config_; }
+
+  private:
+    const dataset::PerfDatabase &db_;
+    linalg::Matrix characteristics_;
+    MethodSuiteConfig config_;
+};
+
+} // namespace dtrank::experiments
+
+#endif // DTRANK_EXPERIMENTS_HARNESS_H_

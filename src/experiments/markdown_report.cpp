@@ -1,0 +1,201 @@
+#include "experiments/markdown_report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/string_utils.h"
+
+namespace dtrank::experiments
+{
+
+MarkdownTable::MarkdownTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    util::require(!header_.empty(),
+                  "MarkdownTable: header must not be empty");
+}
+
+void
+MarkdownTable::addRow(std::vector<std::string> row)
+{
+    util::require(row.size() == header_.size(),
+                  "MarkdownTable::addRow: cell count mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+MarkdownTable::toString() const
+{
+    std::ostringstream os;
+    os << "|";
+    for (const auto &h : header_)
+        os << " " << h << " |";
+    os << "\n|";
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        os << "---|";
+    os << "\n";
+    for (const auto &row : rows_) {
+        os << "|";
+        for (const auto &cell : row)
+            os << " " << cell << " |";
+        os << "\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+std::string
+aggCell(const MetricAggregate &a, int decimals)
+{
+    return util::formatFixed(a.average, decimals) + " (" +
+           util::formatFixed(a.worst, decimals) + ")";
+}
+
+} // namespace
+
+std::string
+renderFamilyCvSummary(const FamilyCvResults &results,
+                      const std::vector<Method> &methods)
+{
+    std::vector<std::string> header = {"Metric"};
+    for (Method m : methods)
+        header.push_back(methodName(m));
+    MarkdownTable table(std::move(header));
+
+    std::vector<std::string> rank_row = {"Rank correlation"};
+    std::vector<std::string> top1_row = {"Top-1 error (%)"};
+    std::vector<std::string> err_row = {"Mean error (%)"};
+    for (Method m : methods) {
+        rank_row.push_back(aggCell(results.rankAggregate(m), 2));
+        top1_row.push_back(aggCell(results.top1Aggregate(m), 2));
+        err_row.push_back(aggCell(results.meanErrorAggregate(m), 2));
+    }
+    table.addRow(rank_row);
+    table.addRow(top1_row);
+    table.addRow(err_row);
+    return table.toString();
+}
+
+namespace
+{
+
+/** Shared body of the Figure 6/7-shaped tables. */
+std::string
+renderPerBenchmark(const FamilyCvResults &results,
+                   const std::vector<Method> &methods, bool rank_mode)
+{
+    std::vector<std::string> header = {"Benchmark"};
+    for (Method m : methods)
+        header.push_back(methodName(m));
+    MarkdownTable table(std::move(header));
+
+    std::vector<double> best_or_worst(methods.size(),
+                                      rank_mode ? 1.0 : 0.0);
+    std::vector<double> sums(methods.size(), 0.0);
+    for (const std::string &bench : results.benchmarks) {
+        std::vector<std::string> row = {bench};
+        for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+            const double v =
+                rank_mode
+                    ? results.benchmarkMeanRank(methods[mi], bench)
+                    : results.benchmarkMeanTop1(methods[mi], bench);
+            sums[mi] += v;
+            best_or_worst[mi] = rank_mode
+                                    ? std::min(best_or_worst[mi], v)
+                                    : std::max(best_or_worst[mi], v);
+            row.push_back(util::formatFixed(v, rank_mode ? 3 : 2));
+        }
+        table.addRow(std::move(row));
+    }
+
+    std::vector<std::string> extreme_row = {
+        rank_mode ? "**Minimum**" : "**Maximum**"};
+    std::vector<std::string> avg_row = {"**Average**"};
+    const double n = static_cast<double>(results.benchmarks.size());
+    for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+        extreme_row.push_back(
+            util::formatFixed(best_or_worst[mi], rank_mode ? 3 : 2));
+        avg_row.push_back(
+            util::formatFixed(sums[mi] / n, rank_mode ? 3 : 2));
+    }
+    table.addRow(std::move(extreme_row));
+    table.addRow(std::move(avg_row));
+    return table.toString();
+}
+
+} // namespace
+
+std::string
+renderPerBenchmarkRank(const FamilyCvResults &results,
+                       const std::vector<Method> &methods)
+{
+    return renderPerBenchmark(results, methods, true);
+}
+
+std::string
+renderPerBenchmarkTop1(const FamilyCvResults &results,
+                       const std::vector<Method> &methods)
+{
+    return renderPerBenchmark(results, methods, false);
+}
+
+std::string
+renderFutureSummary(const FuturePredictionResults &results, Method method)
+{
+    std::vector<std::string> header = {"Metric"};
+    for (const EraResults &era : results.eras)
+        header.push_back(era.label);
+    MarkdownTable table(std::move(header));
+
+    std::vector<std::string> rank_row = {"Rank correlation"};
+    std::vector<std::string> top1_row = {"Top-1 error (%)"};
+    std::vector<std::string> err_row = {"Mean error (%)"};
+    for (const EraResults &era : results.eras) {
+        rank_row.push_back(aggCell(era.rankAggregate(method), 2));
+        top1_row.push_back(aggCell(era.top1Aggregate(method), 2));
+        err_row.push_back(aggCell(era.meanErrorAggregate(method), 2));
+    }
+    table.addRow(rank_row);
+    table.addRow(top1_row);
+    table.addRow(err_row);
+    return table.toString();
+}
+
+std::string
+renderSubsetSummary(const SubsetExperimentResults &results, Method method)
+{
+    std::vector<std::string> header = {"Metric"};
+    for (std::size_t size : results.subsetSizes)
+        header.push_back(std::to_string(size));
+    MarkdownTable table(std::move(header));
+
+    std::vector<std::string> rank_row = {"Rank correlation"};
+    std::vector<std::string> top1_row = {"Top-1 error (%)"};
+    std::vector<std::string> err_row = {"Mean error (%)"};
+    for (std::size_t size : results.subsetSizes) {
+        const SubsetCell &cell = results.cells.at(size).at(method);
+        rank_row.push_back(util::formatFixed(cell.rankCorrelation, 2));
+        top1_row.push_back(util::formatFixed(cell.top1ErrorPercent, 2));
+        err_row.push_back(util::formatFixed(cell.meanErrorPercent, 2));
+    }
+    table.addRow(rank_row);
+    table.addRow(top1_row);
+    table.addRow(err_row);
+    return table.toString();
+}
+
+std::string
+renderSelectionSweep(const SelectionSweepResults &results)
+{
+    MarkdownTable table({"k", "k-medoids R²", "random R²"});
+    for (const SelectionSweepPoint &point : results.points)
+        table.addRow({std::to_string(point.k),
+                      util::formatFixed(point.kmedoidsR2, 3),
+                      util::formatFixed(point.randomR2, 3)});
+    return table.toString();
+}
+
+} // namespace dtrank::experiments

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Markdown rendering of experiment results, so the full reproduction
+ * record (EXPERIMENTS.md-style tables) can be regenerated from code
+ * rather than transcribed by hand.
+ */
+
+#ifndef DTRANK_EXPERIMENTS_MARKDOWN_REPORT_H_
+#define DTRANK_EXPERIMENTS_MARKDOWN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "experiments/family_cv.h"
+#include "experiments/future.h"
+#include "experiments/selection_sweep.h"
+#include "experiments/subset.h"
+
+namespace dtrank::experiments
+{
+
+/** A generic markdown table builder. */
+class MarkdownTable
+{
+  public:
+    /** Creates a table with the given header cells. */
+    explicit MarkdownTable(std::vector<std::string> header);
+
+    /** Appends a row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Renders the table as GitHub-flavoured markdown. */
+    std::string toString() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Renders the family cross-validation summary (the Table 2 shape):
+ * one row per metric, one column per method, "avg (worst)" cells.
+ */
+std::string renderFamilyCvSummary(const FamilyCvResults &results,
+                                  const std::vector<Method> &methods);
+
+/**
+ * Renders the per-benchmark rank-correlation table (the Figure 6
+ * shape), with Minimum and Average rows appended.
+ */
+std::string renderPerBenchmarkRank(const FamilyCvResults &results,
+                                   const std::vector<Method> &methods);
+
+/**
+ * Renders the per-benchmark top-1 error table (the Figure 7 shape),
+ * with Maximum and Average rows appended.
+ */
+std::string renderPerBenchmarkTop1(const FamilyCvResults &results,
+                                   const std::vector<Method> &methods);
+
+/** Renders one method's Table 3 (eras as columns). */
+std::string renderFutureSummary(const FuturePredictionResults &results,
+                                Method method);
+
+/** Renders one method's Table 4 (subset sizes as columns). */
+std::string renderSubsetSummary(const SubsetExperimentResults &results,
+                                Method method);
+
+/** Renders the Figure 8 series (k, k-medoids R², random R²). */
+std::string renderSelectionSweep(const SelectionSweepResults &results);
+
+} // namespace dtrank::experiments
+
+#endif // DTRANK_EXPERIMENTS_MARKDOWN_REPORT_H_

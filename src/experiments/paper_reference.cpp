@@ -1,0 +1,72 @@
+#include "experiments/paper_reference.h"
+
+namespace dtrank::experiments::paper
+{
+
+const std::map<Method, Table2Column> &
+table2()
+{
+    static const std::map<Method, Table2Column> t = {
+        {Method::NnT,
+         {{0.85, 0.67}, {11.9, 156.7}, {4.04, 31.81}}},
+        {Method::MlpT,
+         {{0.93, 0.71}, {1.21, 24.8}, {1.59, 19.4}}},
+        {Method::GaKnn,
+         {{0.86, 0.59}, {7.30, 104.0}, {6.25, 51.34}}},
+    };
+    return t;
+}
+
+const std::map<Method, std::map<std::string, Table3Column>> &
+table3()
+{
+    static const std::map<Method, std::map<std::string, Table3Column>> t = {
+        {Method::MlpT,
+         {
+             {"2008", {{0.93, 0.71}, {3.78, 50.0}, {5.50, 65.61}}},
+             {"2007", {{0.80, 0.0}, {9.23, 119.0}, {8.10, 70.79}}},
+             {"older", {{0.77, 0.49}, {6.84, 43.0}, {8.36, 64.89}}},
+         }},
+        {Method::NnT,
+         {
+             {"2008", {{0.92, 0.76}, {2.17, 43.0}, {4.38, 35.16}}},
+             {"2007", {{0.82, 0.37}, {4.31, 92.0}, {9.22, 82.13}}},
+             {"older", {{0.74, 0.31}, {2.07, 29.3}, {9.22, 53.34}}},
+         }},
+    };
+    return t;
+}
+
+const std::map<Method, std::map<std::size_t, Table4Column>> &
+table4()
+{
+    static const std::map<Method, std::map<std::size_t, Table4Column>> t = {
+        {Method::MlpT,
+         {
+             {10, {0.90, 6.17, 5.53}},
+             {5, {0.89, 2.79, 4.93}},
+             {3, {0.89, 3.04, 5.16}},
+         }},
+        {Method::NnT,
+         {
+             {10, {0.87, 2.17, 5.17}},
+             {5, {0.81, 5.49, 6.00}},
+             {3, {0.81, 5.49, 6.05}},
+         }},
+    };
+    return t;
+}
+
+Figure8Reference
+figure8()
+{
+    return Figure8Reference{};
+}
+
+Figure6Reference
+figure6()
+{
+    return Figure6Reference{};
+}
+
+} // namespace dtrank::experiments::paper

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The numbers the paper reports in its evaluation section, kept in one
+ * place so every reproduction binary can print "paper vs measured"
+ * side by side. Values are transcribed from Tables 2-4 and the text of
+ * Sections 6.2-6.5.
+ */
+
+#ifndef DTRANK_EXPERIMENTS_PAPER_REFERENCE_H_
+#define DTRANK_EXPERIMENTS_PAPER_REFERENCE_H_
+
+#include <map>
+#include <string>
+
+#include "experiments/aggregate.h"
+#include "experiments/harness.h"
+
+namespace dtrank::experiments::paper
+{
+
+/** One "average (worst)" cell as printed in the paper. */
+struct Cell
+{
+    double average = 0.0;
+    double worst = 0.0;
+};
+
+/** The three metric rows of Table 2 for one method. */
+struct Table2Column
+{
+    Cell rankCorrelation;
+    Cell top1Error;
+    Cell meanError;
+};
+
+/** Table 2: processor-family cross-validation. */
+const std::map<Method, Table2Column> &table2();
+
+/** One era column of Table 3 for one method. */
+struct Table3Column
+{
+    Cell rankCorrelation;
+    Cell top1Error;
+    Cell meanError;
+};
+
+/** Table 3: predicting 2009 machines; eras "2008", "2007", "older". */
+const std::map<Method, std::map<std::string, Table3Column>> &table3();
+
+/** One subset-size column of Table 4 for one method (averages only). */
+struct Table4Column
+{
+    double rankCorrelation = 0.0;
+    double top1Error = 0.0;
+    double meanError = 0.0;
+};
+
+/** Table 4: subset sizes 10, 5, 3 of the 2008 machines. */
+const std::map<Method, std::map<std::size_t, Table4Column>> &table4();
+
+/**
+ * Headline Figure 8 observation: two k-medoid-selected machines fit
+ * better (R² = 0.714) than five random machines (R² = 0.705).
+ */
+struct Figure8Reference
+{
+    double kmedoidsK2 = 0.714;
+    double randomK5 = 0.705;
+};
+
+Figure8Reference figure8();
+
+/**
+ * Figure 6 reference points quoted in the text: GA-kNN's worst-case
+ * benchmark (leslie3d, 0.59) and data transposition's improvement on
+ * it (0.92).
+ */
+struct Figure6Reference
+{
+    std::string worstBenchmark = "leslie3d";
+    double gaKnnWorst = 0.59;
+    double transpositionOnWorst = 0.92;
+};
+
+Figure6Reference figure6();
+
+} // namespace dtrank::experiments::paper
+
+#endif // DTRANK_EXPERIMENTS_PAPER_REFERENCE_H_

@@ -1,0 +1,91 @@
+#include "experiments/selection_sweep.h"
+
+#include <cmath>
+
+#include "core/selection.h"
+#include "stats/correlation.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dtrank::experiments
+{
+
+SelectionSweep::SelectionSweep(const SplitEvaluator &evaluator,
+                               SelectionSweepConfig config)
+    : evaluator_(evaluator), config_(config)
+{
+    util::require(config_.maxK >= 1, "SelectionSweep: maxK must be >= 1");
+    util::require(config_.randomDraws >= 1,
+                  "SelectionSweep: randomDraws must be >= 1");
+}
+
+double
+SelectionSweep::pooledR2(const std::vector<std::size_t> &predictive,
+                         const std::vector<std::size_t> &targets,
+                         std::uint64_t split_tag) const
+{
+    const SplitResults split = evaluator_.evaluateSplit(
+        predictive, targets, {config_.method}, split_tag);
+    const auto &tasks = split.at(config_.method);
+
+    // Pool all predictions in log2 space so no single benchmark's
+    // scale dominates the fit. Goodness of fit is the squared
+    // correlation of predicted vs actual (the R^2 of the regression of
+    // actual on predicted), which measures how well the predictions
+    // explain the actual scores without penalizing a scale offset the
+    // ranking application does not care about.
+    std::vector<double> actual;
+    std::vector<double> predicted;
+    for (const TaskResult &t : tasks) {
+        for (std::size_t i = 0; i < t.actual.size(); ++i) {
+            actual.push_back(std::log2(t.actual[i]));
+            predicted.push_back(std::log2(std::max(t.predicted[i], 1e-9)));
+        }
+    }
+    const double r = stats::pearson(actual, predicted);
+    return r * r;
+}
+
+SelectionSweepResults
+SelectionSweep::run() const
+{
+    const dataset::PerfDatabase &db = evaluator_.database();
+    const std::vector<std::size_t> targets =
+        db.machineIndicesByYear(config_.targetYear);
+    const std::vector<std::size_t> candidates =
+        config_.poolAllBeforeTarget
+            ? db.machineIndicesBeforeYear(config_.targetYear)
+            : db.machineIndicesByYear(config_.predictiveYear);
+    util::require(targets.size() >= 2,
+                  "SelectionSweep: needs >= 2 target machines");
+    util::require(config_.maxK <= candidates.size(),
+                  "SelectionSweep: maxK exceeds candidate count");
+
+    SelectionSweepResults results;
+    util::Rng rng(config_.seed);
+    std::uint64_t split_tag = 300;
+
+    for (std::size_t k = 1; k <= config_.maxK; ++k) {
+        util::inform("selection sweep: k = " + std::to_string(k));
+        SelectionSweepPoint point;
+        point.k = k;
+
+        const std::vector<std::size_t> medoid_pick =
+            core::selectMachinesByKMedoids(db, candidates, k, rng);
+        point.kmedoidsR2 = pooledR2(medoid_pick, targets, split_tag++);
+
+        double acc = 0.0;
+        for (std::size_t draw = 0; draw < config_.randomDraws; ++draw) {
+            const std::vector<std::size_t> random_pick =
+                core::selectRandomMachines(candidates, k, rng);
+            acc += pooledR2(random_pick, targets, split_tag++);
+        }
+        point.randomR2 = acc / static_cast<double>(config_.randomDraws);
+
+        results.points.push_back(point);
+    }
+    return results;
+}
+
+} // namespace dtrank::experiments

@@ -1,0 +1,76 @@
+#include "experiments/subset.h"
+
+#include "core/selection.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dtrank::experiments
+{
+
+SubsetExperiment::SubsetExperiment(const SplitEvaluator &evaluator,
+                                   SubsetExperimentConfig config)
+    : evaluator_(evaluator), config_(std::move(config))
+{
+    util::require(!config_.subsetSizes.empty(),
+                  "SubsetExperiment: no subset sizes");
+    util::require(config_.draws >= 1, "SubsetExperiment: draws must be "
+                                      ">= 1");
+}
+
+SubsetExperimentResults
+SubsetExperiment::run(const std::vector<Method> &methods) const
+{
+    const dataset::PerfDatabase &db = evaluator_.database();
+    const std::vector<std::size_t> targets =
+        db.machineIndicesByYear(config_.targetYear);
+    const std::vector<std::size_t> candidates =
+        db.machineIndicesByYear(config_.predictiveYear);
+    util::require(targets.size() >= 2,
+                  "SubsetExperiment: needs >= 2 target machines");
+
+    SubsetExperimentResults results;
+    results.subsetSizes = config_.subsetSizes;
+
+    util::Rng rng(config_.seed);
+    std::uint64_t split_tag = 200;
+    for (std::size_t size : config_.subsetSizes) {
+        util::require(size >= 1 && size <= candidates.size(),
+                      "SubsetExperiment: subset size out of range");
+        util::inform("subset experiment: size " + std::to_string(size));
+
+        std::map<Method, SubsetCell> accum;
+        for (std::size_t draw = 0; draw < config_.draws; ++draw) {
+            const std::vector<std::size_t> predictive =
+                core::selectRandomMachines(candidates, size, rng);
+            const SplitResults split = evaluator_.evaluateSplit(
+                predictive, targets, methods, split_tag++);
+
+            for (const auto &[method, tasks] : split) {
+                double rank = 0.0;
+                double top1 = 0.0;
+                double err = 0.0;
+                for (const TaskResult &t : tasks) {
+                    rank += t.metrics.rankCorrelation;
+                    top1 += t.metrics.top1ErrorPercent;
+                    err += t.metrics.meanErrorPercent;
+                }
+                const double n = static_cast<double>(tasks.size());
+                accum[method].rankCorrelation += rank / n;
+                accum[method].top1ErrorPercent += top1 / n;
+                accum[method].meanErrorPercent += err / n;
+            }
+        }
+
+        for (auto &[method, cell] : accum) {
+            const double d = static_cast<double>(config_.draws);
+            cell.rankCorrelation /= d;
+            cell.top1ErrorPercent /= d;
+            cell.meanErrorPercent /= d;
+        }
+        results.cells[size] = std::move(accum);
+    }
+    return results;
+}
+
+} // namespace dtrank::experiments

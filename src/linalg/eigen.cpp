@@ -1,0 +1,97 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace dtrank::linalg
+{
+
+SymmetricEigenResult
+eigenSymmetric(const Matrix &a, double tolerance, std::size_t max_sweeps)
+{
+    util::require(a.rows() == a.cols(),
+                  "eigenSymmetric: matrix must be square");
+    util::require(a.rows() >= 1, "eigenSymmetric: empty matrix");
+    const std::size_t n = a.rows();
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            util::require(std::fabs(a(i, j) - a(j, i)) <=
+                              1e-9 * (1.0 + std::fabs(a(i, j))),
+                          "eigenSymmetric: matrix is not symmetric");
+
+    Matrix work(a);
+    Matrix v = Matrix::identity(n);
+
+    auto off_norm = [&]() {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = i + 1; j < n; ++j)
+                acc += work(i, j) * work(i, j);
+        return std::sqrt(2.0 * acc);
+    };
+
+    SymmetricEigenResult result;
+    while (off_norm() > tolerance) {
+        if (result.sweeps++ >= max_sweeps)
+            throw util::NumericalError(
+                "eigenSymmetric: Jacobi iteration did not converge");
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = work(p, q);
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                const double app = work(p, p);
+                const double aqq = work(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                const double t =
+                    (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double wkp = work(k, p);
+                    const double wkq = work(k, q);
+                    work(k, p) = c * wkp - s * wkq;
+                    work(k, q) = s * wkp + c * wkq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double wpk = work(p, k);
+                    const double wqk = work(q, k);
+                    work(p, k) = c * wpk - s * wqk;
+                    work(q, k) = s * wpk + c * wqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort by eigenvalue, descending.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) {
+                  return work(x, x) > work(y, y);
+              });
+
+    result.eigenvalues.resize(n);
+    result.eigenvectors = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        result.eigenvalues[j] = work(order[j], order[j]);
+        for (std::size_t i = 0; i < n; ++i)
+            result.eigenvectors(i, j) = v(i, order[j]);
+    }
+    return result;
+}
+
+} // namespace dtrank::linalg

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Symmetric eigendecomposition via the cyclic Jacobi method, the
+ * workhorse behind principal component analysis at this problem scale
+ * (covariance matrices up to a few dozen dimensions).
+ */
+
+#ifndef DTRANK_LINALG_EIGEN_H_
+#define DTRANK_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dtrank::linalg
+{
+
+/** Result of a symmetric eigendecomposition A = V diag(w) V^T. */
+struct SymmetricEigenResult
+{
+    /** Eigenvalues, sorted descending. */
+    std::vector<double> eigenvalues;
+    /** Eigenvectors as matrix columns, matching eigenvalue order. */
+    Matrix eigenvectors;
+    /** Jacobi sweeps used. */
+    std::size_t sweeps = 0;
+};
+
+/**
+ * Eigendecomposition of a symmetric matrix.
+ *
+ * @param a Symmetric matrix (symmetry is checked up to a tolerance).
+ * @param tolerance Off-diagonal Frobenius norm at which to stop.
+ * @param max_sweeps Iteration cap; exceeding it throws NumericalError.
+ */
+SymmetricEigenResult eigenSymmetric(const Matrix &a,
+                                    double tolerance = 1e-12,
+                                    std::size_t max_sweeps = 64);
+
+} // namespace dtrank::linalg
+
+#endif // DTRANK_LINALG_EIGEN_H_

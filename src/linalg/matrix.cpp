@@ -1,0 +1,247 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace dtrank::linalg
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init)
+{
+    rows_ = init.size();
+    cols_ = rows_ > 0 ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto &row : init) {
+        util::require(row.size() == cols_,
+                      "Matrix: ragged initializer list");
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::columnVector(const std::vector<double> &v)
+{
+    Matrix m(v.size(), 1);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        m(i, 0) = v[i];
+    return m;
+}
+
+Matrix
+Matrix::rowVector(const std::vector<double> &v)
+{
+    Matrix m(1, v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        m(0, i) = v[i];
+    return m;
+}
+
+std::vector<double>
+Matrix::row(std::size_t r) const
+{
+    util::require(r < rows_, "Matrix::row: out of range");
+    return {data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+            data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_)};
+}
+
+std::vector<double>
+Matrix::column(std::size_t c) const
+{
+    util::require(c < cols_, "Matrix::column: out of range");
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out[r] = (*this)(r, c);
+    return out;
+}
+
+void
+Matrix::setRow(std::size_t r, const std::vector<double> &values)
+{
+    util::require(r < rows_, "Matrix::setRow: out of range");
+    util::require(values.size() == cols_, "Matrix::setRow: size mismatch");
+    std::copy(values.begin(), values.end(),
+              data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+void
+Matrix::setColumn(std::size_t c, const std::vector<double> &values)
+{
+    util::require(c < cols_, "Matrix::setColumn: out of range");
+    util::require(values.size() == rows_,
+                  "Matrix::setColumn: size mismatch");
+    for (std::size_t r = 0; r < rows_; ++r)
+        (*this)(r, c) = values[r];
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    util::require(cols_ == other.rows_,
+                  "Matrix::multiply: dimension mismatch");
+    Matrix out(rows_, other.cols_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(i, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t j = 0; j < other.cols_; ++j)
+                out(i, j) += a * other(k, j);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::multiply(const std::vector<double> &v) const
+{
+    util::require(cols_ == v.size(),
+                  "Matrix::multiply(vector): dimension mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j)
+            acc += (*this)(i, j) * v[j];
+        out[i] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::add(const Matrix &other) const
+{
+    util::require(rows_ == other.rows_ && cols_ == other.cols_,
+                  "Matrix::add: dimension mismatch");
+    Matrix out(*this);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] += other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::subtract(const Matrix &other) const
+{
+    util::require(rows_ == other.rows_ && cols_ == other.cols_,
+                  "Matrix::subtract: dimension mismatch");
+    Matrix out(*this);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] -= other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::scaled(double factor) const
+{
+    Matrix out(*this);
+    for (double &x : out.data_)
+        x *= factor;
+    return out;
+}
+
+Matrix
+Matrix::select(const std::vector<std::size_t> &row_indices,
+               const std::vector<std::size_t> &col_indices) const
+{
+    Matrix out(row_indices.size(), col_indices.size());
+    for (std::size_t i = 0; i < row_indices.size(); ++i) {
+        util::require(row_indices[i] < rows_,
+                      "Matrix::select: row index out of range");
+        for (std::size_t j = 0; j < col_indices.size(); ++j) {
+            util::require(col_indices[j] < cols_,
+                          "Matrix::select: column index out of range");
+            out(i, j) = (*this)(row_indices[i], col_indices[j]);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::selectRows(const std::vector<std::size_t> &row_indices) const
+{
+    std::vector<std::size_t> all_cols(cols_);
+    for (std::size_t j = 0; j < cols_; ++j)
+        all_cols[j] = j;
+    return select(row_indices, all_cols);
+}
+
+Matrix
+Matrix::selectColumns(const std::vector<std::size_t> &col_indices) const
+{
+    std::vector<std::size_t> all_rows(rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        all_rows[i] = i;
+    return select(all_rows, col_indices);
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double acc = 0.0;
+    for (double x : data_)
+        acc += x * x;
+    return std::sqrt(acc);
+}
+
+double
+Matrix::maxAbs() const
+{
+    double m = 0.0;
+    for (double x : data_)
+        m = std::max(m, std::fabs(x));
+    return m;
+}
+
+bool
+Matrix::approxEquals(const Matrix &other, double tol) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        if (std::fabs(data_[i] - other.data_[i]) > tol)
+            return false;
+    return true;
+}
+
+std::string
+Matrix::toString(int decimals) const
+{
+    std::ostringstream os;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        os << (r == 0 ? "[" : " ");
+        for (std::size_t c = 0; c < cols_; ++c) {
+            if (c > 0)
+                os << ", ";
+            os << util::formatFixed((*this)(r, c), decimals);
+        }
+        os << (r + 1 == rows_ ? "]" : ";\n");
+    }
+    return os.str();
+}
+
+} // namespace dtrank::linalg

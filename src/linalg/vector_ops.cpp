@@ -1,0 +1,91 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dtrank::linalg
+{
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    util::require(a.size() == b.size(), "dot: size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+double
+norm2(const std::vector<double> &v)
+{
+    return std::sqrt(dot(v, v));
+}
+
+std::vector<double>
+add(const std::vector<double> &a, const std::vector<double> &b)
+{
+    util::require(a.size() == b.size(), "add: size mismatch");
+    std::vector<double> out(a);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        out[i] += b[i];
+    return out;
+}
+
+std::vector<double>
+subtract(const std::vector<double> &a, const std::vector<double> &b)
+{
+    util::require(a.size() == b.size(), "subtract: size mismatch");
+    std::vector<double> out(a);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        out[i] -= b[i];
+    return out;
+}
+
+std::vector<double>
+scale(const std::vector<double> &v, double factor)
+{
+    std::vector<double> out(v);
+    for (double &x : out)
+        x *= factor;
+    return out;
+}
+
+void
+addScaled(std::vector<double> &a, const std::vector<double> &b,
+          double factor)
+{
+    util::require(a.size() == b.size(), "addScaled: size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] += factor * b[i];
+}
+
+double
+squaredDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    util::require(a.size() == b.size(), "squaredDistance: size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+double
+weightedSquaredDistance(const std::vector<double> &a,
+                        const std::vector<double> &b,
+                        const std::vector<double> &weights)
+{
+    util::require(a.size() == b.size() && a.size() == weights.size(),
+                  "weightedSquaredDistance: size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += weights[i] * d * d;
+    }
+    return acc;
+}
+
+} // namespace dtrank::linalg

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Free functions over std::vector<double> used by the statistics and
+ * machine-learning layers.
+ */
+
+#ifndef DTRANK_LINALG_VECTOR_OPS_H_
+#define DTRANK_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dtrank::linalg
+{
+
+/** Dot product; sizes must match. */
+double dot(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Euclidean (L2) norm. */
+double norm2(const std::vector<double> &v);
+
+/** Elementwise a + b. */
+std::vector<double> add(const std::vector<double> &a,
+                        const std::vector<double> &b);
+
+/** Elementwise a - b. */
+std::vector<double> subtract(const std::vector<double> &a,
+                             const std::vector<double> &b);
+
+/** Scalar multiple. */
+std::vector<double> scale(const std::vector<double> &v, double factor);
+
+/** In-place a += factor * b (axpy). */
+void addScaled(std::vector<double> &a, const std::vector<double> &b,
+               double factor);
+
+/** Squared Euclidean distance between two points. */
+double squaredDistance(const std::vector<double> &a,
+                       const std::vector<double> &b);
+
+/**
+ * Squared distance weighted per dimension:
+ * sum_i w_i * (a_i - b_i)^2. Sizes of all three must match.
+ */
+double weightedSquaredDistance(const std::vector<double> &a,
+                               const std::vector<double> &b,
+                               const std::vector<double> &weights);
+
+} // namespace dtrank::linalg
+
+#endif // DTRANK_LINALG_VECTOR_OPS_H_

@@ -1,0 +1,64 @@
+#include "ml/distance.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/error.h"
+
+namespace dtrank::ml
+{
+
+double
+EuclideanDistance::distance(const std::vector<double> &a,
+                            const std::vector<double> &b) const
+{
+    return std::sqrt(linalg::squaredDistance(a, b));
+}
+
+double
+ManhattanDistance::distance(const std::vector<double> &a,
+                            const std::vector<double> &b) const
+{
+    util::require(a.size() == b.size(),
+                  "ManhattanDistance: size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += std::fabs(a[i] - b[i]);
+    return acc;
+}
+
+WeightedEuclideanDistance::WeightedEuclideanDistance(
+    std::vector<double> weights)
+    : weights_(std::move(weights))
+{
+    util::require(!weights_.empty(),
+                  "WeightedEuclideanDistance: empty weights");
+    for (double w : weights_)
+        util::require(w >= 0.0,
+                      "WeightedEuclideanDistance: negative weight");
+}
+
+double
+WeightedEuclideanDistance::distance(const std::vector<double> &a,
+                                    const std::vector<double> &b) const
+{
+    return std::sqrt(linalg::weightedSquaredDistance(a, b, weights_));
+}
+
+std::vector<std::vector<double>>
+pairwiseDistances(const std::vector<std::vector<double>> &points,
+                  const DistanceMetric &metric)
+{
+    const std::size_t n = points.size();
+    std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double dist = metric.distance(points[i], points[j]);
+            d[i][j] = dist;
+            d[j][i] = dist;
+        }
+    }
+    return d;
+}
+
+} // namespace dtrank::ml

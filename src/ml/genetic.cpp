@@ -1,0 +1,159 @@
+#include "ml/genetic.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace dtrank::ml
+{
+
+GeneticAlgorithm::GeneticAlgorithm(GaConfig config,
+                                   std::vector<double> lower,
+                                   std::vector<double> upper)
+    : config_(config), lower_(std::move(lower)), upper_(std::move(upper))
+{
+    util::require(!lower_.empty(), "GeneticAlgorithm: empty genome bounds");
+    util::require(lower_.size() == upper_.size(),
+                  "GeneticAlgorithm: bound size mismatch");
+    for (std::size_t i = 0; i < lower_.size(); ++i)
+        util::require(lower_[i] < upper_[i],
+                      "GeneticAlgorithm: lower bound must be < upper "
+                      "bound");
+    util::require(config_.populationSize >= 2,
+                  "GeneticAlgorithm: populationSize must be >= 2");
+    util::require(config_.generations >= 1,
+                  "GeneticAlgorithm: generations must be >= 1");
+    util::require(config_.crossoverRate >= 0.0 &&
+                      config_.crossoverRate <= 1.0,
+                  "GeneticAlgorithm: crossoverRate outside [0, 1]");
+    util::require(config_.mutationRate >= 0.0 &&
+                      config_.mutationRate <= 1.0,
+                  "GeneticAlgorithm: mutationRate outside [0, 1]");
+    util::require(config_.mutationSigma > 0.0,
+                  "GeneticAlgorithm: mutationSigma must be positive");
+    util::require(config_.tournamentSize >= 1,
+                  "GeneticAlgorithm: tournamentSize must be >= 1");
+    util::require(config_.eliteCount < config_.populationSize,
+                  "GeneticAlgorithm: eliteCount must be < populationSize");
+    util::require(config_.blendAlpha >= 0.0,
+                  "GeneticAlgorithm: blendAlpha must be >= 0");
+}
+
+std::vector<double>
+GeneticAlgorithm::randomGenome(util::Rng &rng) const
+{
+    std::vector<double> g(lower_.size());
+    for (std::size_t i = 0; i < g.size(); ++i)
+        g[i] = rng.uniform(lower_[i], upper_[i]);
+    return g;
+}
+
+void
+GeneticAlgorithm::clip(std::vector<double> &genome) const
+{
+    for (std::size_t i = 0; i < genome.size(); ++i)
+        genome[i] = std::clamp(genome[i], lower_[i], upper_[i]);
+}
+
+GaResult
+GeneticAlgorithm::optimize(const FitnessFn &fitness, util::Rng &rng) const
+{
+    util::require(static_cast<bool>(fitness),
+                  "GeneticAlgorithm::optimize: fitness must be callable");
+
+    std::vector<std::vector<double>> population(config_.populationSize);
+    for (auto &g : population)
+        g = randomGenome(rng);
+
+    GaResult result;
+    result.bestFitness = -std::numeric_limits<double>::infinity();
+    std::vector<double> scores(population.size());
+
+    auto evaluate_all = [&]() {
+        for (std::size_t i = 0; i < population.size(); ++i) {
+            scores[i] = fitness(population[i]);
+            ++result.evaluations;
+            if (scores[i] > result.bestFitness) {
+                result.bestFitness = scores[i];
+                result.bestGenome = population[i];
+            }
+        }
+    };
+
+    auto tournament = [&]() -> const std::vector<double> & {
+        std::size_t winner = rng.index(population.size());
+        for (std::size_t t = 1; t < config_.tournamentSize; ++t) {
+            const std::size_t challenger = rng.index(population.size());
+            if (scores[challenger] > scores[winner])
+                winner = challenger;
+        }
+        return population[winner];
+    };
+
+    evaluate_all();
+    result.history.reserve(config_.generations);
+
+    for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+        std::vector<std::vector<double>> next;
+        next.reserve(population.size());
+
+        // Elitism: carry over the best individuals unchanged.
+        if (config_.eliteCount > 0) {
+            std::vector<std::size_t> order(population.size());
+            std::iota(order.begin(), order.end(), std::size_t{0});
+            std::partial_sort(
+                order.begin(),
+                order.begin() +
+                    static_cast<std::ptrdiff_t>(config_.eliteCount),
+                order.end(), [&](std::size_t a, std::size_t b) {
+                    return scores[a] > scores[b];
+                });
+            for (std::size_t e = 0; e < config_.eliteCount; ++e)
+                next.push_back(population[order[e]]);
+        }
+
+        while (next.size() < population.size()) {
+            std::vector<double> child_a = tournament();
+            std::vector<double> child_b = tournament();
+
+            if (rng.bernoulli(config_.crossoverRate)) {
+                // BLX-alpha: sample each gene uniformly from the
+                // interval spanned by the parents, extended by alpha.
+                for (std::size_t i = 0; i < child_a.size(); ++i) {
+                    const double lo = std::min(child_a[i], child_b[i]);
+                    const double hi = std::max(child_a[i], child_b[i]);
+                    const double span = hi - lo;
+                    const double a = lo - config_.blendAlpha * span;
+                    const double b = hi + config_.blendAlpha * span;
+                    if (a < b) {
+                        child_a[i] = rng.uniform(a, b);
+                        child_b[i] = rng.uniform(a, b);
+                    }
+                }
+            }
+
+            for (auto *child : {&child_a, &child_b}) {
+                for (std::size_t i = 0; i < child->size(); ++i) {
+                    if (rng.bernoulli(config_.mutationRate)) {
+                        const double range = upper_[i] - lower_[i];
+                        (*child)[i] += rng.gaussian(
+                            0.0, config_.mutationSigma * range);
+                    }
+                }
+                clip(*child);
+                if (next.size() < population.size())
+                    next.push_back(std::move(*child));
+            }
+        }
+
+        population = std::move(next);
+        evaluate_all();
+        result.history.push_back(result.bestFitness);
+    }
+
+    return result;
+}
+
+} // namespace dtrank::ml

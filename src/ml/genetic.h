@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Real-coded genetic algorithm. The GA-kNN baseline (Hoste et al.,
+ * PACT 2006) uses a GA to learn how microarchitecture-independent
+ * workload differences should be weighted so that characteristic-space
+ * distance tracks performance difference; this module provides the
+ * generic optimizer it builds on.
+ */
+
+#ifndef DTRANK_ML_GENETIC_H_
+#define DTRANK_ML_GENETIC_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dtrank::ml
+{
+
+/** Hyperparameters of the genetic algorithm. */
+struct GaConfig
+{
+    std::size_t populationSize = 50;
+    std::size_t generations = 60;
+    /** Probability of applying crossover to a selected pair. */
+    double crossoverRate = 0.9;
+    /** Per-gene mutation probability. */
+    double mutationRate = 0.1;
+    /** Stddev of Gaussian mutation relative to the gene range. */
+    double mutationSigma = 0.1;
+    /** Tournament size for parent selection. */
+    std::size_t tournamentSize = 3;
+    /** Number of top individuals copied unchanged each generation. */
+    std::size_t eliteCount = 2;
+    /** BLX-alpha blend crossover exploration parameter. */
+    double blendAlpha = 0.3;
+};
+
+/** Outcome of a GA run. */
+struct GaResult
+{
+    /** Best genome found across all generations. */
+    std::vector<double> bestGenome;
+    /** Fitness of bestGenome. */
+    double bestFitness = 0.0;
+    /** Best fitness after each generation (monotone non-decreasing). */
+    std::vector<double> history;
+    /** Total fitness evaluations performed. */
+    std::size_t evaluations = 0;
+};
+
+/**
+ * Generational real-coded GA maximizing a user-supplied fitness
+ * function over a box-constrained genome.
+ *
+ * Uses tournament selection, BLX-alpha blend crossover, Gaussian
+ * mutation clipped to the bounds, and elitism. Deterministic given the
+ * Rng.
+ */
+class GeneticAlgorithm
+{
+  public:
+    using FitnessFn = std::function<double(const std::vector<double> &)>;
+
+    /**
+     * @param config Hyperparameters (validated on construction).
+     * @param lower Per-gene lower bounds.
+     * @param upper Per-gene upper bounds (elementwise > lower).
+     */
+    GeneticAlgorithm(GaConfig config, std::vector<double> lower,
+                     std::vector<double> upper);
+
+    /**
+     * Runs the optimization.
+     *
+     * @param fitness Function to maximize; called once per individual
+     *        per generation.
+     * @param rng Randomness source.
+     */
+    GaResult optimize(const FitnessFn &fitness, util::Rng &rng) const;
+
+    std::size_t genomeLength() const { return lower_.size(); }
+    const GaConfig &config() const { return config_; }
+
+  private:
+    std::vector<double> randomGenome(util::Rng &rng) const;
+    void clip(std::vector<double> &genome) const;
+
+    GaConfig config_;
+    std::vector<double> lower_;
+    std::vector<double> upper_;
+};
+
+} // namespace dtrank::ml
+
+#endif // DTRANK_ML_GENETIC_H_

@@ -1,0 +1,124 @@
+#include "ml/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace dtrank::ml
+{
+
+KMedoids::KMedoids(KMedoidsConfig config) : config_(config)
+{
+    util::require(config_.maxIterations >= 1,
+                  "KMedoids: maxIterations must be >= 1");
+    util::require(config_.restarts >= 1,
+                  "KMedoids: restarts must be >= 1");
+}
+
+KMedoidsResult
+KMedoids::cluster(const std::vector<std::vector<double>> &points,
+                  std::size_t k, const DistanceMetric &metric,
+                  util::Rng &rng) const
+{
+    return clusterFromDistances(pairwiseDistances(points, metric), k, rng);
+}
+
+KMedoidsResult
+KMedoids::clusterFromDistances(const std::vector<std::vector<double>> &dist,
+                               std::size_t k, util::Rng &rng) const
+{
+    const std::size_t n = dist.size();
+    util::require(n > 0, "KMedoids: empty point set");
+    for (const auto &row : dist)
+        util::require(row.size() == n, "KMedoids: distance matrix must be "
+                                       "square");
+    util::require(k >= 1 && k <= n, "KMedoids: k out of range");
+
+    KMedoidsResult best;
+    best.totalCost = std::numeric_limits<double>::infinity();
+
+    for (std::size_t restart = 0; restart < config_.restarts; ++restart) {
+        KMedoidsResult run;
+        run.medoids = rng.sampleWithoutReplacement(n, k);
+        run.assignment.assign(n, 0);
+
+        auto assign_all = [&]() {
+            double cost = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                double bd = std::numeric_limits<double>::infinity();
+                std::size_t bc = 0;
+                for (std::size_t c = 0; c < k; ++c) {
+                    const double d = dist[i][run.medoids[c]];
+                    if (d < bd) {
+                        bd = d;
+                        bc = c;
+                    }
+                }
+                run.assignment[i] = bc;
+                cost += bd;
+            }
+            return cost;
+        };
+
+        run.totalCost = assign_all();
+        for (std::size_t iter = 0; iter < config_.maxIterations; ++iter) {
+            ++run.iterations;
+            bool changed = false;
+
+            // Update step: for each cluster pick the member minimizing
+            // the total distance to the other members.
+            for (std::size_t c = 0; c < k; ++c) {
+                double best_cost =
+                    std::numeric_limits<double>::infinity();
+                std::size_t best_medoid = run.medoids[c];
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (run.assignment[i] != c)
+                        continue;
+                    double cost = 0.0;
+                    for (std::size_t j = 0; j < n; ++j)
+                        if (run.assignment[j] == c)
+                            cost += dist[i][j];
+                    if (cost < best_cost) {
+                        best_cost = cost;
+                        best_medoid = i;
+                    }
+                }
+                if (best_medoid != run.medoids[c]) {
+                    run.medoids[c] = best_medoid;
+                    changed = true;
+                }
+            }
+
+            const auto old_assignment = run.assignment;
+            run.totalCost = assign_all();
+            if (!changed && run.assignment == old_assignment) {
+                run.converged = true;
+                break;
+            }
+        }
+
+        if (run.totalCost < best.totalCost)
+            best = run;
+    }
+
+    // Canonical order: medoids sorted ascending, assignments remapped.
+    std::vector<std::size_t> perm(k);
+    for (std::size_t i = 0; i < k; ++i)
+        perm[i] = i;
+    std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+        return best.medoids[a] < best.medoids[b];
+    });
+    std::vector<std::size_t> inverse(k);
+    std::vector<std::size_t> sorted_medoids(k);
+    for (std::size_t newc = 0; newc < k; ++newc) {
+        sorted_medoids[newc] = best.medoids[perm[newc]];
+        inverse[perm[newc]] = newc;
+    }
+    best.medoids = sorted_medoids;
+    for (std::size_t &a : best.assignment)
+        a = inverse[a];
+    return best;
+}
+
+} // namespace dtrank::ml

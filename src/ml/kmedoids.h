@@ -1,0 +1,79 @@
+/**
+ * @file
+ * k-medoids clustering (PAM-style). The paper uses k-medoid clustering
+ * over the machine space to select a diverse set of predictive machines
+ * (Section 6.5, Figure 8): the cluster centers become the predictive
+ * machines.
+ */
+
+#ifndef DTRANK_ML_KMEDOIDS_H_
+#define DTRANK_ML_KMEDOIDS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/distance.h"
+#include "util/rng.h"
+
+namespace dtrank::ml
+{
+
+/** Result of a k-medoids run. */
+struct KMedoidsResult
+{
+    /** Indices of the k medoids into the input point set. */
+    std::vector<std::size_t> medoids;
+    /** assignment[i] is the position (0..k-1) of point i's medoid. */
+    std::vector<std::size_t> assignment;
+    /** Total within-cluster distance at convergence. */
+    double totalCost = 0.0;
+    /** Number of update iterations executed. */
+    std::size_t iterations = 0;
+    /** True when the run stopped because assignments were stable. */
+    bool converged = false;
+};
+
+/** Configuration for KMedoids. */
+struct KMedoidsConfig
+{
+    std::size_t maxIterations = 100;
+    /** Independent restarts; the best-cost run wins. */
+    std::size_t restarts = 5;
+};
+
+/**
+ * Voronoi-iteration k-medoids: random initial medoids, alternate
+ * assignment and per-cluster medoid update until membership stabilizes.
+ * Deterministic given the Rng seed.
+ */
+class KMedoids
+{
+  public:
+    explicit KMedoids(KMedoidsConfig config = KMedoidsConfig{});
+
+    /**
+     * Clusters points into k groups.
+     *
+     * @param points Feature vectors (machines' benchmark-score columns).
+     * @param k Number of clusters, 1 <= k <= points.size().
+     * @param metric Distance between points.
+     * @param rng Randomness source for initialization.
+     */
+    KMedoidsResult cluster(const std::vector<std::vector<double>> &points,
+                           std::size_t k, const DistanceMetric &metric,
+                           util::Rng &rng) const;
+
+    /**
+     * Clusters from a precomputed symmetric distance matrix.
+     */
+    KMedoidsResult clusterFromDistances(
+        const std::vector<std::vector<double>> &dist, std::size_t k,
+        util::Rng &rng) const;
+
+  private:
+    KMedoidsConfig config_;
+};
+
+} // namespace dtrank::ml
+
+#endif // DTRANK_ML_KMEDOIDS_H_

@@ -1,0 +1,86 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace dtrank::ml
+{
+
+KnnRegressor::KnnRegressor(std::size_t k,
+                           std::shared_ptr<DistanceMetric> metric,
+                           KnnWeighting weighting)
+    : k_(k), metric_(std::move(metric)), weighting_(weighting)
+{
+    util::require(k_ >= 1, "KnnRegressor: k must be >= 1");
+    util::require(metric_ != nullptr, "KnnRegressor: metric must not be "
+                                      "null");
+}
+
+void
+KnnRegressor::fit(std::vector<std::vector<double>> points,
+                  std::vector<double> targets)
+{
+    util::require(points.size() == targets.size(),
+                  "KnnRegressor::fit: size mismatch");
+    util::require(!points.empty(), "KnnRegressor::fit: empty training set");
+    const std::size_t dim = points.front().size();
+    for (const auto &p : points)
+        util::require(p.size() == dim,
+                      "KnnRegressor::fit: ragged feature vectors");
+    points_ = std::move(points);
+    targets_ = std::move(targets);
+}
+
+std::vector<std::size_t>
+KnnRegressor::nearestIndices(const std::vector<double> &query) const
+{
+    util::require(!points_.empty(), "KnnRegressor: not fitted");
+    std::vector<double> dist(points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i)
+        dist[i] = metric_->distance(query, points_[i]);
+
+    std::vector<std::size_t> order(points_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    const std::size_t take = std::min(k_, points_.size());
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(take),
+                      order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          if (dist[a] != dist[b])
+                              return dist[a] < dist[b];
+                          return a < b; // deterministic tie break
+                      });
+    order.resize(take);
+    return order;
+}
+
+double
+KnnRegressor::predict(const std::vector<double> &query) const
+{
+    const auto nn = nearestIndices(query);
+    DTRANK_ASSERT(!nn.empty());
+
+    if (weighting_ == KnnWeighting::Uniform) {
+        double acc = 0.0;
+        for (std::size_t i : nn)
+            acc += targets_[i];
+        return acc / static_cast<double>(nn.size());
+    }
+
+    // Inverse-distance weighting with a small epsilon so exact matches
+    // do not divide by zero.
+    constexpr double eps = 1e-9;
+    double wsum = 0.0;
+    double acc = 0.0;
+    for (std::size_t i : nn) {
+        const double d = metric_->distance(query, points_[i]);
+        const double w = 1.0 / (d + eps);
+        wsum += w;
+        acc += w * targets_[i];
+    }
+    return acc / wsum;
+}
+
+} // namespace dtrank::ml

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * k-nearest-neighbour regression. The GA-kNN baseline predicts the
+ * performance of the application of interest as the (weighted) mean of
+ * the scores of its k = 10 nearest benchmarks in characteristic space.
+ */
+
+#ifndef DTRANK_ML_KNN_H_
+#define DTRANK_ML_KNN_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "ml/distance.h"
+
+namespace dtrank::ml
+{
+
+/** How neighbour targets are combined into a prediction. */
+enum class KnnWeighting
+{
+    Uniform,         ///< Plain mean of the k targets.
+    InverseDistance  ///< Weights 1/(d + eps).
+};
+
+/**
+ * Lazy kNN regressor: stores the training points and answers queries by
+ * scanning (fine at this problem scale).
+ */
+class KnnRegressor
+{
+  public:
+    /**
+     * @param k Number of neighbours (>= 1).
+     * @param metric Distance metric (shared, non-null).
+     * @param weighting Neighbour combination rule.
+     */
+    KnnRegressor(std::size_t k, std::shared_ptr<DistanceMetric> metric,
+                 KnnWeighting weighting = KnnWeighting::Uniform);
+
+    /**
+     * Stores the training set.
+     *
+     * @param points Feature vectors (all the same length).
+     * @param targets One numeric target per point.
+     */
+    void fit(std::vector<std::vector<double>> points,
+             std::vector<double> targets);
+
+    /** Predicts the target at a query point. */
+    double predict(const std::vector<double> &query) const;
+
+    /**
+     * Indices of the k nearest training points to the query, closest
+     * first (useful for inspecting which benchmarks were selected).
+     */
+    std::vector<std::size_t>
+    nearestIndices(const std::vector<double> &query) const;
+
+    std::size_t k() const { return k_; }
+    std::size_t trainingSize() const { return points_.size(); }
+
+  private:
+    std::size_t k_;
+    std::shared_ptr<DistanceMetric> metric_;
+    KnnWeighting weighting_;
+    std::vector<std::vector<double>> points_;
+    std::vector<double> targets_;
+};
+
+} // namespace dtrank::ml
+
+#endif // DTRANK_ML_KNN_H_

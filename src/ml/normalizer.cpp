@@ -1,0 +1,124 @@
+#include "ml/normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/error.h"
+
+namespace dtrank::ml
+{
+
+void
+RangeNormalizer::fit(const linalg::Matrix &x)
+{
+    util::require(x.rows() > 0 && x.cols() > 0,
+                  "RangeNormalizer::fit: empty matrix");
+    mins_.assign(x.cols(), 0.0);
+    maxs_.assign(x.cols(), 0.0);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+        double lo = x(0, c);
+        double hi = x(0, c);
+        for (std::size_t r = 1; r < x.rows(); ++r) {
+            lo = std::min(lo, x(r, c));
+            hi = std::max(hi, x(r, c));
+        }
+        mins_[c] = lo;
+        maxs_[c] = hi;
+    }
+}
+
+void
+RangeNormalizer::fitSeries(const std::vector<double> &values)
+{
+    util::require(!values.empty(), "RangeNormalizer::fitSeries: empty "
+                                   "input");
+    mins_ = {stats::minimum(values)};
+    maxs_ = {stats::maximum(values)};
+}
+
+std::vector<double>
+RangeNormalizer::transform(const std::vector<double> &row) const
+{
+    util::require(fitted(), "RangeNormalizer: not fitted");
+    util::require(row.size() == mins_.size(),
+                  "RangeNormalizer::transform: feature count mismatch");
+    std::vector<double> out(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+        const double span = maxs_[c] - mins_[c];
+        out[c] = span == 0.0
+                     ? 0.0
+                     : 2.0 * (row[c] - mins_[c]) / span - 1.0;
+    }
+    return out;
+}
+
+linalg::Matrix
+RangeNormalizer::transform(const linalg::Matrix &x) const
+{
+    linalg::Matrix out(x.rows(), x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        out.setRow(r, transform(x.row(r)));
+    return out;
+}
+
+double
+RangeNormalizer::transformScalar(double value) const
+{
+    util::require(mins_.size() == 1,
+                  "RangeNormalizer::transformScalar: not fitted on a "
+                  "series");
+    const double span = maxs_[0] - mins_[0];
+    return span == 0.0 ? 0.0 : 2.0 * (value - mins_[0]) / span - 1.0;
+}
+
+double
+RangeNormalizer::inverseTransformScalar(double value) const
+{
+    util::require(mins_.size() == 1,
+                  "RangeNormalizer::inverseTransformScalar: not fitted on "
+                  "a series");
+    const double span = maxs_[0] - mins_[0];
+    if (span == 0.0)
+        return mins_[0];
+    return (value + 1.0) * 0.5 * span + mins_[0];
+}
+
+void
+StandardNormalizer::fit(const linalg::Matrix &x)
+{
+    util::require(x.rows() > 0 && x.cols() > 0,
+                  "StandardNormalizer::fit: empty matrix");
+    means_.assign(x.cols(), 0.0);
+    stddevs_.assign(x.cols(), 0.0);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+        const std::vector<double> col = x.column(c);
+        means_[c] = stats::mean(col);
+        stddevs_[c] = x.rows() >= 2 ? stats::stddevSample(col) : 0.0;
+    }
+}
+
+std::vector<double>
+StandardNormalizer::transform(const std::vector<double> &row) const
+{
+    util::require(fitted(), "StandardNormalizer: not fitted");
+    util::require(row.size() == means_.size(),
+                  "StandardNormalizer::transform: feature count mismatch");
+    std::vector<double> out(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c)
+        out[c] = stddevs_[c] == 0.0
+                     ? 0.0
+                     : (row[c] - means_[c]) / stddevs_[c];
+    return out;
+}
+
+linalg::Matrix
+StandardNormalizer::transform(const linalg::Matrix &x) const
+{
+    linalg::Matrix out(x.rows(), x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        out.setRow(r, transform(x.row(r)));
+    return out;
+}
+
+} // namespace dtrank::ml

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Feature normalization. WEKA's MultilayerPerceptron normalizes
+ * attributes (and a numeric class) to [-1, 1] by default; RangeNormalizer
+ * replicates that. StandardNormalizer (z-score) is provided for the
+ * distance-based learners.
+ */
+
+#ifndef DTRANK_ML_NORMALIZER_H_
+#define DTRANK_ML_NORMALIZER_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dtrank::ml
+{
+
+/**
+ * Per-feature affine map onto [-1, 1] fitted on training data.
+ *
+ * Constant features map to 0. Values outside the training range
+ * extrapolate linearly (as WEKA does).
+ */
+class RangeNormalizer
+{
+  public:
+    RangeNormalizer() = default;
+
+    /** Learns per-column min/max from the training matrix. */
+    void fit(const linalg::Matrix &x);
+
+    /** Learns min/max of a single series (for targets). */
+    void fitSeries(const std::vector<double> &values);
+
+    /** Maps one row of raw features into [-1, 1] coordinates. */
+    std::vector<double> transform(const std::vector<double> &row) const;
+
+    /** Maps a whole matrix. */
+    linalg::Matrix transform(const linalg::Matrix &x) const;
+
+    /** Maps one scalar through the single-series normalization. */
+    double transformScalar(double value) const;
+
+    /** Inverse of transformScalar. */
+    double inverseTransformScalar(double value) const;
+
+    /** Number of fitted features (1 after fitSeries). */
+    std::size_t featureCount() const { return mins_.size(); }
+
+    bool fitted() const { return !mins_.empty(); }
+
+  private:
+    std::vector<double> mins_;
+    std::vector<double> maxs_;
+};
+
+/**
+ * Per-feature z-score normalization (subtract mean, divide by sample
+ * stddev). Constant features map to 0.
+ */
+class StandardNormalizer
+{
+  public:
+    StandardNormalizer() = default;
+
+    /** Learns per-column mean/stddev from the training matrix. */
+    void fit(const linalg::Matrix &x);
+
+    /** Maps one row of raw features into z-scores. */
+    std::vector<double> transform(const std::vector<double> &row) const;
+
+    /** Maps a whole matrix. */
+    linalg::Matrix transform(const linalg::Matrix &x) const;
+
+    std::size_t featureCount() const { return means_.size(); }
+    bool fitted() const { return !means_.empty(); }
+
+    const std::vector<double> &means() const { return means_; }
+    const std::vector<double> &stddevs() const { return stddevs_; }
+
+  private:
+    std::vector<double> means_;
+    std::vector<double> stddevs_;
+};
+
+} // namespace dtrank::ml
+
+#endif // DTRANK_ML_NORMALIZER_H_

@@ -1,0 +1,64 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "util/error.h"
+
+namespace dtrank::stats
+{
+
+ConfidenceInterval
+bootstrapPaired(const std::vector<double> &x,
+                const std::vector<double> &y,
+                const PairedStatistic &statistic, double confidence,
+                std::size_t resamples, util::Rng &rng)
+{
+    util::require(x.size() == y.size(), "bootstrapPaired: size mismatch");
+    util::require(x.size() >= 2, "bootstrapPaired: needs >= 2 pairs");
+    util::require(confidence > 0.0 && confidence < 1.0,
+                  "bootstrapPaired: confidence outside (0, 1)");
+    util::require(resamples >= 10,
+                  "bootstrapPaired: needs >= 10 resamples");
+    util::require(static_cast<bool>(statistic),
+                  "bootstrapPaired: statistic must be callable");
+
+    const std::size_t n = x.size();
+    std::vector<double> stats_sample;
+    stats_sample.reserve(resamples);
+    std::vector<double> rx(n);
+    std::vector<double> ry(n);
+    for (std::size_t r = 0; r < resamples; ++r) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t j = rng.index(n);
+            rx[i] = x[j];
+            ry[i] = y[j];
+        }
+        stats_sample.push_back(statistic(rx, ry));
+    }
+
+    const double alpha = 1.0 - confidence;
+    ConfidenceInterval ci;
+    ci.pointEstimate = statistic(x, y);
+    ci.lower = quantile(stats_sample, alpha / 2.0);
+    ci.upper = quantile(stats_sample, 1.0 - alpha / 2.0);
+    return ci;
+}
+
+ConfidenceInterval
+bootstrapSpearman(const std::vector<double> &actual,
+                  const std::vector<double> &predicted,
+                  double confidence, std::size_t resamples,
+                  std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    return bootstrapPaired(
+        actual, predicted,
+        [](const std::vector<double> &a, const std::vector<double> &b) {
+            return spearman(a, b);
+        },
+        confidence, resamples, rng);
+}
+
+} // namespace dtrank::stats

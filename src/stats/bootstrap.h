@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Nonparametric bootstrap confidence intervals.
+ *
+ * The paper reports point estimates of rank correlation; for a
+ * production tool users also want to know how much to trust a ranking
+ * produced from a finite, noisy machine sample. The percentile
+ * bootstrap over machines answers that without distributional
+ * assumptions.
+ */
+
+#ifndef DTRANK_STATS_BOOTSTRAP_H_
+#define DTRANK_STATS_BOOTSTRAP_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dtrank::stats
+{
+
+/** A two-sided percentile confidence interval. */
+struct ConfidenceInterval
+{
+    double lower = 0.0;
+    double upper = 0.0;
+    /** Statistic on the original (unresampled) sample. */
+    double pointEstimate = 0.0;
+};
+
+/**
+ * A statistic of two paired samples (e.g. Spearman correlation of
+ * actual vs predicted scores).
+ */
+using PairedStatistic = std::function<double(
+    const std::vector<double> &, const std::vector<double> &)>;
+
+/**
+ * Percentile bootstrap CI of a paired statistic.
+ *
+ * @param x First sample (e.g. actual scores).
+ * @param y Second sample, same length (e.g. predictions).
+ * @param statistic The statistic to bootstrap; it sees resampled
+ *        pairs and must accept samples of the original size.
+ * @param confidence Coverage level in (0, 1), e.g. 0.95.
+ * @param resamples Number of bootstrap resamples (>= 100 recommended).
+ * @param rng Randomness source.
+ */
+ConfidenceInterval
+bootstrapPaired(const std::vector<double> &x,
+                const std::vector<double> &y,
+                const PairedStatistic &statistic, double confidence,
+                std::size_t resamples, util::Rng &rng);
+
+/**
+ * Convenience: bootstrap CI of the Spearman rank correlation between
+ * actual and predicted scores, resampling machines with replacement.
+ */
+ConfidenceInterval
+bootstrapSpearman(const std::vector<double> &actual,
+                  const std::vector<double> &predicted,
+                  double confidence = 0.95,
+                  std::size_t resamples = 1000,
+                  std::uint64_t seed = 1);
+
+} // namespace dtrank::stats
+
+#endif // DTRANK_STATS_BOOTSTRAP_H_

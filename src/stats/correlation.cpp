@@ -1,0 +1,68 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/ranking.h"
+#include "util/error.h"
+
+namespace dtrank::stats
+{
+
+double
+covariancePopulation(const std::vector<double> &x,
+                     const std::vector<double> &y)
+{
+    util::require(x.size() == y.size(),
+                  "covariancePopulation: size mismatch");
+    util::require(!x.empty(), "covariancePopulation: empty input");
+    const double mx = mean(x);
+    const double my = mean(y);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        acc += (x[i] - mx) * (y[i] - my);
+    return acc / static_cast<double>(x.size());
+}
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    util::require(x.size() == y.size(), "pearson: size mismatch");
+    util::require(x.size() >= 2, "pearson: needs >= 2 observations");
+    const double sx = stddevPopulation(x);
+    const double sy = stddevPopulation(y);
+    if (sx == 0.0 || sy == 0.0)
+        return 0.0;
+    return covariancePopulation(x, y) / (sx * sy);
+}
+
+double
+spearman(const std::vector<double> &x, const std::vector<double> &y)
+{
+    util::require(x.size() == y.size(), "spearman: size mismatch");
+    util::require(x.size() >= 2, "spearman: needs >= 2 observations");
+    return pearson(rankData(x), rankData(y));
+}
+
+double
+rSquared(const std::vector<double> &actual,
+         const std::vector<double> &predicted)
+{
+    util::require(actual.size() == predicted.size(),
+                  "rSquared: size mismatch");
+    util::require(!actual.empty(), "rSquared: empty input");
+    const double m = mean(actual);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        const double r = actual[i] - predicted[i];
+        ss_res += r * r;
+        const double d = actual[i] - m;
+        ss_tot += d * d;
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+} // namespace dtrank::stats

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Correlation measures: Pearson, Spearman rank correlation (the paper's
+ * ranking metric, Section 6.1) and the coefficient of determination R²
+ * (the goodness-of-fit measure in Figure 8).
+ */
+
+#ifndef DTRANK_STATS_CORRELATION_H_
+#define DTRANK_STATS_CORRELATION_H_
+
+#include <vector>
+
+namespace dtrank::stats
+{
+
+/**
+ * Pearson product-moment correlation of two equally sized samples.
+ *
+ * @return Correlation in [-1, 1]; 0 when either sample has zero
+ *         variance (degenerate but defined, convenient for sweeps).
+ */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/**
+ * Spearman rank correlation: Pearson correlation of the tie-averaged
+ * ranks. This is the metric the paper reports in Table 2/3/4 and
+ * Figure 6.
+ */
+double spearman(const std::vector<double> &x, const std::vector<double> &y);
+
+/**
+ * Coefficient of determination of predictions against actuals:
+ * R² = 1 - SS_res / SS_tot. Can be negative for predictions worse than
+ * the mean. Returns 1 when actuals are constant and matched exactly,
+ * 0 when constant and mismatched.
+ */
+double rSquared(const std::vector<double> &actual,
+                const std::vector<double> &predicted);
+
+/** Covariance (population) of two equally sized samples. */
+double covariancePopulation(const std::vector<double> &x,
+                            const std::vector<double> &y);
+
+} // namespace dtrank::stats
+
+#endif // DTRANK_STATS_CORRELATION_H_

@@ -1,0 +1,62 @@
+#include "stats/error_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/ranking.h"
+#include "util/error.h"
+
+namespace dtrank::stats
+{
+
+double
+relativeErrorPercent(double actual, double predicted)
+{
+    util::require(actual > 0.0,
+                  "relativeErrorPercent: actual must be positive");
+    return std::fabs(predicted - actual) / actual * 100.0;
+}
+
+double
+meanRelativeErrorPercent(const std::vector<double> &actual,
+                         const std::vector<double> &predicted)
+{
+    util::require(actual.size() == predicted.size(),
+                  "meanRelativeErrorPercent: size mismatch");
+    util::require(!actual.empty(),
+                  "meanRelativeErrorPercent: empty input");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        acc += relativeErrorPercent(actual[i], predicted[i]);
+    return acc / static_cast<double>(actual.size());
+}
+
+double
+top1DeficiencyPercent(const std::vector<double> &actual,
+                      const std::vector<double> &predicted)
+{
+    return topNDeficiencyPercent(actual, predicted, 1);
+}
+
+double
+topNDeficiencyPercent(const std::vector<double> &actual,
+                      const std::vector<double> &predicted, std::size_t n)
+{
+    util::require(actual.size() == predicted.size(),
+                  "topNDeficiencyPercent: size mismatch");
+    util::require(!actual.empty(), "topNDeficiencyPercent: empty input");
+    util::require(n >= 1 && n <= actual.size(),
+                  "topNDeficiencyPercent: n out of range");
+
+    const auto order = orderDescending(predicted);
+    double achieved = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        achieved = std::max(achieved, actual[order[i]]);
+    util::require(achieved > 0.0,
+                  "topNDeficiencyPercent: actual scores must be positive");
+    const double best = maximum(actual);
+    return (best - achieved) / achieved * 100.0;
+}
+
+} // namespace dtrank::stats

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Prediction-error metrics used by the paper's evaluation (Section 6.1):
+ * per-prediction relative error, mean error across targets and
+ * benchmarks, and the top-1 deficiency of a predicted machine ranking.
+ */
+
+#ifndef DTRANK_STATS_ERROR_METRICS_H_
+#define DTRANK_STATS_ERROR_METRICS_H_
+
+#include <vector>
+
+namespace dtrank::stats
+{
+
+/**
+ * Relative error |predicted - actual| / actual as a percentage.
+ * `actual` must be positive (SPEC ratios are).
+ */
+double relativeErrorPercent(double actual, double predicted);
+
+/**
+ * Mean of per-element relative errors (percent). Sizes must match and
+ * actuals must be positive.
+ */
+double meanRelativeErrorPercent(const std::vector<double> &actual,
+                                const std::vector<double> &predicted);
+
+/**
+ * Top-1 deficiency (percent) of a predicted ranking.
+ *
+ * The predicted top machine is argmax(predicted); the deficiency is the
+ * performance lost by purchasing that machine instead of the actual
+ * best: (max(actual) - actual[predicted top]) / actual[predicted top]
+ * * 100. Zero when the predicted top machine is (one of) the actual
+ * best. Can exceed 100% when the predicted machine is less than half as
+ * fast — the failure mode the paper reports for prior art.
+ */
+double top1DeficiencyPercent(const std::vector<double> &actual,
+                             const std::vector<double> &predicted);
+
+/**
+ * Top-n deficiency: performance lost by taking the best *actual*
+ * machine among the predicted top-n instead of the global best.
+ * Generalizes top1DeficiencyPercent (n = 1).
+ */
+double topNDeficiencyPercent(const std::vector<double> &actual,
+                             const std::vector<double> &predicted,
+                             std::size_t n);
+
+} // namespace dtrank::stats
+
+#endif // DTRANK_STATS_ERROR_METRICS_H_

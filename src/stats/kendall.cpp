@@ -1,0 +1,50 @@
+#include "stats/kendall.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dtrank::stats
+{
+
+double
+kendallTau(const std::vector<double> &x, const std::vector<double> &y)
+{
+    util::require(x.size() == y.size(), "kendallTau: size mismatch");
+    util::require(x.size() >= 2, "kendallTau: needs >= 2 observations");
+
+    long long concordant = 0;
+    long long discordant = 0;
+    long long ties_x = 0;
+    long long ties_y = 0;
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double dx = x[i] - x[j];
+            const double dy = y[i] - y[j];
+            if (dx == 0.0 && dy == 0.0) {
+                // Tied in both: counted in neither denominator term.
+                continue;
+            }
+            if (dx == 0.0) {
+                ++ties_x;
+            } else if (dy == 0.0) {
+                ++ties_y;
+            } else if ((dx > 0.0) == (dy > 0.0)) {
+                ++concordant;
+            } else {
+                ++discordant;
+            }
+        }
+    }
+
+    const double n0 = static_cast<double>(concordant + discordant);
+    const double denom = std::sqrt(
+        (n0 + static_cast<double>(ties_x)) *
+        (n0 + static_cast<double>(ties_y)));
+    if (denom == 0.0)
+        return 0.0;
+    return static_cast<double>(concordant - discordant) / denom;
+}
+
+} // namespace dtrank::stats

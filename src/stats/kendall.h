@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Kendall's tau rank correlation.
+ *
+ * The paper reports Spearman's rho; Kendall's tau-b is the other
+ * standard rank-agreement measure (directly interpretable as the
+ * probability gap between concordant and discordant machine pairs) and
+ * is provided so users can cross-check rankings with both.
+ */
+
+#ifndef DTRANK_STATS_KENDALL_H_
+#define DTRANK_STATS_KENDALL_H_
+
+#include <vector>
+
+namespace dtrank::stats
+{
+
+/**
+ * Kendall's tau-b of two equally sized samples (tie-corrected).
+ *
+ * @return Correlation in [-1, 1]; 0 when either sample is constant.
+ *         O(n^2) pair enumeration — fine at this problem's scale.
+ */
+double kendallTau(const std::vector<double> &x,
+                  const std::vector<double> &y);
+
+} // namespace dtrank::stats
+
+#endif // DTRANK_STATS_KENDALL_H_

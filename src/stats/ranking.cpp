@@ -1,0 +1,89 @@
+#include "stats/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace dtrank::stats
+{
+
+std::vector<double>
+rankData(const std::vector<double> &values, TieMethod method)
+{
+    const std::size_t n = values.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return values[a] < values[b];
+                     });
+
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        // Find the run of tied values [i, j).
+        std::size_t j = i + 1;
+        while (j < n && values[order[j]] == values[order[i]])
+            ++j;
+        for (std::size_t k = i; k < j; ++k) {
+            double r;
+            switch (method) {
+              case TieMethod::Average:
+                r = 0.5 * (static_cast<double>(i + 1) +
+                           static_cast<double>(j));
+                break;
+              case TieMethod::Min:
+                r = static_cast<double>(i + 1);
+                break;
+              case TieMethod::Ordinal:
+              default:
+                r = static_cast<double>(k + 1);
+                break;
+            }
+            ranks[order[k]] = r;
+        }
+        i = j;
+    }
+    return ranks;
+}
+
+std::vector<std::size_t>
+orderDescending(const std::vector<double> &values)
+{
+    std::vector<std::size_t> order(values.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return values[a] > values[b];
+                     });
+    return order;
+}
+
+std::vector<std::size_t>
+orderAscending(const std::vector<double> &values)
+{
+    std::vector<std::size_t> order(values.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return values[a] < values[b];
+                     });
+    return order;
+}
+
+std::size_t
+positionInDescendingOrder(const std::vector<double> &values,
+                          std::size_t index)
+{
+    util::require(index < values.size(),
+                  "positionInDescendingOrder: index out of range");
+    const auto order = orderDescending(values);
+    for (std::size_t pos = 0; pos < order.size(); ++pos)
+        if (order[pos] == index)
+            return pos;
+    throw util::Error("positionInDescendingOrder: index not found in its "
+                      "own ordering");
+}
+
+} // namespace dtrank::stats

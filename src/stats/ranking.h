@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Rank computation with tie handling, the basis of the Spearman rank
+ * correlation used throughout the paper's evaluation (Section 6.1).
+ */
+
+#ifndef DTRANK_STATS_RANKING_H_
+#define DTRANK_STATS_RANKING_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dtrank::stats
+{
+
+/** How equal values are ranked. */
+enum class TieMethod
+{
+    Average, ///< Tied values share the average of their positions.
+    Min,     ///< Tied values all get the smallest position ("competition").
+    Ordinal  ///< Ties broken by original index (no shared ranks).
+};
+
+/**
+ * Computes 1-based ranks of the input values, smallest value gets rank 1.
+ *
+ * @param values The observations.
+ * @param method Tie-handling policy (Average by default, matching the
+ *               standard Spearman definition).
+ * @return ranks[i] is the rank of values[i].
+ */
+std::vector<double> rankData(const std::vector<double> &values,
+                             TieMethod method = TieMethod::Average);
+
+/**
+ * Returns the indices that would sort `values` descending, i.e. the
+ * ranking of machines from best to worst performance.
+ * Ties keep their original relative order (stable).
+ */
+std::vector<std::size_t> orderDescending(const std::vector<double> &values);
+
+/**
+ * Returns the indices that would sort `values` ascending (stable).
+ */
+std::vector<std::size_t> orderAscending(const std::vector<double> &values);
+
+/**
+ * Position (0-based) of element `index` in the descending ordering of
+ * `values`; 0 means `index` holds the largest value.
+ */
+std::size_t positionInDescendingOrder(const std::vector<double> &values,
+                                      std::size_t index);
+
+} // namespace dtrank::stats
+
+#endif // DTRANK_STATS_RANKING_H_

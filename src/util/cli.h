@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tiny command-line flag parser for the example and bench binaries.
+ *
+ * Supports `--name value`, `--name=value` and boolean `--flag` forms.
+ */
+
+#ifndef DTRANK_UTIL_CLI_H_
+#define DTRANK_UTIL_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dtrank::util
+{
+
+/**
+ * Declarative command-line parser.
+ *
+ * @code
+ *     ArgParser args("quickstart");
+ *     args.addFlag("verbose", "print per-machine predictions");
+ *     args.addOption("seed", "RNG seed", "42");
+ *     args.parse(argc, argv);
+ *     auto seed = args.getLong("seed");
+ * @endcode
+ */
+class ArgParser
+{
+  public:
+    explicit ArgParser(std::string program_name);
+
+    /** Registers a boolean flag (default false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /** Registers a valued option with a default. */
+    void addOption(const std::string &name, const std::string &help,
+                   const std::string &default_value);
+
+    /**
+     * Parses argv. Throws InvalidArgument on unknown flags or missing
+     * values. `--help` prints usage and returns false (caller should
+     * exit).
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** True when the named flag was supplied. */
+    bool getFlag(const std::string &name) const;
+
+    /** String value of an option (default if unset). */
+    std::string get(const std::string &name) const;
+
+    /** Option parsed as long. */
+    long getLong(const std::string &name) const;
+
+    /** Option parsed as double. */
+    double getDouble(const std::string &name) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+    /** Renders the usage text. */
+    std::string usage() const;
+
+  private:
+    struct Spec
+    {
+        std::string help;
+        std::string default_value;
+        bool is_flag = false;
+    };
+
+    std::string program_;
+    std::map<std::string, Spec> specs_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace dtrank::util
+
+#endif // DTRANK_UTIL_CLI_H_

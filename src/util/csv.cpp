@@ -1,0 +1,129 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace dtrank::util
+{
+
+CsvRows
+readCsv(std::istream &in, char delim)
+{
+    CsvRows rows;
+    std::vector<std::string> row;
+    std::string field;
+    bool in_quotes = false;
+    bool field_started = false;
+    bool row_started = false;
+
+    auto end_field = [&]() {
+        row.push_back(field);
+        field.clear();
+        field_started = false;
+    };
+    auto end_row = [&]() {
+        end_field();
+        rows.push_back(row);
+        row.clear();
+        row_started = false;
+    };
+
+    char c;
+    while (in.get(c)) {
+        if (in_quotes) {
+            if (c == '"') {
+                if (in.peek() == '"') {
+                    in.get(c);
+                    field.push_back('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push_back(c);
+            }
+            continue;
+        }
+        if (c == '"' && !field_started) {
+            in_quotes = true;
+            field_started = true;
+            row_started = true;
+        } else if (c == delim) {
+            end_field();
+            row_started = true;
+        } else if (c == '\n') {
+            if (row_started || !field.empty() || !row.empty())
+                end_row();
+            else
+                row_started = false;
+        } else if (c == '\r') {
+            // Swallow CR of CRLF line endings.
+        } else {
+            field.push_back(c);
+            field_started = true;
+            row_started = true;
+        }
+    }
+    if (in_quotes)
+        throw IoError("readCsv: unterminated quoted field");
+    if (row_started || !field.empty() || !row.empty())
+        end_row();
+    return rows;
+}
+
+CsvRows
+readCsvFile(const std::string &path, char delim)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw IoError("readCsvFile: cannot open '" + path + "'");
+    return readCsv(in, delim);
+}
+
+std::string
+formatCsvRow(const std::vector<std::string> &row, char delim)
+{
+    std::string out;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i > 0)
+            out.push_back(delim);
+        const std::string &f = row[i];
+        const bool needs_quotes =
+            f.find(delim) != std::string::npos ||
+            f.find('"') != std::string::npos ||
+            f.find('\n') != std::string::npos ||
+            f.find('\r') != std::string::npos;
+        if (needs_quotes) {
+            out.push_back('"');
+            for (char c : f) {
+                if (c == '"')
+                    out += "\"\"";
+                else
+                    out.push_back(c);
+            }
+            out.push_back('"');
+        } else {
+            out += f;
+        }
+    }
+    return out;
+}
+
+void
+writeCsv(std::ostream &out, const CsvRows &rows, char delim)
+{
+    for (const auto &row : rows)
+        out << formatCsvRow(row, delim) << '\n';
+}
+
+void
+writeCsvFile(const std::string &path, const CsvRows &rows, char delim)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw IoError("writeCsvFile: cannot create '" + path + "'");
+    writeCsv(out, rows, delim);
+}
+
+} // namespace dtrank::util

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal CSV reading and writing.
+ *
+ * Supports quoted fields with embedded separators/quotes (RFC 4180 style)
+ * which is enough for exporting and re-importing performance databases.
+ */
+
+#ifndef DTRANK_UTIL_CSV_H_
+#define DTRANK_UTIL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dtrank::util
+{
+
+/** One parsed CSV document: a list of rows of string fields. */
+using CsvRows = std::vector<std::vector<std::string>>;
+
+/**
+ * Parses CSV text from a stream.
+ *
+ * @param in Input stream positioned at the start of the document.
+ * @param delim Field separator (default comma).
+ * @return All rows; empty trailing line is ignored.
+ * @throws IoError on unterminated quoted fields.
+ */
+CsvRows readCsv(std::istream &in, char delim = ',');
+
+/** Parses a CSV file from disk. @throws IoError if it cannot be opened. */
+CsvRows readCsvFile(const std::string &path, char delim = ',');
+
+/**
+ * Serializes one row, quoting fields that contain the delimiter, quotes,
+ * or newlines.
+ */
+std::string formatCsvRow(const std::vector<std::string> &row,
+                         char delim = ',');
+
+/** Writes rows to a stream, one line per row. */
+void writeCsv(std::ostream &out, const CsvRows &rows, char delim = ',');
+
+/** Writes rows to a file. @throws IoError if it cannot be created. */
+void writeCsvFile(const std::string &path, const CsvRows &rows,
+                  char delim = ',');
+
+} // namespace dtrank::util
+
+#endif // DTRANK_UTIL_CSV_H_

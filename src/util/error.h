@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Error handling primitives shared by every dtrank module.
+ *
+ * Following the gem5 convention, we distinguish between errors caused by
+ * the caller (bad arguments, malformed input files) and internal invariant
+ * violations (library bugs). The former throw InvalidArgument /
+ * IoError; the latter abort through DTRANK_ASSERT.
+ */
+
+#ifndef DTRANK_UTIL_ERROR_H_
+#define DTRANK_UTIL_ERROR_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dtrank::util
+{
+
+/** Base class for all exceptions thrown by dtrank. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** Thrown when a caller passes arguments that violate a precondition. */
+class InvalidArgument : public Error
+{
+  public:
+    explicit InvalidArgument(const std::string &what_arg)
+        : Error(what_arg)
+    {}
+};
+
+/** Thrown when reading or writing external data fails. */
+class IoError : public Error
+{
+  public:
+    explicit IoError(const std::string &what_arg)
+        : Error(what_arg)
+    {}
+};
+
+/** Thrown when a numerical routine cannot proceed (singular system, ...). */
+class NumericalError : public Error
+{
+  public:
+    explicit NumericalError(const std::string &what_arg)
+        : Error(what_arg)
+    {}
+};
+
+namespace detail
+{
+
+/** Builds a message with source location and aborts. Never returns. */
+[[noreturn]] inline void
+assertFailure(const char *expr, const char *file, int line,
+              const std::string &msg)
+{
+    std::cerr << "dtrank: assertion `" << expr << "` failed at " << file
+              << ":" << line;
+    if (!msg.empty())
+        std::cerr << ": " << msg;
+    std::cerr << std::endl;
+    std::abort();
+}
+
+} // namespace detail
+
+/**
+ * Throws InvalidArgument with a formatted message when `cond` is false.
+ *
+ * Use for caller-facing precondition checks that should survive release
+ * builds.
+ */
+inline void
+require(bool cond, const std::string &msg)
+{
+    if (!cond)
+        throw InvalidArgument(msg);
+}
+
+} // namespace dtrank::util
+
+/**
+ * Internal invariant check. Active in all build types; a failure indicates
+ * a bug in dtrank itself, so we abort rather than throw.
+ */
+#define DTRANK_ASSERT(expr)                                                 \
+    do {                                                                    \
+        if (!(expr))                                                        \
+            ::dtrank::util::detail::assertFailure(#expr, __FILE__,          \
+                                                  __LINE__, "");            \
+    } while (false)
+
+/** Like DTRANK_ASSERT but with an explanatory message. */
+#define DTRANK_ASSERT_MSG(expr, msg)                                        \
+    do {                                                                    \
+        if (!(expr))                                                        \
+            ::dtrank::util::detail::assertFailure(#expr, __FILE__,          \
+                                                  __LINE__, (msg));         \
+    } while (false)
+
+#endif // DTRANK_UTIL_ERROR_H_

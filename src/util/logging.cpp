@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace dtrank::util
+{
+
+namespace
+{
+
+LogLevel g_level = LogLevel::Warn;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (g_level >= LogLevel::Info)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+void
+warn(const std::string &msg)
+{
+    if (g_level >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+debug(const std::string &msg)
+{
+    if (g_level >= LogLevel::Debug)
+        std::cerr << "debug: " << msg << std::endl;
+}
+
+} // namespace dtrank::util

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Lightweight status-message logging in the gem5 spirit: inform() for
+ * normal progress messages, warn() for suspicious-but-survivable
+ * conditions. Verbosity is a process-wide setting so benches can run
+ * quietly by default.
+ */
+
+#ifndef DTRANK_UTIL_LOGGING_H_
+#define DTRANK_UTIL_LOGGING_H_
+
+#include <string>
+
+namespace dtrank::util
+{
+
+/** Log verbosity levels, in increasing order of chattiness. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Sets the process-wide verbosity (default Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide verbosity. */
+LogLevel logLevel();
+
+/** Informative progress message (printed at Info and above). */
+void inform(const std::string &msg);
+
+/** Suspicious condition worth flagging (printed at Warn and above). */
+void warn(const std::string &msg);
+
+/** Developer-facing detail (printed at Debug only). */
+void debug(const std::string &msg);
+
+} // namespace dtrank::util
+
+#endif // DTRANK_UTIL_LOGGING_H_

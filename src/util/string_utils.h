@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small string helpers used across dtrank (parsing, formatting).
+ */
+
+#ifndef DTRANK_UTIL_STRING_UTILS_H_
+#define DTRANK_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <vector>
+
+namespace dtrank::util
+{
+
+/** Splits `s` on the single-character delimiter, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Removes leading and trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** Joins the pieces with the given separator. */
+std::string join(const std::vector<std::string> &pieces,
+                 const std::string &sep);
+
+/** Lower-cases ASCII characters. */
+std::string toLower(const std::string &s);
+
+/** True when `s` starts with `prefix`. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** True when `s` ends with `suffix`. */
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/**
+ * Formats a double with a fixed number of decimals.
+ *
+ * @param value The number to format.
+ * @param decimals Digits after the decimal point.
+ */
+std::string formatFixed(double value, int decimals);
+
+/**
+ * Parses a double, throwing InvalidArgument on malformed input.
+ * Accepts surrounding whitespace but no trailing junk.
+ */
+double parseDouble(const std::string &s);
+
+/** Parses an integer with the same strictness as parseDouble. */
+long parseLong(const std::string &s);
+
+} // namespace dtrank::util
+
+#endif // DTRANK_UTIL_STRING_UTILS_H_

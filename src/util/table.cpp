@@ -1,0 +1,101 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace dtrank::util
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    require(!header_.empty(), "TablePrinter: header must not be empty");
+    align_.assign(header_.size(), Align::Right);
+    align_[0] = Align::Left;
+}
+
+void
+TablePrinter::setAlign(std::size_t col, Align a)
+{
+    require(col < align_.size(), "TablePrinter::setAlign: column out of "
+                                 "range");
+    align_[col] = a;
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    require(row.size() == header_.size(),
+            "TablePrinter::addRow: cell count mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::size_t
+TablePrinter::rowCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : rows_)
+        if (!r.empty())
+            ++n;
+    return n;
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_cells = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                os << "  ";
+            const std::string &s = cells[c];
+            const std::size_t pad = width[c] - s.size();
+            if (align_[c] == Align::Right)
+                os << std::string(pad, ' ') << s;
+            else
+                os << s << std::string(pad, ' ');
+        }
+        os << '\n';
+    };
+
+    auto emit_rule = [&]() {
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < width.size(); ++c)
+            total += width[c] + (c > 0 ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    };
+
+    emit_cells(header_);
+    emit_rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            emit_rule();
+        else
+            emit_cells(row);
+    }
+}
+
+std::string
+TablePrinter::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace dtrank::util

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * ASCII table rendering used by the benchmark harness to print
+ * paper-style tables and figure series.
+ */
+
+#ifndef DTRANK_UTIL_TABLE_H_
+#define DTRANK_UTIL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dtrank::util
+{
+
+/** Column alignment inside a TablePrinter. */
+enum class Align { Left, Right };
+
+/**
+ * Accumulates rows of string cells and renders an aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *     TablePrinter t({"benchmark", "NN^T", "MLP^T"});
+ *     t.addRow({"astar", "0.91", "0.95"});
+ *     t.print(std::cout);
+ * @endcode
+ */
+class TablePrinter
+{
+  public:
+    /** Creates a table with the given header cells (left-aligned first
+     *  column, right-aligned others by default). */
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Overrides the alignment of a column. */
+    void setAlign(std::size_t col, Align a);
+
+    /** Appends a data row; must have exactly as many cells as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Appends a horizontal separator line. */
+    void addSeparator();
+
+    /** Number of data rows added so far (separators excluded). */
+    std::size_t rowCount() const;
+
+    /** Renders the table. */
+    void print(std::ostream &os) const;
+
+    /** Renders to a string (convenience for tests). */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<Align> align_;
+    // Separator rows are encoded as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dtrank::util
+
+#endif // DTRANK_UTIL_TABLE_H_

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the GA-kNN baseline.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baseline/ga_knn.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+baseline::GaKnnConfig
+fastConfig()
+{
+    baseline::GaKnnConfig config;
+    config.ga.populationSize = 12;
+    config.ga.generations = 8;
+    return config;
+}
+
+/**
+ * A toy world with two workload groups living on one characteristic
+ * axis: group A (characteristic 0) scores low, group B
+ * (characteristic 1) scores high, on every machine.
+ */
+struct ToyWorld
+{
+    linalg::Matrix characteristics{
+        {0.0, 0.0}, {0.05, 0.0}, {0.1, 0.0},   // group A
+        {1.0, 0.0}, {0.95, 0.0}, {0.9, 0.0}};  // group B
+    linalg::Matrix scores{
+        {10, 20}, {11, 21}, {12, 22},           // group A scores
+        {30, 60}, {31, 61}, {32, 62}};          // group B scores
+};
+
+TEST(GaKnn, TrainsAndExposesWeights)
+{
+    ToyWorld world;
+    baseline::GaKnnConfig config = fastConfig();
+    config.k = 2;
+    baseline::GaKnnModel model(config);
+    EXPECT_FALSE(model.trained());
+    EXPECT_THROW(model.weights(), util::InvalidArgument);
+    model.train(world.characteristics, world.scores);
+    EXPECT_TRUE(model.trained());
+    ASSERT_EQ(model.weights().size(), 2u);
+    for (double w : model.weights()) {
+        EXPECT_GE(w, 0.0);
+        EXPECT_LE(w, 1.0);
+    }
+    EXPECT_LE(model.trainingFitness(), 0.0);
+}
+
+TEST(GaKnn, NeighborsComeFromTheSameGroup)
+{
+    ToyWorld world;
+    baseline::GaKnnConfig config = fastConfig();
+    config.k = 2;
+    baseline::GaKnnModel model(config);
+    model.train(world.characteristics, world.scores);
+
+    // A query at the group-A end must pick group-A rows.
+    const auto nn = model.neighbors({0.02, 0.0}, world.characteristics);
+    ASSERT_EQ(nn.size(), 2u);
+    EXPECT_LT(nn[0], 3u);
+    EXPECT_LT(nn[1], 3u);
+
+    // And at the group-B end, group-B rows.
+    const auto nn_b =
+        model.neighbors({0.97, 0.0}, world.characteristics);
+    EXPECT_GE(nn_b[0], 3u);
+    EXPECT_GE(nn_b[1], 3u);
+}
+
+TEST(GaKnn, PredictionAveragesNeighborScores)
+{
+    ToyWorld world;
+    baseline::GaKnnConfig config = fastConfig();
+    config.k = 3;
+    config.weighting = ml::KnnWeighting::Uniform;
+    baseline::GaKnnModel model(config);
+    model.train(world.characteristics, world.scores);
+
+    const auto pred = model.predictApp({0.0, 0.0}, world.characteristics,
+                                       world.scores);
+    ASSERT_EQ(pred.size(), 2u);
+    // Neighbors are the three group-A rows: mean scores (11, 21).
+    EXPECT_NEAR(pred[0], 11.0, 1e-9);
+    EXPECT_NEAR(pred[1], 21.0, 1e-9);
+}
+
+TEST(GaKnn, DeterministicGivenSeed)
+{
+    ToyWorld world;
+    baseline::GaKnnModel a(fastConfig());
+    baseline::GaKnnModel b(fastConfig());
+    a.train(world.characteristics, world.scores);
+    b.train(world.characteristics, world.scores);
+    EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(GaKnn, TrainValidation)
+{
+    baseline::GaKnnModel model(fastConfig());
+    EXPECT_THROW(model.train(linalg::Matrix{{1.0}}, linalg::Matrix{{1.0}}),
+                 util::InvalidArgument); // needs >= 2 benchmarks
+    EXPECT_THROW(model.train(linalg::Matrix{{1.0}, {2.0}},
+                             linalg::Matrix{{1.0}}),
+                 util::InvalidArgument); // row mismatch
+}
+
+TEST(GaKnn, PredictValidation)
+{
+    ToyWorld world;
+    baseline::GaKnnModel model(fastConfig());
+    EXPECT_THROW(model.predictApp({0.0, 0.0}, world.characteristics,
+                                  world.scores),
+                 util::InvalidArgument); // not trained
+    model.train(world.characteristics, world.scores);
+    EXPECT_THROW(model.neighbors({0.0}, world.characteristics),
+                 util::InvalidArgument); // wrong char count
+    EXPECT_THROW(model.predictApp({0.0, 0.0}, world.characteristics,
+                                  linalg::Matrix(2, 2, 1.0)),
+                 util::InvalidArgument); // row mismatch
+}
+
+TEST(GaKnn, ConfigValidation)
+{
+    baseline::GaKnnConfig config = fastConfig();
+    config.k = 0;
+    EXPECT_THROW(baseline::GaKnnModel{config}, util::InvalidArgument);
+}
+
+TEST(GaKnnTransposition, AdapterPredictsViaModel)
+{
+    ToyWorld world;
+    baseline::GaKnnConfig config = fastConfig();
+    config.k = 2; // the toy world has only six benchmarks
+    auto model = std::make_shared<baseline::GaKnnModel>(config);
+    model->train(world.characteristics, world.scores);
+
+    // The adapter predicts the app (a group-A workload) on target
+    // machines using only the candidate benchmarks.
+    baseline::GaKnnTransposition adapter(
+        model, world.characteristics, {0.02, 0.0});
+
+    core::TranspositionProblem problem;
+    problem.predictiveBenchScores = linalg::Matrix(6, 1, 1.0);
+    problem.predictiveAppScores = {1.0};
+    problem.targetBenchScores = world.scores;
+    const auto pred = adapter.predict(problem);
+    ASSERT_EQ(pred.size(), 2u);
+    EXPECT_LT(pred[0], 20.0); // group-A-like prediction
+    EXPECT_EQ(adapter.name(), "GA-2NN");
+}
+
+TEST(GaKnnTransposition, AdapterValidation)
+{
+    ToyWorld world;
+    auto untrained = std::make_shared<baseline::GaKnnModel>(fastConfig());
+    EXPECT_THROW(baseline::GaKnnTransposition(
+                     untrained, world.characteristics, {0.0, 0.0}),
+                 util::InvalidArgument);
+    EXPECT_THROW(baseline::GaKnnTransposition(
+                     nullptr, world.characteristics, {0.0, 0.0}),
+                 util::InvalidArgument);
+
+    auto model = std::make_shared<baseline::GaKnnModel>(fastConfig());
+    model->train(world.characteristics, world.scores);
+    baseline::GaKnnTransposition adapter(model, world.characteristics,
+                                         {0.0, 0.0});
+    core::TranspositionProblem bad;
+    bad.predictiveBenchScores = linalg::Matrix(2, 1, 1.0);
+    bad.predictiveAppScores = {1.0};
+    bad.targetBenchScores = linalg::Matrix(2, 1, 1.0);
+    EXPECT_THROW(adapter.predict(bad), util::InvalidArgument);
+}
+
+} // namespace

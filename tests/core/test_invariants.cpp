@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Property tests for structural invariants of the transposition
+ * predictors — the symmetries the method should (and should not) have.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/linear_transposition.h"
+#include "core/metrics.h"
+#include "core/multi_transposition.h"
+#include "core/spline_transposition.h"
+#include "core/transposition.h"
+#include "util/rng.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+core::TranspositionProblem
+randomProblem(std::uint64_t seed, std::size_t n_bench = 20,
+              std::size_t n_pred = 6, std::size_t n_target = 5)
+{
+    util::Rng rng(seed);
+    core::TranspositionProblem p;
+    p.predictiveBenchScores = linalg::Matrix(n_bench, n_pred);
+    p.targetBenchScores = linalg::Matrix(n_bench, n_target);
+    p.predictiveAppScores.resize(n_pred);
+
+    // Latent one-factor structure + noise keeps the problem realistic.
+    std::vector<double> bench_scale(n_bench);
+    for (double &v : bench_scale)
+        v = rng.uniform(0.5, 2.0);
+    auto fill = [&](linalg::Matrix &m, std::size_t col, double speed) {
+        for (std::size_t b = 0; b < n_bench; ++b)
+            m(b, col) =
+                speed * bench_scale[b] * rng.uniform(0.9, 1.1);
+    };
+    for (std::size_t c = 0; c < n_pred; ++c) {
+        const double speed = rng.uniform(5.0, 30.0);
+        fill(p.predictiveBenchScores, c, speed);
+        p.predictiveAppScores[c] = speed * rng.uniform(0.95, 1.05);
+    }
+    for (std::size_t c = 0; c < n_target; ++c)
+        fill(p.targetBenchScores, c, rng.uniform(5.0, 30.0));
+    return p;
+}
+
+/** Applies one benchmark-row permutation to an entire problem. */
+core::TranspositionProblem
+permuteRows(const core::TranspositionProblem &p,
+            const std::vector<std::size_t> &perm)
+{
+    core::TranspositionProblem out = p;
+    out.predictiveBenchScores = p.predictiveBenchScores.selectRows(perm);
+    out.targetBenchScores = p.targetBenchScores.selectRows(perm);
+    return out;
+}
+
+class InvariantTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(InvariantTest, LinearPredictionInvariantToBenchmarkOrder)
+{
+    const auto p = randomProblem(
+        400 + static_cast<std::uint64_t>(GetParam()));
+    std::vector<std::size_t> perm(p.benchmarkCount());
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    util::Rng rng(1);
+    rng.shuffle(perm);
+
+    core::LinearTransposition a{};
+    core::LinearTransposition b{};
+    const auto base = a.predict(p);
+    const auto shuffled = b.predict(permuteRows(p, perm));
+    ASSERT_EQ(base.size(), shuffled.size());
+    for (std::size_t t = 0; t < base.size(); ++t)
+        EXPECT_NEAR(base[t], shuffled[t], 1e-9 * base[t]);
+}
+
+TEST_P(InvariantTest, LinearPredictionInvariantToProxyRescaling)
+{
+    // Scaling one predictive machine's column (its app score included)
+    // is absorbed by the per-proxy affine fit: predictions must not
+    // change.
+    const auto p = randomProblem(
+        500 + static_cast<std::uint64_t>(GetParam()));
+    core::TranspositionProblem scaled = p;
+    const double factor = 3.7;
+    for (std::size_t b = 0; b < p.benchmarkCount(); ++b)
+        scaled.predictiveBenchScores(b, 0) *= factor;
+    scaled.predictiveAppScores[0] *= factor;
+
+    core::LinearTransposition a{};
+    core::LinearTransposition b{};
+    const auto base = a.predict(p);
+    const auto rescaled = b.predict(scaled);
+    for (std::size_t t = 0; t < base.size(); ++t)
+        EXPECT_NEAR(base[t], rescaled[t], 1e-6 * base[t]);
+}
+
+TEST_P(InvariantTest, TargetScalingScalesLinearPredictions)
+{
+    // Scaling a target machine's column scales its prediction by the
+    // same factor (the method is unit-consistent).
+    const auto p = randomProblem(
+        600 + static_cast<std::uint64_t>(GetParam()));
+    core::TranspositionProblem scaled = p;
+    const double factor = 2.5;
+    for (std::size_t b = 0; b < p.benchmarkCount(); ++b)
+        scaled.targetBenchScores(b, 0) *= factor;
+
+    core::LinearTransposition a{};
+    core::LinearTransposition b{};
+    const auto base = a.predict(p);
+    const auto rescaled = b.predict(scaled);
+    EXPECT_NEAR(rescaled[0], factor * base[0], 1e-6 * base[0]);
+    for (std::size_t t = 1; t < base.size(); ++t)
+        EXPECT_NEAR(rescaled[t], base[t], 1e-9 * base[t]);
+}
+
+TEST_P(InvariantTest, MultiProxyInvariantToBenchmarkOrder)
+{
+    const auto p = randomProblem(
+        700 + static_cast<std::uint64_t>(GetParam()));
+    std::vector<std::size_t> perm(p.benchmarkCount());
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    util::Rng rng(2);
+    rng.shuffle(perm);
+
+    core::MultiTransposition a{};
+    core::MultiTransposition b{};
+    const auto base = a.predict(p);
+    const auto shuffled = b.predict(permuteRows(p, perm));
+    for (std::size_t t = 0; t < base.size(); ++t)
+        EXPECT_NEAR(base[t], shuffled[t], 1e-6 * base[t]);
+}
+
+TEST_P(InvariantTest, SplinePredictionsFiniteAndPositive)
+{
+    const auto p = randomProblem(
+        800 + static_cast<std::uint64_t>(GetParam()));
+    core::SplineTransposition predictor{};
+    for (double v : predictor.predict(p)) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GT(v, 0.0);
+    }
+}
+
+TEST_P(InvariantTest, MetricsInvariantToPredictionScale)
+{
+    // Rank correlation and top-1 deficiency depend only on the
+    // *ordering* of predictions; a global rescale must not move them.
+    const auto p = randomProblem(
+        900 + static_cast<std::uint64_t>(GetParam()));
+    core::LinearTransposition predictor{};
+    const auto predicted = predictor.predict(p);
+    std::vector<double> actual = p.targetBenchScores.row(0);
+    actual.resize(p.targetMachineCount());
+    for (std::size_t t = 0; t < actual.size(); ++t)
+        actual[t] = p.targetBenchScores(0, t);
+
+    const auto base = core::evaluatePrediction(actual, predicted);
+    auto scaled = predicted;
+    for (double &v : scaled)
+        v *= 42.0;
+    const auto rescaled = core::evaluatePrediction(actual, scaled);
+    EXPECT_DOUBLE_EQ(base.rankCorrelation, rescaled.rankCorrelation);
+    EXPECT_DOUBLE_EQ(base.top1ErrorPercent, rescaled.top1ErrorPercent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantTest, ::testing::Range(0, 10));
+
+} // namespace

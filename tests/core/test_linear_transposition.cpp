@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the NN^T predictor (best-fit linear regression
+ * transposition).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/linear_transposition.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+/**
+ * Builds a problem where the target machine is an exact affine map of
+ * predictive machine 1 (and unrelated to machine 0): y = 2x + 3.
+ */
+core::TranspositionProblem
+affineProblem()
+{
+    core::TranspositionProblem p;
+    // Benchmarks x predictive machines. Machine 0 is noise-like,
+    // machine 1 is the informative proxy.
+    p.predictiveBenchScores = linalg::Matrix{
+        {9, 1}, {1, 2}, {8, 3}, {2, 4}, {7, 5}, {3, 6}};
+    // App of interest score on each predictive machine.
+    p.predictiveAppScores = {4.0, 10.0};
+    // One target machine: y = 2 * machine1 + 3 over the benchmarks.
+    p.targetBenchScores = linalg::Matrix(6, 1);
+    for (std::size_t b = 0; b < 6; ++b)
+        p.targetBenchScores(b, 0) =
+            2.0 * p.predictiveBenchScores(b, 1) + 3.0;
+    return p;
+}
+
+TEST(LinearTransposition, PicksTheBestFittingMachine)
+{
+    auto problem = affineProblem();
+    core::LinearTransposition predictor;
+    const auto pred = predictor.predict(problem);
+    ASSERT_EQ(pred.size(), 1u);
+    // Perfect proxy: prediction = 2 * 10 + 3.
+    EXPECT_NEAR(pred[0], 23.0, 1e-9);
+    EXPECT_EQ(predictor.diagnostics().chosenPredictive[0], 1u);
+    EXPECT_NEAR(predictor.diagnostics().fitRSquared[0], 1.0, 1e-12);
+    EXPECT_NEAR(predictor.diagnostics().slope[0], 2.0, 1e-9);
+    EXPECT_NEAR(predictor.diagnostics().intercept[0], 3.0, 1e-9);
+}
+
+TEST(LinearTransposition, EachTargetGetsItsOwnProxy)
+{
+    core::TranspositionProblem p;
+    p.predictiveBenchScores =
+        linalg::Matrix{{1, 9}, {2, 4}, {3, 8}, {4, 2}, {5, 7}};
+    p.predictiveAppScores = {6.0, 5.0};
+    // Target 0 follows machine 0; target 1 follows machine 1.
+    p.targetBenchScores = linalg::Matrix(5, 2);
+    for (std::size_t b = 0; b < 5; ++b) {
+        p.targetBenchScores(b, 0) =
+            3.0 * p.predictiveBenchScores(b, 0) + 1.0;
+        p.targetBenchScores(b, 1) =
+            0.5 * p.predictiveBenchScores(b, 1) + 2.0;
+    }
+    core::LinearTransposition predictor;
+    const auto pred = predictor.predict(p);
+    EXPECT_EQ(predictor.diagnostics().chosenPredictive[0], 0u);
+    EXPECT_EQ(predictor.diagnostics().chosenPredictive[1], 1u);
+    EXPECT_NEAR(pred[0], 3.0 * 6.0 + 1.0, 1e-9);
+    EXPECT_NEAR(pred[1], 0.5 * 5.0 + 2.0, 1e-9);
+}
+
+TEST(LinearTransposition, LogSpaceRecoversPowerLaws)
+{
+    // y = x^2 in raw space is exactly linear in log space.
+    core::TranspositionProblem p;
+    p.predictiveBenchScores = linalg::Matrix(5, 1);
+    p.targetBenchScores = linalg::Matrix(5, 1);
+    for (std::size_t b = 0; b < 5; ++b) {
+        const double x = static_cast<double>(b + 1);
+        p.predictiveBenchScores(b, 0) = x;
+        p.targetBenchScores(b, 0) = x * x;
+    }
+    p.predictiveAppScores = {7.0};
+
+    core::LinearTranspositionConfig config;
+    config.logSpace = true;
+    core::LinearTransposition predictor(config);
+    const auto pred = predictor.predict(p);
+    EXPECT_NEAR(pred[0], 49.0, 1e-6);
+}
+
+TEST(LinearTransposition, RSquaredCriterionAgreesOnCleanData)
+{
+    auto problem = affineProblem();
+    core::LinearTranspositionConfig config;
+    config.criterion = core::FitCriterion::RSquared;
+    core::LinearTransposition predictor(config);
+    const auto pred = predictor.predict(problem);
+    EXPECT_NEAR(pred[0], 23.0, 1e-9);
+}
+
+TEST(LinearTransposition, HandsOffOnTooFewBenchmarks)
+{
+    core::TranspositionProblem p;
+    p.predictiveBenchScores = linalg::Matrix{{1.0}};
+    p.predictiveAppScores = {1.0};
+    p.targetBenchScores = linalg::Matrix{{1.0}};
+    core::LinearTransposition predictor;
+    EXPECT_THROW(predictor.predict(p), util::InvalidArgument);
+}
+
+TEST(LinearTransposition, DeterministicAcrossCalls)
+{
+    auto problem = affineProblem();
+    core::LinearTransposition predictor;
+    const auto a = predictor.predict(problem);
+    const auto b = predictor.predict(problem);
+    EXPECT_EQ(a, b);
+}
+
+TEST(LinearTransposition, RobustToNoisyProxies)
+{
+    // With noise, the closest proxy still wins and the prediction
+    // stays near the true value.
+    util::Rng rng(5);
+    core::TranspositionProblem p;
+    const std::size_t n = 28;
+    p.predictiveBenchScores = linalg::Matrix(n, 3);
+    p.targetBenchScores = linalg::Matrix(n, 1);
+    for (std::size_t b = 0; b < n; ++b) {
+        const double base = rng.uniform(5.0, 50.0);
+        p.predictiveBenchScores(b, 0) = rng.uniform(5.0, 50.0);
+        p.predictiveBenchScores(b, 1) = base;
+        p.predictiveBenchScores(b, 2) = rng.uniform(5.0, 50.0);
+        p.targetBenchScores(b, 0) =
+            1.5 * base + rng.gaussian(0.0, 0.5);
+    }
+    p.predictiveAppScores = {20.0, 30.0, 25.0};
+    core::LinearTransposition predictor;
+    const auto pred = predictor.predict(p);
+    EXPECT_EQ(predictor.diagnostics().chosenPredictive[0], 1u);
+    EXPECT_NEAR(pred[0], 45.0, 2.0);
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the bundled prediction metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+TEST(EvaluatePrediction, PerfectPrediction)
+{
+    const auto m = core::evaluatePrediction({10, 20, 30}, {10, 20, 30});
+    EXPECT_DOUBLE_EQ(m.rankCorrelation, 1.0);
+    EXPECT_DOUBLE_EQ(m.top1ErrorPercent, 0.0);
+    EXPECT_DOUBLE_EQ(m.meanErrorPercent, 0.0);
+    EXPECT_DOUBLE_EQ(m.maxErrorPercent, 0.0);
+}
+
+TEST(EvaluatePrediction, ScaledPredictionKeepsPerfectRanking)
+{
+    // Doubling every prediction preserves the ranking and the top-1
+    // pick but shows 100% mean error.
+    const auto m = core::evaluatePrediction({10, 20, 30}, {20, 40, 60});
+    EXPECT_DOUBLE_EQ(m.rankCorrelation, 1.0);
+    EXPECT_DOUBLE_EQ(m.top1ErrorPercent, 0.0);
+    EXPECT_DOUBLE_EQ(m.meanErrorPercent, 100.0);
+    EXPECT_DOUBLE_EQ(m.maxErrorPercent, 100.0);
+}
+
+TEST(EvaluatePrediction, InvertedRanking)
+{
+    const auto m = core::evaluatePrediction({10, 20, 30}, {3, 2, 1});
+    EXPECT_DOUBLE_EQ(m.rankCorrelation, -1.0);
+    // Predicted top = machine 0 (actual 10), best = 30.
+    EXPECT_DOUBLE_EQ(m.top1ErrorPercent, 200.0);
+}
+
+TEST(EvaluatePrediction, MixedHandComputedCase)
+{
+    const std::vector<double> actual = {10, 20};
+    const std::vector<double> predicted = {12, 18};
+    const auto m = core::evaluatePrediction(actual, predicted);
+    EXPECT_DOUBLE_EQ(m.rankCorrelation, 1.0);
+    EXPECT_DOUBLE_EQ(m.meanErrorPercent, (20.0 + 10.0) / 2.0);
+    EXPECT_DOUBLE_EQ(m.maxErrorPercent, 20.0);
+    EXPECT_DOUBLE_EQ(m.top1ErrorPercent, 0.0);
+}
+
+TEST(EvaluatePrediction, Validation)
+{
+    EXPECT_THROW(core::evaluatePrediction({1}, {1}),
+                 util::InvalidArgument);
+    EXPECT_THROW(core::evaluatePrediction({1, 2}, {1}),
+                 util::InvalidArgument);
+    EXPECT_THROW(core::evaluatePrediction({0, 2}, {1, 2}),
+                 util::InvalidArgument);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for predictive machine selection (random and k-medoids).
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/selection.h"
+#include "dataset/synthetic_spec.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+TEST(SelectRandom, SubsetOfCandidates)
+{
+    const std::vector<std::size_t> candidates = {3, 7, 11, 15, 19};
+    util::Rng rng(1);
+    const auto picks = core::selectRandomMachines(candidates, 3, rng);
+    EXPECT_EQ(picks.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(picks.begin(), picks.end()));
+    for (std::size_t p : picks)
+        EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), p) !=
+                    candidates.end());
+    std::set<std::size_t> uniq(picks.begin(), picks.end());
+    EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(SelectRandom, FullSelection)
+{
+    const std::vector<std::size_t> candidates = {2, 4, 6};
+    util::Rng rng(2);
+    const auto picks = core::selectRandomMachines(candidates, 3, rng);
+    EXPECT_EQ(picks, candidates);
+}
+
+TEST(SelectRandom, Validation)
+{
+    util::Rng rng(3);
+    EXPECT_THROW(core::selectRandomMachines({1, 2}, 3, rng),
+                 util::InvalidArgument);
+    EXPECT_THROW(core::selectRandomMachines({1, 2}, 0, rng),
+                 util::InvalidArgument);
+}
+
+TEST(MachineFeatures, ShapeAndCentering)
+{
+    const dataset::PerfDatabase db = dataset::makePaperDataset();
+    const std::vector<std::size_t> machines = {0, 5, 50, 116};
+    const auto features = core::machineFeatureVectors(db, machines);
+    ASSERT_EQ(features.size(), 4u);
+    for (const auto &f : features)
+        EXPECT_EQ(f.size(), db.benchmarkCount());
+    EXPECT_THROW(core::machineFeatureVectors(db, {}),
+                 util::InvalidArgument);
+}
+
+TEST(MachineFeatures, SameNicknameMachinesAreClose)
+{
+    const dataset::PerfDatabase db = dataset::makePaperDataset();
+    // Machines 0..2 share a nickname; machine 60 is a different
+    // family. Architectural-signature distance must reflect that.
+    const std::vector<std::size_t> machines = {0, 1, 60};
+    const auto f = core::machineFeatureVectors(db, machines);
+    double same = 0.0;
+    double cross = 0.0;
+    for (std::size_t b = 0; b < f[0].size(); ++b) {
+        same += (f[0][b] - f[1][b]) * (f[0][b] - f[1][b]);
+        cross += (f[0][b] - f[2][b]) * (f[0][b] - f[2][b]);
+    }
+    EXPECT_LT(same, cross);
+}
+
+TEST(SelectKMedoids, ReturnsSortedSubset)
+{
+    const dataset::PerfDatabase db = dataset::makePaperDataset();
+    const auto candidates = db.machineIndicesBeforeYear(2009);
+    util::Rng rng(4);
+    const auto picks =
+        core::selectMachinesByKMedoids(db, candidates, 5, rng);
+    EXPECT_EQ(picks.size(), 5u);
+    EXPECT_TRUE(std::is_sorted(picks.begin(), picks.end()));
+    for (std::size_t p : picks)
+        EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), p) !=
+                    candidates.end());
+}
+
+TEST(SelectKMedoids, PicksDiverseVendors)
+{
+    // The paper's observation (Section 6.5): clustering yields a
+    // diverse set. With 6 medoids over the full pre-2009 pool we must
+    // see at least 3 distinct processor families.
+    const dataset::PerfDatabase db = dataset::makePaperDataset();
+    const auto candidates = db.machineIndicesBeforeYear(2009);
+    util::Rng rng(5);
+    const auto picks =
+        core::selectMachinesByKMedoids(db, candidates, 6, rng);
+    std::set<std::string> families;
+    for (std::size_t p : picks)
+        families.insert(db.machine(p).family);
+    EXPECT_GE(families.size(), 3u);
+}
+
+TEST(SelectKMedoids, Validation)
+{
+    const dataset::PerfDatabase db = dataset::makePaperDataset();
+    util::Rng rng(6);
+    EXPECT_THROW(core::selectMachinesByKMedoids(db, {0, 1}, 3, rng),
+                 util::InvalidArgument);
+    EXPECT_THROW(core::selectMachinesByKMedoids(db, {0, 1}, 0, rng),
+                 util::InvalidArgument);
+}
+
+TEST(SelectKMedoids, DeterministicGivenSeed)
+{
+    const dataset::PerfDatabase db = dataset::makePaperDataset();
+    const auto candidates = db.machineIndicesByYear(2008);
+    util::Rng rng1(7);
+    util::Rng rng2(7);
+    EXPECT_EQ(core::selectMachinesByKMedoids(db, candidates, 4, rng1),
+              core::selectMachinesByKMedoids(db, candidates, 4, rng2));
+}
+
+} // namespace

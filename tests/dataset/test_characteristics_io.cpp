@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the characteristics CSV persistence.
+ */
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "dataset/characteristics_io.h"
+#include "dataset/mica.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+using namespace dtrank::dataset;
+
+CharacteristicsTable
+smallTable()
+{
+    CharacteristicsTable table;
+    table.benchmarks = {"alpha", "beta"};
+    table.characteristics = {"ilp", "mem"};
+    table.values = linalg::Matrix{{0.5, -1.25}, {2.0, 0.0}};
+    return table;
+}
+
+TEST(CharacteristicsIo, RoundTrip)
+{
+    const std::string path =
+        ::testing::TempDir() + "dtrank_chars_test.csv";
+    const auto table = smallTable();
+    saveCharacteristicsCsv(path, table);
+    const auto loaded = loadCharacteristicsCsv(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.benchmarks, table.benchmarks);
+    EXPECT_EQ(loaded.characteristics, table.characteristics);
+    EXPECT_TRUE(loaded.values.approxEquals(table.values, 1e-8));
+}
+
+TEST(CharacteristicsIo, RoundTripsTheMicaCatalog)
+{
+    const std::string path =
+        ::testing::TempDir() + "dtrank_mica_test.csv";
+    CharacteristicsTable table;
+    for (const auto &b : benchmarkCatalog())
+        table.benchmarks.push_back(b.info.name);
+    table.characteristics = micaCharacteristicNames();
+    table.values = MicaGenerator().generateForCatalog();
+
+    saveCharacteristicsCsv(path, table);
+    const auto loaded = loadCharacteristicsCsv(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.benchmarks.size(), 29u);
+    EXPECT_EQ(loaded.characteristics.size(),
+              micaCharacteristicCount());
+    EXPECT_TRUE(loaded.values.approxEquals(table.values, 1e-8));
+}
+
+TEST(CharacteristicsIo, SaveValidatesShape)
+{
+    auto table = smallTable();
+    table.benchmarks.pop_back();
+    EXPECT_THROW(saveCharacteristicsCsv("/tmp/never_written.csv", table),
+                 util::InvalidArgument);
+
+    table = smallTable();
+    table.characteristics.push_back("extra");
+    EXPECT_THROW(saveCharacteristicsCsv("/tmp/never_written.csv", table),
+                 util::InvalidArgument);
+}
+
+TEST(CharacteristicsIo, LoadRejectsMissingOrMalformed)
+{
+    EXPECT_THROW(loadCharacteristicsCsv("/nonexistent/file.csv"),
+                 util::IoError);
+
+    const std::string path =
+        ::testing::TempDir() + "dtrank_chars_bad.csv";
+    {
+        FILE *f = fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        fputs("benchmark,ilp\nalpha,0.5,extra-cell\n", f);
+        fclose(f);
+    }
+    EXPECT_THROW(loadCharacteristicsCsv(path), util::IoError);
+    std::remove(path.c_str());
+}
+
+} // namespace

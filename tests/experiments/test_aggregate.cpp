@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the metric aggregation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "experiments/aggregate.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+using core::PredictionMetrics;
+
+PredictionMetrics
+metrics(double rank, double top1, double mean, double max)
+{
+    PredictionMetrics m;
+    m.rankCorrelation = rank;
+    m.top1ErrorPercent = top1;
+    m.meanErrorPercent = mean;
+    m.maxErrorPercent = max;
+    return m;
+}
+
+TEST(Aggregate, RankWorstIsMinimum)
+{
+    const auto a = experiments::aggregateRankCorrelation(
+        {metrics(0.9, 0, 0, 0), metrics(0.5, 0, 0, 0),
+         metrics(0.7, 0, 0, 0)});
+    EXPECT_NEAR(a.average, 0.7, 1e-12);
+    EXPECT_DOUBLE_EQ(a.worst, 0.5);
+}
+
+TEST(Aggregate, Top1WorstIsMaximum)
+{
+    const auto a = experiments::aggregateTop1Error(
+        {metrics(0, 1, 0, 0), metrics(0, 150, 0, 0),
+         metrics(0, 5, 0, 0)});
+    EXPECT_NEAR(a.average, 52.0, 1e-12);
+    EXPECT_DOUBLE_EQ(a.worst, 150.0);
+}
+
+TEST(Aggregate, MeanErrorWorstUsesSinglePredictionMax)
+{
+    const auto a = experiments::aggregateMeanError(
+        {metrics(0, 0, 3.0, 40.0), metrics(0, 0, 5.0, 10.0)});
+    EXPECT_NEAR(a.average, 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(a.worst, 40.0);
+}
+
+TEST(Aggregate, EmptyInputThrows)
+{
+    EXPECT_THROW(experiments::aggregateRankCorrelation({}),
+                 util::InvalidArgument);
+    EXPECT_THROW(experiments::aggregateTop1Error({}),
+                 util::InvalidArgument);
+    EXPECT_THROW(experiments::aggregateMeanError({}),
+                 util::InvalidArgument);
+}
+
+TEST(Aggregate, FormatMatchesPaperStyle)
+{
+    experiments::MetricAggregate a;
+    a.average = 0.934;
+    a.worst = 0.715;
+    EXPECT_EQ(experiments::formatAggregate(a, 2), "0.93 (0.71)");
+    EXPECT_EQ(experiments::formatAggregate(a, 1), "0.9 (0.7)");
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the processor-family cross-validation protocol (reduced
+ * budgets; the full-budget reproduction lives in the bench binaries).
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataset/mica.h"
+#include "dataset/synthetic_spec.h"
+#include "experiments/family_cv.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+using experiments::Method;
+
+experiments::MethodSuiteConfig
+fastSuite()
+{
+    experiments::MethodSuiteConfig config;
+    config.mlp.mlp.epochs = 15;
+    config.gaKnn.ga.populationSize = 8;
+    config.gaKnn.ga.generations = 3;
+    return config;
+}
+
+struct Fixture
+{
+    dataset::PerfDatabase db = dataset::makePaperDataset();
+    linalg::Matrix chars = dataset::MicaGenerator().generateForCatalog();
+    experiments::SplitEvaluator evaluator{db, chars, fastSuite()};
+};
+
+TEST(FamilyCv, CoversEveryFamilyOnce)
+{
+    Fixture f;
+    const experiments::FamilyCrossValidation cv(f.evaluator);
+    const auto results = cv.run({Method::NnT});
+    EXPECT_EQ(results.families.size(), f.db.families().size());
+    const std::set<std::string> uniq(results.families.begin(),
+                                     results.families.end());
+    EXPECT_EQ(uniq.size(), results.families.size());
+}
+
+TEST(FamilyCv, EveryMachinePredictedExactlyOnce)
+{
+    Fixture f;
+    const experiments::FamilyCrossValidation cv(f.evaluator);
+    const auto results = cv.run({Method::NnT});
+    // Pool the per-cell target counts for one benchmark: together the
+    // 17 family splits must cover all 117 machines exactly once.
+    std::size_t machines_covered = 0;
+    for (const auto &cell : results.cells.at(Method::NnT))
+        if (cell.task.benchmark == "gcc")
+            machines_covered += cell.task.predicted.size();
+    EXPECT_EQ(machines_covered, f.db.machineCount());
+}
+
+TEST(FamilyCv, CellCountIsFamiliesTimesBenchmarks)
+{
+    Fixture f;
+    const experiments::FamilyCrossValidation cv(f.evaluator);
+    const auto results = cv.run({Method::NnT});
+    EXPECT_EQ(results.cells.at(Method::NnT).size(),
+              results.families.size() * f.db.benchmarkCount());
+}
+
+TEST(FamilyCv, PooledMetricsAreReasonable)
+{
+    Fixture f;
+    const experiments::FamilyCrossValidation cv(f.evaluator);
+    const auto results = cv.run({Method::NnT});
+    // Pooled over the whole machine spectrum, NN^T must track actual
+    // performance well even at a reduced budget.
+    const auto agg = results.rankAggregate(Method::NnT);
+    EXPECT_GT(agg.average, 0.8);
+    EXPECT_LE(agg.average, 1.0);
+    EXPECT_LE(agg.worst, agg.average);
+}
+
+TEST(FamilyCv, PooledMetricsMatchPerBenchmarkAccessors)
+{
+    Fixture f;
+    const experiments::FamilyCrossValidation cv(f.evaluator);
+    const auto results = cv.run({Method::NnT});
+    const auto pooled = results.pooledMetrics(Method::NnT, "mcf");
+    EXPECT_DOUBLE_EQ(results.benchmarkMeanRank(Method::NnT, "mcf"),
+                     pooled.rankCorrelation);
+    EXPECT_DOUBLE_EQ(results.benchmarkMeanTop1(Method::NnT, "mcf"),
+                     pooled.top1ErrorPercent);
+}
+
+TEST(FamilyCv, MetricsOfListsEveryBenchmark)
+{
+    Fixture f;
+    const experiments::FamilyCrossValidation cv(f.evaluator);
+    const auto results = cv.run({Method::NnT});
+    EXPECT_EQ(results.metricsOf(Method::NnT).size(),
+              f.db.benchmarkCount());
+}
+
+TEST(FamilyCv, UnknownMethodOrBenchmarkThrows)
+{
+    Fixture f;
+    const experiments::FamilyCrossValidation cv(f.evaluator);
+    const auto results = cv.run({Method::NnT});
+    EXPECT_THROW(results.rankAggregate(Method::MlpT),
+                 util::InvalidArgument);
+    EXPECT_THROW(results.pooledMetrics(Method::NnT, "no-such-bench"),
+                 util::InvalidArgument);
+}
+
+TEST(FamilyCv, ValidatesMinFamilySize)
+{
+    Fixture f;
+    EXPECT_THROW(
+        experiments::FamilyCrossValidation(f.evaluator, 1),
+        util::InvalidArgument);
+}
+
+} // namespace

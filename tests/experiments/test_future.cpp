@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the future-machine prediction protocol (Table 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dataset/mica.h"
+#include "dataset/synthetic_spec.h"
+#include "experiments/future.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+using experiments::Method;
+
+experiments::MethodSuiteConfig
+fastSuite()
+{
+    experiments::MethodSuiteConfig config;
+    config.mlp.mlp.epochs = 15;
+    config.gaKnn.ga.populationSize = 8;
+    config.gaKnn.ga.generations = 3;
+    return config;
+}
+
+struct Fixture
+{
+    dataset::PerfDatabase db = dataset::makePaperDataset();
+    linalg::Matrix chars = dataset::MicaGenerator().generateForCatalog();
+    experiments::SplitEvaluator evaluator{db, chars, fastSuite()};
+};
+
+TEST(FuturePrediction, ThreeErasNewestFirst)
+{
+    Fixture f;
+    const experiments::FuturePrediction protocol(f.evaluator, 2009);
+    const auto results = protocol.run({Method::NnT});
+    ASSERT_EQ(results.eras.size(), 3u);
+    EXPECT_EQ(results.eras[0].label, "2008");
+    EXPECT_EQ(results.eras[1].label, "2007");
+    EXPECT_EQ(results.eras[2].label, "older");
+}
+
+TEST(FuturePrediction, TargetsAreThe2009Machines)
+{
+    Fixture f;
+    const experiments::FuturePrediction protocol(f.evaluator, 2009);
+    const auto results = protocol.run({Method::NnT});
+    EXPECT_EQ(results.targetMachines,
+              f.db.machineIndicesByYear(2009));
+    for (std::size_t m : results.targetMachines)
+        EXPECT_EQ(f.db.machine(m).releaseYear, 2009);
+}
+
+TEST(FuturePrediction, ErasPartitionThePast)
+{
+    Fixture f;
+    const experiments::FuturePrediction protocol(f.evaluator, 2009);
+    const auto results = protocol.run({Method::NnT});
+    std::size_t total = 0;
+    for (const auto &era : results.eras) {
+        total += era.predictiveMachines.size();
+        for (std::size_t m : era.predictiveMachines)
+            EXPECT_LT(f.db.machine(m).releaseYear, 2009);
+    }
+    EXPECT_EQ(total, f.db.machineIndicesBeforeYear(2009).size());
+}
+
+TEST(FuturePrediction, EraAggregatesAvailablePerMethod)
+{
+    Fixture f;
+    const experiments::FuturePrediction protocol(f.evaluator, 2009);
+    const auto results = protocol.run({Method::NnT, Method::GaKnn});
+    for (const auto &era : results.eras) {
+        EXPECT_EQ(era.tasks.at(Method::NnT).size(),
+                  f.db.benchmarkCount());
+        const auto rank = era.rankAggregate(Method::NnT);
+        EXPECT_GE(rank.average, -1.0);
+        EXPECT_LE(rank.average, 1.0);
+        EXPECT_GE(era.top1Aggregate(Method::GaKnn).average, 0.0);
+        EXPECT_GE(era.meanErrorAggregate(Method::GaKnn).average, 0.0);
+        EXPECT_THROW(era.rankAggregate(Method::MlpT),
+                     util::InvalidArgument);
+    }
+}
+
+TEST(FuturePrediction, NearEraPredictsBetterThanFarEra)
+{
+    // The paper's core Table 3 finding for data transposition: the
+    // 2008 predictive set beats the much older machines.
+    Fixture f;
+    const experiments::FuturePrediction protocol(f.evaluator, 2009);
+    const auto results = protocol.run({Method::NnT});
+    const double near_rank =
+        results.eras[0].rankAggregate(Method::NnT).average;
+    const double far_rank =
+        results.eras[2].rankAggregate(Method::NnT).average;
+    EXPECT_GE(near_rank, far_rank - 0.05);
+}
+
+TEST(FuturePrediction, InvalidTargetYearThrows)
+{
+    Fixture f;
+    const experiments::FuturePrediction protocol(f.evaluator, 1999);
+    EXPECT_THROW(protocol.run({Method::NnT}), util::InvalidArgument);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the shared split evaluator.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dataset/mica.h"
+#include "dataset/synthetic_spec.h"
+#include "experiments/harness.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+using experiments::Method;
+
+experiments::MethodSuiteConfig
+fastSuite()
+{
+    experiments::MethodSuiteConfig config;
+    config.mlp.mlp.epochs = 20;
+    config.gaKnn.ga.populationSize = 10;
+    config.gaKnn.ga.generations = 4;
+    return config;
+}
+
+struct Fixture
+{
+    dataset::PerfDatabase db = dataset::makePaperDataset();
+    linalg::Matrix chars = dataset::MicaGenerator().generateForCatalog();
+};
+
+TEST(MethodNames, MatchThePaper)
+{
+    EXPECT_EQ(experiments::methodName(Method::NnT), "NN^T");
+    EXPECT_EQ(experiments::methodName(Method::MlpT), "MLP^T");
+    EXPECT_EQ(experiments::methodName(Method::GaKnn), "GA-10NN");
+    EXPECT_EQ(experiments::allMethods().size(), 3u);
+}
+
+TEST(MethodNames, ExtensionsAreSuperset)
+{
+    EXPECT_EQ(experiments::methodName(Method::SplT), "SPL^T");
+    EXPECT_EQ(experiments::methodName(Method::MultiNnT), "kNN^T");
+    const auto &ext = experiments::extendedMethods();
+    EXPECT_EQ(ext.size(), 5u);
+    for (Method m : experiments::allMethods())
+        EXPECT_TRUE(std::find(ext.begin(), ext.end(), m) != ext.end());
+}
+
+TEST(SplitEvaluator, RunsTheExtensionMethods)
+{
+    Fixture f;
+    const experiments::SplitEvaluator evaluator(f.db, f.chars,
+                                                fastSuite());
+    const std::vector<std::size_t> predictive = {0, 3, 6, 9, 12, 15};
+    const std::vector<std::size_t> target = {40, 41, 42, 43};
+    const auto results = evaluator.evaluateSplit(
+        predictive, target, {Method::SplT, Method::MultiNnT});
+    for (Method m : {Method::SplT, Method::MultiNnT}) {
+        const auto &tasks = results.at(m);
+        EXPECT_EQ(tasks.size(), f.db.benchmarkCount());
+        for (const auto &task : tasks)
+            for (double v : task.predicted)
+                EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+TEST(SplitEvaluator, ValidatesCharacteristicShape)
+{
+    Fixture f;
+    EXPECT_THROW(experiments::SplitEvaluator(
+                     f.db, linalg::Matrix(3, 12), fastSuite()),
+                 util::InvalidArgument);
+}
+
+TEST(SplitEvaluator, ProducesOneTaskPerBenchmarkPerMethod)
+{
+    Fixture f;
+    const experiments::SplitEvaluator evaluator(f.db, f.chars,
+                                                fastSuite());
+    std::vector<std::size_t> predictive;
+    for (std::size_t m = 0; m < 20; ++m)
+        predictive.push_back(m);
+    const std::vector<std::size_t> target = {30, 31, 32, 33};
+
+    const auto results = evaluator.evaluateSplit(
+        predictive, target, {Method::NnT, Method::GaKnn});
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &[method, tasks] : results) {
+        EXPECT_EQ(tasks.size(), f.db.benchmarkCount());
+        for (const auto &task : tasks) {
+            EXPECT_EQ(task.predicted.size(), target.size());
+            EXPECT_EQ(task.actual.size(), target.size());
+        }
+    }
+}
+
+TEST(SplitEvaluator, ActualScoresComeFromTheDatabase)
+{
+    Fixture f;
+    const experiments::SplitEvaluator evaluator(f.db, f.chars,
+                                                fastSuite());
+    const std::vector<std::size_t> predictive = {0, 1, 2, 3, 4};
+    const std::vector<std::size_t> target = {10, 11};
+    const auto results =
+        evaluator.evaluateSplit(predictive, target, {Method::NnT});
+    const auto &tasks = results.at(Method::NnT);
+    for (const auto &task : tasks) {
+        const std::size_t b = f.db.benchmarkIndex(task.benchmark);
+        EXPECT_DOUBLE_EQ(task.actual[0], f.db.score(b, 10));
+        EXPECT_DOUBLE_EQ(task.actual[1], f.db.score(b, 11));
+    }
+}
+
+TEST(SplitEvaluator, DeterministicForFixedTag)
+{
+    Fixture f;
+    const experiments::SplitEvaluator evaluator(f.db, f.chars,
+                                                fastSuite());
+    const std::vector<std::size_t> predictive = {0, 1, 2, 3, 4, 5};
+    const std::vector<std::size_t> target = {20, 21, 22};
+    const auto a = evaluator.evaluateSplit(predictive, target,
+                                           {Method::MlpT}, 7);
+    const auto b = evaluator.evaluateSplit(predictive, target,
+                                           {Method::MlpT}, 7);
+    EXPECT_EQ(a.at(Method::MlpT)[0].predicted,
+              b.at(Method::MlpT)[0].predicted);
+}
+
+TEST(SplitEvaluator, SplitTagChangesMlpSeeds)
+{
+    Fixture f;
+    const experiments::SplitEvaluator evaluator(f.db, f.chars,
+                                                fastSuite());
+    const std::vector<std::size_t> predictive = {0, 1, 2, 3, 4, 5};
+    const std::vector<std::size_t> target = {20, 21, 22};
+    const auto a = evaluator.evaluateSplit(predictive, target,
+                                           {Method::MlpT}, 1);
+    const auto b = evaluator.evaluateSplit(predictive, target,
+                                           {Method::MlpT}, 2);
+    EXPECT_NE(a.at(Method::MlpT)[0].predicted,
+              b.at(Method::MlpT)[0].predicted);
+}
+
+TEST(SplitEvaluator, RequiresMethodsAndEnoughTargets)
+{
+    Fixture f;
+    const experiments::SplitEvaluator evaluator(f.db, f.chars,
+                                                fastSuite());
+    EXPECT_THROW(evaluator.evaluateSplit({0, 1}, {2, 3}, {}),
+                 util::InvalidArgument);
+    EXPECT_THROW(evaluator.evaluateSplit({0, 1}, {2}, {Method::NnT}),
+                 util::InvalidArgument);
+}
+
+} // namespace

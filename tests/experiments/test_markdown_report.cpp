@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the markdown report renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dataset/mica.h"
+#include "dataset/synthetic_spec.h"
+#include "experiments/markdown_report.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+using experiments::Method;
+
+experiments::MethodSuiteConfig
+fastSuite()
+{
+    experiments::MethodSuiteConfig config;
+    config.mlp.mlp.epochs = 10;
+    config.gaKnn.ga.populationSize = 8;
+    config.gaKnn.ga.generations = 2;
+    return config;
+}
+
+struct Fixture
+{
+    dataset::PerfDatabase db = dataset::makePaperDataset();
+    linalg::Matrix chars = dataset::MicaGenerator().generateForCatalog();
+    experiments::SplitEvaluator evaluator{db, chars, fastSuite()};
+};
+
+TEST(MarkdownTable, RendersHeaderSeparatorAndRows)
+{
+    experiments::MarkdownTable table({"a", "b"});
+    table.addRow({"1", "2"});
+    const std::string md = table.toString();
+    EXPECT_NE(md.find("| a | b |"), std::string::npos);
+    EXPECT_NE(md.find("|---|---|"), std::string::npos);
+    EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(MarkdownTable, Validation)
+{
+    EXPECT_THROW(experiments::MarkdownTable({}),
+                 util::InvalidArgument);
+    experiments::MarkdownTable table({"a"});
+    EXPECT_THROW(table.addRow({"1", "2"}), util::InvalidArgument);
+}
+
+TEST(MarkdownReport, FamilyCvSummaryContainsAllMethods)
+{
+    Fixture f;
+    const experiments::FamilyCrossValidation cv(f.evaluator);
+    const auto results = cv.run({Method::NnT});
+    const std::string md = experiments::renderFamilyCvSummary(
+        results, {Method::NnT});
+    EXPECT_NE(md.find("NN^T"), std::string::npos);
+    EXPECT_NE(md.find("Rank correlation"), std::string::npos);
+    EXPECT_NE(md.find("Top-1 error"), std::string::npos);
+    EXPECT_NE(md.find("Mean error"), std::string::npos);
+    // "avg (worst)" cells contain parentheses.
+    EXPECT_NE(md.find("("), std::string::npos);
+}
+
+TEST(MarkdownReport, PerBenchmarkTablesListEveryBenchmark)
+{
+    Fixture f;
+    const experiments::FamilyCrossValidation cv(f.evaluator);
+    const auto results = cv.run({Method::NnT});
+
+    const std::string rank = experiments::renderPerBenchmarkRank(
+        results, {Method::NnT});
+    const std::string top1 = experiments::renderPerBenchmarkTop1(
+        results, {Method::NnT});
+    for (const std::string &bench : results.benchmarks) {
+        EXPECT_NE(rank.find(bench), std::string::npos) << bench;
+        EXPECT_NE(top1.find(bench), std::string::npos) << bench;
+    }
+    EXPECT_NE(rank.find("**Minimum**"), std::string::npos);
+    EXPECT_NE(rank.find("**Average**"), std::string::npos);
+    EXPECT_NE(top1.find("**Maximum**"), std::string::npos);
+}
+
+TEST(MarkdownReport, FutureSummaryListsEras)
+{
+    Fixture f;
+    const experiments::FuturePrediction protocol(f.evaluator, 2009);
+    const auto results = protocol.run({Method::NnT});
+    const std::string md =
+        experiments::renderFutureSummary(results, Method::NnT);
+    EXPECT_NE(md.find("2008"), std::string::npos);
+    EXPECT_NE(md.find("2007"), std::string::npos);
+    EXPECT_NE(md.find("older"), std::string::npos);
+}
+
+TEST(MarkdownReport, SubsetSummaryListsSizes)
+{
+    Fixture f;
+    experiments::SubsetExperimentConfig config;
+    config.subsetSizes = {5, 3};
+    config.draws = 1;
+    const experiments::SubsetExperiment protocol(f.evaluator, config);
+    const auto results = protocol.run({Method::NnT});
+    const std::string md =
+        experiments::renderSubsetSummary(results, Method::NnT);
+    EXPECT_NE(md.find("| 5 |"), std::string::npos);
+    EXPECT_NE(md.find("| 3 |"), std::string::npos);
+}
+
+TEST(MarkdownReport, SelectionSweepListsEveryK)
+{
+    experiments::SelectionSweepResults results;
+    for (std::size_t k = 1; k <= 3; ++k) {
+        experiments::SelectionSweepPoint p;
+        p.k = k;
+        p.kmedoidsR2 = 0.5 + 0.1 * static_cast<double>(k);
+        p.randomR2 = 0.4;
+        results.points.push_back(p);
+    }
+    const std::string md =
+        experiments::renderSelectionSweep(results);
+    EXPECT_NE(md.find("| 1 |"), std::string::npos);
+    EXPECT_NE(md.find("| 3 |"), std::string::npos);
+    EXPECT_NE(md.find("0.800"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Sanity checks on the transcribed paper numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "experiments/paper_reference.h"
+
+namespace
+{
+
+using namespace dtrank;
+using namespace dtrank::experiments;
+
+TEST(PaperReference, Table2HasAllMethods)
+{
+    const auto &t = paper::table2();
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_DOUBLE_EQ(t.at(Method::MlpT).rankCorrelation.average, 0.93);
+    EXPECT_DOUBLE_EQ(t.at(Method::MlpT).rankCorrelation.worst, 0.71);
+    EXPECT_DOUBLE_EQ(t.at(Method::NnT).top1Error.worst, 156.7);
+    EXPECT_DOUBLE_EQ(t.at(Method::GaKnn).rankCorrelation.worst, 0.59);
+    EXPECT_DOUBLE_EQ(t.at(Method::GaKnn).meanError.average, 6.25);
+}
+
+TEST(PaperReference, Table2OrderingMatchesTheAbstract)
+{
+    // The abstract's headline claims, encoded as invariants of the
+    // transcription: MLP^T has the best rank correlation and the best
+    // worst case.
+    const auto &t = paper::table2();
+    EXPECT_GT(t.at(Method::MlpT).rankCorrelation.average,
+              t.at(Method::NnT).rankCorrelation.average);
+    EXPECT_GT(t.at(Method::MlpT).rankCorrelation.average,
+              t.at(Method::GaKnn).rankCorrelation.average);
+    EXPECT_GT(t.at(Method::MlpT).rankCorrelation.worst,
+              t.at(Method::GaKnn).rankCorrelation.worst);
+    EXPECT_LT(t.at(Method::MlpT).top1Error.worst, 100.0);
+    EXPECT_GT(t.at(Method::NnT).top1Error.worst, 100.0);
+    EXPECT_GT(t.at(Method::GaKnn).top1Error.worst, 100.0);
+}
+
+TEST(PaperReference, Table3HasBothTranspositionMethods)
+{
+    const auto &t = paper::table3();
+    ASSERT_EQ(t.size(), 2u);
+    for (const auto &era : {"2008", "2007", "older"}) {
+        EXPECT_TRUE(t.at(Method::MlpT).count(era)) << era;
+        EXPECT_TRUE(t.at(Method::NnT).count(era)) << era;
+    }
+    EXPECT_DOUBLE_EQ(t.at(Method::MlpT).at("2008").rankCorrelation.average,
+                     0.93);
+    EXPECT_DOUBLE_EQ(t.at(Method::NnT).at("older").top1Error.average,
+                     2.07);
+}
+
+TEST(PaperReference, Table3RankDegradesWithDistance)
+{
+    const auto &t = paper::table3();
+    for (Method m : {Method::MlpT, Method::NnT}) {
+        EXPECT_GE(t.at(m).at("2008").rankCorrelation.average,
+                  t.at(m).at("2007").rankCorrelation.average);
+        EXPECT_GE(t.at(m).at("2007").rankCorrelation.average,
+                  t.at(m).at("older").rankCorrelation.average);
+    }
+}
+
+TEST(PaperReference, Table4SubsetSizes)
+{
+    const auto &t = paper::table4();
+    for (Method m : {Method::MlpT, Method::NnT}) {
+        for (std::size_t size : {10u, 5u, 3u})
+            EXPECT_TRUE(t.at(m).count(size));
+    }
+    // The paper's robustness claim: MLP^T at 3 machines still ranks at
+    // 0.89, better than NN^T's 0.81.
+    EXPECT_GT(t.at(Method::MlpT).at(3).rankCorrelation,
+              t.at(Method::NnT).at(3).rankCorrelation);
+}
+
+TEST(PaperReference, Figure8Headline)
+{
+    const auto ref = paper::figure8();
+    EXPECT_GT(ref.kmedoidsK2, ref.randomK5);
+}
+
+TEST(PaperReference, Figure6Headline)
+{
+    const auto ref = paper::figure6();
+    EXPECT_EQ(ref.worstBenchmark, "leslie3d");
+    EXPECT_GT(ref.transpositionOnWorst, ref.gaKnnWorst);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the predictive-machine selection sweep (Figure 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dataset/mica.h"
+#include "dataset/synthetic_spec.h"
+#include "experiments/selection_sweep.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+experiments::MethodSuiteConfig
+fastSuite()
+{
+    experiments::MethodSuiteConfig config;
+    config.mlp.mlp.epochs = 30;
+    return config;
+}
+
+struct Fixture
+{
+    dataset::PerfDatabase db = dataset::makePaperDataset();
+    linalg::Matrix chars = dataset::MicaGenerator().generateForCatalog();
+    experiments::SplitEvaluator evaluator{db, chars, fastSuite()};
+};
+
+experiments::SelectionSweepConfig
+fastSweepConfig()
+{
+    experiments::SelectionSweepConfig config;
+    config.maxK = 4;
+    config.randomDraws = 2;
+    return config;
+}
+
+TEST(SelectionSweep, ProducesOnePointPerK)
+{
+    Fixture f;
+    const experiments::SelectionSweep sweep(f.evaluator,
+                                            fastSweepConfig());
+    const auto results = sweep.run();
+    ASSERT_EQ(results.points.size(), 4u);
+    for (std::size_t k = 1; k <= 4; ++k)
+        EXPECT_EQ(results.points[k - 1].k, k);
+}
+
+TEST(SelectionSweep, RSquaredBounded)
+{
+    Fixture f;
+    const experiments::SelectionSweep sweep(f.evaluator,
+                                            fastSweepConfig());
+    const auto results = sweep.run();
+    for (const auto &point : results.points) {
+        EXPECT_LE(point.kmedoidsR2, 1.0);
+        EXPECT_LE(point.randomR2, 1.0);
+        EXPECT_GE(point.kmedoidsR2, 0.0); // squared correlation
+        EXPECT_GE(point.randomR2, 0.0);
+    }
+}
+
+TEST(SelectionSweep, MoreMachinesFitBetterEventually)
+{
+    // Not necessarily monotone point to point, but the largest k must
+    // beat the smallest by a clear margin for the clustered picks.
+    Fixture f;
+    experiments::SelectionSweepConfig config = fastSweepConfig();
+    config.maxK = 5;
+    const experiments::SelectionSweep sweep(f.evaluator, config);
+    const auto results = sweep.run();
+    EXPECT_GT(results.points.back().kmedoidsR2,
+              results.points.front().kmedoidsR2 - 0.05);
+}
+
+TEST(SelectionSweep, PooledR2MatchesDirectComputation)
+{
+    Fixture f;
+    const experiments::SelectionSweep sweep(f.evaluator,
+                                            fastSweepConfig());
+    const auto targets = f.db.machineIndicesByYear(2009);
+    const std::vector<std::size_t> predictive = {0, 10, 40, 70};
+    const double r2a = sweep.pooledR2(predictive, targets, 42);
+    const double r2b = sweep.pooledR2(predictive, targets, 42);
+    EXPECT_DOUBLE_EQ(r2a, r2b);
+    EXPECT_LE(r2a, 1.0);
+}
+
+TEST(SelectionSweep, ValidatesConfig)
+{
+    Fixture f;
+    experiments::SelectionSweepConfig bad = fastSweepConfig();
+    bad.maxK = 0;
+    EXPECT_THROW(experiments::SelectionSweep(f.evaluator, bad),
+                 util::InvalidArgument);
+    bad = fastSweepConfig();
+    bad.randomDraws = 0;
+    EXPECT_THROW(experiments::SelectionSweep(f.evaluator, bad),
+                 util::InvalidArgument);
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the limited-predictive-machines protocol (Table 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dataset/mica.h"
+#include "dataset/synthetic_spec.h"
+#include "experiments/subset.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+using experiments::Method;
+
+experiments::MethodSuiteConfig
+fastSuite()
+{
+    experiments::MethodSuiteConfig config;
+    config.mlp.mlp.epochs = 15;
+    config.gaKnn.ga.populationSize = 8;
+    config.gaKnn.ga.generations = 3;
+    return config;
+}
+
+struct Fixture
+{
+    dataset::PerfDatabase db = dataset::makePaperDataset();
+    linalg::Matrix chars = dataset::MicaGenerator().generateForCatalog();
+    experiments::SplitEvaluator evaluator{db, chars, fastSuite()};
+};
+
+experiments::SubsetExperimentConfig
+fastSubsetConfig()
+{
+    experiments::SubsetExperimentConfig config;
+    config.subsetSizes = {5, 3};
+    config.draws = 2;
+    return config;
+}
+
+TEST(SubsetExperiment, ProducesOneCellPerSizeAndMethod)
+{
+    Fixture f;
+    const experiments::SubsetExperiment protocol(f.evaluator,
+                                                 fastSubsetConfig());
+    const auto results = protocol.run({Method::NnT, Method::GaKnn});
+    EXPECT_EQ(results.subsetSizes, (std::vector<std::size_t>{5, 3}));
+    for (std::size_t size : results.subsetSizes) {
+        const auto &row = results.cells.at(size);
+        EXPECT_TRUE(row.count(Method::NnT));
+        EXPECT_TRUE(row.count(Method::GaKnn));
+        EXPECT_FALSE(row.count(Method::MlpT));
+    }
+}
+
+TEST(SubsetExperiment, MetricsWithinSaneRanges)
+{
+    Fixture f;
+    const experiments::SubsetExperiment protocol(f.evaluator,
+                                                 fastSubsetConfig());
+    const auto results = protocol.run({Method::NnT});
+    for (std::size_t size : results.subsetSizes) {
+        const auto &cell = results.cells.at(size).at(Method::NnT);
+        EXPECT_GE(cell.rankCorrelation, -1.0);
+        EXPECT_LE(cell.rankCorrelation, 1.0);
+        EXPECT_GE(cell.top1ErrorPercent, 0.0);
+        EXPECT_GE(cell.meanErrorPercent, 0.0);
+    }
+}
+
+TEST(SubsetExperiment, NnTStaysInformativeWithTenMachines)
+{
+    Fixture f;
+    experiments::SubsetExperimentConfig config;
+    config.subsetSizes = {10};
+    config.draws = 2;
+    const experiments::SubsetExperiment protocol(f.evaluator, config);
+    const auto results = protocol.run({Method::NnT});
+    EXPECT_GT(results.cells.at(10).at(Method::NnT).rankCorrelation,
+              0.6);
+}
+
+TEST(SubsetExperiment, DeterministicForFixedSeed)
+{
+    Fixture f;
+    const experiments::SubsetExperiment a(f.evaluator,
+                                          fastSubsetConfig());
+    const experiments::SubsetExperiment b(f.evaluator,
+                                          fastSubsetConfig());
+    const auto ra = a.run({Method::NnT});
+    const auto rb = b.run({Method::NnT});
+    EXPECT_DOUBLE_EQ(ra.cells.at(5).at(Method::NnT).rankCorrelation,
+                     rb.cells.at(5).at(Method::NnT).rankCorrelation);
+}
+
+TEST(SubsetExperiment, ValidatesConfig)
+{
+    Fixture f;
+    experiments::SubsetExperimentConfig bad;
+    bad.subsetSizes = {};
+    EXPECT_THROW(experiments::SubsetExperiment(f.evaluator, bad),
+                 util::InvalidArgument);
+
+    bad = experiments::SubsetExperimentConfig{};
+    bad.draws = 0;
+    EXPECT_THROW(experiments::SubsetExperiment(f.evaluator, bad),
+                 util::InvalidArgument);
+
+    // Subset larger than the candidate pool is rejected at run time.
+    experiments::SubsetExperimentConfig huge;
+    huge.subsetSizes = {10000};
+    huge.draws = 1;
+    const experiments::SubsetExperiment protocol(f.evaluator, huge);
+    EXPECT_THROW(protocol.run({Method::NnT}), util::InvalidArgument);
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for least-squares solving (plain and ridge).
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/least_squares.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace
+{
+
+using namespace dtrank;
+using linalg::Matrix;
+
+TEST(LeastSquares, ExactSystemHasZeroResidual)
+{
+    const Matrix a{{1, 0}, {0, 1}, {1, 1}};
+    const std::vector<double> b = {1, 2, 3}; // exactly x = (1, 2)
+    const auto fit = linalg::solveLeastSquares(a, b);
+    EXPECT_NEAR(fit.coefficients[0], 1.0, 1e-10);
+    EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-10);
+    EXPECT_NEAR(fit.residualSumSquares, 0.0, 1e-10);
+}
+
+TEST(LeastSquares, OverdeterminedMeanFit)
+{
+    const Matrix a{{1}, {1}, {1}, {1}};
+    const auto fit = linalg::solveLeastSquares(a, {1, 2, 3, 6});
+    EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-12);
+    // RSS = (1-3)^2 + (2-3)^2 + (3-3)^2 + (6-3)^2 = 14.
+    EXPECT_NEAR(fit.residualSumSquares, 14.0, 1e-10);
+}
+
+TEST(LeastSquares, ValidatesShape)
+{
+    EXPECT_THROW(linalg::solveLeastSquares(Matrix(2, 2), {1, 2, 3}),
+                 util::InvalidArgument);
+    EXPECT_THROW(linalg::solveLeastSquares(Matrix(2, 3), {1, 2}),
+                 util::InvalidArgument);
+}
+
+TEST(Ridge, ApproachesOlsForTinyLambda)
+{
+    util::Rng rng(5);
+    Matrix a(20, 3);
+    for (std::size_t r = 0; r < 20; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            a(r, c) = rng.uniform(-2.0, 2.0);
+    std::vector<double> b(20);
+    for (double &v : b)
+        v = rng.uniform(-2.0, 2.0);
+
+    const auto ols = linalg::solveLeastSquares(a, b);
+    const auto ridge = linalg::solveRidge(a, b, 1e-10);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(ridge.coefficients[i], ols.coefficients[i], 1e-6);
+}
+
+TEST(Ridge, ShrinksCoefficients)
+{
+    const Matrix a{{1, 0}, {0, 1}};
+    const std::vector<double> b = {10, 10};
+    const auto small = linalg::solveRidge(a, b, 0.01);
+    const auto large = linalg::solveRidge(a, b, 100.0);
+    EXPECT_GT(std::abs(small.coefficients[0]),
+              std::abs(large.coefficients[0]));
+    EXPECT_LT(std::abs(large.coefficients[0]), 1.0);
+}
+
+TEST(Ridge, HandlesCollinearColumns)
+{
+    // Perfectly collinear design: plain OLS would be rank deficient.
+    const Matrix a{{1, 2}, {2, 4}, {3, 6}};
+    EXPECT_THROW(linalg::solveLeastSquares(a, {1, 2, 3}),
+                 util::NumericalError);
+    const auto ridge = linalg::solveRidge(a, {1, 2, 3}, 0.1);
+    EXPECT_EQ(ridge.coefficients.size(), 2u);
+    for (double c : ridge.coefficients)
+        EXPECT_TRUE(std::isfinite(c));
+}
+
+TEST(Ridge, ValidatesArguments)
+{
+    EXPECT_THROW(linalg::solveRidge(Matrix(2, 1), {1, 2}, 0.0),
+                 util::InvalidArgument);
+    EXPECT_THROW(linalg::solveRidge(Matrix(2, 1), {1}, 1.0),
+                 util::InvalidArgument);
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the dense Matrix type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+using linalg::Matrix;
+
+TEST(Matrix, DefaultIsEmpty)
+{
+    Matrix m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor)
+{
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+}
+
+TEST(Matrix, InitializerList)
+{
+    Matrix m{{1, 2}, {3, 4}, {5, 6}};
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows)
+{
+    EXPECT_THROW((Matrix{{1, 2}, {3}}), util::InvalidArgument);
+}
+
+TEST(Matrix, Identity)
+{
+    const Matrix id = Matrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, VectorFactories)
+{
+    const Matrix col = Matrix::columnVector({1, 2, 3});
+    EXPECT_EQ(col.rows(), 3u);
+    EXPECT_EQ(col.cols(), 1u);
+    EXPECT_DOUBLE_EQ(col(1, 0), 2.0);
+
+    const Matrix row = Matrix::rowVector({4, 5});
+    EXPECT_EQ(row.rows(), 1u);
+    EXPECT_EQ(row.cols(), 2u);
+    EXPECT_DOUBLE_EQ(row(0, 1), 5.0);
+}
+
+TEST(Matrix, BoundsCheckedAccess)
+{
+    Matrix m(2, 2);
+    EXPECT_THROW(m.at(2, 0), util::InvalidArgument);
+    EXPECT_THROW(m.at(0, 2), util::InvalidArgument);
+    m.at(1, 1) = 9.0;
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 9.0);
+}
+
+TEST(Matrix, RowColumnCopies)
+{
+    const Matrix m{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(m.row(1), (std::vector<double>{4, 5, 6}));
+    EXPECT_EQ(m.column(2), (std::vector<double>{3, 6}));
+    EXPECT_THROW(m.row(2), util::InvalidArgument);
+    EXPECT_THROW(m.column(3), util::InvalidArgument);
+}
+
+TEST(Matrix, SetRowColumn)
+{
+    Matrix m(2, 2, 0.0);
+    m.setRow(0, {1, 2});
+    m.setColumn(1, {7, 8});
+    EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+    EXPECT_DOUBLE_EQ(m(1, 1), 8.0);
+    EXPECT_THROW(m.setRow(0, {1}), util::InvalidArgument);
+    EXPECT_THROW(m.setColumn(0, {1, 2, 3}), util::InvalidArgument);
+}
+
+TEST(Matrix, Transpose)
+{
+    const Matrix m{{1, 2, 3}, {4, 5, 6}};
+    const Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+    EXPECT_TRUE(t.transposed().approxEquals(m));
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    const Matrix a{{1, 2}, {3, 4}};
+    const Matrix b{{5, 6}, {7, 8}};
+    const Matrix c = a.multiply(b);
+    EXPECT_TRUE(c.approxEquals(Matrix{{19, 22}, {43, 50}}));
+}
+
+TEST(Matrix, MultiplyIdentityIsNoop)
+{
+    const Matrix a{{1, 2}, {3, 4}};
+    EXPECT_TRUE(a.multiply(Matrix::identity(2)).approxEquals(a));
+    EXPECT_TRUE(Matrix::identity(2).multiply(a).approxEquals(a));
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows)
+{
+    const Matrix a(2, 3);
+    const Matrix b(2, 3);
+    EXPECT_THROW(a.multiply(b), util::InvalidArgument);
+}
+
+TEST(Matrix, MatrixVectorProduct)
+{
+    const Matrix a{{1, 2}, {3, 4}};
+    EXPECT_EQ(a.multiply(std::vector<double>{1, 1}),
+              (std::vector<double>{3, 7}));
+    EXPECT_THROW(a.multiply(std::vector<double>{1}),
+                 util::InvalidArgument);
+}
+
+TEST(Matrix, AddSubtractScale)
+{
+    const Matrix a{{1, 2}, {3, 4}};
+    const Matrix b{{4, 3}, {2, 1}};
+    EXPECT_TRUE(a.add(b).approxEquals(Matrix{{5, 5}, {5, 5}}));
+    EXPECT_TRUE(a.subtract(a).approxEquals(Matrix(2, 2, 0.0)));
+    EXPECT_TRUE(a.scaled(2.0).approxEquals(Matrix{{2, 4}, {6, 8}}));
+    EXPECT_THROW(a.add(Matrix(1, 2)), util::InvalidArgument);
+    EXPECT_THROW(a.subtract(Matrix(2, 3)), util::InvalidArgument);
+}
+
+TEST(Matrix, Select)
+{
+    const Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+    const Matrix s = m.select({2, 0}, {1});
+    EXPECT_EQ(s.rows(), 2u);
+    EXPECT_EQ(s.cols(), 1u);
+    EXPECT_DOUBLE_EQ(s(0, 0), 8.0);
+    EXPECT_DOUBLE_EQ(s(1, 0), 2.0);
+    EXPECT_THROW(m.select({3}, {0}), util::InvalidArgument);
+    EXPECT_THROW(m.select({0}, {3}), util::InvalidArgument);
+}
+
+TEST(Matrix, SelectRowsColumns)
+{
+    const Matrix m{{1, 2}, {3, 4}, {5, 6}};
+    EXPECT_TRUE(m.selectRows({1}).approxEquals(Matrix{{3, 4}}));
+    EXPECT_TRUE(
+        m.selectColumns({1}).approxEquals(Matrix{{2}, {4}, {6}}));
+}
+
+TEST(Matrix, Norms)
+{
+    const Matrix m{{3, 4}};
+    EXPECT_DOUBLE_EQ(m.frobeniusNorm(), 5.0);
+    EXPECT_DOUBLE_EQ(m.maxAbs(), 4.0);
+    EXPECT_DOUBLE_EQ(Matrix().maxAbs(), 0.0);
+}
+
+TEST(Matrix, ApproxEquals)
+{
+    const Matrix a{{1.0}};
+    const Matrix b{{1.0 + 1e-13}};
+    EXPECT_TRUE(a.approxEquals(b));
+    EXPECT_FALSE(a.approxEquals(Matrix{{1.1}}));
+    EXPECT_FALSE(a.approxEquals(Matrix(2, 1)));
+}
+
+TEST(Matrix, EqualityOperator)
+{
+    const Matrix a{{1, 2}};
+    Matrix b{{1, 2}};
+    EXPECT_EQ(a, b);
+    b(0, 1) = 3;
+    EXPECT_NE(a, b);
+}
+
+TEST(Matrix, ToStringMentionsEntries)
+{
+    const Matrix m{{1.5, 2.0}};
+    const std::string s = m.toString(1);
+    EXPECT_NE(s.find("1.5"), std::string::npos);
+    EXPECT_NE(s.find("2.0"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the distance metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ml/distance.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+TEST(Euclidean, KnownDistances)
+{
+    const ml::EuclideanDistance d;
+    EXPECT_DOUBLE_EQ(d.distance({0, 0}, {3, 4}), 5.0);
+    EXPECT_DOUBLE_EQ(d.distance({1, 1}, {1, 1}), 0.0);
+    EXPECT_EQ(d.name(), "euclidean");
+}
+
+TEST(Manhattan, KnownDistances)
+{
+    const ml::ManhattanDistance d;
+    EXPECT_DOUBLE_EQ(d.distance({0, 0}, {3, -4}), 7.0);
+    EXPECT_EQ(d.name(), "manhattan");
+    EXPECT_THROW(d.distance({1}, {1, 2}), util::InvalidArgument);
+}
+
+TEST(WeightedEuclidean, ReducesToEuclideanWithUnitWeights)
+{
+    const ml::WeightedEuclideanDistance d({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(d.distance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(WeightedEuclidean, ZeroWeightIgnoresDimension)
+{
+    const ml::WeightedEuclideanDistance d({1.0, 0.0});
+    EXPECT_DOUBLE_EQ(d.distance({0, 0}, {3, 1000}), 3.0);
+}
+
+TEST(WeightedEuclidean, Validation)
+{
+    EXPECT_THROW(ml::WeightedEuclideanDistance({}),
+                 util::InvalidArgument);
+    EXPECT_THROW(ml::WeightedEuclideanDistance({1.0, -0.5}),
+                 util::InvalidArgument);
+    const ml::WeightedEuclideanDistance d({1.0});
+    EXPECT_THROW(d.distance({1.0, 2.0}, {1.0, 2.0}),
+                 util::InvalidArgument);
+}
+
+TEST(WeightedEuclidean, ExposesWeights)
+{
+    const ml::WeightedEuclideanDistance d({0.5, 2.0});
+    EXPECT_EQ(d.weights(), (std::vector<double>{0.5, 2.0}));
+}
+
+TEST(PairwiseDistances, SymmetricZeroDiagonal)
+{
+    const std::vector<std::vector<double>> points = {
+        {0, 0}, {3, 4}, {6, 8}};
+    const ml::EuclideanDistance metric;
+    const auto d = ml::pairwiseDistances(points, metric);
+    ASSERT_EQ(d.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(d[i][i], 0.0);
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(d[i][j], d[j][i]);
+    }
+    EXPECT_DOUBLE_EQ(d[0][1], 5.0);
+    EXPECT_DOUBLE_EQ(d[0][2], 10.0);
+    EXPECT_DOUBLE_EQ(d[1][2], 5.0);
+}
+
+TEST(PairwiseDistances, TriangleInequalityHolds)
+{
+    const std::vector<std::vector<double>> points = {
+        {0, 0}, {1, 2}, {4, 1}, {-2, 3}};
+    const ml::EuclideanDistance metric;
+    const auto d = ml::pairwiseDistances(points, metric);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        for (std::size_t j = 0; j < points.size(); ++j)
+            for (std::size_t k = 0; k < points.size(); ++k)
+                EXPECT_LE(d[i][j], d[i][k] + d[k][j] + 1e-12);
+}
+
+} // namespace

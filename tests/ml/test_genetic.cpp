@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit and property tests for the real-coded genetic algorithm.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "ml/genetic.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+ml::GaConfig
+smallConfig()
+{
+    ml::GaConfig config;
+    config.populationSize = 30;
+    config.generations = 40;
+    return config;
+}
+
+TEST(Ga, MaximizesSimpleQuadratic)
+{
+    // Maximize -(x - 0.7)^2: optimum at x = 0.7.
+    const ml::GeneticAlgorithm ga(smallConfig(), {0.0}, {1.0});
+    util::Rng rng(1);
+    const auto result = ga.optimize(
+        [](const std::vector<double> &g) {
+            return -(g[0] - 0.7) * (g[0] - 0.7);
+        },
+        rng);
+    EXPECT_NEAR(result.bestGenome[0], 0.7, 0.05);
+    EXPECT_GT(result.bestFitness, -0.01);
+}
+
+TEST(Ga, SolvesMultiDimensionalSphere)
+{
+    const std::vector<double> lower(5, -2.0);
+    const std::vector<double> upper(5, 2.0);
+    ml::GaConfig config = smallConfig();
+    config.generations = 80;
+    const ml::GeneticAlgorithm ga(config, lower, upper);
+    util::Rng rng(2);
+    const auto result = ga.optimize(
+        [](const std::vector<double> &g) {
+            double acc = 0.0;
+            for (double x : g)
+                acc -= x * x;
+            return acc;
+        },
+        rng);
+    for (double x : result.bestGenome)
+        EXPECT_NEAR(x, 0.0, 0.25);
+}
+
+TEST(Ga, RespectsBounds)
+{
+    const ml::GeneticAlgorithm ga(smallConfig(), {1.0, -3.0},
+                                  {2.0, -1.0});
+    util::Rng rng(3);
+    // Fitness pushes toward the boundary; solutions must stay inside.
+    const auto result = ga.optimize(
+        [](const std::vector<double> &g) { return g[0] - g[1]; }, rng);
+    EXPECT_GE(result.bestGenome[0], 1.0);
+    EXPECT_LE(result.bestGenome[0], 2.0);
+    EXPECT_GE(result.bestGenome[1], -3.0);
+    EXPECT_LE(result.bestGenome[1], -1.0);
+    // Optimum is at (2, -3).
+    EXPECT_NEAR(result.bestGenome[0], 2.0, 0.05);
+    EXPECT_NEAR(result.bestGenome[1], -3.0, 0.1);
+}
+
+TEST(Ga, HistoryIsMonotoneNonDecreasing)
+{
+    const ml::GeneticAlgorithm ga(smallConfig(), {0.0}, {1.0});
+    util::Rng rng(4);
+    const auto result = ga.optimize(
+        [](const std::vector<double> &g) { return g[0]; }, rng);
+    ASSERT_FALSE(result.history.empty());
+    for (std::size_t i = 1; i < result.history.size(); ++i)
+        EXPECT_GE(result.history[i], result.history[i - 1]);
+}
+
+TEST(Ga, DeterministicGivenSeed)
+{
+    const ml::GeneticAlgorithm ga(smallConfig(), {0.0, 0.0},
+                                  {1.0, 1.0});
+    const auto fitness = [](const std::vector<double> &g) {
+        return g[0] * g[1];
+    };
+    util::Rng rng1(5);
+    util::Rng rng2(5);
+    const auto a = ga.optimize(fitness, rng1);
+    const auto b = ga.optimize(fitness, rng2);
+    EXPECT_EQ(a.bestGenome, b.bestGenome);
+    EXPECT_DOUBLE_EQ(a.bestFitness, b.bestFitness);
+}
+
+TEST(Ga, EvaluationCountMatchesSchedule)
+{
+    ml::GaConfig config = smallConfig();
+    const ml::GeneticAlgorithm ga(config, {0.0}, {1.0});
+    util::Rng rng(6);
+    const auto result = ga.optimize(
+        [](const std::vector<double> &g) { return g[0]; }, rng);
+    // Initial population + one evaluation sweep per generation.
+    EXPECT_EQ(result.evaluations,
+              config.populationSize * (config.generations + 1));
+}
+
+TEST(Ga, ValidatesConfiguration)
+{
+    const std::vector<double> lo = {0.0};
+    const std::vector<double> hi = {1.0};
+
+    ml::GaConfig bad = smallConfig();
+    bad.populationSize = 1;
+    EXPECT_THROW(ml::GeneticAlgorithm(bad, lo, hi),
+                 util::InvalidArgument);
+
+    bad = smallConfig();
+    bad.generations = 0;
+    EXPECT_THROW(ml::GeneticAlgorithm(bad, lo, hi),
+                 util::InvalidArgument);
+
+    bad = smallConfig();
+    bad.crossoverRate = 1.5;
+    EXPECT_THROW(ml::GeneticAlgorithm(bad, lo, hi),
+                 util::InvalidArgument);
+
+    bad = smallConfig();
+    bad.mutationRate = -0.1;
+    EXPECT_THROW(ml::GeneticAlgorithm(bad, lo, hi),
+                 util::InvalidArgument);
+
+    bad = smallConfig();
+    bad.mutationSigma = 0.0;
+    EXPECT_THROW(ml::GeneticAlgorithm(bad, lo, hi),
+                 util::InvalidArgument);
+
+    bad = smallConfig();
+    bad.tournamentSize = 0;
+    EXPECT_THROW(ml::GeneticAlgorithm(bad, lo, hi),
+                 util::InvalidArgument);
+
+    bad = smallConfig();
+    bad.eliteCount = bad.populationSize;
+    EXPECT_THROW(ml::GeneticAlgorithm(bad, lo, hi),
+                 util::InvalidArgument);
+}
+
+TEST(Ga, ValidatesBounds)
+{
+    EXPECT_THROW(ml::GeneticAlgorithm(smallConfig(), {}, {}),
+                 util::InvalidArgument);
+    EXPECT_THROW(ml::GeneticAlgorithm(smallConfig(), {0.0}, {0.0, 1.0}),
+                 util::InvalidArgument);
+    EXPECT_THROW(ml::GeneticAlgorithm(smallConfig(), {1.0}, {0.0}),
+                 util::InvalidArgument);
+}
+
+TEST(Ga, RejectsNullFitness)
+{
+    const ml::GeneticAlgorithm ga(smallConfig(), {0.0}, {1.0});
+    util::Rng rng(1);
+    EXPECT_THROW(ga.optimize(ml::GeneticAlgorithm::FitnessFn{}, rng),
+                 util::InvalidArgument);
+}
+
+TEST(Ga, GenomeLengthAccessor)
+{
+    const ml::GeneticAlgorithm ga(smallConfig(),
+                                  std::vector<double>(7, 0.0),
+                                  std::vector<double>(7, 1.0));
+    EXPECT_EQ(ga.genomeLength(), 7u);
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the kNN regressor.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "ml/knn.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+std::shared_ptr<ml::DistanceMetric>
+euclidean()
+{
+    return std::make_shared<ml::EuclideanDistance>();
+}
+
+TEST(Knn, ValidatesConstruction)
+{
+    EXPECT_THROW(ml::KnnRegressor(0, euclidean()),
+                 util::InvalidArgument);
+    EXPECT_THROW(ml::KnnRegressor(1, nullptr), util::InvalidArgument);
+}
+
+TEST(Knn, ValidatesFit)
+{
+    ml::KnnRegressor knn(1, euclidean());
+    EXPECT_THROW(knn.fit({}, {}), util::InvalidArgument);
+    EXPECT_THROW(knn.fit({{1.0}}, {1.0, 2.0}), util::InvalidArgument);
+    EXPECT_THROW(knn.fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}),
+                 util::InvalidArgument);
+    EXPECT_THROW(knn.predict({0.0}), util::InvalidArgument);
+}
+
+TEST(Knn, OneNearestNeighborIsExactLookup)
+{
+    ml::KnnRegressor knn(1, euclidean());
+    knn.fit({{0.0}, {1.0}, {2.0}}, {10, 20, 30});
+    EXPECT_DOUBLE_EQ(knn.predict({0.1}), 10.0);
+    EXPECT_DOUBLE_EQ(knn.predict({1.4}), 20.0);
+    EXPECT_DOUBLE_EQ(knn.predict({5.0}), 30.0);
+}
+
+TEST(Knn, UniformAveragesKNeighbors)
+{
+    ml::KnnRegressor knn(2, euclidean(), ml::KnnWeighting::Uniform);
+    knn.fit({{0.0}, {1.0}, {10.0}}, {10, 20, 90});
+    // Nearest two of 0.4 are 0.0 and 1.0 -> mean 15.
+    EXPECT_DOUBLE_EQ(knn.predict({0.4}), 15.0);
+}
+
+TEST(Knn, InverseDistanceWeightsCloserNeighborsMore)
+{
+    ml::KnnRegressor knn(2, euclidean(),
+                         ml::KnnWeighting::InverseDistance);
+    knn.fit({{0.0}, {1.0}}, {10, 20});
+    const double near_zero = knn.predict({0.1});
+    EXPECT_GT(near_zero, 10.0);
+    EXPECT_LT(near_zero, 15.0); // pulled toward the closer target
+}
+
+TEST(Knn, ExactMatchDominatesInverseDistance)
+{
+    ml::KnnRegressor knn(2, euclidean(),
+                         ml::KnnWeighting::InverseDistance);
+    knn.fit({{0.0}, {1.0}}, {10, 20});
+    EXPECT_NEAR(knn.predict({0.0}), 10.0, 1e-3);
+}
+
+TEST(Knn, KLargerThanTrainingSetUsesAll)
+{
+    ml::KnnRegressor knn(10, euclidean());
+    knn.fit({{0.0}, {1.0}}, {10, 20});
+    EXPECT_DOUBLE_EQ(knn.predict({0.0}), 15.0);
+}
+
+TEST(Knn, NearestIndicesOrderedByDistance)
+{
+    ml::KnnRegressor knn(3, euclidean());
+    knn.fit({{5.0}, {1.0}, {3.0}, {10.0}}, {1, 2, 3, 4});
+    const auto nn = knn.nearestIndices({0.0});
+    ASSERT_EQ(nn.size(), 3u);
+    EXPECT_EQ(nn[0], 1u); // 1.0
+    EXPECT_EQ(nn[1], 2u); // 3.0
+    EXPECT_EQ(nn[2], 0u); // 5.0
+}
+
+TEST(Knn, DeterministicTieBreakByIndex)
+{
+    ml::KnnRegressor knn(1, euclidean());
+    knn.fit({{1.0}, {-1.0}}, {100, 200});
+    // Both points are at distance 1 from the query; lower index wins.
+    const auto nn = knn.nearestIndices({0.0});
+    EXPECT_EQ(nn[0], 0u);
+}
+
+TEST(Knn, Accessors)
+{
+    ml::KnnRegressor knn(4, euclidean());
+    EXPECT_EQ(knn.k(), 4u);
+    knn.fit({{1.0}, {2.0}, {3.0}}, {1, 2, 3});
+    EXPECT_EQ(knn.trainingSize(), 3u);
+}
+
+TEST(Knn, MultidimensionalQueries)
+{
+    ml::KnnRegressor knn(1, euclidean());
+    knn.fit({{0, 0}, {10, 0}, {0, 10}}, {1, 2, 3});
+    EXPECT_DOUBLE_EQ(knn.predict({9, 1}), 2.0);
+    EXPECT_DOUBLE_EQ(knn.predict({1, 9}), 3.0);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit and property tests for PCA.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/pca.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace
+{
+
+using namespace dtrank;
+using linalg::Matrix;
+
+TEST(Pca, RecoversADominantDirection)
+{
+    // Points along the diagonal of a 2D space with small noise: the
+    // first component must be ~(1,1)/sqrt(2) and dominate.
+    util::Rng rng(1);
+    Matrix x(200, 2);
+    for (std::size_t r = 0; r < 200; ++r) {
+        const double t = rng.uniform(-5.0, 5.0);
+        x(r, 0) = t + rng.gaussian(0.0, 0.05);
+        x(r, 1) = t + rng.gaussian(0.0, 0.05);
+    }
+    ml::PcaConfig config;
+    config.standardize = false;
+    ml::Pca pca(config);
+    pca.fit(x);
+
+    const auto ratios = pca.explainedVarianceRatio();
+    EXPECT_GT(ratios[0], 0.99);
+    const double v0 = pca.components()(0, 0);
+    const double v1 = pca.components()(1, 0);
+    EXPECT_NEAR(std::fabs(v0), 1.0 / std::sqrt(2.0), 0.01);
+    EXPECT_NEAR(v0, v1, 0.01);
+}
+
+TEST(Pca, ExplainedVarianceRatiosSumToOne)
+{
+    util::Rng rng(2);
+    Matrix x(50, 4);
+    for (std::size_t r = 0; r < 50; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            x(r, c) = rng.uniform(0.0, 10.0);
+    ml::Pca pca{};
+    pca.fit(x);
+    double total = 0.0;
+    for (double v : pca.explainedVarianceRatio())
+        total += v;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Pca, ComponentsForVariance)
+{
+    // One dominant direction plus noise: 1 component should explain
+    // 90% of the variance; all components explain 100%.
+    util::Rng rng(3);
+    Matrix x(100, 3);
+    for (std::size_t r = 0; r < 100; ++r) {
+        const double t = rng.uniform(-10.0, 10.0);
+        x(r, 0) = t;
+        x(r, 1) = -t + rng.gaussian(0.0, 0.1);
+        x(r, 2) = rng.gaussian(0.0, 0.1);
+    }
+    ml::PcaConfig config;
+    config.standardize = false;
+    ml::Pca pca(config);
+    pca.fit(x);
+    EXPECT_EQ(pca.componentsForVariance(0.9), 1u);
+    EXPECT_EQ(pca.componentsForVariance(1.0), 3u);
+    EXPECT_THROW(pca.componentsForVariance(0.0), util::InvalidArgument);
+    EXPECT_THROW(pca.componentsForVariance(1.5), util::InvalidArgument);
+}
+
+TEST(Pca, TransformPreservesPairwiseDistancesAtFullRank)
+{
+    util::Rng rng(4);
+    Matrix x(20, 3);
+    for (std::size_t r = 0; r < 20; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            x(r, c) = rng.uniform(-2.0, 2.0);
+    ml::PcaConfig config;
+    config.standardize = false;
+    ml::Pca pca(config);
+    pca.fit(x);
+    const Matrix z = pca.transform(x, 3);
+
+    // Full-rank PCA is a rotation of the centered data: pairwise
+    // distances are preserved.
+    auto dist2 = [](const Matrix &m, std::size_t a, std::size_t b) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            const double d = m(a, c) - m(b, c);
+            acc += d * d;
+        }
+        return acc;
+    };
+    for (std::size_t a = 0; a < 5; ++a)
+        for (std::size_t b = a + 1; b < 5; ++b)
+            EXPECT_NEAR(dist2(x, a, b), dist2(z, a, b), 1e-8);
+}
+
+TEST(Pca, ProjectionsAreUncorrelated)
+{
+    util::Rng rng(5);
+    Matrix x(100, 3);
+    for (std::size_t r = 0; r < 100; ++r) {
+        const double t = rng.uniform(-3.0, 3.0);
+        x(r, 0) = t + rng.gaussian(0.0, 0.3);
+        x(r, 1) = 2.0 * t + rng.gaussian(0.0, 0.3);
+        x(r, 2) = rng.gaussian(0.0, 1.0);
+    }
+    ml::Pca pca{};
+    pca.fit(x);
+    const Matrix z = pca.transform(x, 3);
+    // Sample covariance of distinct projected columns ~ 0.
+    for (std::size_t a = 0; a < 3; ++a) {
+        for (std::size_t b = a + 1; b < 3; ++b) {
+            double cov = 0.0;
+            for (std::size_t r = 0; r < 100; ++r)
+                cov += z(r, a) * z(r, b);
+            EXPECT_NEAR(cov / 99.0, 0.0, 1e-6);
+        }
+    }
+}
+
+TEST(Pca, StandardizationEqualizesScales)
+{
+    // Second feature has 100x the scale; without standardization it
+    // dominates, with standardization it does not.
+    util::Rng rng(6);
+    Matrix x(100, 2);
+    for (std::size_t r = 0; r < 100; ++r) {
+        x(r, 0) = rng.uniform(-1.0, 1.0);
+        x(r, 1) = rng.uniform(-100.0, 100.0);
+    }
+    ml::PcaConfig raw;
+    raw.standardize = false;
+    ml::Pca pca_raw(raw);
+    pca_raw.fit(x);
+    EXPECT_GT(std::fabs(pca_raw.components()(1, 0)), 0.99);
+
+    ml::Pca pca_std{};
+    pca_std.fit(x);
+    EXPECT_LT(std::fabs(pca_std.components()(1, 0)), 0.95);
+}
+
+TEST(Pca, Validation)
+{
+    ml::Pca pca{};
+    EXPECT_THROW(pca.components(), util::InvalidArgument);
+    EXPECT_THROW(pca.fit(Matrix(1, 2)), util::InvalidArgument);
+    pca.fit(Matrix{{1, 2}, {3, 4}, {5, 7}});
+    EXPECT_EQ(pca.featureCount(), 2u);
+    EXPECT_THROW(pca.transform(std::vector<double>{1.0}, 1),
+                 util::InvalidArgument);
+    EXPECT_THROW(pca.transform(std::vector<double>{1.0, 2.0}, 3),
+                 util::InvalidArgument);
+    EXPECT_THROW(pca.transform(std::vector<double>{1.0, 2.0}, 0),
+                 util::InvalidArgument);
+}
+
+} // namespace

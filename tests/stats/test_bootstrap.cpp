@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the bootstrap confidence intervals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/bootstrap.h"
+#include "stats/correlation.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+TEST(Bootstrap, PointEstimateMatchesDirectStatistic)
+{
+    const std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8};
+    const std::vector<double> y = {2, 1, 4, 3, 6, 5, 8, 7};
+    const auto ci = stats::bootstrapSpearman(x, y, 0.95, 200);
+    EXPECT_DOUBLE_EQ(ci.pointEstimate, stats::spearman(x, y));
+}
+
+TEST(Bootstrap, IntervalBracketsThePointEstimate)
+{
+    util::Rng rng(1);
+    std::vector<double> x(40);
+    std::vector<double> y(40);
+    for (std::size_t i = 0; i < 40; ++i) {
+        x[i] = rng.uniform(1.0, 50.0);
+        y[i] = x[i] * 1.5 + rng.gaussian(0.0, 4.0);
+    }
+    const auto ci = stats::bootstrapSpearman(x, y);
+    EXPECT_LE(ci.lower, ci.pointEstimate + 1e-9);
+    EXPECT_GE(ci.upper, ci.pointEstimate - 1e-9);
+    EXPECT_LE(ci.upper, 1.0);
+    EXPECT_GE(ci.lower, -1.0);
+}
+
+TEST(Bootstrap, PerfectCorrelationGivesDegenerateInterval)
+{
+    const std::vector<double> x = {1, 2, 3, 4, 5, 6};
+    const std::vector<double> y = {2, 4, 6, 8, 10, 12};
+    const auto ci = stats::bootstrapSpearman(x, y, 0.95, 200);
+    EXPECT_DOUBLE_EQ(ci.pointEstimate, 1.0);
+    // Resamples of a perfectly monotone relation stay perfectly
+    // monotone (ties only tighten toward 1 or produce 0-variance
+    // degenerate cases, which pearson maps to 0; the upper end is 1).
+    EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+}
+
+TEST(Bootstrap, NoisierDataGivesWiderIntervals)
+{
+    util::Rng rng(2);
+    std::vector<double> x(30);
+    std::vector<double> clean(30);
+    std::vector<double> noisy(30);
+    for (std::size_t i = 0; i < 30; ++i) {
+        x[i] = rng.uniform(0.0, 100.0);
+        clean[i] = x[i] + rng.gaussian(0.0, 1.0);
+        noisy[i] = x[i] + rng.gaussian(0.0, 60.0);
+    }
+    const auto ci_clean = stats::bootstrapSpearman(x, clean);
+    const auto ci_noisy = stats::bootstrapSpearman(x, noisy);
+    EXPECT_LT(ci_clean.upper - ci_clean.lower,
+              ci_noisy.upper - ci_noisy.lower);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed)
+{
+    const std::vector<double> x = {5, 1, 4, 2, 3, 9, 7};
+    const std::vector<double> y = {4, 2, 5, 1, 3, 8, 6};
+    const auto a = stats::bootstrapSpearman(x, y, 0.9, 300, 42);
+    const auto b = stats::bootstrapSpearman(x, y, 0.9, 300, 42);
+    EXPECT_DOUBLE_EQ(a.lower, b.lower);
+    EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(Bootstrap, CustomStatistic)
+{
+    // Bootstrap the mean difference.
+    const std::vector<double> x = {10, 12, 14, 16};
+    const std::vector<double> y = {9, 11, 13, 15};
+    util::Rng rng(3);
+    const auto ci = stats::bootstrapPaired(
+        x, y,
+        [](const std::vector<double> &a, const std::vector<double> &b) {
+            double acc = 0.0;
+            for (std::size_t i = 0; i < a.size(); ++i)
+                acc += a[i] - b[i];
+            return acc / static_cast<double>(a.size());
+        },
+        0.95, 200, rng);
+    // The difference is exactly 1 for every pair.
+    EXPECT_DOUBLE_EQ(ci.pointEstimate, 1.0);
+    EXPECT_DOUBLE_EQ(ci.lower, 1.0);
+    EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+}
+
+TEST(Bootstrap, Validation)
+{
+    util::Rng rng(4);
+    const auto stat = [](const std::vector<double> &,
+                         const std::vector<double> &) { return 0.0; };
+    EXPECT_THROW(stats::bootstrapPaired({1}, {1}, stat, 0.9, 100, rng),
+                 util::InvalidArgument);
+    EXPECT_THROW(
+        stats::bootstrapPaired({1, 2}, {1}, stat, 0.9, 100, rng),
+        util::InvalidArgument);
+    EXPECT_THROW(
+        stats::bootstrapPaired({1, 2}, {1, 2}, stat, 1.5, 100, rng),
+        util::InvalidArgument);
+    EXPECT_THROW(
+        stats::bootstrapPaired({1, 2}, {1, 2}, stat, 0.9, 5, rng),
+        util::InvalidArgument);
+    EXPECT_THROW(stats::bootstrapPaired({1, 2}, {1, 2}, {}, 0.9, 100,
+                                        rng),
+                 util::InvalidArgument);
+}
+
+} // namespace

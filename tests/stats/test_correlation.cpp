@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit and property tests for Pearson, Spearman and R².
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+TEST(Pearson, PerfectLinearRelation)
+{
+    EXPECT_NEAR(stats::pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+    EXPECT_NEAR(stats::pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, ShiftAndScaleInvariant)
+{
+    const std::vector<double> x = {1, 5, 2, 8, 3};
+    const std::vector<double> y = {2, 1, 4, 3, 5};
+    const double base = stats::pearson(x, y);
+    std::vector<double> y2(y);
+    for (double &v : y2)
+        v = 3.0 * v + 10.0;
+    EXPECT_NEAR(stats::pearson(x, y2), base, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceIsZero)
+{
+    EXPECT_DOUBLE_EQ(stats::pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Pearson, Validation)
+{
+    EXPECT_THROW(stats::pearson({1}, {1}), util::InvalidArgument);
+    EXPECT_THROW(stats::pearson({1, 2}, {1}), util::InvalidArgument);
+}
+
+TEST(Pearson, KnownValue)
+{
+    // Hand-computed on a small sample.
+    const std::vector<double> x = {1, 2, 3, 4};
+    const std::vector<double> y = {1, 3, 2, 4};
+    // cov = 1.0, sx = sqrt(1.25), sy = sqrt(1.25) (population)
+    EXPECT_NEAR(stats::pearson(x, y), 1.0 / 1.25, 1e-12);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect)
+{
+    // y = x^3 is monotone, so Spearman is 1 even though Pearson < 1.
+    const std::vector<double> x = {1, 2, 3, 4, 5};
+    const std::vector<double> y = {1, 8, 27, 64, 125};
+    EXPECT_NEAR(stats::spearman(x, y), 1.0, 1e-12);
+    EXPECT_LT(stats::pearson(x, y), 1.0);
+}
+
+TEST(Spearman, ReversedIsMinusOne)
+{
+    EXPECT_NEAR(stats::spearman({1, 2, 3, 4}, {9, 7, 5, 3.5}), -1.0,
+                1e-12);
+}
+
+TEST(Spearman, HandlesTies)
+{
+    // With average ranks, ties reduce but do not break the measure.
+    const double rho = stats::spearman({1, 2, 2, 3}, {1, 2, 2, 3});
+    EXPECT_NEAR(rho, 1.0, 1e-12);
+}
+
+TEST(Spearman, InvariantToMonotoneTransform)
+{
+    util::Rng rng(3);
+    std::vector<double> x(30);
+    std::vector<double> y(30);
+    for (std::size_t i = 0; i < 30; ++i) {
+        x[i] = rng.uniform(0.0, 10.0);
+        y[i] = rng.uniform(0.0, 10.0);
+    }
+    const double base = stats::spearman(x, y);
+    std::vector<double> y_exp(y);
+    for (double &v : y_exp)
+        v = std::exp(v); // strictly monotone
+    EXPECT_NEAR(stats::spearman(x, y_exp), base, 1e-12);
+}
+
+TEST(RSquared, PerfectPrediction)
+{
+    EXPECT_DOUBLE_EQ(stats::rSquared({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(RSquared, MeanPredictionIsZero)
+{
+    EXPECT_NEAR(stats::rSquared({1, 2, 3}, {2, 2, 2}), 0.0, 1e-12);
+}
+
+TEST(RSquared, WorseThanMeanIsNegative)
+{
+    EXPECT_LT(stats::rSquared({1, 2, 3}, {3, 2, 1}), 0.0);
+}
+
+TEST(RSquared, ConstantActuals)
+{
+    EXPECT_DOUBLE_EQ(stats::rSquared({2, 2}, {2, 2}), 1.0);
+    EXPECT_DOUBLE_EQ(stats::rSquared({2, 2}, {2, 3}), 0.0);
+}
+
+TEST(RSquared, Validation)
+{
+    EXPECT_THROW(stats::rSquared({}, {}), util::InvalidArgument);
+    EXPECT_THROW(stats::rSquared({1}, {1, 2}), util::InvalidArgument);
+}
+
+TEST(Covariance, KnownValue)
+{
+    EXPECT_DOUBLE_EQ(stats::covariancePopulation({1, 2, 3}, {4, 6, 8}),
+                     2.0 / 3.0 * 2.0); // cov = E[xy]-E[x]E[y] = 4/3
+    EXPECT_THROW(stats::covariancePopulation({}, {}),
+                 util::InvalidArgument);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for descriptive statistics and the Summary accumulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+TEST(Descriptive, Mean)
+{
+    EXPECT_DOUBLE_EQ(stats::mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(stats::mean({5}), 5.0);
+    EXPECT_THROW(stats::mean({}), util::InvalidArgument);
+}
+
+TEST(Descriptive, Variance)
+{
+    const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(stats::variancePopulation(v), 4.0);
+    EXPECT_NEAR(stats::varianceSample(v), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats::stddevPopulation(v), 2.0);
+    EXPECT_THROW(stats::varianceSample({1}), util::InvalidArgument);
+}
+
+TEST(Descriptive, MinMax)
+{
+    EXPECT_DOUBLE_EQ(stats::minimum({3, 1, 2}), 1.0);
+    EXPECT_DOUBLE_EQ(stats::maximum({3, 1, 2}), 3.0);
+    EXPECT_THROW(stats::minimum({}), util::InvalidArgument);
+    EXPECT_THROW(stats::maximum({}), util::InvalidArgument);
+}
+
+TEST(Descriptive, Median)
+{
+    EXPECT_DOUBLE_EQ(stats::median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(stats::median({4, 1, 3, 2}), 2.5);
+    EXPECT_DOUBLE_EQ(stats::median({7}), 7.0);
+    EXPECT_THROW(stats::median({}), util::InvalidArgument);
+}
+
+TEST(Descriptive, Quantile)
+{
+    const std::vector<double> v = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(stats::quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(v, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(v, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(v, 0.25), 2.0);
+    // Interpolation between order statistics.
+    EXPECT_DOUBLE_EQ(stats::quantile({0, 10}, 0.3), 3.0);
+    EXPECT_THROW(stats::quantile(v, 1.5), util::InvalidArgument);
+    EXPECT_THROW(stats::quantile({}, 0.5), util::InvalidArgument);
+}
+
+TEST(Descriptive, GeometricMean)
+{
+    EXPECT_NEAR(stats::geometricMean({1, 4, 16}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats::geometricMean({3}), 3.0);
+    EXPECT_THROW(stats::geometricMean({1, 0}), util::InvalidArgument);
+    EXPECT_THROW(stats::geometricMean({-1.0}), util::InvalidArgument);
+}
+
+TEST(Descriptive, ArgMinMax)
+{
+    EXPECT_EQ(stats::argMax({1, 5, 3}), 1u);
+    EXPECT_EQ(stats::argMin({1, 5, 0}), 2u);
+    // First index wins on ties.
+    EXPECT_EQ(stats::argMax({5, 5}), 0u);
+    EXPECT_THROW(stats::argMax({}), util::InvalidArgument);
+}
+
+TEST(Summary, TracksMoments)
+{
+    stats::Summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, EmptyThrows)
+{
+    stats::Summary s;
+    EXPECT_THROW(s.mean(), util::InvalidArgument);
+    EXPECT_THROW(s.min(), util::InvalidArgument);
+    s.add(1.0);
+    EXPECT_THROW(s.variance(), util::InvalidArgument);
+}
+
+TEST(Summary, MergeMatchesSinglePass)
+{
+    util::Rng rng(7);
+    stats::Summary all;
+    stats::Summary left;
+    stats::Summary right;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.gaussian(3.0, 2.0);
+        all.add(v);
+        (i % 3 == 0 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty)
+{
+    stats::Summary a;
+    a.add(1.0);
+    a.add(3.0);
+    stats::Summary b;
+    a.merge(b); // no-op
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a); // copy
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the paper's error metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/error_metrics.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+TEST(RelativeError, Basics)
+{
+    EXPECT_DOUBLE_EQ(stats::relativeErrorPercent(10.0, 12.0), 20.0);
+    EXPECT_DOUBLE_EQ(stats::relativeErrorPercent(10.0, 8.0), 20.0);
+    EXPECT_DOUBLE_EQ(stats::relativeErrorPercent(10.0, 10.0), 0.0);
+    EXPECT_THROW(stats::relativeErrorPercent(0.0, 1.0),
+                 util::InvalidArgument);
+    EXPECT_THROW(stats::relativeErrorPercent(-1.0, 1.0),
+                 util::InvalidArgument);
+}
+
+TEST(MeanRelativeError, AveragesAcrossElements)
+{
+    EXPECT_DOUBLE_EQ(
+        stats::meanRelativeErrorPercent({10, 20}, {12, 20}), 10.0);
+    EXPECT_THROW(stats::meanRelativeErrorPercent({}, {}),
+                 util::InvalidArgument);
+    EXPECT_THROW(stats::meanRelativeErrorPercent({1}, {1, 2}),
+                 util::InvalidArgument);
+}
+
+TEST(Top1Deficiency, ZeroWhenPredictionPicksBest)
+{
+    // Predicted ranking picks machine 2, which is the actual best.
+    EXPECT_DOUBLE_EQ(
+        stats::top1DeficiencyPercent({10, 20, 30}, {1, 2, 3}), 0.0);
+}
+
+TEST(Top1Deficiency, PenalizesWrongPick)
+{
+    // Predicted top = machine 0 (actual 10); actual best is 30.
+    EXPECT_DOUBLE_EQ(
+        stats::top1DeficiencyPercent({10, 20, 30}, {9, 2, 3}), 200.0);
+}
+
+TEST(Top1Deficiency, CanExceedOneHundredPercent)
+{
+    // The paper's failure mode: predicted machine less than half the
+    // best -> deficiency > 100%.
+    const double d =
+        stats::top1DeficiencyPercent({4, 10}, {5, 1});
+    EXPECT_DOUBLE_EQ(d, 150.0);
+}
+
+TEST(Top1Deficiency, TieOnPredictedUsesFirst)
+{
+    // Stable ordering: with equal predictions the first machine wins.
+    EXPECT_DOUBLE_EQ(
+        stats::top1DeficiencyPercent({10, 20}, {5, 5}), 100.0);
+}
+
+TEST(TopNDeficiency, LargerNCanOnlyHelp)
+{
+    const std::vector<double> actual = {10, 30, 20};
+    const std::vector<double> predicted = {3, 1, 2};
+    const double d1 = stats::topNDeficiencyPercent(actual, predicted, 1);
+    const double d2 = stats::topNDeficiencyPercent(actual, predicted, 2);
+    const double d3 = stats::topNDeficiencyPercent(actual, predicted, 3);
+    EXPECT_GE(d1, d2);
+    EXPECT_GE(d2, d3);
+    EXPECT_DOUBLE_EQ(d3, 0.0);
+}
+
+TEST(TopNDeficiency, PicksBestActualAmongTopN)
+{
+    // Predicted order: 0, 1, 2. Actual: 10, 25, 30.
+    const std::vector<double> actual = {10, 25, 30};
+    const std::vector<double> predicted = {9, 8, 7};
+    EXPECT_DOUBLE_EQ(stats::topNDeficiencyPercent(actual, predicted, 2),
+                     (30.0 - 25.0) / 25.0 * 100.0);
+}
+
+TEST(TopNDeficiency, Validation)
+{
+    EXPECT_THROW(stats::topNDeficiencyPercent({}, {}, 1),
+                 util::InvalidArgument);
+    EXPECT_THROW(stats::topNDeficiencyPercent({1, 2}, {1}, 1),
+                 util::InvalidArgument);
+    EXPECT_THROW(stats::topNDeficiencyPercent({1, 2}, {1, 2}, 0),
+                 util::InvalidArgument);
+    EXPECT_THROW(stats::topNDeficiencyPercent({1, 2}, {1, 2}, 3),
+                 util::InvalidArgument);
+}
+
+} // namespace

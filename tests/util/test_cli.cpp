@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the command-line argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+util::ArgParser
+makeParser()
+{
+    util::ArgParser args("prog");
+    args.addFlag("verbose", "chatty output");
+    args.addOption("seed", "rng seed", "42");
+    args.addOption("rate", "a rate", "0.5");
+    return args;
+}
+
+bool
+parse(util::ArgParser &args, std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "prog");
+    return args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApply)
+{
+    auto args = makeParser();
+    ASSERT_TRUE(parse(args, {}));
+    EXPECT_FALSE(args.getFlag("verbose"));
+    EXPECT_EQ(args.getLong("seed"), 42);
+    EXPECT_DOUBLE_EQ(args.getDouble("rate"), 0.5);
+}
+
+TEST(ArgParser, FlagSet)
+{
+    auto args = makeParser();
+    ASSERT_TRUE(parse(args, {"--verbose"}));
+    EXPECT_TRUE(args.getFlag("verbose"));
+}
+
+TEST(ArgParser, OptionWithSpace)
+{
+    auto args = makeParser();
+    ASSERT_TRUE(parse(args, {"--seed", "7"}));
+    EXPECT_EQ(args.getLong("seed"), 7);
+}
+
+TEST(ArgParser, OptionWithEquals)
+{
+    auto args = makeParser();
+    ASSERT_TRUE(parse(args, {"--rate=0.25"}));
+    EXPECT_DOUBLE_EQ(args.getDouble("rate"), 0.25);
+}
+
+TEST(ArgParser, PositionalArguments)
+{
+    auto args = makeParser();
+    ASSERT_TRUE(parse(args, {"input.csv", "--seed", "1", "out.csv"}));
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "input.csv");
+    EXPECT_EQ(args.positional()[1], "out.csv");
+}
+
+TEST(ArgParser, UnknownOptionThrows)
+{
+    auto args = makeParser();
+    EXPECT_THROW(parse(args, {"--bogus"}), util::InvalidArgument);
+}
+
+TEST(ArgParser, MissingValueThrows)
+{
+    auto args = makeParser();
+    EXPECT_THROW(parse(args, {"--seed"}), util::InvalidArgument);
+}
+
+TEST(ArgParser, FlagWithValueThrows)
+{
+    auto args = makeParser();
+    EXPECT_THROW(parse(args, {"--verbose=1"}), util::InvalidArgument);
+}
+
+TEST(ArgParser, HelpReturnsFalse)
+{
+    auto args = makeParser();
+    ::testing::internal::CaptureStdout();
+    EXPECT_FALSE(parse(args, {"--help"}));
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("usage: prog"), std::string::npos);
+    EXPECT_NE(out.find("--seed"), std::string::npos);
+}
+
+TEST(ArgParser, UnknownLookupThrows)
+{
+    auto args = makeParser();
+    ASSERT_TRUE(parse(args, {}));
+    EXPECT_THROW(args.get("nope"), util::InvalidArgument);
+    EXPECT_THROW(args.getFlag("seed"), util::InvalidArgument);
+}
+
+TEST(ArgParser, UsageListsDefaults)
+{
+    auto args = makeParser();
+    const std::string usage = args.usage();
+    EXPECT_NE(usage.find("default: 42"), std::string::npos);
+    EXPECT_NE(usage.find("--verbose"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the CSV reader/writer, including quoting rules and
+ * file round trips.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+util::CsvRows
+parse(const std::string &text)
+{
+    std::istringstream in(text);
+    return util::readCsv(in);
+}
+
+TEST(CsvRead, SimpleRows)
+{
+    const auto rows = parse("a,b,c\n1,2,3\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvRead, MissingTrailingNewline)
+{
+    const auto rows = parse("a,b\n1,2");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvRead, EmptyFields)
+{
+    const auto rows = parse(",x,\n");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(CsvRead, QuotedFieldWithDelimiter)
+{
+    const auto rows = parse("\"a,b\",c\n");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(CsvRead, EscapedQuotes)
+{
+    const auto rows = parse("\"say \"\"hi\"\"\",x\n");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvRead, QuotedNewline)
+{
+    const auto rows = parse("\"line1\nline2\",x\n");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(CsvRead, CrLfLineEndings)
+{
+    const auto rows = parse("a,b\r\n1,2\r\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvRead, UnterminatedQuoteThrows)
+{
+    EXPECT_THROW(parse("\"oops\n"), util::IoError);
+}
+
+TEST(CsvRead, BlankLinesIgnored)
+{
+    const auto rows = parse("a\n\nb\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0][0], "a");
+    EXPECT_EQ(rows[1][0], "b");
+}
+
+TEST(CsvFormat, QuotesOnlyWhenNeeded)
+{
+    EXPECT_EQ(util::formatCsvRow({"plain", "1.5"}), "plain,1.5");
+    EXPECT_EQ(util::formatCsvRow({"a,b"}), "\"a,b\"");
+    EXPECT_EQ(util::formatCsvRow({"q\"q"}), "\"q\"\"q\"");
+    EXPECT_EQ(util::formatCsvRow({"nl\nnl"}), "\"nl\nnl\"");
+}
+
+TEST(CsvRoundTrip, ArbitraryContent)
+{
+    const util::CsvRows rows = {
+        {"name", "value", "note"},
+        {"x,y", "1.25", "say \"hi\""},
+        {"", "with\nnewline", "plain"},
+    };
+    std::ostringstream out;
+    util::writeCsv(out, rows);
+    std::istringstream in(out.str());
+    EXPECT_EQ(util::readCsv(in), rows);
+}
+
+TEST(CsvFile, RoundTripAndMissingFile)
+{
+    const std::string path = ::testing::TempDir() + "dtrank_csv_test.csv";
+    const util::CsvRows rows = {{"a", "b"}, {"1", "2"}};
+    util::writeCsvFile(path, rows);
+    EXPECT_EQ(util::readCsvFile(path), rows);
+    std::remove(path.c_str());
+    EXPECT_THROW(util::readCsvFile(path), util::IoError);
+}
+
+TEST(CsvRead, AlternativeDelimiter)
+{
+    std::istringstream in("a;b\n1;2\n");
+    const auto rows = util::readCsv(in, ';');
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+} // namespace

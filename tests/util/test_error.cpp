@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the error-handling primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+TEST(Error, RequirePassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(util::require(true, "should not throw"));
+}
+
+TEST(Error, RequireThrowsInvalidArgument)
+{
+    EXPECT_THROW(util::require(false, "boom"), util::InvalidArgument);
+}
+
+TEST(Error, RequireMessagePropagates)
+{
+    try {
+        util::require(false, "specific message");
+        FAIL() << "expected InvalidArgument";
+    } catch (const util::InvalidArgument &e) {
+        EXPECT_STREQ(e.what(), "specific message");
+    }
+}
+
+TEST(Error, HierarchyIsCatchableAsBase)
+{
+    EXPECT_THROW(throw util::InvalidArgument("x"), util::Error);
+    EXPECT_THROW(throw util::IoError("x"), util::Error);
+    EXPECT_THROW(throw util::NumericalError("x"), util::Error);
+    EXPECT_THROW(throw util::Error("x"), std::runtime_error);
+}
+
+TEST(Error, DistinctTypesAreDistinguishable)
+{
+    bool caught_io = false;
+    try {
+        throw util::IoError("file gone");
+    } catch (const util::InvalidArgument &) {
+        FAIL() << "IoError must not be an InvalidArgument";
+    } catch (const util::IoError &) {
+        caught_io = true;
+    }
+    EXPECT_TRUE(caught_io);
+}
+
+TEST(ErrorDeathTest, AssertAbortsOnFailure)
+{
+    EXPECT_DEATH({ DTRANK_ASSERT(1 == 2); }, "assertion");
+}
+
+TEST(ErrorDeathTest, AssertMsgIncludesMessage)
+{
+    EXPECT_DEATH({ DTRANK_ASSERT_MSG(false, "my-detail"); }, "my-detail");
+}
+
+TEST(Error, AssertPassesSilently)
+{
+    DTRANK_ASSERT(1 + 1 == 2);
+    DTRANK_ASSERT_MSG(true, "never shown");
+    SUCCEED();
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the logging verbosity gates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        util::setLogLevel(util::LogLevel::Warn); // restore default
+    }
+
+    static std::string
+    captureWarn(const std::string &msg)
+    {
+        ::testing::internal::CaptureStderr();
+        util::warn(msg);
+        return ::testing::internal::GetCapturedStderr();
+    }
+
+    static std::string
+    captureInform(const std::string &msg)
+    {
+        ::testing::internal::CaptureStderr();
+        util::inform(msg);
+        return ::testing::internal::GetCapturedStderr();
+    }
+
+    static std::string
+    captureDebug(const std::string &msg)
+    {
+        ::testing::internal::CaptureStderr();
+        util::debug(msg);
+        return ::testing::internal::GetCapturedStderr();
+    }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarn)
+{
+    EXPECT_EQ(util::logLevel(), util::LogLevel::Warn);
+}
+
+TEST_F(LoggingTest, WarnPrintsAtDefaultLevel)
+{
+    const std::string out = captureWarn("something odd");
+    EXPECT_NE(out.find("warn: something odd"), std::string::npos);
+}
+
+TEST_F(LoggingTest, InfoSuppressedAtDefaultLevel)
+{
+    EXPECT_TRUE(captureInform("progress").empty());
+    EXPECT_TRUE(captureDebug("detail").empty());
+}
+
+TEST_F(LoggingTest, InfoPrintsAtInfoLevel)
+{
+    util::setLogLevel(util::LogLevel::Info);
+    EXPECT_NE(captureInform("progress").find("info: progress"),
+              std::string::npos);
+    EXPECT_TRUE(captureDebug("detail").empty());
+}
+
+TEST_F(LoggingTest, DebugPrintsAtDebugLevel)
+{
+    util::setLogLevel(util::LogLevel::Debug);
+    EXPECT_NE(captureDebug("detail").find("debug: detail"),
+              std::string::npos);
+}
+
+TEST_F(LoggingTest, QuietSuppressesEverything)
+{
+    util::setLogLevel(util::LogLevel::Quiet);
+    EXPECT_TRUE(captureWarn("suppressed").empty());
+    EXPECT_TRUE(captureInform("suppressed").empty());
+    EXPECT_TRUE(captureDebug("suppressed").empty());
+}
+
+} // namespace

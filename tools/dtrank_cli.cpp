@@ -1,0 +1,274 @@
+/**
+ * @file
+ * dtrank — command-line interface to the library.
+ *
+ * Subcommands:
+ *   generate   Write the synthetic SPEC-style database to CSV.
+ *   info       Summarize a database CSV.
+ *   rank       Rank the machines of a database for an application of
+ *              interest, given the user's own measurements on the
+ *              machines they own.
+ *   evaluate   Hold out a benchmark as the application of interest and
+ *              report prediction accuracy (with a bootstrap confidence
+ *              interval on the rank correlation).
+ *
+ * Examples:
+ *   dtrank_cli generate --out spec.csv
+ *   dtrank_cli info --db spec.csv
+ *   dtrank_cli rank --db spec.csv --measurements my_app.csv --top 10
+ *   dtrank_cli evaluate --db spec.csv --app gcc --owned 6
+ *
+ * The measurements CSV has one "machine name,score" row per owned
+ * machine; machine names must match `info` output (e.g.
+ * "Intel Xeon/Gainestown#0").
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "core/linear_transposition.h"
+#include "core/metrics.h"
+#include "core/mlp_transposition.h"
+#include "core/multi_transposition.h"
+#include "core/ranking.h"
+#include "core/selection.h"
+#include "core/spline_transposition.h"
+#include "core/transposition.h"
+#include "dataset/synthetic_spec.h"
+#include "core/ranking_comparison.h"
+#include "stats/bootstrap.h"
+#include "stats/kendall.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+using namespace dtrank;
+
+namespace
+{
+
+/** Builds the requested predictor. */
+std::unique_ptr<core::TranspositionPredictor>
+makePredictor(const std::string &method)
+{
+    const std::string m = util::toLower(method);
+    if (m == "nn" || m == "linear")
+        return std::make_unique<core::LinearTransposition>();
+    if (m == "mlp")
+        return std::make_unique<core::MlpTransposition>();
+    if (m == "spline")
+        return std::make_unique<core::SplineTransposition>();
+    if (m == "multi" || m == "knn")
+        return std::make_unique<core::MultiTransposition>();
+    throw util::InvalidArgument("unknown --method '" + method +
+                                "' (nn, mlp, spline, multi)");
+}
+
+int
+cmdGenerate(util::ArgParser &args)
+{
+    const dataset::PerfDatabase db = dataset::makePaperDataset(
+        static_cast<std::uint64_t>(args.getLong("seed")));
+    const std::string out = args.get("out");
+    util::require(!out.empty(), "generate: --out is required");
+    db.saveCsv(out);
+    std::cout << "wrote " << db.benchmarkCount() << " benchmarks x "
+              << db.machineCount() << " machines to " << out << "\n";
+    return 0;
+}
+
+int
+cmdInfo(util::ArgParser &args)
+{
+    const dataset::PerfDatabase db =
+        dataset::PerfDatabase::loadCsv(args.get("db"));
+    std::cout << db.benchmarkCount() << " benchmarks, "
+              << db.machineCount() << " machines, "
+              << db.families().size() << " families\n\nBenchmarks:";
+    for (std::size_t b = 0; b < db.benchmarkCount(); ++b)
+        std::cout << (b ? ", " : " ") << db.benchmark(b).name;
+    std::cout << "\n\nMachines:\n";
+    util::TablePrinter table({"name", "vendor", "isa", "year"});
+    for (std::size_t m = 0; m < db.machineCount(); ++m) {
+        const auto &info = db.machine(m);
+        table.addRow({info.name(), info.vendor, info.isa,
+                      std::to_string(info.releaseYear)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+/** Parses "machine name,score" rows; returns db indices + scores. */
+std::pair<std::vector<std::size_t>, std::vector<double>>
+loadMeasurements(const dataset::PerfDatabase &db, const std::string &path)
+{
+    std::map<std::string, std::size_t> by_name;
+    for (std::size_t m = 0; m < db.machineCount(); ++m)
+        by_name[db.machine(m).name()] = m;
+
+    std::vector<std::size_t> machines;
+    std::vector<double> scores;
+    for (const auto &row : util::readCsvFile(path)) {
+        if (row.empty() || (row.size() == 1 && row[0].empty()))
+            continue;
+        util::require(row.size() == 2,
+                      "measurements: expected 'machine,score' rows");
+        const std::string name = util::trim(row[0]);
+        if (name == "machine" || name == "name")
+            continue; // optional header
+        const auto it = by_name.find(name);
+        util::require(it != by_name.end(),
+                      "measurements: unknown machine '" + name +
+                          "' (see `dtrank_cli info`)");
+        machines.push_back(it->second);
+        scores.push_back(util::parseDouble(row[1]));
+        util::require(scores.back() > 0.0,
+                      "measurements: scores must be positive");
+    }
+    util::require(machines.size() >= 2,
+                  "measurements: need at least 2 owned machines");
+    return {machines, scores};
+}
+
+int
+cmdRank(util::ArgParser &args)
+{
+    const dataset::PerfDatabase db =
+        dataset::PerfDatabase::loadCsv(args.get("db"));
+    const auto [owned, app_scores] =
+        loadMeasurements(db, args.get("measurements"));
+
+    std::vector<std::size_t> targets;
+    for (std::size_t m = 0; m < db.machineCount(); ++m)
+        if (std::find(owned.begin(), owned.end(), m) == owned.end())
+            targets.push_back(m);
+
+    // Build the problem by hand: the app is the user's own workload,
+    // not a database row.
+    const dataset::PerfDatabase pred_db = db.selectMachines(owned);
+    const dataset::PerfDatabase target_db = db.selectMachines(targets);
+    core::TranspositionProblem problem;
+    problem.predictiveBenchScores = pred_db.scores();
+    problem.predictiveAppScores = app_scores;
+    problem.targetBenchScores = target_db.scores();
+
+    auto predictor = makePredictor(args.get("method"));
+    const auto predicted = predictor->predict(problem);
+    const core::MachineRanking ranking(predicted);
+
+    std::cout << "Owned machines (" << owned.size() << "):";
+    for (std::size_t m : owned)
+        std::cout << " " << db.machine(m).name();
+    std::cout << "\nMethod: " << predictor->name()
+              << "\n\nPredicted best machines for your application:\n\n"
+              << ranking.toTable(
+                     target_db,
+                     static_cast<std::size_t>(args.getLong("top")));
+    return 0;
+}
+
+int
+cmdEvaluate(util::ArgParser &args)
+{
+    const dataset::PerfDatabase db =
+        dataset::PerfDatabase::loadCsv(args.get("db"));
+    const std::string app = args.get("app");
+    util::require(db.hasBenchmark(app),
+                  "evaluate: unknown benchmark '" + app + "'");
+
+    std::vector<std::size_t> all(db.machineCount());
+    for (std::size_t m = 0; m < all.size(); ++m)
+        all[m] = m;
+    util::Rng rng(static_cast<std::uint64_t>(args.getLong("seed")));
+    const auto owned = core::selectMachinesByKMedoids(
+        db, all, static_cast<std::size_t>(args.getLong("owned")), rng);
+    std::vector<std::size_t> targets;
+    for (std::size_t m = 0; m < db.machineCount(); ++m)
+        if (std::find(owned.begin(), owned.end(), m) == owned.end())
+            targets.push_back(m);
+
+    const auto problem =
+        core::makeProblemFromSplit(db, owned, targets, app);
+    auto predictor = makePredictor(args.get("method"));
+    const auto predicted = predictor->predict(problem);
+    const auto actual =
+        db.selectMachines(targets).benchmarkScores(db.benchmarkIndex(app));
+
+    const auto metrics = core::evaluatePrediction(actual, predicted);
+    const auto ci = stats::bootstrapSpearman(actual, predicted);
+
+    std::cout << "Application of interest: " << app << " (held out)\n"
+              << "Owned machines: " << owned.size()
+              << " (k-medoid selected)\nMethod: " << predictor->name()
+              << "\n\n"
+              << "Rank correlation:  "
+              << util::formatFixed(metrics.rankCorrelation, 3)
+              << "  [95% CI " << util::formatFixed(ci.lower, 3) << ", "
+              << util::formatFixed(ci.upper, 3) << "]\n"
+              << "Kendall tau-b:     "
+              << util::formatFixed(stats::kendallTau(actual, predicted),
+                                   3)
+              << "\n"
+              << "Top-1 deficiency:  "
+              << util::formatFixed(metrics.top1ErrorPercent, 2) << "%\n"
+              << "Top-5 overlap:     "
+              << util::formatFixed(
+                     core::topNOverlap(actual, predicted, 5) * 100.0, 0)
+              << "%\n"
+              << "Max rank slip:     "
+              << core::maxRankDisplacement(actual, predicted)
+              << " positions\n"
+              << "Mean error:        "
+              << util::formatFixed(metrics.meanErrorPercent, 2) << "%\n"
+              << "Max error:         "
+              << util::formatFixed(metrics.maxErrorPercent, 2) << "%\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: dtrank_cli <generate|info|rank|evaluate> "
+                     "[options]\nRun a subcommand with --help for its "
+                     "options.\n";
+        return 2;
+    }
+    const std::string command = argv[1];
+
+    util::ArgParser args("dtrank_cli " + command);
+    args.addOption("db", "database CSV path", "");
+    args.addOption("out", "output path", "");
+    args.addOption("seed", "random seed", "2011");
+    args.addOption("measurements",
+                   "CSV of 'machine,score' rows for your application",
+                   "");
+    args.addOption("method", "predictor: nn, mlp, spline, multi", "mlp");
+    args.addOption("top", "ranking rows to print", "10");
+    args.addOption("app", "held-out benchmark (evaluate)", "gcc");
+    args.addOption("owned", "number of owned machines (evaluate)", "6");
+
+    try {
+        if (!args.parse(argc - 1, argv + 1))
+            return 0;
+        if (command == "generate")
+            return cmdGenerate(args);
+        if (command == "info")
+            return cmdInfo(args);
+        if (command == "rank")
+            return cmdRank(args);
+        if (command == "evaluate")
+            return cmdEvaluate(args);
+        std::cerr << "unknown command '" << command << "'\n";
+        return 2;
+    } catch (const util::Error &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
