@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_top1_error.dir/bench_fig7_top1_error.cpp.o"
+  "CMakeFiles/bench_fig7_top1_error.dir/bench_fig7_top1_error.cpp.o.d"
+  "bench_fig7_top1_error"
+  "bench_fig7_top1_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_top1_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_family_cv.dir/bench_table2_family_cv.cpp.o"
+  "CMakeFiles/bench_table2_family_cv.dir/bench_table2_family_cv.cpp.o.d"
+  "bench_table2_family_cv"
+  "bench_table2_family_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_family_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_future.dir/bench_table3_future.cpp.o"
+  "CMakeFiles/bench_table3_future.dir/bench_table3_future.cpp.o.d"
+  "bench_table3_future"
+  "bench_table3_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

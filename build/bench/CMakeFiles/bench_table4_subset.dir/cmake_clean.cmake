@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_subset.dir/bench_table4_subset.cpp.o"
+  "CMakeFiles/bench_table4_subset.dir/bench_table4_subset.cpp.o.d"
+  "bench_table4_subset"
+  "bench_table4_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_proofing.dir/future_proofing.cpp.o"
+  "CMakeFiles/future_proofing.dir/future_proofing.cpp.o.d"
+  "future_proofing"
+  "future_proofing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_proofing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_scheduler.dir/hetero_scheduler.cpp.o"
+  "CMakeFiles/hetero_scheduler.dir/hetero_scheduler.cpp.o.d"
+  "hetero_scheduler"
+  "hetero_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

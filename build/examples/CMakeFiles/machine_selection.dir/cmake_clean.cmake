@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_selection.dir/machine_selection.cpp.o"
+  "CMakeFiles/machine_selection.dir/machine_selection.cpp.o.d"
+  "machine_selection"
+  "machine_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purchase_advisor.dir/purchase_advisor.cpp.o"
+  "CMakeFiles/purchase_advisor.dir/purchase_advisor.cpp.o.d"
+  "purchase_advisor"
+  "purchase_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purchase_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtrank_baseline.dir/ga_knn.cpp.o"
+  "CMakeFiles/dtrank_baseline.dir/ga_knn.cpp.o.d"
+  "libdtrank_baseline.a"
+  "libdtrank_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtrank_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

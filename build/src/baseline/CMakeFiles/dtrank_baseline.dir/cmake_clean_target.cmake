@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtrank_baseline.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/linear_transposition.cpp" "src/core/CMakeFiles/dtrank_core.dir/linear_transposition.cpp.o" "gcc" "src/core/CMakeFiles/dtrank_core.dir/linear_transposition.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/dtrank_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/dtrank_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/mlp_transposition.cpp" "src/core/CMakeFiles/dtrank_core.dir/mlp_transposition.cpp.o" "gcc" "src/core/CMakeFiles/dtrank_core.dir/mlp_transposition.cpp.o.d"
+  "/root/repo/src/core/multi_transposition.cpp" "src/core/CMakeFiles/dtrank_core.dir/multi_transposition.cpp.o" "gcc" "src/core/CMakeFiles/dtrank_core.dir/multi_transposition.cpp.o.d"
+  "/root/repo/src/core/ranking.cpp" "src/core/CMakeFiles/dtrank_core.dir/ranking.cpp.o" "gcc" "src/core/CMakeFiles/dtrank_core.dir/ranking.cpp.o.d"
+  "/root/repo/src/core/ranking_comparison.cpp" "src/core/CMakeFiles/dtrank_core.dir/ranking_comparison.cpp.o" "gcc" "src/core/CMakeFiles/dtrank_core.dir/ranking_comparison.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/dtrank_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/dtrank_core.dir/selection.cpp.o.d"
+  "/root/repo/src/core/spline_transposition.cpp" "src/core/CMakeFiles/dtrank_core.dir/spline_transposition.cpp.o" "gcc" "src/core/CMakeFiles/dtrank_core.dir/spline_transposition.cpp.o.d"
+  "/root/repo/src/core/transposition.cpp" "src/core/CMakeFiles/dtrank_core.dir/transposition.cpp.o" "gcc" "src/core/CMakeFiles/dtrank_core.dir/transposition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataset/CMakeFiles/dtrank_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dtrank_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dtrank_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dtrank_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dtrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

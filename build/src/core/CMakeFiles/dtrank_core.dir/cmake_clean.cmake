@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtrank_core.dir/linear_transposition.cpp.o"
+  "CMakeFiles/dtrank_core.dir/linear_transposition.cpp.o.d"
+  "CMakeFiles/dtrank_core.dir/metrics.cpp.o"
+  "CMakeFiles/dtrank_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/dtrank_core.dir/mlp_transposition.cpp.o"
+  "CMakeFiles/dtrank_core.dir/mlp_transposition.cpp.o.d"
+  "CMakeFiles/dtrank_core.dir/multi_transposition.cpp.o"
+  "CMakeFiles/dtrank_core.dir/multi_transposition.cpp.o.d"
+  "CMakeFiles/dtrank_core.dir/ranking.cpp.o"
+  "CMakeFiles/dtrank_core.dir/ranking.cpp.o.d"
+  "CMakeFiles/dtrank_core.dir/ranking_comparison.cpp.o"
+  "CMakeFiles/dtrank_core.dir/ranking_comparison.cpp.o.d"
+  "CMakeFiles/dtrank_core.dir/selection.cpp.o"
+  "CMakeFiles/dtrank_core.dir/selection.cpp.o.d"
+  "CMakeFiles/dtrank_core.dir/spline_transposition.cpp.o"
+  "CMakeFiles/dtrank_core.dir/spline_transposition.cpp.o.d"
+  "CMakeFiles/dtrank_core.dir/transposition.cpp.o"
+  "CMakeFiles/dtrank_core.dir/transposition.cpp.o.d"
+  "libdtrank_core.a"
+  "libdtrank_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtrank_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

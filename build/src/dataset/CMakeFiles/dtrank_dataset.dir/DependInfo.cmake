@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/characteristics_io.cpp" "src/dataset/CMakeFiles/dtrank_dataset.dir/characteristics_io.cpp.o" "gcc" "src/dataset/CMakeFiles/dtrank_dataset.dir/characteristics_io.cpp.o.d"
+  "/root/repo/src/dataset/latent_model.cpp" "src/dataset/CMakeFiles/dtrank_dataset.dir/latent_model.cpp.o" "gcc" "src/dataset/CMakeFiles/dtrank_dataset.dir/latent_model.cpp.o.d"
+  "/root/repo/src/dataset/mica.cpp" "src/dataset/CMakeFiles/dtrank_dataset.dir/mica.cpp.o" "gcc" "src/dataset/CMakeFiles/dtrank_dataset.dir/mica.cpp.o.d"
+  "/root/repo/src/dataset/perf_database.cpp" "src/dataset/CMakeFiles/dtrank_dataset.dir/perf_database.cpp.o" "gcc" "src/dataset/CMakeFiles/dtrank_dataset.dir/perf_database.cpp.o.d"
+  "/root/repo/src/dataset/synthetic_spec.cpp" "src/dataset/CMakeFiles/dtrank_dataset.dir/synthetic_spec.cpp.o" "gcc" "src/dataset/CMakeFiles/dtrank_dataset.dir/synthetic_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/dtrank_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dtrank_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dtrank_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dtrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtrank_dataset.dir/characteristics_io.cpp.o"
+  "CMakeFiles/dtrank_dataset.dir/characteristics_io.cpp.o.d"
+  "CMakeFiles/dtrank_dataset.dir/latent_model.cpp.o"
+  "CMakeFiles/dtrank_dataset.dir/latent_model.cpp.o.d"
+  "CMakeFiles/dtrank_dataset.dir/mica.cpp.o"
+  "CMakeFiles/dtrank_dataset.dir/mica.cpp.o.d"
+  "CMakeFiles/dtrank_dataset.dir/perf_database.cpp.o"
+  "CMakeFiles/dtrank_dataset.dir/perf_database.cpp.o.d"
+  "CMakeFiles/dtrank_dataset.dir/synthetic_spec.cpp.o"
+  "CMakeFiles/dtrank_dataset.dir/synthetic_spec.cpp.o.d"
+  "libdtrank_dataset.a"
+  "libdtrank_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtrank_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiments/aggregate.cpp" "src/experiments/CMakeFiles/dtrank_experiments.dir/aggregate.cpp.o" "gcc" "src/experiments/CMakeFiles/dtrank_experiments.dir/aggregate.cpp.o.d"
+  "/root/repo/src/experiments/family_cv.cpp" "src/experiments/CMakeFiles/dtrank_experiments.dir/family_cv.cpp.o" "gcc" "src/experiments/CMakeFiles/dtrank_experiments.dir/family_cv.cpp.o.d"
+  "/root/repo/src/experiments/future.cpp" "src/experiments/CMakeFiles/dtrank_experiments.dir/future.cpp.o" "gcc" "src/experiments/CMakeFiles/dtrank_experiments.dir/future.cpp.o.d"
+  "/root/repo/src/experiments/harness.cpp" "src/experiments/CMakeFiles/dtrank_experiments.dir/harness.cpp.o" "gcc" "src/experiments/CMakeFiles/dtrank_experiments.dir/harness.cpp.o.d"
+  "/root/repo/src/experiments/markdown_report.cpp" "src/experiments/CMakeFiles/dtrank_experiments.dir/markdown_report.cpp.o" "gcc" "src/experiments/CMakeFiles/dtrank_experiments.dir/markdown_report.cpp.o.d"
+  "/root/repo/src/experiments/paper_reference.cpp" "src/experiments/CMakeFiles/dtrank_experiments.dir/paper_reference.cpp.o" "gcc" "src/experiments/CMakeFiles/dtrank_experiments.dir/paper_reference.cpp.o.d"
+  "/root/repo/src/experiments/selection_sweep.cpp" "src/experiments/CMakeFiles/dtrank_experiments.dir/selection_sweep.cpp.o" "gcc" "src/experiments/CMakeFiles/dtrank_experiments.dir/selection_sweep.cpp.o.d"
+  "/root/repo/src/experiments/subset.cpp" "src/experiments/CMakeFiles/dtrank_experiments.dir/subset.cpp.o" "gcc" "src/experiments/CMakeFiles/dtrank_experiments.dir/subset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/dtrank_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dtrank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/dtrank_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dtrank_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dtrank_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dtrank_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dtrank_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

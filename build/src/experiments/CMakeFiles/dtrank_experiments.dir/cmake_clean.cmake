@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtrank_experiments.dir/aggregate.cpp.o"
+  "CMakeFiles/dtrank_experiments.dir/aggregate.cpp.o.d"
+  "CMakeFiles/dtrank_experiments.dir/family_cv.cpp.o"
+  "CMakeFiles/dtrank_experiments.dir/family_cv.cpp.o.d"
+  "CMakeFiles/dtrank_experiments.dir/future.cpp.o"
+  "CMakeFiles/dtrank_experiments.dir/future.cpp.o.d"
+  "CMakeFiles/dtrank_experiments.dir/harness.cpp.o"
+  "CMakeFiles/dtrank_experiments.dir/harness.cpp.o.d"
+  "CMakeFiles/dtrank_experiments.dir/markdown_report.cpp.o"
+  "CMakeFiles/dtrank_experiments.dir/markdown_report.cpp.o.d"
+  "CMakeFiles/dtrank_experiments.dir/paper_reference.cpp.o"
+  "CMakeFiles/dtrank_experiments.dir/paper_reference.cpp.o.d"
+  "CMakeFiles/dtrank_experiments.dir/selection_sweep.cpp.o"
+  "CMakeFiles/dtrank_experiments.dir/selection_sweep.cpp.o.d"
+  "CMakeFiles/dtrank_experiments.dir/subset.cpp.o"
+  "CMakeFiles/dtrank_experiments.dir/subset.cpp.o.d"
+  "libdtrank_experiments.a"
+  "libdtrank_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtrank_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtrank_linalg.dir/decompositions.cpp.o"
+  "CMakeFiles/dtrank_linalg.dir/decompositions.cpp.o.d"
+  "CMakeFiles/dtrank_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/dtrank_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/dtrank_linalg.dir/least_squares.cpp.o"
+  "CMakeFiles/dtrank_linalg.dir/least_squares.cpp.o.d"
+  "CMakeFiles/dtrank_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/dtrank_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/dtrank_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/dtrank_linalg.dir/vector_ops.cpp.o.d"
+  "libdtrank_linalg.a"
+  "libdtrank_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtrank_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/activation.cpp" "src/ml/CMakeFiles/dtrank_ml.dir/activation.cpp.o" "gcc" "src/ml/CMakeFiles/dtrank_ml.dir/activation.cpp.o.d"
+  "/root/repo/src/ml/distance.cpp" "src/ml/CMakeFiles/dtrank_ml.dir/distance.cpp.o" "gcc" "src/ml/CMakeFiles/dtrank_ml.dir/distance.cpp.o.d"
+  "/root/repo/src/ml/genetic.cpp" "src/ml/CMakeFiles/dtrank_ml.dir/genetic.cpp.o" "gcc" "src/ml/CMakeFiles/dtrank_ml.dir/genetic.cpp.o.d"
+  "/root/repo/src/ml/kmedoids.cpp" "src/ml/CMakeFiles/dtrank_ml.dir/kmedoids.cpp.o" "gcc" "src/ml/CMakeFiles/dtrank_ml.dir/kmedoids.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/dtrank_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/dtrank_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/dtrank_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/dtrank_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/normalizer.cpp" "src/ml/CMakeFiles/dtrank_ml.dir/normalizer.cpp.o" "gcc" "src/ml/CMakeFiles/dtrank_ml.dir/normalizer.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/dtrank_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/dtrank_ml.dir/pca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/dtrank_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dtrank_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dtrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

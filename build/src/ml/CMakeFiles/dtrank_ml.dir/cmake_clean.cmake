@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtrank_ml.dir/activation.cpp.o"
+  "CMakeFiles/dtrank_ml.dir/activation.cpp.o.d"
+  "CMakeFiles/dtrank_ml.dir/distance.cpp.o"
+  "CMakeFiles/dtrank_ml.dir/distance.cpp.o.d"
+  "CMakeFiles/dtrank_ml.dir/genetic.cpp.o"
+  "CMakeFiles/dtrank_ml.dir/genetic.cpp.o.d"
+  "CMakeFiles/dtrank_ml.dir/kmedoids.cpp.o"
+  "CMakeFiles/dtrank_ml.dir/kmedoids.cpp.o.d"
+  "CMakeFiles/dtrank_ml.dir/knn.cpp.o"
+  "CMakeFiles/dtrank_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/dtrank_ml.dir/mlp.cpp.o"
+  "CMakeFiles/dtrank_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/dtrank_ml.dir/normalizer.cpp.o"
+  "CMakeFiles/dtrank_ml.dir/normalizer.cpp.o.d"
+  "CMakeFiles/dtrank_ml.dir/pca.cpp.o"
+  "CMakeFiles/dtrank_ml.dir/pca.cpp.o.d"
+  "libdtrank_ml.a"
+  "libdtrank_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtrank_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/dtrank_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/dtrank_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/dtrank_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/dtrank_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/dtrank_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/dtrank_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/error_metrics.cpp" "src/stats/CMakeFiles/dtrank_stats.dir/error_metrics.cpp.o" "gcc" "src/stats/CMakeFiles/dtrank_stats.dir/error_metrics.cpp.o.d"
+  "/root/repo/src/stats/kendall.cpp" "src/stats/CMakeFiles/dtrank_stats.dir/kendall.cpp.o" "gcc" "src/stats/CMakeFiles/dtrank_stats.dir/kendall.cpp.o.d"
+  "/root/repo/src/stats/ranking.cpp" "src/stats/CMakeFiles/dtrank_stats.dir/ranking.cpp.o" "gcc" "src/stats/CMakeFiles/dtrank_stats.dir/ranking.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/dtrank_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/dtrank_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/spline.cpp" "src/stats/CMakeFiles/dtrank_stats.dir/spline.cpp.o" "gcc" "src/stats/CMakeFiles/dtrank_stats.dir/spline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/dtrank_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dtrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtrank_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/dtrank_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/dtrank_stats.dir/correlation.cpp.o"
+  "CMakeFiles/dtrank_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/dtrank_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/dtrank_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/dtrank_stats.dir/error_metrics.cpp.o"
+  "CMakeFiles/dtrank_stats.dir/error_metrics.cpp.o.d"
+  "CMakeFiles/dtrank_stats.dir/kendall.cpp.o"
+  "CMakeFiles/dtrank_stats.dir/kendall.cpp.o.d"
+  "CMakeFiles/dtrank_stats.dir/ranking.cpp.o"
+  "CMakeFiles/dtrank_stats.dir/ranking.cpp.o.d"
+  "CMakeFiles/dtrank_stats.dir/regression.cpp.o"
+  "CMakeFiles/dtrank_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/dtrank_stats.dir/spline.cpp.o"
+  "CMakeFiles/dtrank_stats.dir/spline.cpp.o.d"
+  "libdtrank_stats.a"
+  "libdtrank_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtrank_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtrank_util.dir/cli.cpp.o"
+  "CMakeFiles/dtrank_util.dir/cli.cpp.o.d"
+  "CMakeFiles/dtrank_util.dir/csv.cpp.o"
+  "CMakeFiles/dtrank_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dtrank_util.dir/logging.cpp.o"
+  "CMakeFiles/dtrank_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dtrank_util.dir/string_utils.cpp.o"
+  "CMakeFiles/dtrank_util.dir/string_utils.cpp.o.d"
+  "CMakeFiles/dtrank_util.dir/table.cpp.o"
+  "CMakeFiles/dtrank_util.dir/table.cpp.o.d"
+  "libdtrank_util.a"
+  "libdtrank_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtrank_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

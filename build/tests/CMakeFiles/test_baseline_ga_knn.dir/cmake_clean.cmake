@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_ga_knn.dir/baseline/test_ga_knn.cpp.o"
+  "CMakeFiles/test_baseline_ga_knn.dir/baseline/test_ga_knn.cpp.o.d"
+  "test_baseline_ga_knn"
+  "test_baseline_ga_knn.pdb"
+  "test_baseline_ga_knn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_ga_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_extended_predictors.dir/core/test_extended_predictors.cpp.o"
+  "CMakeFiles/test_core_extended_predictors.dir/core/test_extended_predictors.cpp.o.d"
+  "test_core_extended_predictors"
+  "test_core_extended_predictors.pdb"
+  "test_core_extended_predictors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_extended_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

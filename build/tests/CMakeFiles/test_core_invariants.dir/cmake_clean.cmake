@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_invariants.dir/core/test_invariants.cpp.o"
+  "CMakeFiles/test_core_invariants.dir/core/test_invariants.cpp.o.d"
+  "test_core_invariants"
+  "test_core_invariants.pdb"
+  "test_core_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_linear_transposition.dir/core/test_linear_transposition.cpp.o"
+  "CMakeFiles/test_core_linear_transposition.dir/core/test_linear_transposition.cpp.o.d"
+  "test_core_linear_transposition"
+  "test_core_linear_transposition.pdb"
+  "test_core_linear_transposition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_linear_transposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

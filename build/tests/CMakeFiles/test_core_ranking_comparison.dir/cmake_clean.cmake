@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ranking_comparison.dir/core/test_ranking_comparison.cpp.o"
+  "CMakeFiles/test_core_ranking_comparison.dir/core/test_ranking_comparison.cpp.o.d"
+  "test_core_ranking_comparison"
+  "test_core_ranking_comparison.pdb"
+  "test_core_ranking_comparison[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ranking_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_selection.dir/core/test_selection.cpp.o"
+  "CMakeFiles/test_core_selection.dir/core/test_selection.cpp.o.d"
+  "test_core_selection"
+  "test_core_selection.pdb"
+  "test_core_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_transposition.dir/core/test_transposition.cpp.o"
+  "CMakeFiles/test_core_transposition.dir/core/test_transposition.cpp.o.d"
+  "test_core_transposition"
+  "test_core_transposition.pdb"
+  "test_core_transposition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_transposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset_latent_model.dir/dataset/test_latent_model.cpp.o"
+  "CMakeFiles/test_dataset_latent_model.dir/dataset/test_latent_model.cpp.o.d"
+  "test_dataset_latent_model"
+  "test_dataset_latent_model.pdb"
+  "test_dataset_latent_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset_latent_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

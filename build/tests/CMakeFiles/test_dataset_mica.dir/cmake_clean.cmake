@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset_mica.dir/dataset/test_mica.cpp.o"
+  "CMakeFiles/test_dataset_mica.dir/dataset/test_mica.cpp.o.d"
+  "test_dataset_mica"
+  "test_dataset_mica.pdb"
+  "test_dataset_mica[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset_mica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset_perf_database.dir/dataset/test_perf_database.cpp.o"
+  "CMakeFiles/test_dataset_perf_database.dir/dataset/test_perf_database.cpp.o.d"
+  "test_dataset_perf_database"
+  "test_dataset_perf_database.pdb"
+  "test_dataset_perf_database[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset_perf_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

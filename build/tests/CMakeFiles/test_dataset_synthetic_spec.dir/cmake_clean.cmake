@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset_synthetic_spec.dir/dataset/test_synthetic_spec.cpp.o"
+  "CMakeFiles/test_dataset_synthetic_spec.dir/dataset/test_synthetic_spec.cpp.o.d"
+  "test_dataset_synthetic_spec"
+  "test_dataset_synthetic_spec.pdb"
+  "test_dataset_synthetic_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset_synthetic_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

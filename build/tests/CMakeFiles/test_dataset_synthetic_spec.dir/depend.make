@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dataset_synthetic_spec.
+# This may be replaced when dependencies are built.

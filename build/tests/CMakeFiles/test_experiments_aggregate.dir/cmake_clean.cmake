@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments_aggregate.dir/experiments/test_aggregate.cpp.o"
+  "CMakeFiles/test_experiments_aggregate.dir/experiments/test_aggregate.cpp.o.d"
+  "test_experiments_aggregate"
+  "test_experiments_aggregate.pdb"
+  "test_experiments_aggregate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments_family_cv.dir/experiments/test_family_cv.cpp.o"
+  "CMakeFiles/test_experiments_family_cv.dir/experiments/test_family_cv.cpp.o.d"
+  "test_experiments_family_cv"
+  "test_experiments_family_cv.pdb"
+  "test_experiments_family_cv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments_family_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

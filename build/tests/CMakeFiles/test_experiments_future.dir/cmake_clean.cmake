@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments_future.dir/experiments/test_future.cpp.o"
+  "CMakeFiles/test_experiments_future.dir/experiments/test_future.cpp.o.d"
+  "test_experiments_future"
+  "test_experiments_future.pdb"
+  "test_experiments_future[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments_harness.dir/experiments/test_harness.cpp.o"
+  "CMakeFiles/test_experiments_harness.dir/experiments/test_harness.cpp.o.d"
+  "test_experiments_harness"
+  "test_experiments_harness.pdb"
+  "test_experiments_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments_markdown_report.dir/experiments/test_markdown_report.cpp.o"
+  "CMakeFiles/test_experiments_markdown_report.dir/experiments/test_markdown_report.cpp.o.d"
+  "test_experiments_markdown_report"
+  "test_experiments_markdown_report.pdb"
+  "test_experiments_markdown_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments_markdown_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments_paper_reference.dir/experiments/test_paper_reference.cpp.o"
+  "CMakeFiles/test_experiments_paper_reference.dir/experiments/test_paper_reference.cpp.o.d"
+  "test_experiments_paper_reference"
+  "test_experiments_paper_reference.pdb"
+  "test_experiments_paper_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments_paper_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments_selection_sweep.dir/experiments/test_selection_sweep.cpp.o"
+  "CMakeFiles/test_experiments_selection_sweep.dir/experiments/test_selection_sweep.cpp.o.d"
+  "test_experiments_selection_sweep"
+  "test_experiments_selection_sweep.pdb"
+  "test_experiments_selection_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments_selection_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments_subset.dir/experiments/test_subset.cpp.o"
+  "CMakeFiles/test_experiments_subset.dir/experiments/test_subset.cpp.o.d"
+  "test_experiments_subset"
+  "test_experiments_subset.pdb"
+  "test_experiments_subset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

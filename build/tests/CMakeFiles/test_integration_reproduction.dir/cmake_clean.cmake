@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_reproduction.dir/integration/test_reproduction.cpp.o"
+  "CMakeFiles/test_integration_reproduction.dir/integration/test_reproduction.cpp.o.d"
+  "test_integration_reproduction"
+  "test_integration_reproduction.pdb"
+  "test_integration_reproduction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_reproduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_seed_robustness.dir/integration/test_seed_robustness.cpp.o"
+  "CMakeFiles/test_integration_seed_robustness.dir/integration/test_seed_robustness.cpp.o.d"
+  "test_integration_seed_robustness"
+  "test_integration_seed_robustness.pdb"
+  "test_integration_seed_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_seed_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

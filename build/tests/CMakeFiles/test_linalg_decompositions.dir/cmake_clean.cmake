@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_decompositions.dir/linalg/test_decompositions.cpp.o"
+  "CMakeFiles/test_linalg_decompositions.dir/linalg/test_decompositions.cpp.o.d"
+  "test_linalg_decompositions"
+  "test_linalg_decompositions.pdb"
+  "test_linalg_decompositions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_decompositions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_eigen.dir/linalg/test_eigen.cpp.o"
+  "CMakeFiles/test_linalg_eigen.dir/linalg/test_eigen.cpp.o.d"
+  "test_linalg_eigen"
+  "test_linalg_eigen.pdb"
+  "test_linalg_eigen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

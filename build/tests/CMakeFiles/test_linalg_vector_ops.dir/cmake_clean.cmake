@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_vector_ops.dir/linalg/test_vector_ops.cpp.o"
+  "CMakeFiles/test_linalg_vector_ops.dir/linalg/test_vector_ops.cpp.o.d"
+  "test_linalg_vector_ops"
+  "test_linalg_vector_ops.pdb"
+  "test_linalg_vector_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_vector_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_activation.cpp" "tests/CMakeFiles/test_ml_activation.dir/ml/test_activation.cpp.o" "gcc" "tests/CMakeFiles/test_ml_activation.dir/ml/test_activation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/dtrank_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dtrank_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dtrank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/dtrank_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dtrank_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dtrank_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dtrank_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dtrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

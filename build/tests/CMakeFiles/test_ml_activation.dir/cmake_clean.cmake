@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_activation.dir/ml/test_activation.cpp.o"
+  "CMakeFiles/test_ml_activation.dir/ml/test_activation.cpp.o.d"
+  "test_ml_activation"
+  "test_ml_activation.pdb"
+  "test_ml_activation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

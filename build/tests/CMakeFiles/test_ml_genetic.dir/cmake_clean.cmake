@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_genetic.dir/ml/test_genetic.cpp.o"
+  "CMakeFiles/test_ml_genetic.dir/ml/test_genetic.cpp.o.d"
+  "test_ml_genetic"
+  "test_ml_genetic.pdb"
+  "test_ml_genetic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_genetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

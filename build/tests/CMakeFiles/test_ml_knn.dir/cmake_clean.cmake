@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_knn.dir/ml/test_knn.cpp.o"
+  "CMakeFiles/test_ml_knn.dir/ml/test_knn.cpp.o.d"
+  "test_ml_knn"
+  "test_ml_knn.pdb"
+  "test_ml_knn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

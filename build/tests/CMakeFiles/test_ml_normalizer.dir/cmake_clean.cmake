@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_normalizer.dir/ml/test_normalizer.cpp.o"
+  "CMakeFiles/test_ml_normalizer.dir/ml/test_normalizer.cpp.o.d"
+  "test_ml_normalizer"
+  "test_ml_normalizer.pdb"
+  "test_ml_normalizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_normalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_pca.dir/ml/test_pca.cpp.o"
+  "CMakeFiles/test_ml_pca.dir/ml/test_pca.cpp.o.d"
+  "test_ml_pca"
+  "test_ml_pca.pdb"
+  "test_ml_pca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

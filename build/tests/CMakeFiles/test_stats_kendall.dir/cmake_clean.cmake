@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_kendall.dir/stats/test_kendall.cpp.o"
+  "CMakeFiles/test_stats_kendall.dir/stats/test_kendall.cpp.o.d"
+  "test_stats_kendall"
+  "test_stats_kendall.pdb"
+  "test_stats_kendall[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_kendall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

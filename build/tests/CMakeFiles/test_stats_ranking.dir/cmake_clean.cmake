@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_ranking.dir/stats/test_ranking.cpp.o"
+  "CMakeFiles/test_stats_ranking.dir/stats/test_ranking.cpp.o.d"
+  "test_stats_ranking"
+  "test_stats_ranking.pdb"
+  "test_stats_ranking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_spline.dir/stats/test_spline.cpp.o"
+  "CMakeFiles/test_stats_spline.dir/stats/test_spline.cpp.o.d"
+  "test_stats_spline"
+  "test_stats_spline.pdb"
+  "test_stats_spline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_spline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

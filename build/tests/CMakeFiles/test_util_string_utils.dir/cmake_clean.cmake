@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_string_utils.dir/util/test_string_utils.cpp.o"
+  "CMakeFiles/test_util_string_utils.dir/util/test_string_utils.cpp.o.d"
+  "test_util_string_utils"
+  "test_util_string_utils.pdb"
+  "test_util_string_utils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_string_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

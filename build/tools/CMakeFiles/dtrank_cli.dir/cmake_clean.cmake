@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtrank_cli.dir/dtrank_cli.cpp.o"
+  "CMakeFiles/dtrank_cli.dir/dtrank_cli.cpp.o.d"
+  "dtrank_cli"
+  "dtrank_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtrank_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

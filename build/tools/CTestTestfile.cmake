@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/dtrank_cli" "generate" "--out" "/root/repo/build/cli_db.csv")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/dtrank_cli" "info" "--db" "/root/repo/build/cli_db.csv")
+set_tests_properties(cli_info PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_evaluate "/root/repo/build/tools/dtrank_cli" "evaluate" "--db" "/root/repo/build/cli_db.csv" "--app" "mcf" "--owned" "5" "--method" "nn")
+set_tests_properties(cli_evaluate PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rank "/root/repo/build/tools/dtrank_cli" "rank" "--db" "/root/repo/build/cli_db.csv" "--measurements" "/root/repo/build/cli_measurements.csv" "--method" "multi" "--top" "5")
+set_tests_properties(cli_rank PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
