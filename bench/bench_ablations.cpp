@@ -77,12 +77,16 @@ main(int argc, char **argv)
     util::ArgParser args("bench_ablations");
     args.addOption("seed", "dataset generator seed", "2011");
     args.addOption("epochs", "MLP training epochs", "300");
+    args.addOption("threads", "worker threads (0 = all hardware threads)",
+                   "0");
     if (!args.parse(argc, argv))
         return 0;
 
     const auto seed = static_cast<std::uint64_t>(args.getLong("seed"));
     const auto epochs =
         static_cast<std::size_t>(args.getLong("epochs"));
+    const auto threads =
+        static_cast<std::size_t>(args.getLong("threads"));
     const dataset::PerfDatabase db = dataset::makePaperDataset(seed);
     const linalg::Matrix chars =
         dataset::MicaGenerator().generateForCatalog();
@@ -95,6 +99,7 @@ main(int argc, char **argv)
     {
         experiments::MethodSuiteConfig raw_cfg;
         raw_cfg.mlp.mlp.epochs = epochs;
+        raw_cfg.parallel.threads = threads;
         const experiments::SplitEvaluator raw_eval(db, chars, raw_cfg);
         const auto raw = experiments::FamilyCrossValidation(raw_eval)
                              .run({experiments::Method::NnT});
@@ -185,6 +190,7 @@ main(int argc, char **argv)
 
             experiments::MethodSuiteConfig config;
             config.gaKnn.weighting = variant.weighting;
+            config.parallel.threads = threads;
             const experiments::SplitEvaluator evaluator(
                 db, variant_chars, config);
             const auto results =

@@ -23,6 +23,8 @@ main(int argc, char **argv)
     util::ArgParser args("bench_fig7_top1_error");
     args.addOption("seed", "dataset generator seed", "2011");
     args.addOption("epochs", "MLP training epochs", "500");
+    args.addOption("threads", "worker threads (0 = all hardware threads)",
+                   "0");
     args.addFlag("verbose", "print per-family progress");
     if (!args.parse(argc, argv))
         return 0;
@@ -37,6 +39,8 @@ main(int argc, char **argv)
     experiments::MethodSuiteConfig config;
     config.mlp.mlp.epochs =
         static_cast<std::size_t>(args.getLong("epochs"));
+    config.parallel.threads =
+        static_cast<std::size_t>(args.getLong("threads"));
     const experiments::SplitEvaluator evaluator(db, chars, config);
     const experiments::FamilyCrossValidation cv(evaluator);
 

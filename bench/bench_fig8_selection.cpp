@@ -26,6 +26,8 @@ main(int argc, char **argv)
     args.addOption("epochs", "MLP training epochs", "500");
     args.addOption("max-k", "largest predictive set size", "10");
     args.addOption("draws", "random selections averaged per k", "50");
+    args.addOption("threads", "worker threads (0 = all hardware threads)",
+                   "0");
     args.addFlag("verbose", "print progress");
     if (!args.parse(argc, argv))
         return 0;
@@ -40,6 +42,8 @@ main(int argc, char **argv)
     experiments::MethodSuiteConfig config;
     config.mlp.mlp.epochs =
         static_cast<std::size_t>(args.getLong("epochs"));
+    config.parallel.threads =
+        static_cast<std::size_t>(args.getLong("threads"));
     const experiments::SplitEvaluator evaluator(db, chars, config);
 
     experiments::SelectionSweepConfig sweep_config;

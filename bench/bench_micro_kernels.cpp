@@ -3,7 +3,11 @@
  * Google-benchmark microbenchmarks of the computational kernels the
  * reproduction is built on: simple/multiple regression fits, Spearman
  * rank correlation, MLP training and prediction, GA-kNN distance
- * evaluation, k-medoids clustering, and the full NN^T predictor.
+ * evaluation, k-medoids clustering, the full NN^T predictor, the
+ * cache-blocked matrix kernels against a naive reference, and the
+ * parallel split evaluator at several thread counts.
+ *
+ * Pass --benchmark_format=json for machine-readable output.
  */
 
 #include <benchmark/benchmark.h>
@@ -14,6 +18,7 @@
 #include "core/transposition.h"
 #include "dataset/mica.h"
 #include "dataset/synthetic_spec.h"
+#include "experiments/harness.h"
 #include "ml/kmedoids.h"
 #include "ml/pca.h"
 #include "ml/mlp.h"
@@ -264,6 +269,102 @@ BM_SyntheticDatasetGeneration(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SyntheticDatasetGeneration);
+
+linalg::Matrix
+randomMatrix(std::size_t rows, std::size_t cols, util::Rng &rng)
+{
+    linalg::Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.uniform(-1.0, 1.0);
+    return m;
+}
+
+/** Textbook i/j/k multiply — the baseline the blocked kernel replaced. */
+linalg::Matrix
+naiveMultiply(const linalg::Matrix &a, const linalg::Matrix &b)
+{
+    linalg::Matrix out(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+            double sum = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                sum += a(i, k) * b(k, j);
+            out(i, j) = sum;
+        }
+    return out;
+}
+
+void
+BM_MatrixMultiplyNaive(benchmark::State &state)
+{
+    util::Rng rng(12);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const linalg::Matrix a = randomMatrix(n, n, rng);
+    const linalg::Matrix b = randomMatrix(n, n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(naiveMultiply(a, b));
+    }
+}
+BENCHMARK(BM_MatrixMultiplyNaive)->Arg(64)->Arg(256);
+
+void
+BM_MatrixMultiplyBlocked(benchmark::State &state)
+{
+    util::Rng rng(12);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const linalg::Matrix a = randomMatrix(n, n, rng);
+    const linalg::Matrix b = randomMatrix(n, n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.multiply(b));
+    }
+}
+BENCHMARK(BM_MatrixMultiplyBlocked)->Arg(64)->Arg(256);
+
+void
+BM_MatrixMultiplyTransposed(benchmark::State &state)
+{
+    util::Rng rng(13);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const linalg::Matrix a = randomMatrix(n, n, rng);
+    const linalg::Matrix b = randomMatrix(n, n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.multiplyTransposed(b));
+    }
+}
+BENCHMARK(BM_MatrixMultiplyTransposed)->Arg(64)->Arg(256);
+
+/**
+ * One family-CV split through the full method suite; Arg is the worker
+ * thread count (1 = serial), so the parallel speedup can be read off a
+ * single JSON report.
+ */
+void
+BM_EvaluateSplit(benchmark::State &state)
+{
+    const dataset::PerfDatabase &db = paperDb();
+    const linalg::Matrix chars =
+        dataset::MicaGenerator().generateForCatalog();
+    experiments::MethodSuiteConfig config;
+    config.mlp.mlp.epochs = 30;
+    config.gaKnn.ga.populationSize = 10;
+    config.gaKnn.ga.generations = 3;
+    config.parallel.threads = static_cast<std::size_t>(state.range(0));
+    const experiments::SplitEvaluator evaluator(db, chars, config);
+
+    const auto target = db.machineIndicesByFamily("Intel Xeon");
+    std::vector<std::size_t> predictive;
+    for (std::size_t m = 0; m < db.machineCount(); ++m)
+        if (db.machine(m).family != "Intel Xeon")
+            predictive.push_back(m);
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(evaluator.evaluateSplit(
+            predictive, target, experiments::extendedMethods()));
+    }
+}
+BENCHMARK(BM_EvaluateSplit)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

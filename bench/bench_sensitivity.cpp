@@ -35,10 +35,11 @@ namespace
 /** Family-CV rank-correlation average for one database. */
 std::map<experiments::Method, double>
 familyCvRank(const dataset::PerfDatabase &db, const linalg::Matrix &chars,
-             std::size_t epochs)
+             std::size_t epochs, std::size_t threads)
 {
     experiments::MethodSuiteConfig config;
     config.mlp.mlp.epochs = epochs;
+    config.parallel.threads = threads;
     const experiments::SplitEvaluator evaluator(db, chars, config);
     const experiments::FamilyCrossValidation cv(evaluator);
     const auto results = cv.run(experiments::allMethods());
@@ -56,6 +57,8 @@ main(int argc, char **argv)
     util::ArgParser args("bench_sensitivity");
     args.addOption("seed", "dataset generator seed", "2011");
     args.addOption("epochs", "MLP training epochs", "300");
+    args.addOption("threads", "worker threads (0 = all hardware threads)",
+                   "0");
     args.addFlag("verbose", "print progress");
     if (!args.parse(argc, argv))
         return 0;
@@ -64,6 +67,8 @@ main(int argc, char **argv)
     const auto seed = static_cast<std::uint64_t>(args.getLong("seed"));
     const auto epochs =
         static_cast<std::size_t>(args.getLong("epochs"));
+    const auto threads =
+        static_cast<std::size_t>(args.getLong("threads"));
 
     const linalg::Matrix chars =
         dataset::MicaGenerator().generateForCatalog();
@@ -79,7 +84,7 @@ main(int argc, char **argv)
         config.measurementNoiseSigma = sigma;
         const dataset::PerfDatabase db =
             dataset::SyntheticSpecGenerator(config).generate();
-        const auto ranks = familyCvRank(db, chars, epochs);
+        const auto ranks = familyCvRank(db, chars, epochs, threads);
         noise_table.addRow(
             {util::formatFixed(sigma, 2),
              util::formatFixed(ranks.at(experiments::Method::NnT), 3),

@@ -81,6 +81,8 @@ main(int argc, char **argv)
     args.addOption("epochs", "MLP training epochs", "500");
     args.addOption("target-year", "year whose machines are predicted",
                    "2009");
+    args.addOption("threads", "worker threads (0 = all hardware threads)",
+                   "0");
     args.addFlag("verbose", "print per-era progress");
     if (!args.parse(argc, argv))
         return 0;
@@ -95,6 +97,8 @@ main(int argc, char **argv)
     experiments::MethodSuiteConfig config;
     config.mlp.mlp.epochs =
         static_cast<std::size_t>(args.getLong("epochs"));
+    config.parallel.threads =
+        static_cast<std::size_t>(args.getLong("threads"));
     const experiments::SplitEvaluator evaluator(db, chars, config);
     const experiments::FuturePrediction protocol(
         evaluator, static_cast<int>(args.getLong("target-year")));

@@ -81,6 +81,8 @@ main(int argc, char **argv)
     args.addOption("seed", "dataset generator seed", "2011");
     args.addOption("epochs", "MLP training epochs", "500");
     args.addOption("draws", "random subset draws per size", "5");
+    args.addOption("threads", "worker threads (0 = all hardware threads)",
+                   "0");
     args.addFlag("verbose", "print progress");
     if (!args.parse(argc, argv))
         return 0;
@@ -95,6 +97,8 @@ main(int argc, char **argv)
     experiments::MethodSuiteConfig config;
     config.mlp.mlp.epochs =
         static_cast<std::size_t>(args.getLong("epochs"));
+    config.parallel.threads =
+        static_cast<std::size_t>(args.getLong("threads"));
     const experiments::SplitEvaluator evaluator(db, chars, config);
 
     experiments::SubsetExperimentConfig subset_config;

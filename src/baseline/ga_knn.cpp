@@ -192,7 +192,8 @@ GaKnnModel::trainingFitness() const
 
 std::vector<std::size_t>
 GaKnnModel::neighbors(const std::vector<double> &app_characteristics,
-                      const linalg::Matrix &candidate_chars) const
+                      const linalg::Matrix &candidate_chars,
+                      std::size_t exclude_row) const
 {
     util::require(trained_, "GaKnnModel: not trained");
     util::require(app_characteristics.size() == candidate_chars.cols(),
@@ -201,18 +202,20 @@ GaKnnModel::neighbors(const std::vector<double> &app_characteristics,
                   "GaKnnModel::neighbors: trained on a different "
                   "characteristic count");
     return nearestByWeightedDistance(app_characteristics, candidate_chars,
-                                     weights_, config_.k);
+                                     weights_, config_.k, exclude_row);
 }
 
 std::vector<double>
 GaKnnModel::predictApp(const std::vector<double> &app_characteristics,
                        const linalg::Matrix &candidate_chars,
-                       const linalg::Matrix &candidate_scores) const
+                       const linalg::Matrix &candidate_scores,
+                       std::size_t exclude_row) const
 {
     util::require(trained_, "GaKnnModel: not trained");
     util::require(candidate_chars.rows() == candidate_scores.rows(),
                   "GaKnnModel::predictApp: candidate row mismatch");
-    const auto nn = neighbors(app_characteristics, candidate_chars);
+    const auto nn =
+        neighbors(app_characteristics, candidate_chars, exclude_row);
     DTRANK_ASSERT(!nn.empty());
 
     // Squared distances for the weighting rule.

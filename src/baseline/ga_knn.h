@@ -74,13 +74,23 @@ class GaKnnModel
     /** Best GA fitness (negative mean relative error, %). */
     double trainingFitness() const;
 
+    /** Sentinel for the exclude-row parameters: exclude nothing. */
+    static constexpr std::size_t kNoExclude =
+        static_cast<std::size_t>(-1);
+
     /**
      * Indices (into `candidate_chars` rows) of the k benchmarks nearest
      * to the application, closest first.
+     *
+     * @param exclude_row Optional candidate row left out of the
+     *        neighbour search — the copy-free leave-one-out path: pass
+     *        the application's own row instead of materializing an
+     *        (N-1)-row submatrix per held-out benchmark.
      */
     std::vector<std::size_t>
     neighbors(const std::vector<double> &app_characteristics,
-              const linalg::Matrix &candidate_chars) const;
+              const linalg::Matrix &candidate_chars,
+              std::size_t exclude_row = kNoExclude) const;
 
     /**
      * Predicts the application's score on each machine.
@@ -91,12 +101,16 @@ class GaKnnModel
      *        neighbour benchmarks (N x C).
      * @param candidate_scores Scores of those benchmarks on the
      *        machines of interest (N x T).
+     * @param exclude_row Optional row excluded from the neighbour
+     *        candidates (see neighbors()); row indices of
+     *        candidate_chars and candidate_scores must align.
      * @return One predicted score per machine (T).
      */
     std::vector<double>
     predictApp(const std::vector<double> &app_characteristics,
                const linalg::Matrix &candidate_chars,
-               const linalg::Matrix &candidate_scores) const;
+               const linalg::Matrix &candidate_scores,
+               std::size_t exclude_row = kNoExclude) const;
 
     const GaKnnConfig &config() const { return config_; }
 

@@ -67,9 +67,10 @@ MlpTransposition::predict(const TranspositionProblem &problem)
     network.fit(train, targets);
     last_mse_ = network.trainingMse();
 
-    std::vector<double> predictions(n_target);
+    // Batched forward pass over all target machines at once.
+    std::vector<double> predictions = network.predict(test);
     for (std::size_t t = 0; t < n_target; ++t) {
-        double raw = network.predict(test.row(t));
+        double raw = predictions[t];
         if (config_.transductiveNormalization)
             raw = target_norm.inverseTransformScalar(raw);
         predictions[t] = maybe_exp(raw);

@@ -67,6 +67,33 @@ makeProblem(const dataset::PerfDatabase &predictive,
 }
 
 TranspositionProblem
+makeLeaveOneOutProblem(const dataset::PerfDatabase &predictive,
+                       const dataset::PerfDatabase &target,
+                       std::size_t app_row)
+{
+    util::require(app_row < predictive.benchmarkCount(),
+                  "makeLeaveOneOutProblem: app_row out of range");
+    util::require(predictive.benchmarkCount() == target.benchmarkCount(),
+                  "makeLeaveOneOutProblem: benchmark count mismatch");
+    util::require(predictive.benchmarkCount() >= 2,
+                  "makeLeaveOneOutProblem: no training benchmarks "
+                  "besides the application of interest");
+    for (std::size_t b = 0; b < predictive.benchmarkCount(); ++b)
+        util::require(predictive.benchmark(b).name ==
+                          target.benchmark(b).name,
+                      "makeLeaveOneOutProblem: benchmark rows are not "
+                      "aligned");
+
+    TranspositionProblem problem;
+    problem.predictiveBenchScores =
+        predictive.scores().selectRowsExcept(app_row);
+    problem.predictiveAppScores = predictive.benchmarkScores(app_row);
+    problem.targetBenchScores = target.scores().selectRowsExcept(app_row);
+    problem.validate();
+    return problem;
+}
+
+TranspositionProblem
 makeProblemFromSplit(const dataset::PerfDatabase &db,
                      const std::vector<std::size_t> &predictive_machines,
                      const std::vector<std::size_t> &target_machines,

@@ -79,6 +79,20 @@ makeProblemFromSplit(const dataset::PerfDatabase &db,
                      const std::vector<std::size_t> &target_machines,
                      const std::string &app_benchmark);
 
+/**
+ * Index-based leave-one-out overload for databases whose benchmark
+ * rows are already aligned (e.g. two machine selections of the same
+ * database): row `app_row` becomes the application of interest and all
+ * other rows the training suite. Skips the per-benchmark name matching
+ * of makeProblem and copies each score block contiguously, which is
+ * the hot path of the experiment harness (one problem per held-out
+ * benchmark per split).
+ */
+TranspositionProblem
+makeLeaveOneOutProblem(const dataset::PerfDatabase &predictive,
+                       const dataset::PerfDatabase &target,
+                       std::size_t app_row);
+
 /** Common interface of NN^T, MLP^T (and the GA-kNN baseline adapter). */
 class TranspositionPredictor
 {

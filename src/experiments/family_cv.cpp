@@ -85,44 +85,62 @@ FamilyCrossValidation::run(const std::vector<Method> &methods) const
     for (std::size_t b = 0; b < db.benchmarkCount(); ++b)
         results.benchmarks.push_back(db.benchmark(b).name);
 
-    const std::vector<std::string> families = db.families();
-    std::uint64_t split_tag = 0;
-    for (const std::string &family : families) {
-        // One processor family is held out as the target set; every
-        // machine of the other families is available as a predictive
-        // machine (Section 6.2: "we consider a single processor family
-        // as the set of target machines, and we use the machines from
-        // the other families as predictive machines").
-        const std::vector<std::size_t> target =
-            db.machineIndicesByFamily(family);
-        if (target.size() < min_family_size_) {
+    // One processor family is held out as the target set; every
+    // machine of the other families is available as a predictive
+    // machine (Section 6.2: "we consider a single processor family
+    // as the set of target machines, and we use the machines from
+    // the other families as predictive machines").
+    struct FamilySplit
+    {
+        std::string family;
+        std::vector<std::size_t> target;
+        std::vector<std::size_t> predictive;
+    };
+    std::vector<FamilySplit> splits;
+    for (const std::string &family : db.families()) {
+        FamilySplit split;
+        split.family = family;
+        split.target = db.machineIndicesByFamily(family);
+        if (split.target.size() < min_family_size_) {
             util::warn("family CV: skipping family '" + family +
                        "' with fewer than " +
                        std::to_string(min_family_size_) + " machines");
             continue;
         }
-        std::vector<std::size_t> predictive;
         for (std::size_t m = 0; m < db.machineCount(); ++m)
             if (db.machine(m).family != family)
-                predictive.push_back(m);
+                split.predictive.push_back(m);
+        splits.push_back(std::move(split));
+    }
+    util::require(!splits.empty(),
+                  "FamilyCrossValidation: no usable target families");
 
-        util::inform("family CV: target family '" + family + "' (" +
-                     std::to_string(target.size()) + " machines)");
-        const SplitResults split = evaluator_.evaluateSplit(
-            predictive, target, methods, split_tag++);
+    // The splits are independent: each one's tag (its index in
+    // evaluation order) pins the per-task seeds, so running them
+    // concurrently reproduces the serial results bit for bit.
+    const std::vector<SplitResults> split_results = util::parallelMap(
+        evaluator_.config().parallel.threads, splits.size(),
+        [&](std::size_t i) {
+            util::inform("family CV: target family '" +
+                         splits[i].family + "' (" +
+                         std::to_string(splits[i].target.size()) +
+                         " machines)");
+            return evaluator_.evaluateSplit(splits[i].predictive,
+                                            splits[i].target, methods,
+                                            i);
+        });
 
-        results.families.push_back(family);
-        for (const auto &[method, tasks] : split) {
+    for (std::size_t i = 0; i < splits.size(); ++i) {
+        results.families.push_back(splits[i].family);
+        for (const auto &[method, tasks] : split_results[i]) {
             for (const TaskResult &task : tasks) {
                 FamilyCvCell cell;
-                cell.family = family;
+                cell.family = splits[i].family;
                 cell.task = task;
                 results.cells[method].push_back(std::move(cell));
             }
         }
     }
-    util::require(!results.families.empty(),
-                  "FamilyCrossValidation: no usable target families");
     return results;
 }
 

@@ -70,20 +70,28 @@ FuturePrediction::run(const std::vector<Method> &methods) const
                     db.machineIndicesByYear(target_year_ - 2)});
     eras.push_back({"older", db.machineIndicesBeforeYear(target_year_ - 2)});
 
-    std::uint64_t split_tag = 100;
-    for (const EraSpec &era : eras) {
+    for (const EraSpec &era : eras)
         util::require(!era.machines.empty(),
                       "FuturePrediction: no machines in era '" +
                           era.label + "'");
-        util::inform("future prediction: era '" + era.label + "' (" +
-                     std::to_string(era.machines.size()) + " machines)");
-        EraResults er;
-        er.label = era.label;
-        er.predictiveMachines = era.machines;
-        er.tasks = evaluator_.evaluateSplit(
-            era.machines, results.targetMachines, methods, split_tag++);
-        results.eras.push_back(std::move(er));
-    }
+
+    // Era tags are fixed by position (100, 101, ...), so the eras can
+    // be evaluated concurrently without changing any result.
+    results.eras = util::parallelMap(
+        evaluator_.config().parallel.threads, eras.size(),
+        [&](std::size_t i) {
+            const EraSpec &era = eras[i];
+            util::inform("future prediction: era '" + era.label +
+                         "' (" + std::to_string(era.machines.size()) +
+                         " machines)");
+            EraResults er;
+            er.label = era.label;
+            er.predictiveMachines = era.machines;
+            er.tasks = evaluator_.evaluateSplit(era.machines,
+                                                results.targetMachines,
+                                                methods, 100 + i);
+            return er;
+        });
     return results;
 }
 

@@ -83,66 +83,81 @@ SplitEvaluator::evaluateSplit(const std::vector<std::size_t> &predictive,
     if (want_gaknn)
         gaknn_model.train(characteristics_, pred_db.scores());
 
+    // One independent task per (method, held-out benchmark). Every
+    // task writes into its pre-sized slot and derives any randomness
+    // from (split_tag, app), so the parallel schedule cannot influence
+    // the results: threads = N is bit-identical to threads = 1.
+    std::vector<std::vector<TaskResult>> slots(
+        methods.size(), std::vector<TaskResult>(n_bench));
+    util::parallelFor(
+        config_.parallel.threads, methods.size() * n_bench,
+        [&](std::size_t t) {
+            const std::size_t mi = t / n_bench;
+            const std::size_t app = t % n_bench;
+            slots[mi][app] = runTask(methods[mi], app, pred_db,
+                                     target_db, gaknn_model, split_tag);
+        });
+
     SplitResults results;
-    for (std::size_t app = 0; app < n_bench; ++app) {
-        const std::string &app_name = db_.benchmark(app).name;
-        const core::TranspositionProblem problem =
-            core::makeProblem(pred_db, target_db, app_name);
-        const std::vector<double> actual =
-            target_db.benchmarkScores(app);
-
-        // Candidate rows for GA-kNN: every benchmark but the app.
-        std::vector<std::size_t> other_rows;
-        other_rows.reserve(n_bench - 1);
-        for (std::size_t b = 0; b < n_bench; ++b)
-            if (b != app)
-                other_rows.push_back(b);
-
-        for (Method method : methods) {
-            std::vector<double> predicted;
-            switch (method) {
-              case Method::NnT: {
-                core::LinearTransposition predictor(config_.linear);
-                predicted = predictor.predict(problem);
-                break;
-              }
-              case Method::MlpT: {
-                core::MlpTranspositionConfig cfg = config_.mlp;
-                // Task-specific seed: stable regardless of order.
-                cfg.mlp.seed = config_.mlpSeedBase +
-                               split_tag * 1000003ULL + app * 7919ULL;
-                core::MlpTransposition predictor(cfg);
-                predicted = predictor.predict(problem);
-                break;
-              }
-              case Method::GaKnn: {
-                predicted = gaknn_model.predictApp(
-                    characteristics_.row(app),
-                    characteristics_.selectRows(other_rows),
-                    target_db.scores().selectRows(other_rows));
-                break;
-              }
-              case Method::SplT: {
-                core::SplineTransposition predictor(config_.spline);
-                predicted = predictor.predict(problem);
-                break;
-              }
-              case Method::MultiNnT: {
-                core::MultiTransposition predictor(config_.multi);
-                predicted = predictor.predict(problem);
-                break;
-              }
-            }
-
-            TaskResult task;
-            task.benchmark = app_name;
-            task.metrics = core::evaluatePrediction(actual, predicted);
-            task.predicted = std::move(predicted);
-            task.actual = actual;
-            results[method].push_back(std::move(task));
-        }
-    }
+    for (std::size_t mi = 0; mi < methods.size(); ++mi)
+        results[methods[mi]] = std::move(slots[mi]);
     return results;
+}
+
+TaskResult
+SplitEvaluator::runTask(Method method, std::size_t app,
+                        const dataset::PerfDatabase &pred_db,
+                        const dataset::PerfDatabase &target_db,
+                        const baseline::GaKnnModel &gaknn_model,
+                        std::uint64_t split_tag) const
+{
+    std::vector<double> predicted;
+    switch (method) {
+      case Method::NnT: {
+        core::LinearTransposition predictor(config_.linear);
+        predicted = predictor.predict(
+            core::makeLeaveOneOutProblem(pred_db, target_db, app));
+        break;
+      }
+      case Method::MlpT: {
+        core::MlpTranspositionConfig cfg = config_.mlp;
+        // Task-specific seed: stable regardless of order.
+        cfg.mlp.seed = config_.mlpSeedBase +
+                       split_tag * 1000003ULL + app * 7919ULL;
+        core::MlpTransposition predictor(cfg);
+        predicted = predictor.predict(
+            core::makeLeaveOneOutProblem(pred_db, target_db, app));
+        break;
+      }
+      case Method::GaKnn: {
+        // Copy-free leave-one-out: the app's own row is excluded from
+        // the neighbour candidates by index instead of materializing
+        // (N-1)-row copies of the characteristics and score matrices.
+        predicted = gaknn_model.predictApp(characteristics_.row(app),
+                                           characteristics_,
+                                           target_db.scores(), app);
+        break;
+      }
+      case Method::SplT: {
+        core::SplineTransposition predictor(config_.spline);
+        predicted = predictor.predict(
+            core::makeLeaveOneOutProblem(pred_db, target_db, app));
+        break;
+      }
+      case Method::MultiNnT: {
+        core::MultiTransposition predictor(config_.multi);
+        predicted = predictor.predict(
+            core::makeLeaveOneOutProblem(pred_db, target_db, app));
+        break;
+      }
+    }
+
+    TaskResult task;
+    task.benchmark = db_.benchmark(app).name;
+    task.actual = target_db.benchmarkScores(app);
+    task.metrics = core::evaluatePrediction(task.actual, predicted);
+    task.predicted = std::move(predicted);
+    return task;
 }
 
 } // namespace dtrank::experiments

@@ -21,6 +21,7 @@
 #include "core/spline_transposition.h"
 #include "dataset/perf_database.h"
 #include "linalg/matrix.h"
+#include "util/thread_pool.h"
 
 namespace dtrank::experiments
 {
@@ -57,6 +58,13 @@ struct MethodSuiteConfig
      * own seed so results do not depend on evaluation order.
      */
     std::uint64_t mlpSeedBase = 1;
+    /**
+     * Worker threads for the (method, held-out benchmark) tasks of a
+     * split and for the independent splits of the experiment
+     * protocols. Per-task seeds make the results bit-identical at any
+     * thread count.
+     */
+    util::ParallelConfig parallel;
 };
 
 /** Outcome of one (method, application-of-interest) task on a split. */
@@ -99,6 +107,11 @@ class SplitEvaluator
      * Runs the requested methods on one predictive/target split with
      * leave-one-out over all benchmarks.
      *
+     * Independent (method, held-out benchmark) tasks are distributed
+     * over config().parallel workers; each task derives its own seed
+     * and writes into a pre-sized result slot, so the outcome is
+     * bit-identical to a serial run regardless of the thread count.
+     *
      * @param predictive Machine indices available to the user.
      * @param target Machine indices to rank (disjoint from predictive).
      * @param methods Which methods to run.
@@ -117,6 +130,13 @@ class SplitEvaluator
     const MethodSuiteConfig &config() const { return config_; }
 
   private:
+    /** Runs one (method, held-out benchmark) task of a split. */
+    TaskResult runTask(Method method, std::size_t app,
+                       const dataset::PerfDatabase &pred_db,
+                       const dataset::PerfDatabase &target_db,
+                       const baseline::GaKnnModel &gaknn_model,
+                       std::uint64_t split_tag) const;
+
     const dataset::PerfDatabase &db_;
     linalg::Matrix characteristics_;
     MethodSuiteConfig config_;

@@ -62,27 +62,50 @@ SelectionSweep::run() const
     util::require(config_.maxK <= candidates.size(),
                   "SelectionSweep: maxK exceeds candidate count");
 
-    SelectionSweepResults results;
+    // Phase 1 (serial): run the k-medoid clusterings and random draws
+    // on the single seeded RNG in the exact order of the serial sweep,
+    // recording one evaluation task per selected predictive set.
+    struct SweepTask
+    {
+        std::vector<std::size_t> pick;
+        std::uint64_t tag = 0;
+    };
+    const std::size_t per_k = 1 + config_.randomDraws;
     util::Rng rng(config_.seed);
     std::uint64_t split_tag = 300;
-
+    std::vector<SweepTask> sweep_tasks;
+    sweep_tasks.reserve(config_.maxK * per_k);
     for (std::size_t k = 1; k <= config_.maxK; ++k) {
         util::inform("selection sweep: k = " + std::to_string(k));
+        sweep_tasks.push_back(
+            {core::selectMachinesByKMedoids(db, candidates, k, rng),
+             split_tag++});
+        for (std::size_t draw = 0; draw < config_.randomDraws; ++draw)
+            sweep_tasks.push_back(
+                {core::selectRandomMachines(candidates, k, rng),
+                 split_tag++});
+    }
+
+    // Phase 2 (parallel): the expensive part — one split evaluation
+    // per selected set, independent once the tags are fixed.
+    const std::vector<double> r2 = util::parallelMap(
+        evaluator_.config().parallel.threads, sweep_tasks.size(),
+        [&](std::size_t i) {
+            return pooledR2(sweep_tasks[i].pick, targets,
+                            sweep_tasks[i].tag);
+        });
+
+    // Phase 3: assemble, averaging the random draws in draw order.
+    SelectionSweepResults results;
+    for (std::size_t k = 1; k <= config_.maxK; ++k) {
+        const std::size_t base = (k - 1) * per_k;
         SelectionSweepPoint point;
         point.k = k;
-
-        const std::vector<std::size_t> medoid_pick =
-            core::selectMachinesByKMedoids(db, candidates, k, rng);
-        point.kmedoidsR2 = pooledR2(medoid_pick, targets, split_tag++);
-
+        point.kmedoidsR2 = r2[base];
         double acc = 0.0;
-        for (std::size_t draw = 0; draw < config_.randomDraws; ++draw) {
-            const std::vector<std::size_t> random_pick =
-                core::selectRandomMachines(candidates, k, rng);
-            acc += pooledR2(random_pick, targets, split_tag++);
-        }
+        for (std::size_t draw = 0; draw < config_.randomDraws; ++draw)
+            acc += r2[base + 1 + draw];
         point.randomR2 = acc / static_cast<double>(config_.randomDraws);
-
         results.points.push_back(point);
     }
     return results;

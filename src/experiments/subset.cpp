@@ -32,21 +32,46 @@ SubsetExperiment::run(const std::vector<Method> &methods) const
     SubsetExperimentResults results;
     results.subsetSizes = config_.subsetSizes;
 
+    // Draw every predictive subset up front on the single seeded RNG
+    // (preserving the serial draw order exactly), then evaluate the
+    // resulting splits — which are independent — in parallel.
+    struct DrawTask
+    {
+        std::size_t sizeIndex = 0;
+        std::vector<std::size_t> predictive;
+        std::uint64_t tag = 0;
+    };
     util::Rng rng(config_.seed);
     std::uint64_t split_tag = 200;
-    for (std::size_t size : config_.subsetSizes) {
+    std::vector<DrawTask> draws;
+    draws.reserve(config_.subsetSizes.size() * config_.draws);
+    for (std::size_t si = 0; si < config_.subsetSizes.size(); ++si) {
+        const std::size_t size = config_.subsetSizes[si];
         util::require(size >= 1 && size <= candidates.size(),
                       "SubsetExperiment: subset size out of range");
         util::inform("subset experiment: size " + std::to_string(size));
+        for (std::size_t draw = 0; draw < config_.draws; ++draw)
+            draws.push_back(
+                {si, core::selectRandomMachines(candidates, size, rng),
+                 split_tag++});
+    }
 
+    const std::vector<SplitResults> split_results = util::parallelMap(
+        evaluator_.config().parallel.threads, draws.size(),
+        [&](std::size_t i) {
+            return evaluator_.evaluateSplit(draws[i].predictive, targets,
+                                            methods, draws[i].tag);
+        });
+
+    // Accumulate in the original (size, draw) order so the averaging
+    // arithmetic matches the serial run term for term.
+    for (std::size_t si = 0; si < config_.subsetSizes.size(); ++si) {
+        const std::size_t size = config_.subsetSizes[si];
         std::map<Method, SubsetCell> accum;
-        for (std::size_t draw = 0; draw < config_.draws; ++draw) {
-            const std::vector<std::size_t> predictive =
-                core::selectRandomMachines(candidates, size, rng);
-            const SplitResults split = evaluator_.evaluateSplit(
-                predictive, targets, methods, split_tag++);
-
-            for (const auto &[method, tasks] : split) {
+        for (std::size_t di = 0; di < draws.size(); ++di) {
+            if (draws[di].sizeIndex != si)
+                continue;
+            for (const auto &[method, tasks] : split_results[di]) {
                 double rank = 0.0;
                 double top1 = 0.0;
                 double err = 0.0;

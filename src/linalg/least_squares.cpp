@@ -45,7 +45,9 @@ solveRidge(const Matrix &a, const std::vector<double> &b, double lambda)
     util::require(a.rows() == b.size(), "solveRidge: row count mismatch");
     util::require(lambda > 0.0, "solveRidge: lambda must be positive");
     const Matrix at = a.transposed();
-    Matrix normal = at.multiply(a);
+    // A^T A = A^T (A^T)^T: the transposed-B kernel streams both
+    // operands along contiguous rows (identical sums, term for term).
+    Matrix normal = at.multiplyTransposed(at);
     for (std::size_t i = 0; i < normal.rows(); ++i)
         normal(i, i) += lambda;
     const std::vector<double> rhs = at.multiply(b);

@@ -94,6 +94,13 @@ class Matrix
     /** Matrix product; requires cols() == other.rows(). */
     Matrix multiply(const Matrix &other) const;
 
+    /**
+     * Fast path for A * B^T with B given untransposed: both operands
+     * are walked along contiguous rows, so no strided access and no
+     * materialized transpose. Requires cols() == other.cols().
+     */
+    Matrix multiplyTransposed(const Matrix &other) const;
+
     /** Matrix-vector product; requires cols() == v.size(). */
     std::vector<double> multiply(const std::vector<double> &v) const;
 
@@ -117,6 +124,14 @@ class Matrix
 
     /** Submatrix with all columns kept. */
     Matrix selectRows(const std::vector<std::size_t> &row_indices) const;
+
+    /**
+     * Leave-one-out view: all rows except `excluded`, original order.
+     * The copy is two contiguous block moves — no index vector and no
+     * per-element bounds checks, which matters when called once per
+     * held-out benchmark in the experiment harness.
+     */
+    Matrix selectRowsExcept(std::size_t excluded) const;
 
     /** Submatrix with all rows kept. */
     Matrix selectColumns(const std::vector<std::size_t> &col_indices) const;

@@ -219,9 +219,35 @@ Mlp::predict(const std::vector<double> &features) const
 std::vector<double>
 Mlp::predict(const linalg::Matrix &x) const
 {
+    util::require(trained_, "Mlp::predict: model not trained");
+    util::require(x.cols() == input_size_,
+                  "Mlp::predict: feature count mismatch");
+    // Batched forward pass: one layer-sized sweep per layer instead of
+    // one dot product per (row, unit) with per-row temporaries. acts
+    // is rows x layer-width throughout; weights are out x in, so both
+    // operands stream row-contiguously. The accumulation starts from
+    // the bias and adds weights in ascending order — the exact
+    // arithmetic of forward() — so batch and scalar predictions are
+    // bit-identical.
+    linalg::Matrix acts =
+        config_.normalize ? featureNorm_.transform(x) : x;
+    for (const Layer &layer : layers_) {
+        linalg::Matrix net(acts.rows(), layer.weights.rows());
+        for (std::size_t r = 0; r < acts.rows(); ++r) {
+            for (std::size_t u = 0; u < layer.weights.rows(); ++u) {
+                double sum = layer.bias[u];
+                for (std::size_t k = 0; k < acts.cols(); ++k)
+                    sum += layer.weights(u, k) * acts(r, k);
+                net(r, u) = activate(layer.activation, sum);
+            }
+        }
+        acts = std::move(net);
+    }
     std::vector<double> out(x.rows());
     for (std::size_t r = 0; r < x.rows(); ++r)
-        out[r] = predict(x.row(r));
+        out[r] = config_.normalize
+                     ? targetNorm_.inverseTransformScalar(acts(r, 0))
+                     : acts(r, 0);
     return out;
 }
 

@@ -84,7 +84,11 @@ class Mlp
     /** Predicts the target for one raw (unnormalized) feature vector. */
     double predict(const std::vector<double> &features) const;
 
-    /** Predicts for each row of a raw feature matrix. */
+    /**
+     * Predicts for each row of a raw feature matrix in one batched
+     * forward pass (one layer-wide sweep per layer); bit-identical to
+     * calling the scalar predict() on every row.
+     */
     std::vector<double> predict(const linalg::Matrix &x) const;
 
     /** True once fit() has completed. */

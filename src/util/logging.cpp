@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <iostream>
+#include <mutex>
 
 namespace dtrank::util
 {
@@ -9,6 +10,10 @@ namespace
 {
 
 LogLevel g_level = LogLevel::Warn;
+
+// Serializes whole lines so messages from parallel experiment tasks
+// do not interleave mid-line.
+std::mutex g_output_mutex;
 
 } // namespace
 
@@ -27,22 +32,28 @@ logLevel()
 void
 inform(const std::string &msg)
 {
-    if (g_level >= LogLevel::Info)
+    if (g_level >= LogLevel::Info) {
+        std::lock_guard<std::mutex> lock(g_output_mutex);
         std::cerr << "info: " << msg << std::endl;
+    }
 }
 
 void
 warn(const std::string &msg)
 {
-    if (g_level >= LogLevel::Warn)
+    if (g_level >= LogLevel::Warn) {
+        std::lock_guard<std::mutex> lock(g_output_mutex);
         std::cerr << "warn: " << msg << std::endl;
+    }
 }
 
 void
 debug(const std::string &msg)
 {
-    if (g_level >= LogLevel::Debug)
+    if (g_level >= LogLevel::Debug) {
+        std::lock_guard<std::mutex> lock(g_output_mutex);
         std::cerr << "debug: " << msg << std::endl;
+    }
 }
 
 } // namespace dtrank::util

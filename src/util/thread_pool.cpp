@@ -1,0 +1,104 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace dtrank::util
+{
+
+namespace
+{
+
+/** Set while a thread is executing tasks for some ThreadPool. */
+thread_local bool t_inside_worker = false;
+
+} // namespace
+
+std::size_t
+ParallelConfig::resolved() const
+{
+    if (threads != 0)
+        return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    require(workers >= 1, "ThreadPool: needs at least one worker");
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_inside_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to do
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // packaged_task captures any exception for the future
+    }
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return t_inside_worker;
+}
+
+void
+parallelFor(std::size_t threads, std::size_t count,
+            const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    const std::size_t workers =
+        std::min(ParallelConfig{threads}.resolved(), count);
+    if (workers <= 1 || count == 1 || ThreadPool::insideWorker()) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    ThreadPool pool(workers);
+    std::vector<std::future<void>> pending;
+    pending.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        pending.push_back(pool.submit([&body, i] { body(i); }));
+
+    // Wait for everything, then rethrow the lowest-indexed failure so
+    // error reporting is as deterministic as the results.
+    std::exception_ptr first_error;
+    for (std::future<void> &f : pending) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace dtrank::util

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fixed-size thread pool and data-parallel loop helpers.
+ *
+ * The experiment protocols decompose into independent (split, method,
+ * held-out benchmark) tasks whose seeds are derived from their indices,
+ * so they may run in any order — and therefore concurrently — without
+ * changing a single bit of the results. parallelFor/parallelMap are the
+ * only entry points the rest of the code base uses; both fall back to a
+ * plain serial loop when one thread is requested, when there is at most
+ * one task, or when already executing inside a pool worker (nested
+ * parallel regions run inline instead of oversubscribing the machine).
+ */
+
+#ifndef DTRANK_UTIL_THREAD_POOL_H_
+#define DTRANK_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dtrank::util
+{
+
+/** Thread-count knob shared by every experiment protocol. */
+struct ParallelConfig
+{
+    /**
+     * Worker threads for parallel regions. 1 (the default) runs
+     * everything serially on the calling thread; 0 resolves to the
+     * hardware concurrency.
+     */
+    std::size_t threads = 1;
+
+    /** The effective worker count (resolves 0 to the hardware). */
+    std::size_t resolved() const;
+};
+
+/**
+ * A fixed set of worker threads consuming a FIFO task queue.
+ *
+ * Tasks are submitted as callables; submit() returns a future through
+ * which the task's result — or the exception it threw — is delivered.
+ * The destructor drains outstanding tasks and joins all workers.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawns `workers` threads. Requires workers >= 1. */
+    explicit ThreadPool(std::size_t workers);
+
+    /** Waits for queued tasks to finish and joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t workerCount() const { return workers_.size(); }
+
+    /**
+     * Enqueues a callable; the returned future yields its result or
+     * rethrows the exception it raised.
+     */
+    template <typename F>
+    std::future<std::invoke_result_t<F>>
+    submit(F &&f)
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(f));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            require(!stopping_, "ThreadPool::submit: pool is shutting "
+                                "down");
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        wake_.notify_one();
+        return result;
+    }
+
+    /**
+     * True when called from inside a pool worker thread (of any pool).
+     * Used to run nested parallel regions inline.
+     */
+    static bool insideWorker();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+/**
+ * Runs body(0) .. body(count - 1), distributing the iterations over
+ * `threads` workers (see ParallelConfig::threads for the 0 and 1
+ * conventions). Blocks until every iteration finished. If iterations
+ * throw, the exception of the lowest-indexed failing iteration is
+ * rethrown after all iterations completed.
+ *
+ * The body must not depend on iteration order: iterations run
+ * concurrently and must write only to disjoint state (e.g. slot i of a
+ * pre-sized output vector).
+ */
+void parallelFor(std::size_t threads, std::size_t count,
+                 const std::function<void(std::size_t)> &body);
+
+/**
+ * parallelFor that collects fn(i) into slot i of the returned vector,
+ * so the output order is independent of the execution order.
+ */
+template <typename Fn>
+auto
+parallelMap(std::size_t threads, std::size_t count, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>>
+{
+    using R = std::invoke_result_t<Fn, std::size_t>;
+    std::vector<R> out(count);
+    parallelFor(threads, count,
+                [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace dtrank::util
+
+#endif // DTRANK_UTIL_THREAD_POOL_H_

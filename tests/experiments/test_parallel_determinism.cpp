@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Verifies the central guarantee of the parallel execution layer: a
+ * split evaluated with N worker threads produces bit-identical results
+ * to the serial run, for every method, because each (method, held-out
+ * benchmark) task derives its seed from its indices and writes into its
+ * own pre-sized slot.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dataset/mica.h"
+#include "dataset/synthetic_spec.h"
+#include "experiments/family_cv.h"
+#include "experiments/harness.h"
+
+namespace
+{
+
+using namespace dtrank;
+using experiments::Method;
+
+experiments::MethodSuiteConfig
+fastSuite(std::size_t threads)
+{
+    experiments::MethodSuiteConfig config;
+    config.mlp.mlp.epochs = 20;
+    config.gaKnn.ga.populationSize = 10;
+    config.gaKnn.ga.generations = 4;
+    config.parallel.threads = threads;
+    return config;
+}
+
+struct Fixture
+{
+    dataset::PerfDatabase db = dataset::makePaperDataset();
+    linalg::Matrix chars = dataset::MicaGenerator().generateForCatalog();
+};
+
+/** Exact, field-by-field comparison of two split evaluations. */
+void
+expectIdentical(const experiments::SplitResults &serial,
+                const experiments::SplitResults &parallel)
+{
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (const auto &[method, serial_tasks] : serial) {
+        SCOPED_TRACE(experiments::methodName(method));
+        const auto it = parallel.find(method);
+        ASSERT_NE(it, parallel.end());
+        const auto &parallel_tasks = it->second;
+        ASSERT_EQ(serial_tasks.size(), parallel_tasks.size());
+        for (std::size_t i = 0; i < serial_tasks.size(); ++i) {
+            const experiments::TaskResult &s = serial_tasks[i];
+            const experiments::TaskResult &p = parallel_tasks[i];
+            EXPECT_EQ(s.benchmark, p.benchmark);
+            // Bit-identical, not approximately equal: the task bodies
+            // are byte-for-byte the same work in both schedules.
+            EXPECT_EQ(s.predicted, p.predicted);
+            EXPECT_EQ(s.actual, p.actual);
+            EXPECT_EQ(s.metrics.rankCorrelation,
+                      p.metrics.rankCorrelation);
+            EXPECT_EQ(s.metrics.top1ErrorPercent,
+                      p.metrics.top1ErrorPercent);
+            EXPECT_EQ(s.metrics.meanErrorPercent,
+                      p.metrics.meanErrorPercent);
+            EXPECT_EQ(s.metrics.maxErrorPercent,
+                      p.metrics.maxErrorPercent);
+        }
+    }
+}
+
+TEST(ParallelDeterminism, EvaluateSplitMatchesSerialForAllMethods)
+{
+    Fixture f;
+    const experiments::SplitEvaluator serial(f.db, f.chars,
+                                             fastSuite(1));
+    const experiments::SplitEvaluator parallel(f.db, f.chars,
+                                               fastSuite(4));
+    std::vector<std::size_t> predictive;
+    for (std::size_t m = 0; m < 12; ++m)
+        predictive.push_back(m);
+    const std::vector<std::size_t> target = {30, 31, 32, 33};
+
+    expectIdentical(
+        serial.evaluateSplit(predictive, target,
+                             experiments::extendedMethods(), 5),
+        parallel.evaluateSplit(predictive, target,
+                               experiments::extendedMethods(), 5));
+}
+
+TEST(ParallelDeterminism, HardwareThreadCountAlsoMatches)
+{
+    Fixture f;
+    const experiments::SplitEvaluator serial(f.db, f.chars,
+                                             fastSuite(1));
+    // 0 resolves to the hardware concurrency, whatever that is here.
+    const experiments::SplitEvaluator parallel(f.db, f.chars,
+                                               fastSuite(0));
+    const std::vector<std::size_t> predictive = {0, 2, 4, 6, 8, 10};
+    const std::vector<std::size_t> target = {40, 41, 42};
+
+    expectIdentical(
+        serial.evaluateSplit(predictive, target,
+                             {Method::NnT, Method::MlpT}, 9),
+        parallel.evaluateSplit(predictive, target,
+                               {Method::NnT, Method::MlpT}, 9));
+}
+
+TEST(ParallelDeterminism, FamilyCvMatchesSerial)
+{
+    Fixture f;
+    const experiments::SplitEvaluator serial(f.db, f.chars,
+                                             fastSuite(1));
+    const experiments::SplitEvaluator parallel(f.db, f.chars,
+                                               fastSuite(4));
+    const std::vector<Method> methods = {Method::NnT, Method::MlpT};
+
+    const auto a = experiments::FamilyCrossValidation(serial).run(methods);
+    const auto b =
+        experiments::FamilyCrossValidation(parallel).run(methods);
+    ASSERT_EQ(a.families, b.families);
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (const auto &[method, cells] : a.cells) {
+        const auto &other = b.cells.at(method);
+        ASSERT_EQ(cells.size(), other.size());
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            EXPECT_EQ(cells[i].family, other[i].family);
+            EXPECT_EQ(cells[i].task.benchmark, other[i].task.benchmark);
+            EXPECT_EQ(cells[i].task.predicted, other[i].task.predicted);
+            EXPECT_EQ(cells[i].task.actual, other[i].task.actual);
+        }
+    }
+}
+
+} // namespace

@@ -202,4 +202,80 @@ TEST(Matrix, ToStringMentionsEntries)
     EXPECT_NE(s.find("2.0"), std::string::npos);
 }
 
+/** Deterministic pseudo-random fill (no RNG dependency needed). */
+Matrix
+patternMatrix(std::size_t rows, std::size_t cols, double seed)
+{
+    Matrix m(rows, cols);
+    double v = seed;
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c) {
+            v = v * 1.7 - static_cast<double>((r + 2 * c) % 13) * 0.35;
+            if (v > 10.0 || v < -10.0)
+                v *= 0.03125;
+            m(r, c) = v;
+        }
+    return m;
+}
+
+/** Textbook triple loop; the blocked kernel must match it bit for bit. */
+Matrix
+referenceMultiply(const Matrix &a, const Matrix &b)
+{
+    Matrix out(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+            double sum = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                sum += a(i, k) * b(k, j);
+            out(i, j) = sum;
+        }
+    return out;
+}
+
+TEST(Matrix, BlockedMultiplyMatchesReferenceAcrossTileBoundaries)
+{
+    // Dimensions straddle the 64-wide tile so partial edge tiles, full
+    // interior tiles, and multi-tile k accumulation are all exercised.
+    const Matrix a = patternMatrix(70, 65, 0.5);
+    const Matrix b = patternMatrix(65, 67, -0.25);
+    EXPECT_EQ(a.multiply(b), referenceMultiply(a, b));
+}
+
+TEST(Matrix, BlockedMultiplySkipsZeroRowsLikeReference)
+{
+    Matrix a = patternMatrix(66, 66, 1.0);
+    for (std::size_t k = 0; k < a.cols(); ++k)
+        a(13, k) = 0.0;
+    const Matrix b = patternMatrix(66, 66, 2.0);
+    EXPECT_EQ(a.multiply(b), referenceMultiply(a, b));
+}
+
+TEST(Matrix, MultiplyTransposedMatchesExplicitTranspose)
+{
+    const Matrix a = patternMatrix(17, 70, 0.75);
+    const Matrix b = patternMatrix(23, 70, -1.5);
+    const Matrix fast = a.multiplyTransposed(b);
+    const Matrix reference = referenceMultiply(a, b.transposed());
+    EXPECT_EQ(fast.rows(), 17u);
+    EXPECT_EQ(fast.cols(), 23u);
+    EXPECT_EQ(fast, reference);
+}
+
+TEST(Matrix, MultiplyTransposedValidatesSharedColumnCount)
+{
+    const Matrix a(3, 4);
+    EXPECT_THROW(a.multiplyTransposed(Matrix(3, 5)),
+                 util::InvalidArgument);
+}
+
+TEST(Matrix, SelectRowsExceptDropsExactlyOneRow)
+{
+    const Matrix m{{1, 2}, {3, 4}, {5, 6}};
+    EXPECT_EQ(m.selectRowsExcept(0), (Matrix{{3, 4}, {5, 6}}));
+    EXPECT_EQ(m.selectRowsExcept(1), (Matrix{{1, 2}, {5, 6}}));
+    EXPECT_EQ(m.selectRowsExcept(2), (Matrix{{1, 2}, {3, 4}}));
+    EXPECT_THROW(m.selectRowsExcept(3), util::InvalidArgument);
+}
+
 } // namespace

@@ -210,6 +210,31 @@ TEST(Mlp, BatchPredictMatchesScalar)
         EXPECT_DOUBLE_EQ(batch[r], net.predict(x.row(r)));
 }
 
+TEST(Mlp, BatchPredictIsBitIdenticalOnWideNetworks)
+{
+    // Multi-feature inputs and two hidden layers exercise the batched
+    // layer sweep with several accumulation terms per unit; the result
+    // must still match the scalar path exactly, not just approximately.
+    util::Rng rng(3);
+    Matrix x(30, 5);
+    std::vector<double> y(30);
+    for (std::size_t i = 0; i < 30; ++i) {
+        for (std::size_t c = 0; c < 5; ++c)
+            x(i, c) = rng.uniform(-3.0, 3.0);
+        y[i] = x(i, 0) - 2.0 * x(i, 3);
+    }
+    ml::MlpConfig config = fastConfig();
+    config.epochs = 40;
+    config.hiddenLayers = {6, 4};
+    ml::Mlp net(config);
+    net.fit(x, y);
+
+    const auto batch = net.predict(x);
+    ASSERT_EQ(batch.size(), 30u);
+    for (std::size_t r = 0; r < 30; ++r)
+        EXPECT_EQ(batch[r], net.predict(x.row(r))) << "row " << r;
+}
+
 TEST(Mlp, NoNormalizationModeWorksOnCenteredData)
 {
     ml::MlpConfig config = fastConfig();

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the thread pool and the parallel loop helpers.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+TEST(ParallelConfig, DefaultIsSerial)
+{
+    util::ParallelConfig config;
+    EXPECT_EQ(config.threads, 1u);
+    EXPECT_EQ(config.resolved(), 1u);
+}
+
+TEST(ParallelConfig, ZeroResolvesToHardware)
+{
+    util::ParallelConfig config;
+    config.threads = 0;
+    EXPECT_GE(config.resolved(), 1u);
+}
+
+TEST(ThreadPool, RequiresAtLeastOneWorker)
+{
+    EXPECT_THROW(util::ThreadPool(0), util::InvalidArgument);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    util::ThreadPool pool(2);
+    EXPECT_EQ(pool.workerCount(), 2u);
+    auto doubled = pool.submit([] { return 21 * 2; });
+    auto text = pool.submit([] { return std::string("done"); });
+    EXPECT_EQ(doubled.get(), 42);
+    EXPECT_EQ(text.get(), "done");
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures)
+{
+    util::ThreadPool pool(2);
+    auto failing = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(failing.get(), std::runtime_error);
+    // The pool must survive a throwing task.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, InsideWorkerIsVisibleFromTasks)
+{
+    EXPECT_FALSE(util::ThreadPool::insideWorker());
+    util::ThreadPool pool(1);
+    EXPECT_TRUE(pool.submit([] {
+                        return util::ThreadPool::insideWorker();
+                    }).get());
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction)
+{
+    std::atomic<int> done{0};
+    {
+        util::ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&done] { ++done; });
+    }
+    EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ParallelFor, ZeroTasksIsANoOp)
+{
+    bool called = false;
+    util::parallelFor(4, 0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnceWithMoreTasksThanWorkers)
+{
+    const std::size_t count = 100;
+    std::vector<std::atomic<int>> visits(count);
+    util::parallelFor(4, count,
+                      [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < count; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, SerialFallbackRunsInOrder)
+{
+    std::vector<std::size_t> order;
+    util::parallelFor(1, 5, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, RethrowsTheLowestIndexedException)
+{
+    try {
+        util::parallelFor(4, 16, [](std::size_t i) {
+            if (i == 3 || i == 11)
+                throw std::runtime_error("iteration " +
+                                         std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "iteration 3");
+    }
+}
+
+TEST(ParallelFor, NestedRegionsRunInline)
+{
+    std::atomic<int> inner_runs{0};
+    util::parallelFor(4, 4, [&](std::size_t) {
+        // Inside a worker a nested region must degrade to the serial
+        // loop instead of spawning a second pool.
+        util::parallelFor(4, 3, [&](std::size_t) {
+            EXPECT_TRUE(util::ThreadPool::insideWorker());
+            ++inner_runs;
+        });
+    });
+    EXPECT_EQ(inner_runs.load(), 12);
+}
+
+TEST(ParallelMap, FillsSlotsByIndex)
+{
+    const auto squares = util::parallelMap(
+        4, 50, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 50u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelMap, MatchesSerialResult)
+{
+    const auto serial = util::parallelMap(
+        1, 33, [](std::size_t i) { return 3.5 * static_cast<double>(i); });
+    const auto parallel = util::parallelMap(
+        4, 33, [](std::size_t i) { return 3.5 * static_cast<double>(i); });
+    EXPECT_EQ(serial, parallel);
+}
+
+} // namespace

@@ -17,6 +17,7 @@
  *   dtrank_cli info --db spec.csv
  *   dtrank_cli rank --db spec.csv --measurements my_app.csv --top 10
  *   dtrank_cli evaluate --db spec.csv --app gcc --owned 6
+ *   dtrank_cli evaluate --db spec.csv --app all --threads 8
  *
  * The measurements CSV has one "machine name,score" row per owned
  * machine; machine names must match `info` output (e.g.
@@ -38,6 +39,7 @@
 #include "core/transposition.h"
 #include "dataset/synthetic_spec.h"
 #include "core/ranking_comparison.h"
+#include "experiments/harness.h"
 #include "stats/bootstrap.h"
 #include "stats/kendall.h"
 #include "util/cli.h"
@@ -64,6 +66,23 @@ makePredictor(const std::string &method)
         return std::make_unique<core::SplineTransposition>();
     if (m == "multi" || m == "knn")
         return std::make_unique<core::MultiTransposition>();
+    throw util::InvalidArgument("unknown --method '" + method +
+                                "' (nn, mlp, spline, multi)");
+}
+
+/** Maps a --method name onto the experiment harness's Method enum. */
+experiments::Method
+harnessMethod(const std::string &method)
+{
+    const std::string m = util::toLower(method);
+    if (m == "nn" || m == "linear")
+        return experiments::Method::NnT;
+    if (m == "mlp")
+        return experiments::Method::MlpT;
+    if (m == "spline")
+        return experiments::Method::SplT;
+    if (m == "multi" || m == "knn")
+        return experiments::Method::MultiNnT;
     throw util::InvalidArgument("unknown --method '" + method +
                                 "' (nn, mlp, spline, multi)");
 }
@@ -171,13 +190,58 @@ cmdRank(util::ArgParser &args)
     return 0;
 }
 
+/**
+ * Evaluates every benchmark as the application of interest on one
+ * k-medoid split, distributing the leave-one-out tasks over --threads
+ * workers, and prints one accuracy row per benchmark.
+ */
+int
+evaluateAllApps(util::ArgParser &args, const dataset::PerfDatabase &db,
+                const std::vector<std::size_t> &owned,
+                const std::vector<std::size_t> &targets)
+{
+    const experiments::Method method = harnessMethod(args.get("method"));
+    experiments::MethodSuiteConfig config;
+    config.parallel.threads =
+        static_cast<std::size_t>(args.getLong("threads"));
+    // The GA-kNN baseline (the only characteristics consumer) is not
+    // reachable from --method, so a placeholder matrix suffices.
+    const experiments::SplitEvaluator evaluator(
+        db, linalg::Matrix(db.benchmarkCount(), 1), config);
+    const auto split = evaluator.evaluateSplit(owned, targets, {method});
+    const auto &tasks = split.at(method);
+
+    std::cout << "Owned machines: " << owned.size()
+              << " (k-medoid selected)\nMethod: "
+              << experiments::methodName(method) << "\n\n";
+    util::TablePrinter table(
+        {"benchmark", "rank corr", "top-1 err %", "mean err %"});
+    double rank = 0.0, top1 = 0.0, err = 0.0;
+    for (const experiments::TaskResult &t : tasks) {
+        rank += t.metrics.rankCorrelation;
+        top1 += t.metrics.top1ErrorPercent;
+        err += t.metrics.meanErrorPercent;
+        table.addRow({t.benchmark,
+                      util::formatFixed(t.metrics.rankCorrelation, 3),
+                      util::formatFixed(t.metrics.top1ErrorPercent, 2),
+                      util::formatFixed(t.metrics.meanErrorPercent, 2)});
+    }
+    const double n = static_cast<double>(tasks.size());
+    table.addSeparator();
+    table.addRow({"Average", util::formatFixed(rank / n, 3),
+                  util::formatFixed(top1 / n, 2),
+                  util::formatFixed(err / n, 2)});
+    table.print(std::cout);
+    return 0;
+}
+
 int
 cmdEvaluate(util::ArgParser &args)
 {
     const dataset::PerfDatabase db =
         dataset::PerfDatabase::loadCsv(args.get("db"));
     const std::string app = args.get("app");
-    util::require(db.hasBenchmark(app),
+    util::require(app == "all" || db.hasBenchmark(app),
                   "evaluate: unknown benchmark '" + app + "'");
 
     std::vector<std::size_t> all(db.machineCount());
@@ -190,6 +254,9 @@ cmdEvaluate(util::ArgParser &args)
     for (std::size_t m = 0; m < db.machineCount(); ++m)
         if (std::find(owned.begin(), owned.end(), m) == owned.end())
             targets.push_back(m);
+
+    if (app == "all")
+        return evaluateAllApps(args, db, owned, targets);
 
     const auto problem =
         core::makeProblemFromSplit(db, owned, targets, app);
@@ -251,8 +318,13 @@ main(int argc, char **argv)
                    "");
     args.addOption("method", "predictor: nn, mlp, spline, multi", "mlp");
     args.addOption("top", "ranking rows to print", "10");
-    args.addOption("app", "held-out benchmark (evaluate)", "gcc");
+    args.addOption("app", "held-out benchmark, or 'all' (evaluate)",
+                   "gcc");
     args.addOption("owned", "number of owned machines (evaluate)", "6");
+    args.addOption("threads",
+                   "worker threads for --app all (0 = all hardware "
+                   "threads)",
+                   "0");
 
     try {
         if (!args.parse(argc - 1, argv + 1))
