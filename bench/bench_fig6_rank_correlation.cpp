@@ -5,10 +5,12 @@
  * cross-validation, plus the Minimum and Average bars.
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "dataset/mica.h"
 #include "dataset/synthetic_spec.h"
+#include "experiments/bench_options.h"
 #include "experiments/family_cv.h"
 #include "experiments/paper_reference.h"
 #include "util/cli.h"
@@ -27,6 +29,7 @@ main(int argc, char **argv)
     args.addOption("threads", "worker threads (0 = all hardware threads)",
                    "0");
     args.addFlag("verbose", "print per-family progress");
+    experiments::addBenchOptions(args);
     if (!args.parse(argc, argv))
         return 0;
     if (args.getFlag("verbose"))
@@ -42,12 +45,19 @@ main(int argc, char **argv)
         static_cast<std::size_t>(args.getLong("epochs"));
     config.parallel.threads =
         static_cast<std::size_t>(args.getLong("threads"));
+    const auto cache = experiments::applyModelCacheOption(args, config);
     const experiments::SplitEvaluator evaluator(db, chars, config);
     const experiments::FamilyCrossValidation cv(evaluator);
 
     std::cout << "== Figure 6: Spearman rank correlation per benchmark "
                  "(family cross-validation) ==\n\n";
+    util::BenchJsonWriter json("fig6_rank_correlation");
+    const auto t0 = std::chrono::steady_clock::now();
     const auto results = cv.run(experiments::allMethods());
+    json.addTimed("family_cv", t0,
+                  {{"threads", args.get("threads")},
+                   {"epochs", args.get("epochs")},
+                   {"model_cache", cache ? "on" : "off"}});
 
     util::TablePrinter table(
         {"benchmark", "NN^T", "MLP^T", "GA-10NN"});
@@ -86,5 +96,8 @@ main(int argc, char **argv)
               << util::formatFixed(ref.gaKnnWorst, 2)
               << "; data transposition improves it to "
               << util::formatFixed(ref.transpositionOnWorst, 2) << ".\n";
+
+    experiments::reportModelCacheStats(cache.get(), std::cout, &json);
+    json.writeTo(args.get("json"));
     return 0;
 }

@@ -5,10 +5,12 @@
  * cross-validation, plus the Maximum and Average bars.
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "dataset/mica.h"
 #include "dataset/synthetic_spec.h"
+#include "experiments/bench_options.h"
 #include "experiments/family_cv.h"
 #include "util/cli.h"
 #include "util/logging.h"
@@ -26,6 +28,7 @@ main(int argc, char **argv)
     args.addOption("threads", "worker threads (0 = all hardware threads)",
                    "0");
     args.addFlag("verbose", "print per-family progress");
+    experiments::addBenchOptions(args);
     if (!args.parse(argc, argv))
         return 0;
     if (args.getFlag("verbose"))
@@ -41,12 +44,19 @@ main(int argc, char **argv)
         static_cast<std::size_t>(args.getLong("epochs"));
     config.parallel.threads =
         static_cast<std::size_t>(args.getLong("threads"));
+    const auto cache = experiments::applyModelCacheOption(args, config);
     const experiments::SplitEvaluator evaluator(db, chars, config);
     const experiments::FamilyCrossValidation cv(evaluator);
 
     std::cout << "== Figure 7: top-1 prediction error (%) per benchmark "
                  "(family cross-validation) ==\n\n";
+    util::BenchJsonWriter json("fig7_top1_error");
+    const auto t0 = std::chrono::steady_clock::now();
     const auto results = cv.run(experiments::allMethods());
+    json.addTimed("family_cv", t0,
+                  {{"threads", args.get("threads")},
+                   {"epochs", args.get("epochs")},
+                   {"model_cache", cache ? "on" : "off"}});
 
     util::TablePrinter table(
         {"benchmark", "NN^T", "MLP^T", "GA-10NN"});
@@ -83,5 +93,8 @@ main(int argc, char **argv)
                  ">100% top-1 errors on outlier workloads\n(cactusADM, "
                  "libquantum), while MLP^T stays below ~25% (cactusADM "
                  "24.8%).\n";
+
+    experiments::reportModelCacheStats(cache.get(), std::cout, &json);
+    json.writeTo(args.get("json"));
     return 0;
 }

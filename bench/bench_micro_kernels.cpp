@@ -7,10 +7,16 @@
  * cache-blocked matrix kernels against a naive reference, and the
  * parallel split evaluator at several thread counts.
  *
- * Pass --benchmark_format=json for machine-readable output.
+ * Pass --benchmark_format=json for machine-readable output, or
+ * --json <path> to write the google-benchmark JSON report to a file
+ * (shorthand for --benchmark_out=<path> --benchmark_out_format=json).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "baseline/ga_knn.h"
 #include "core/linear_transposition.h"
@@ -19,6 +25,7 @@
 #include "dataset/mica.h"
 #include "dataset/synthetic_spec.h"
 #include "experiments/harness.h"
+#include "legacy_mlp.h"
 #include "ml/kmedoids.h"
 #include "ml/pca.h"
 #include "ml/mlp.h"
@@ -121,13 +128,45 @@ BM_MlpTrainEpochs(benchmark::State &state)
     const auto y = randomVector(rows, rng);
     ml::MlpConfig config;
     config.epochs = static_cast<std::size_t>(state.range(0));
+    ml::MlpWorkspace workspace;
     for (auto _ : state) {
         ml::Mlp net(config);
-        net.fit(x, y);
+        net.fit(x, y, workspace);
         benchmark::DoNotOptimize(net.trainingMse());
     }
 }
 BENCHMARK(BM_MlpTrainEpochs)->Arg(10)->Arg(50);
+
+/**
+ * The PR 1 baseline the workspace engine is measured against:
+ * bench/legacy_mlp.{h,cpp} carry the pre-workspace Mlp implementation
+ * verbatim, compiled as its own translation unit exactly as it used to
+ * be. Every sample of every epoch heap-allocates its input row, the
+ * per-layer forward outputs and the per-layer delta vectors, and every
+ * unit activation is an out-of-line call. Numerically identical to
+ * Mlp::fit for the same seed — only the memory and call behaviour
+ * differ.
+ */
+void
+BM_MlpTrainEpochsLegacy(benchmark::State &state)
+{
+    util::Rng rng(4);
+    const std::size_t rows = 100;
+    const std::size_t cols = 28;
+    linalg::Matrix x(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            x(r, c) = rng.uniform(1.0, 50.0);
+    const auto y = randomVector(rows, rng);
+    bench_legacy::MlpConfig config;
+    config.epochs = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        bench_legacy::Mlp net(config);
+        net.fit(x, y);
+        benchmark::DoNotOptimize(net.trainingMse());
+    }
+}
+BENCHMARK(BM_MlpTrainEpochsLegacy)->Arg(10)->Arg(50);
 
 void
 BM_MlpPredict(benchmark::State &state)
@@ -366,6 +405,78 @@ BM_EvaluateSplit(benchmark::State &state)
 BENCHMARK(BM_EvaluateSplit)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * The same split with the trained-model cache installed. The cache
+ * persists across iterations, so after the first (miss-dominated)
+ * iteration the loop measures the hit path; hit/miss totals are
+ * reported as counters.
+ */
+void
+BM_EvaluateSplitCached(benchmark::State &state)
+{
+    const dataset::PerfDatabase &db = paperDb();
+    const linalg::Matrix chars =
+        dataset::MicaGenerator().generateForCatalog();
+    experiments::MethodSuiteConfig config;
+    config.mlp.mlp.epochs = 30;
+    config.gaKnn.ga.populationSize = 10;
+    config.gaKnn.ga.generations = 3;
+    config.parallel.threads = static_cast<std::size_t>(state.range(0));
+    config.modelCache =
+        std::make_shared<experiments::TrainedModelCache>();
+    const experiments::SplitEvaluator evaluator(db, chars, config);
+
+    const auto target = db.machineIndicesByFamily("Intel Xeon");
+    std::vector<std::size_t> predictive;
+    for (std::size_t m = 0; m < db.machineCount(); ++m)
+        if (db.machine(m).family != "Intel Xeon")
+            predictive.push_back(m);
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(evaluator.evaluateSplit(
+            predictive, target, experiments::extendedMethods()));
+    }
+    const auto stats = config.modelCache->stats();
+    state.counters["cache_hits"] =
+        static_cast<double>(stats.hits);
+    state.counters["cache_misses"] =
+        static_cast<double>(stats.misses);
+}
+BENCHMARK(BM_EvaluateSplitCached)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Translate --json <path> (the flag every dtrank bench binary
+    // understands) into google-benchmark's file-output flags.
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc) + 1);
+    args.emplace_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            args.push_back(std::string("--benchmark_out=") + argv[++i]);
+            args.emplace_back("--benchmark_out_format=json");
+        } else if (arg.rfind("--json=", 0) == 0) {
+            args.push_back("--benchmark_out=" + arg.substr(7));
+            args.emplace_back("--benchmark_out_format=json");
+        } else {
+            args.push_back(arg);
+        }
+    }
+    std::vector<char *> argv2;
+    argv2.reserve(args.size());
+    for (std::string &a : args)
+        argv2.push_back(a.data());
+    int argc2 = static_cast<int>(argv2.size());
+
+    benchmark::Initialize(&argc2, argv2.data());
+    if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -6,10 +6,12 @@
  * reported numbers next to our measured ones.
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "dataset/mica.h"
 #include "dataset/synthetic_spec.h"
+#include "experiments/bench_options.h"
 #include "experiments/family_cv.h"
 #include "experiments/paper_reference.h"
 #include "util/cli.h"
@@ -28,6 +30,7 @@ main(int argc, char **argv)
     args.addOption("threads", "worker threads (0 = all hardware threads)",
                    "0");
     args.addFlag("verbose", "print per-family progress");
+    experiments::addBenchOptions(args);
     if (!args.parse(argc, argv))
         return 0;
     if (args.getFlag("verbose"))
@@ -43,6 +46,7 @@ main(int argc, char **argv)
         static_cast<std::size_t>(args.getLong("epochs"));
     config.parallel.threads =
         static_cast<std::size_t>(args.getLong("threads"));
+    const auto cache = experiments::applyModelCacheOption(args, config);
     const experiments::SplitEvaluator evaluator(db, chars, config);
     const experiments::FamilyCrossValidation cv(evaluator);
 
@@ -51,7 +55,13 @@ main(int argc, char **argv)
                  "in brackets refer to the\n real spec.org data, so only "
                  "the qualitative ordering is expected to match)\n\n";
 
+    util::BenchJsonWriter json("table2_family_cv");
+    const auto t0 = std::chrono::steady_clock::now();
     const auto results = cv.run(experiments::allMethods());
+    json.addTimed("family_cv", t0,
+                  {{"threads", args.get("threads")},
+                   {"epochs", args.get("epochs")},
+                   {"model_cache", cache ? "on" : "off"}});
 
     util::TablePrinter table({"metric", "NN^T", "MLP^T", "GA-10NN"});
     const auto &ref = experiments::paper::table2();
@@ -94,5 +104,8 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\nTarget families evaluated: "
               << results.families.size() << "\n";
+
+    experiments::reportModelCacheStats(cache.get(), std::cout, &json);
+    json.writeTo(args.get("json"));
     return 0;
 }

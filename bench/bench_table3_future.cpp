@@ -5,10 +5,12 @@
  * 2007, or before 2007 as the predictive set.
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "dataset/mica.h"
 #include "dataset/synthetic_spec.h"
+#include "experiments/bench_options.h"
 #include "experiments/future.h"
 #include "experiments/paper_reference.h"
 #include "util/cli.h"
@@ -84,6 +86,7 @@ main(int argc, char **argv)
     args.addOption("threads", "worker threads (0 = all hardware threads)",
                    "0");
     args.addFlag("verbose", "print per-era progress");
+    experiments::addBenchOptions(args);
     if (!args.parse(argc, argv))
         return 0;
     if (args.getFlag("verbose"))
@@ -99,6 +102,7 @@ main(int argc, char **argv)
         static_cast<std::size_t>(args.getLong("epochs"));
     config.parallel.threads =
         static_cast<std::size_t>(args.getLong("threads"));
+    const auto cache = experiments::applyModelCacheOption(args, config);
     const experiments::SplitEvaluator evaluator(db, chars, config);
     const experiments::FuturePrediction protocol(
         evaluator, static_cast<int>(args.getLong("target-year")));
@@ -106,7 +110,13 @@ main(int argc, char **argv)
     std::cout << "== Table 3: predicting "
               << args.getLong("target-year")
               << " machines from older machines ==\n\n";
+    util::BenchJsonWriter json("table3_future");
+    const auto t0 = std::chrono::steady_clock::now();
     const auto results = protocol.run(experiments::allMethods());
+    json.addTimed("future_prediction", t0,
+                  {{"threads", args.get("threads")},
+                   {"epochs", args.get("epochs")},
+                   {"model_cache", cache ? "on" : "off"}});
 
     std::cout << "Target machines: " << results.targetMachines.size()
               << "\n";
@@ -122,5 +132,8 @@ main(int argc, char **argv)
     std::cout << "\n(c) GA-10NN (reference; the paper reports GA-kNN in "
                  "the text)\n";
     printMethodTable(results, experiments::Method::GaKnn);
+
+    experiments::reportModelCacheStats(cache.get(), std::cout, &json);
+    json.writeTo(args.get("json"));
     return 0;
 }

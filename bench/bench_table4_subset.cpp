@@ -4,10 +4,12 @@
  * random subsets of 10, 5 and 3 of the 2008 machines.
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "dataset/mica.h"
 #include "dataset/synthetic_spec.h"
+#include "experiments/bench_options.h"
 #include "experiments/paper_reference.h"
 #include "experiments/subset.h"
 #include "util/cli.h"
@@ -84,6 +86,7 @@ main(int argc, char **argv)
     args.addOption("threads", "worker threads (0 = all hardware threads)",
                    "0");
     args.addFlag("verbose", "print progress");
+    experiments::addBenchOptions(args);
     if (!args.parse(argc, argv))
         return 0;
     if (args.getFlag("verbose"))
@@ -99,6 +102,7 @@ main(int argc, char **argv)
         static_cast<std::size_t>(args.getLong("epochs"));
     config.parallel.threads =
         static_cast<std::size_t>(args.getLong("threads"));
+    const auto cache = experiments::applyModelCacheOption(args, config);
     const experiments::SplitEvaluator evaluator(db, chars, config);
 
     experiments::SubsetExperimentConfig subset_config;
@@ -110,7 +114,14 @@ main(int argc, char **argv)
     std::cout << "== Table 4: predicting the 2009 machines from small "
                  "subsets of the 2008 machines ==\n(averaged over "
               << subset_config.draws << " random draws per size)\n\n";
+    util::BenchJsonWriter json("table4_subset");
+    const auto t0 = std::chrono::steady_clock::now();
     const auto results = protocol.run(experiments::allMethods());
+    json.addTimed("subset_experiment", t0,
+                  {{"threads", args.get("threads")},
+                   {"epochs", args.get("epochs")},
+                   {"draws", args.get("draws")},
+                   {"model_cache", cache ? "on" : "off"}});
 
     std::cout << "(a) MLP^T\n";
     printMethodTable(results, experiments::Method::MlpT);
@@ -118,5 +129,8 @@ main(int argc, char **argv)
     printMethodTable(results, experiments::Method::NnT);
     std::cout << "\n(c) GA-10NN (reference)\n";
     printMethodTable(results, experiments::Method::GaKnn);
+
+    experiments::reportModelCacheStats(cache.get(), std::cout, &json);
+    json.writeTo(args.get("json"));
     return 0;
 }

@@ -1,0 +1,264 @@
+#include "legacy_mlp.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dtrank::bench_legacy
+{
+
+using ml::activate;
+using ml::activateDerivativeFromOutput;
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config))
+{
+    util::require(config_.learningRate > 0.0,
+                  "Mlp: learningRate must be positive");
+    util::require(config_.momentum >= 0.0 && config_.momentum < 1.0,
+                  "Mlp: momentum must be in [0, 1)");
+    util::require(config_.epochs >= 1, "Mlp: epochs must be >= 1");
+    util::require(config_.initWeightRange > 0.0,
+                  "Mlp: initWeightRange must be positive");
+    util::require(config_.learningRateDecay >= 0.0,
+                  "Mlp: learningRateDecay must be >= 0");
+}
+
+void
+Mlp::fit(const linalg::Matrix &x, const std::vector<double> &y)
+{
+    util::require(x.rows() == y.size(), "Mlp::fit: row count mismatch");
+    util::require(x.rows() >= 1, "Mlp::fit: needs at least one instance");
+    util::require(x.cols() >= 1, "Mlp::fit: needs at least one feature");
+
+    input_size_ = x.cols();
+
+    // Resolve WEKA's automatic hidden layer: (#attributes + #outputs)/2.
+    hidden_ = config_.hiddenLayers;
+    if (hidden_.empty())
+        hidden_ = {std::max<std::size_t>(1, (input_size_ + 1) / 2)};
+    for (std::size_t h : hidden_)
+        util::require(h >= 1, "Mlp::fit: hidden layer size must be >= 1");
+
+    // Normalization of attributes and the numeric target.
+    linalg::Matrix xn = x;
+    std::vector<double> yn = y;
+    if (config_.normalize) {
+        featureNorm_.fit(x);
+        xn = featureNorm_.transform(x);
+        targetNorm_.fitSeries(y);
+        for (double &v : yn)
+            v = targetNorm_.transformScalar(v);
+    }
+
+    // Train, restarting with a halved learning rate if stochastic
+    // backprop diverges (possible on very small training sets).
+    double lr_base = config_.learningRate;
+    for (std::size_t attempt = 0;; ++attempt) {
+        if (trainOnce(xn, yn, lr_base, config_.seed + attempt)) {
+            break;
+        }
+        util::require(attempt < config_.maxRestarts,
+                      "Mlp::fit: training diverged even after reducing "
+                      "the learning rate");
+        lr_base *= 0.5;
+    }
+    trained_ = true;
+}
+
+bool
+Mlp::trainOnce(const linalg::Matrix &xn, const std::vector<double> &yn,
+               double lr_base, std::uint64_t seed)
+{
+    // Build layers: hidden layers + one linear output unit.
+    util::Rng rng(seed);
+    layers_.clear();
+    std::vector<std::size_t> sizes;
+    sizes.push_back(input_size_);
+    for (std::size_t h : hidden_)
+        sizes.push_back(h);
+    sizes.push_back(1);
+
+    for (std::size_t li = 0; li + 1 < sizes.size(); ++li) {
+        Layer layer;
+        const std::size_t in = sizes[li];
+        const std::size_t out = sizes[li + 1];
+        layer.weights = linalg::Matrix(out, in);
+        layer.bias.assign(out, 0.0);
+        for (std::size_t r = 0; r < out; ++r) {
+            for (std::size_t c = 0; c < in; ++c)
+                layer.weights(r, c) = rng.uniform(-config_.initWeightRange,
+                                                  config_.initWeightRange);
+            layer.bias[r] = rng.uniform(-config_.initWeightRange,
+                                        config_.initWeightRange);
+        }
+        layer.prevDeltaW = linalg::Matrix(out, in, 0.0);
+        layer.prevDeltaB.assign(out, 0.0);
+        layer.activation = (li + 2 == sizes.size())
+                               ? config_.outputActivation
+                               : config_.hiddenActivation;
+        layers_.push_back(std::move(layer));
+    }
+
+    // Stochastic backpropagation with momentum.
+    const std::size_t n = xn.rows();
+    std::vector<std::size_t> visit(n);
+    for (std::size_t i = 0; i < n; ++i)
+        visit[i] = i;
+
+    loss_history_.assign(config_.epochs, 0.0);
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        if (config_.shuffleEachEpoch)
+            rng.shuffle(visit);
+        const double lr =
+            lr_base /
+            (1.0 + config_.learningRateDecay * static_cast<double>(epoch));
+
+        double sse = 0.0;
+        for (std::size_t vi = 0; vi < n; ++vi) {
+            const std::size_t i = visit[vi];
+            const std::vector<double> input = xn.row(i);
+            const auto outputs = forward(input);
+            const double pred = outputs.back()[0];
+            const double err = yn[i] - pred;
+            sse += err * err;
+
+            // Backward pass: delta[l][j] = dE/d(net_j) at layer l.
+            std::vector<std::vector<double>> delta(layers_.size());
+            {
+                const std::size_t last = layers_.size() - 1;
+                delta[last].assign(1, 0.0);
+                delta[last][0] =
+                    err * activateDerivativeFromOutput(
+                              layers_[last].activation, pred);
+            }
+            for (std::size_t lk = layers_.size() - 1; lk-- > 0;) {
+                const Layer &next = layers_[lk + 1];
+                const std::vector<double> &out_l = outputs[lk + 1];
+                delta[lk].assign(out_l.size(), 0.0);
+                for (std::size_t j = 0; j < out_l.size(); ++j) {
+                    double acc = 0.0;
+                    for (std::size_t k = 0; k < delta[lk + 1].size(); ++k)
+                        acc += next.weights(k, j) * delta[lk + 1][k];
+                    delta[lk][j] =
+                        acc * activateDerivativeFromOutput(
+                                  layers_[lk].activation, out_l[j]);
+                }
+            }
+
+            // Weight updates with momentum.
+            for (std::size_t lk = 0; lk < layers_.size(); ++lk) {
+                Layer &layer = layers_[lk];
+                const std::vector<double> &in_act = outputs[lk];
+                for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
+                    const double d = delta[lk][r];
+                    for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
+                        const double dw =
+                            lr * d * in_act[c] +
+                            config_.momentum * layer.prevDeltaW(r, c);
+                        layer.weights(r, c) += dw;
+                        layer.prevDeltaW(r, c) = dw;
+                    }
+                    const double db = lr * d +
+                                      config_.momentum * layer.prevDeltaB[r];
+                    layer.bias[r] += db;
+                    layer.prevDeltaB[r] = db;
+                }
+            }
+        }
+        loss_history_[epoch] = sse / static_cast<double>(n);
+        const double bound =
+            config_.divergenceFactor *
+            std::max(loss_history_[0], 1e-6);
+        if (!std::isfinite(loss_history_[epoch]) ||
+            loss_history_[epoch] > bound) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<std::vector<double>>
+Mlp::forward(const std::vector<double> &input) const
+{
+    std::vector<std::vector<double>> outputs;
+    outputs.reserve(layers_.size() + 1);
+    outputs.push_back(input);
+    for (const Layer &layer : layers_) {
+        const std::vector<double> &prev = outputs.back();
+        std::vector<double> next(layer.weights.rows(), 0.0);
+        for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
+            double net = layer.bias[r];
+            for (std::size_t c = 0; c < layer.weights.cols(); ++c)
+                net += layer.weights(r, c) * prev[c];
+            next[r] = activate(layer.activation, net);
+        }
+        outputs.push_back(std::move(next));
+    }
+    return outputs;
+}
+
+double
+Mlp::forwardScalar(const std::vector<double> &input) const
+{
+    return forward(input).back()[0];
+}
+
+double
+Mlp::predict(const std::vector<double> &features) const
+{
+    util::require(trained_, "Mlp::predict: model not trained");
+    util::require(features.size() == input_size_,
+                  "Mlp::predict: feature count mismatch");
+    std::vector<double> in = features;
+    if (config_.normalize)
+        in = featureNorm_.transform(features);
+    const double out = forwardScalar(in);
+    if (config_.normalize)
+        return targetNorm_.inverseTransformScalar(out);
+    return out;
+}
+
+std::vector<double>
+Mlp::predict(const linalg::Matrix &x) const
+{
+    util::require(trained_, "Mlp::predict: model not trained");
+    util::require(x.cols() == input_size_,
+                  "Mlp::predict: feature count mismatch");
+    // Batched forward pass: one layer-sized sweep per layer instead of
+    // one dot product per (row, unit) with per-row temporaries. acts
+    // is rows x layer-width throughout; weights are out x in, so both
+    // operands stream row-contiguously. The accumulation starts from
+    // the bias and adds weights in ascending order — the exact
+    // arithmetic of forward() — so batch and scalar predictions are
+    // bit-identical.
+    linalg::Matrix acts =
+        config_.normalize ? featureNorm_.transform(x) : x;
+    for (const Layer &layer : layers_) {
+        linalg::Matrix net(acts.rows(), layer.weights.rows());
+        for (std::size_t r = 0; r < acts.rows(); ++r) {
+            for (std::size_t u = 0; u < layer.weights.rows(); ++u) {
+                double sum = layer.bias[u];
+                for (std::size_t k = 0; k < acts.cols(); ++k)
+                    sum += layer.weights(u, k) * acts(r, k);
+                net(r, u) = activate(layer.activation, sum);
+            }
+        }
+        acts = std::move(net);
+    }
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        out[r] = config_.normalize
+                     ? targetNorm_.inverseTransformScalar(acts(r, 0))
+                     : acts(r, 0);
+    return out;
+}
+
+double
+Mlp::trainingMse() const
+{
+    util::require(trained_, "Mlp::trainingMse: model not trained");
+    return loss_history_.back();
+}
+
+} // namespace dtrank::bench_legacy

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Verbatim copy of the pre-workspace Mlp implementation (the PR 1
+ * baseline), kept under the dtrank::bench_legacy namespace so
+ * bench_micro_kernels can measure the workspace training engine
+ * against the exact code it replaced. Not part of the library; do not
+ * use outside benchmarks.
+ */
+#ifndef DTRANK_BENCH_LEGACY_MLP_H_
+#define DTRANK_BENCH_LEGACY_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "ml/activation.h"
+#include "ml/normalizer.h"
+
+namespace dtrank::bench_legacy
+{
+
+using ml::Activation;
+using ml::RangeNormalizer;
+
+/** Hyperparameters of the Mlp. Defaults replicate WEKA v3. */
+struct MlpConfig
+{
+    /**
+     * Hidden layer sizes. Empty means WEKA's automatic single layer of
+     * (#attributes + #outputs) / 2 units (the 'a' wildcard).
+     */
+    std::vector<std::size_t> hiddenLayers;
+    /** Backpropagation step size. */
+    double learningRate = 0.3;
+    /** Momentum applied to previous weight updates. */
+    double momentum = 0.2;
+    /** Number of passes over the training data. */
+    std::size_t epochs = 500;
+    /** Hidden-unit nonlinearity. */
+    Activation hiddenActivation = Activation::Sigmoid;
+    /** Output-unit activation (linear for regression). */
+    Activation outputActivation = Activation::Linear;
+    /** Seed for weight initialization and shuffling. */
+    std::uint64_t seed = 1;
+    /** Normalize attributes and target to [-1, 1] (WEKA default). */
+    bool normalize = true;
+    /** Initial weights drawn uniformly from [-range, range]. */
+    double initWeightRange = 0.5;
+    /** Decay the learning rate as lr / (1 + decay * epoch). */
+    double learningRateDecay = 0.0;
+    /** Visit training rows in random order each epoch. */
+    bool shuffleEachEpoch = true;
+    /**
+     * Stochastic backprop with a fixed step can diverge on tiny
+     * training sets (the transposition setting trains on as few as 3
+     * machines). When the epoch loss turns non-finite or grows beyond
+     * divergenceFactor x the first epoch's loss, training restarts
+     * with the learning rate halved, up to maxRestarts times.
+     */
+    std::size_t maxRestarts = 6;
+    /** Loss growth factor that counts as divergence. */
+    double divergenceFactor = 100.0;
+};
+
+/**
+ * Feed-forward neural network trained with stochastic backpropagation,
+ * single numeric output.
+ */
+class Mlp
+{
+  public:
+    explicit Mlp(MlpConfig config = MlpConfig{});
+
+    /**
+     * Trains the network.
+     *
+     * @param x One row per training instance.
+     * @param y Numeric target per instance; y.size() == x.rows() >= 1.
+     */
+    void fit(const linalg::Matrix &x, const std::vector<double> &y);
+
+    /** Predicts the target for one raw (unnormalized) feature vector. */
+    double predict(const std::vector<double> &features) const;
+
+    /**
+     * Predicts for each row of a raw feature matrix in one batched
+     * forward pass (one layer-wide sweep per layer); bit-identical to
+     * calling the scalar predict() on every row.
+     */
+    std::vector<double> predict(const linalg::Matrix &x) const;
+
+    /** True once fit() has completed. */
+    bool trained() const { return trained_; }
+
+    /** Mean squared error on the training data after the final epoch. */
+    double trainingMse() const;
+
+    /** Per-epoch training MSE history (size == epochs). */
+    const std::vector<double> &lossHistory() const { return loss_history_; }
+
+    const MlpConfig &config() const { return config_; }
+
+    /** Number of input features the network was trained on. */
+    std::size_t inputSize() const { return input_size_; }
+
+    /** Actual hidden layer sizes after resolving WEKA's 'a' default. */
+    const std::vector<std::size_t> &hiddenSizes() const { return hidden_; }
+
+  private:
+    /** One fully connected layer with its momentum state. */
+    struct Layer
+    {
+        linalg::Matrix weights;      // out x in
+        std::vector<double> bias;    // out
+        linalg::Matrix prevDeltaW;   // momentum buffer
+        std::vector<double> prevDeltaB;
+        Activation activation = Activation::Sigmoid;
+    };
+
+    /** Forward pass on normalized features; fills per-layer outputs. */
+    std::vector<std::vector<double>>
+    forward(const std::vector<double> &input) const;
+
+    /** Forward pass returning only the scalar (normalized) output. */
+    double forwardScalar(const std::vector<double> &input) const;
+
+    /**
+     * One full training run at the given base learning rate.
+     * @return false when the loss diverged (caller retries).
+     */
+    bool trainOnce(const linalg::Matrix &xn, const std::vector<double> &yn,
+                   double lr_base, std::uint64_t seed);
+
+    MlpConfig config_;
+    std::vector<Layer> layers_;
+    std::vector<std::size_t> hidden_;
+    RangeNormalizer featureNorm_;
+    RangeNormalizer targetNorm_;
+    std::vector<double> loss_history_;
+    std::size_t input_size_ = 0;
+    bool trained_ = false;
+};
+
+} // namespace dtrank::bench_legacy
+
+#endif // DTRANK_BENCH_LEGACY_MLP_H_

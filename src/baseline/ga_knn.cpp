@@ -86,7 +86,8 @@ GaKnnModel::GaKnnModel(GaKnnConfig config) : config_(config)
 
 void
 GaKnnModel::train(const linalg::Matrix &characteristics,
-                  const linalg::Matrix &train_scores)
+                  const linalg::Matrix &train_scores,
+                  ml::FitnessMemo *memo)
 {
     const std::size_t n_bench = characteristics.rows();
     const std::size_t n_char = characteristics.cols();
@@ -167,12 +168,28 @@ GaKnnModel::train(const linalg::Matrix &characteristics,
 
     const std::vector<double> lower(n_char, 0.0);
     const std::vector<double> upper(n_char, 1.0);
-    const ml::GeneticAlgorithm ga(config_.ga, lower, upper);
+    // The fitness above is pure given the training data, so a memo is
+    // always sound on this path: force memoization on when one is
+    // supplied.
+    ml::GaConfig ga_config = config_.ga;
+    if (memo != nullptr)
+        ga_config.memoizeFitness = true;
+    const ml::GeneticAlgorithm ga(ga_config, lower, upper);
     util::Rng rng(config_.seed);
-    const ml::GaResult result = ga.optimize(fitness, rng);
+    const ml::GaResult result = ga.optimize(fitness, rng, memo);
 
     weights_ = result.bestGenome;
     training_fitness_ = result.bestFitness;
+    trained_ = true;
+}
+
+void
+GaKnnModel::restore(std::vector<double> weights, double training_fitness)
+{
+    util::require(!weights.empty(),
+                  "GaKnnModel::restore: weights must not be empty");
+    weights_ = std::move(weights);
+    training_fitness_ = training_fitness;
     trained_ = true;
 }
 

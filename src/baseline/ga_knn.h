@@ -61,11 +61,26 @@ class GaKnnModel
      * @param train_scores Benchmark scores on the training machines
      *        (B x M). The GA maximizes leave-one-benchmark-out kNN
      *        prediction accuracy on these machines.
+     * @param memo Optional genome -> fitness memo. The GA-kNN fitness
+     *        is a pure function of the genome (given the training
+     *        data), so memoization is sound here; passing a memo turns
+     *        it on regardless of config().ga.memoizeFitness. Elites are
+     *        re-evaluated every generation, so any memo-backed run
+     *        registers hits. Results are bit-identical with and
+     *        without a memo.
      */
     void train(const linalg::Matrix &characteristics,
-               const linalg::Matrix &train_scores);
+               const linalg::Matrix &train_scores,
+               ml::FitnessMemo *memo = nullptr);
 
-    /** True once train() has completed. */
+    /**
+     * Installs previously learned weights without re-running the GA —
+     * the trained-model-cache hit path. The pair must come from a
+     * train() call with identical configuration and training data.
+     */
+    void restore(std::vector<double> weights, double training_fitness);
+
+    /** True once train() or restore() has completed. */
     bool trained() const { return trained_; }
 
     /** The learned per-characteristic weights. */

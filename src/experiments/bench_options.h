@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared command-line plumbing for the protocol bench binaries: the
+ * --model-cache / --model-cache-capacity flags that enable the
+ * cross-protocol trained-model cache, and the --json flag selecting a
+ * machine-readable BENCH_*.json output path.
+ */
+
+#ifndef DTRANK_EXPERIMENTS_BENCH_OPTIONS_H_
+#define DTRANK_EXPERIMENTS_BENCH_OPTIONS_H_
+
+#include <iosfwd>
+#include <memory>
+
+#include "experiments/harness.h"
+#include "util/bench_json.h"
+#include "util/cli.h"
+
+namespace dtrank::experiments
+{
+
+/** Registers --model-cache, --model-cache-capacity and --json. */
+void addBenchOptions(util::ArgParser &args);
+
+/**
+ * Installs a TrainedModelCache into `config` when --model-cache was
+ * supplied (capacity from --model-cache-capacity; 0 keeps the
+ * default).
+ * @return The cache, or null when caching stays off.
+ */
+std::shared_ptr<TrainedModelCache>
+applyModelCacheOption(const util::ArgParser &args,
+                      MethodSuiteConfig &config);
+
+/**
+ * Prints the cache's hit/miss/eviction counters to `out` and, when
+ * `json` is non-null, appends them to the JSON record context being
+ * built. No-op when `cache` is null.
+ */
+void reportModelCacheStats(const TrainedModelCache *cache,
+                           std::ostream &out,
+                           util::BenchJsonWriter *json);
+
+} // namespace dtrank::experiments
+
+#endif // DTRANK_EXPERIMENTS_BENCH_OPTIONS_H_

@@ -1,12 +1,88 @@
 #include "experiments/harness.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "core/transposition.h"
 #include "util/error.h"
+#include "util/hash.h"
 
 namespace dtrank::experiments
 {
+
+namespace
+{
+
+/** Adds every MlpConfig field that shapes training to the hash. */
+void
+hashMlpConfig(util::ContentHasher &hasher, const ml::MlpConfig &cfg)
+{
+    hasher.add(static_cast<std::uint64_t>(cfg.hiddenLayers.size()));
+    for (std::size_t h : cfg.hiddenLayers)
+        hasher.add(static_cast<std::uint64_t>(h));
+    hasher.add(cfg.learningRate);
+    hasher.add(cfg.momentum);
+    hasher.add(static_cast<std::uint64_t>(cfg.epochs));
+    hasher.add(static_cast<std::uint64_t>(cfg.hiddenActivation));
+    hasher.add(static_cast<std::uint64_t>(cfg.outputActivation));
+    hasher.add(cfg.seed);
+    hasher.add(cfg.normalize);
+    hasher.add(cfg.initWeightRange);
+    hasher.add(cfg.learningRateDecay);
+    hasher.add(cfg.shuffleEachEpoch);
+    hasher.add(static_cast<std::uint64_t>(cfg.maxRestarts));
+    hasher.add(cfg.divergenceFactor);
+}
+
+/**
+ * Cache key of one (method, held-out benchmark) prediction. Everything
+ * the prediction depends on goes in: the method's hyperparameters (the
+ * MLP's includes its task-derived seed; the other methods are
+ * seed-free, so identical splits reappearing in another protocol hit),
+ * the predictive and target score matrices, and the held-out row.
+ */
+util::HashKey
+taskPredictionKey(Method method, const MethodSuiteConfig &config,
+                  const dataset::PerfDatabase &pred_db,
+                  const dataset::PerfDatabase &target_db, std::size_t app,
+                  std::uint64_t mlp_seed)
+{
+    util::ContentHasher hasher;
+    hasher.add(std::string_view("task-prediction"));
+    hasher.add(static_cast<std::uint64_t>(method));
+    switch (method) {
+      case Method::NnT:
+        hasher.add(static_cast<std::uint64_t>(config.linear.criterion));
+        hasher.add(config.linear.logSpace);
+        break;
+      case Method::MlpT: {
+        ml::MlpConfig mlp = config.mlp.mlp;
+        mlp.seed = mlp_seed;
+        hashMlpConfig(hasher, mlp);
+        hasher.add(config.mlp.logSpace);
+        hasher.add(config.mlp.transductiveNormalization);
+        break;
+      }
+      case Method::SplT:
+        hasher.add(static_cast<std::uint64_t>(config.spline.knots));
+        hasher.add(config.spline.logSpace);
+        break;
+      case Method::MultiNnT:
+        hasher.add(static_cast<std::uint64_t>(config.multi.proxies));
+        hasher.add(config.multi.ridge);
+        hasher.add(config.multi.logSpace);
+        break;
+      case Method::GaKnn:
+        DTRANK_ASSERT_MSG(false, "GA-kNN predictions are not cached");
+        break;
+    }
+    hashMatrix(hasher, pred_db.scores());
+    hashMatrix(hasher, target_db.scores());
+    hasher.add(static_cast<std::uint64_t>(app));
+    return hasher.key();
+}
+
+} // namespace
 
 std::string
 methodName(Method m)
@@ -79,9 +155,33 @@ SplitEvaluator::evaluateSplit(const std::vector<std::size_t> &predictive,
     // GA-kNN learns its characteristic weights once per split from the
     // machines available to the user (matching Hoste et al., who train
     // the GA across the benchmark suite on a set of training machines).
+    // With a model cache the whole split model is served on a repeat
+    // key; on a miss, the GA routes genome fitness lookups through the
+    // cache too (elites are re-evaluated every generation, so even one
+    // GA run registers hits).
     baseline::GaKnnModel gaknn_model(config_.gaKnn);
-    if (want_gaknn)
-        gaknn_model.train(characteristics_, pred_db.scores());
+    if (want_gaknn) {
+        TrainedModelCache *cache = config_.modelCache.get();
+        if (cache != nullptr) {
+            const util::HashKey model_key = gaKnnModelKey(
+                config_.gaKnn, characteristics_, pred_db.scores());
+            std::vector<double> blob;
+            if (cache->lookup(model_key, blob) && blob.size() >= 2) {
+                const double fitness = blob.back();
+                blob.pop_back();
+                gaknn_model.restore(std::move(blob), fitness);
+            } else {
+                CachedFitnessMemo memo(*cache, model_key);
+                gaknn_model.train(characteristics_, pred_db.scores(),
+                                  &memo);
+                blob = gaknn_model.weights();
+                blob.push_back(gaknn_model.trainingFitness());
+                cache->store(model_key, std::move(blob));
+            }
+        } else {
+            gaknn_model.train(characteristics_, pred_db.scores());
+        }
+    }
 
     // One independent task per (method, held-out benchmark). Every
     // task writes into its pre-sized slot and derives any randomness
@@ -111,45 +211,65 @@ SplitEvaluator::runTask(Method method, std::size_t app,
                         const baseline::GaKnnModel &gaknn_model,
                         std::uint64_t split_tag) const
 {
+    // Task-specific seed: stable regardless of evaluation order.
+    const std::uint64_t mlp_seed =
+        config_.mlpSeedBase + split_tag * 1000003ULL + app * 7919ULL;
+
+    // Transposition predictions are cached per task; GA-kNN is not (its
+    // per-task prediction is a cheap kNN combine — the expensive GA
+    // training is cached at the split level in evaluateSplit()).
+    TrainedModelCache *cache =
+        method == Method::GaKnn ? nullptr : config_.modelCache.get();
+    util::HashKey key;
     std::vector<double> predicted;
-    switch (method) {
-      case Method::NnT: {
-        core::LinearTransposition predictor(config_.linear);
-        predicted = predictor.predict(
-            core::makeLeaveOneOutProblem(pred_db, target_db, app));
-        break;
-      }
-      case Method::MlpT: {
-        core::MlpTranspositionConfig cfg = config_.mlp;
-        // Task-specific seed: stable regardless of order.
-        cfg.mlp.seed = config_.mlpSeedBase +
-                       split_tag * 1000003ULL + app * 7919ULL;
-        core::MlpTransposition predictor(cfg);
-        predicted = predictor.predict(
-            core::makeLeaveOneOutProblem(pred_db, target_db, app));
-        break;
-      }
-      case Method::GaKnn: {
-        // Copy-free leave-one-out: the app's own row is excluded from
-        // the neighbour candidates by index instead of materializing
-        // (N-1)-row copies of the characteristics and score matrices.
-        predicted = gaknn_model.predictApp(characteristics_.row(app),
-                                           characteristics_,
-                                           target_db.scores(), app);
-        break;
-      }
-      case Method::SplT: {
-        core::SplineTransposition predictor(config_.spline);
-        predicted = predictor.predict(
-            core::makeLeaveOneOutProblem(pred_db, target_db, app));
-        break;
-      }
-      case Method::MultiNnT: {
-        core::MultiTransposition predictor(config_.multi);
-        predicted = predictor.predict(
-            core::makeLeaveOneOutProblem(pred_db, target_db, app));
-        break;
-      }
+    bool cached = false;
+    if (cache != nullptr) {
+        key = taskPredictionKey(method, config_, pred_db, target_db, app,
+                                mlp_seed);
+        cached = cache->lookup(key, predicted);
+    }
+
+    if (!cached) {
+        switch (method) {
+          case Method::NnT: {
+            core::LinearTransposition predictor(config_.linear);
+            predicted = predictor.predict(
+                core::makeLeaveOneOutProblem(pred_db, target_db, app));
+            break;
+          }
+          case Method::MlpT: {
+            core::MlpTranspositionConfig cfg = config_.mlp;
+            cfg.mlp.seed = mlp_seed;
+            core::MlpTransposition predictor(cfg);
+            predicted = predictor.predict(
+                core::makeLeaveOneOutProblem(pred_db, target_db, app));
+            break;
+          }
+          case Method::GaKnn: {
+            // Copy-free leave-one-out: the app's own row is excluded
+            // from the neighbour candidates by index instead of
+            // materializing (N-1)-row copies of the characteristics
+            // and score matrices.
+            predicted = gaknn_model.predictApp(characteristics_.row(app),
+                                               characteristics_,
+                                               target_db.scores(), app);
+            break;
+          }
+          case Method::SplT: {
+            core::SplineTransposition predictor(config_.spline);
+            predicted = predictor.predict(
+                core::makeLeaveOneOutProblem(pred_db, target_db, app));
+            break;
+          }
+          case Method::MultiNnT: {
+            core::MultiTransposition predictor(config_.multi);
+            predicted = predictor.predict(
+                core::makeLeaveOneOutProblem(pred_db, target_db, app));
+            break;
+          }
+        }
+        if (cache != nullptr)
+            cache->store(key, predicted);
     }
 
     TaskResult task;

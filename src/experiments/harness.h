@@ -10,6 +10,7 @@
 #define DTRANK_EXPERIMENTS_HARNESS_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "core/multi_transposition.h"
 #include "core/spline_transposition.h"
 #include "dataset/perf_database.h"
+#include "experiments/model_cache.h"
 #include "linalg/matrix.h"
 #include "util/thread_pool.h"
 
@@ -65,6 +67,15 @@ struct MethodSuiteConfig
      * thread count.
      */
     util::ParallelConfig parallel;
+    /**
+     * Optional trained-model cache shared across splits and protocols
+     * (null disables caching). Every cached artifact is keyed by a
+     * content hash of its full training inputs (method, configuration,
+     * matrix bytes, derived seed), so enabling the cache cannot change
+     * any result at any thread count; it only skips repeated training.
+     * Hit/miss/eviction counters are read via modelCache->stats().
+     */
+    std::shared_ptr<TrainedModelCache> modelCache;
 };
 
 /** Outcome of one (method, application-of-interest) task on a split. */

@@ -1,0 +1,145 @@
+#include "experiments/model_cache.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dtrank::experiments
+{
+
+TrainedModelCache::TrainedModelCache(std::size_t capacity)
+    : shard_capacity_(std::max<std::size_t>(1, capacity / kShards))
+{
+    util::require(capacity >= 1,
+                  "TrainedModelCache: capacity must be >= 1");
+}
+
+TrainedModelCache::Shard &
+TrainedModelCache::shardFor(const util::HashKey &key)
+{
+    return shards_[key.lo % kShards];
+}
+
+bool
+TrainedModelCache::lookup(const util::HashKey &key,
+                          std::vector<double> &value)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    value = it->second;
+    return true;
+}
+
+void
+TrainedModelCache::store(const util::HashKey &key,
+                         std::vector<double> value)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto [it, inserted] =
+        shard.map.try_emplace(key, std::move(value));
+    if (!inserted) {
+        // Concurrent miss on the same key: both workers computed the
+        // same pure value; keep the resident one.
+        return;
+    }
+    shard.fifo.push_back(key);
+    while (shard.map.size() > shard_capacity_) {
+        shard.map.erase(shard.fifo.front());
+        shard.fifo.pop_front();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+TrainedModelCache::Stats
+TrainedModelCache::stats() const
+{
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(
+            const_cast<Shard &>(shard).mutex);
+        s.entries += shard.map.size();
+    }
+    return s;
+}
+
+void
+TrainedModelCache::clear()
+{
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.map.clear();
+        shard.fifo.clear();
+    }
+}
+
+util::HashKey
+CachedFitnessMemo::genomeKey(const std::vector<double> &genome) const
+{
+    util::ContentHasher hasher;
+    hasher.add(model_key_.hi).add(model_key_.lo);
+    hasher.add(std::string_view("ga-fitness"));
+    hasher.add(genome);
+    return hasher.key();
+}
+
+bool
+CachedFitnessMemo::lookup(const std::vector<double> &genome,
+                          double &fitness)
+{
+    std::vector<double> value;
+    if (!cache_.lookup(genomeKey(genome), value) || value.size() != 1)
+        return false;
+    fitness = value[0];
+    return true;
+}
+
+void
+CachedFitnessMemo::store(const std::vector<double> &genome, double fitness)
+{
+    cache_.store(genomeKey(genome), {fitness});
+}
+
+void
+hashMatrix(util::ContentHasher &hasher, const linalg::Matrix &m)
+{
+    hasher.add(static_cast<std::uint64_t>(m.rows()));
+    hasher.add(static_cast<std::uint64_t>(m.cols()));
+    hasher.add(m.data());
+}
+
+util::HashKey
+gaKnnModelKey(const baseline::GaKnnConfig &config,
+              const linalg::Matrix &characteristics,
+              const linalg::Matrix &train_scores)
+{
+    util::ContentHasher hasher;
+    hasher.add(std::string_view("gaknn-model"));
+    hasher.add(static_cast<std::uint64_t>(config.k));
+    hasher.add(static_cast<std::uint64_t>(config.weighting));
+    hasher.add(config.seed);
+    hasher.add(static_cast<std::uint64_t>(config.ga.populationSize));
+    hasher.add(static_cast<std::uint64_t>(config.ga.generations));
+    hasher.add(config.ga.crossoverRate);
+    hasher.add(config.ga.mutationRate);
+    hasher.add(config.ga.mutationSigma);
+    hasher.add(static_cast<std::uint64_t>(config.ga.tournamentSize));
+    hasher.add(static_cast<std::uint64_t>(config.ga.eliteCount));
+    hasher.add(config.ga.blendAlpha);
+    // memoizeFitness is deliberately excluded: it changes how often the
+    // fitness function runs, never what the GA returns.
+    hashMatrix(hasher, characteristics);
+    hashMatrix(hasher, train_scores);
+    return hasher.key();
+}
+
+} // namespace dtrank::experiments

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Cross-protocol trained-model cache.
+ *
+ * The experiment protocols (family CV, future prediction, subset
+ * robustness, selection sweep) repeatedly train models on overlapping
+ * data: the same GA-kNN split model, the same per-(split, benchmark)
+ * transposition fit. Training dominates run time, so the harness can
+ * route every trained artifact through a process-wide cache keyed by a
+ * content hash of everything that determines the artifact bit-for-bit
+ * (method, hyperparameters, training matrix bytes, derived seed).
+ *
+ * Because a value is a pure function of its key, serving it from the
+ * cache — or evicting and recomputing it — can never change results:
+ * cache on/off is bit-identical at any thread count. The cache is
+ * sharded (one mutex per shard) so the parallel task loop does not
+ * serialize on it.
+ */
+
+#ifndef DTRANK_EXPERIMENTS_MODEL_CACHE_H_
+#define DTRANK_EXPERIMENTS_MODEL_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/ga_knn.h"
+#include "linalg/matrix.h"
+#include "ml/genetic.h"
+#include "util/hash.h"
+
+namespace dtrank::experiments
+{
+
+/**
+ * Sharded, thread-safe map from content-hash keys to flat double
+ * vectors (model weights, predictions, memoized fitness values).
+ * Entries are evicted FIFO per shard once the capacity bound is hit.
+ */
+class TrainedModelCache
+{
+  public:
+    /** Hit/miss/eviction accounting (monotone except entries). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        /** Entries currently resident. */
+        std::uint64_t entries = 0;
+    };
+
+    /** Default total entry bound; plenty for every shipped protocol. */
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    /** @param capacity Maximum resident entries across all shards. */
+    explicit TrainedModelCache(std::size_t capacity = kDefaultCapacity);
+
+    TrainedModelCache(const TrainedModelCache &) = delete;
+    TrainedModelCache &operator=(const TrainedModelCache &) = delete;
+
+    /**
+     * Fetches the value stored under `key` into `value`.
+     * @return true on a hit. Counted in stats().
+     */
+    bool lookup(const util::HashKey &key, std::vector<double> &value);
+
+    /** Stores (or overwrites) the value under `key`, evicting FIFO. */
+    void store(const util::HashKey &key, std::vector<double> value);
+
+    Stats stats() const;
+
+    /** Drops all entries; the hit/miss/eviction counters survive. */
+    void clear();
+
+    std::size_t capacity() const { return shard_capacity_ * kShards; }
+
+  private:
+    static constexpr std::size_t kShards = 16;
+
+    struct Shard
+    {
+        std::mutex mutex;
+        std::unordered_map<util::HashKey, std::vector<double>,
+                           util::HashKeyHasher>
+            map;
+        std::deque<util::HashKey> fifo;
+    };
+
+    Shard &shardFor(const util::HashKey &key);
+
+    std::size_t shard_capacity_;
+    std::array<Shard, kShards> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+/**
+ * Genome -> fitness memo backed by a TrainedModelCache, given to
+ * GaKnnModel::train. Elites are re-evaluated every generation, so even
+ * a single GA run registers cache hits; across protocols, identical
+ * (model, genome) pairs are shared. Entries derive from the model key,
+ * so two different GA problems can never collide.
+ */
+class CachedFitnessMemo : public ml::FitnessMemo
+{
+  public:
+    CachedFitnessMemo(TrainedModelCache &cache, util::HashKey model_key)
+        : cache_(cache), model_key_(model_key)
+    {
+    }
+
+    bool lookup(const std::vector<double> &genome,
+                double &fitness) override;
+    void store(const std::vector<double> &genome, double fitness) override;
+
+  private:
+    util::HashKey genomeKey(const std::vector<double> &genome) const;
+
+    TrainedModelCache &cache_;
+    util::HashKey model_key_;
+};
+
+/** Adds a matrix's shape and raw bytes to a content hash. */
+void hashMatrix(util::ContentHasher &hasher, const linalg::Matrix &m);
+
+/**
+ * Cache key of a trained GA-kNN split model: hyperparameters (GA
+ * schedule included), GA seed, and the bytes of both training inputs.
+ */
+util::HashKey gaKnnModelKey(const baseline::GaKnnConfig &config,
+                            const linalg::Matrix &characteristics,
+                            const linalg::Matrix &train_scores);
+
+} // namespace dtrank::experiments
+
+#endif // DTRANK_EXPERIMENTS_MODEL_CACHE_H_

@@ -76,6 +76,22 @@ class Matrix
         return data_[r * cols_ + c];
     }
 
+    /**
+     * Pointer to the contiguous storage of row r (row-major layout).
+     * Copy-free alternative to row() for hot loops that only need to
+     * stream a row; invalidated by any reallocation of the matrix.
+     */
+    const double *
+    rowData(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+    double *
+    rowData(std::size_t r)
+    {
+        return data_.data() + r * cols_;
+    }
+
     /** Copies out row r. */
     std::vector<double> row(std::size_t r) const;
 

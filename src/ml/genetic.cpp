@@ -58,10 +58,13 @@ GeneticAlgorithm::clip(std::vector<double> &genome) const
 }
 
 GaResult
-GeneticAlgorithm::optimize(const FitnessFn &fitness, util::Rng &rng) const
+GeneticAlgorithm::optimize(const FitnessFn &fitness, util::Rng &rng,
+                           FitnessMemo *memo) const
 {
     util::require(static_cast<bool>(fitness),
                   "GeneticAlgorithm::optimize: fitness must be callable");
+    if (!config_.memoizeFitness)
+        memo = nullptr;
 
     std::vector<std::vector<double>> population(config_.populationSize);
     for (auto &g : population)
@@ -73,8 +76,16 @@ GeneticAlgorithm::optimize(const FitnessFn &fitness, util::Rng &rng) const
 
     auto evaluate_all = [&]() {
         for (std::size_t i = 0; i < population.size(); ++i) {
-            scores[i] = fitness(population[i]);
-            ++result.evaluations;
+            double score = 0.0;
+            if (memo != nullptr && memo->lookup(population[i], score)) {
+                ++result.memoHits;
+            } else {
+                score = fitness(population[i]);
+                ++result.evaluations;
+                if (memo != nullptr)
+                    memo->store(population[i], score);
+            }
+            scores[i] = score;
             if (scores[i] > result.bestFitness) {
                 result.bestFitness = scores[i];
                 result.bestGenome = population[i];

@@ -36,6 +36,36 @@ struct GaConfig
     std::size_t eliteCount = 2;
     /** BLX-alpha blend crossover exploration parameter. */
     double blendAlpha = 0.3;
+    /**
+     * Serve repeated genomes from a FitnessMemo instead of re-calling
+     * the fitness function. Off by default: it is only sound when the
+     * fitness function is a pure function of the genome, which the
+     * generic optimizer cannot know. Elites are re-evaluated every
+     * generation, so memoization saves at least
+     * eliteCount x generations evaluations when enabled.
+     */
+    bool memoizeFitness = false;
+};
+
+/**
+ * Genome -> fitness memo consulted by GeneticAlgorithm::optimize when
+ * GaConfig::memoizeFitness is set. Implementations must return exactly
+ * the value previously stored for a genome (results stay bit-identical
+ * because the fitness function is pure); a lossy or evicting memo is
+ * fine — a miss merely costs a re-evaluation.
+ */
+class FitnessMemo
+{
+  public:
+    virtual ~FitnessMemo() = default;
+
+    /** Fetches the stored fitness; true on a hit. */
+    virtual bool lookup(const std::vector<double> &genome,
+                        double &fitness) = 0;
+
+    /** Records the fitness of a genome. */
+    virtual void store(const std::vector<double> &genome,
+                       double fitness) = 0;
 };
 
 /** Outcome of a GA run. */
@@ -47,8 +77,10 @@ struct GaResult
     double bestFitness = 0.0;
     /** Best fitness after each generation (monotone non-decreasing). */
     std::vector<double> history;
-    /** Total fitness evaluations performed. */
+    /** Total fitness evaluations performed (memo hits excluded). */
     std::size_t evaluations = 0;
+    /** Fitness lookups served by the memo instead of evaluation. */
+    std::size_t memoHits = 0;
 };
 
 /**
@@ -76,10 +108,14 @@ class GeneticAlgorithm
      * Runs the optimization.
      *
      * @param fitness Function to maximize; called once per individual
-     *        per generation.
+     *        per generation (minus memo hits when memoization is on).
      * @param rng Randomness source.
+     * @param memo Optional genome -> fitness memo; consulted only when
+     *        config().memoizeFitness is set. Never affects the result,
+     *        only how often `fitness` runs.
      */
-    GaResult optimize(const FitnessFn &fitness, util::Rng &rng) const;
+    GaResult optimize(const FitnessFn &fitness, util::Rng &rng,
+                      FitnessMemo *memo = nullptr) const;
 
     std::size_t genomeLength() const { return lower_.size(); }
     const GaConfig &config() const { return config_; }

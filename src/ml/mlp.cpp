@@ -1,12 +1,210 @@
 #include "ml/mlp.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace dtrank::ml
 {
+
+namespace
+{
+
+// The hot per-sample loops live in free functions whose pointer
+// parameters are __restrict-qualified: GCC only exploits restrict on
+// function parameters (not on local variables), and without it every
+// unit-wide inner loop gets versioned with runtime alias checks that
+// cost more than the loop body itself at these widths.
+
+/**
+ * Nets of one layer over the transposed ([input][unit]) weight layout:
+ * a_out[r] = bias[r] + sum_c wt(c, r) * a_in[c]. The inner loop runs
+ * across units so it vectorizes; each unit still starts from its bias
+ * and adds inputs in ascending order — the exact arithmetic of the
+ * per-unit dot product.
+ */
+inline void
+layerNets(std::size_t in, std::size_t out, const double *__restrict wt,
+          const double *__restrict bias, const double *__restrict a_in,
+          double *__restrict a_out)
+{
+    if (out == 1) {
+        // Single-unit layer (the regression output): a plain dot
+        // product; the unit-wide loops would only pay vectorizer
+        // prologue overhead at width 1.
+        double net = bias[0];
+        for (std::size_t c = 0; c < in; ++c)
+            net += wt[c] * a_in[c];
+        a_out[0] = net;
+        return;
+    }
+    for (std::size_t r = 0; r < out; ++r)
+        a_out[r] = bias[r];
+    for (std::size_t c = 0; c < in; ++c) {
+        const double a = a_in[c];
+        const double *__restrict wc = wt + c * out;
+        for (std::size_t r = 0; r < out; ++r)
+            a_out[r] += wc[r] * a;
+    }
+}
+
+/**
+ * Activation sweep with the dispatch hoisted out of the unit loop; the
+ * inlined expressions are exactly those of ml::activate.
+ */
+inline void
+applyActivation(Activation act, std::size_t out, double *__restrict a)
+{
+    switch (act) {
+      case Activation::Sigmoid:
+        for (std::size_t r = 0; r < out; ++r)
+            a[r] = 1.0 / (1.0 + std::exp(-a[r]));
+        break;
+      case Activation::Linear:
+        break;
+      default:
+        for (std::size_t r = 0; r < out; ++r)
+            a[r] = activate(act, a[r]);
+    }
+}
+
+/**
+ * Delta recurrence d[j] = sum_k w_next(k, j) * d_next[k]. In the
+ * transposed layout unit j's outgoing weights are contiguous, so this
+ * is a straight dot product per unit, summed in ascending k order —
+ * bit-identical to the per-unit formulation over row-major weights.
+ */
+inline void
+layerDeltas(std::size_t width, std::size_t width_next,
+            const double *__restrict wt_next,
+            const double *__restrict d_next, double *__restrict d)
+{
+    if (width_next == 1) {
+        // Single successor unit: the one-term "sums" collapse to an
+        // elementwise product, which vectorizes across this layer.
+        const double dk = d_next[0];
+        for (std::size_t j = 0; j < width; ++j)
+            d[j] = wt_next[j] * dk;
+        return;
+    }
+    for (std::size_t j = 0; j < width; ++j) {
+        const double *__restrict wj = wt_next + j * width_next;
+        double acc = 0.0;
+        for (std::size_t k = 0; k < width_next; ++k)
+            acc += wj[k] * d_next[k];
+        d[j] = acc;
+    }
+}
+
+/** d[j] *= f'(out_l[j]), expressions matching ml::activate's. */
+inline void
+scaleByDerivative(Activation act, std::size_t width,
+                  const double *__restrict out_l, double *__restrict d)
+{
+    switch (act) {
+      case Activation::Sigmoid:
+        for (std::size_t j = 0; j < width; ++j)
+            d[j] *= out_l[j] * (1.0 - out_l[j]);
+        break;
+      case Activation::Linear:
+        break;
+      default:
+        for (std::size_t j = 0; j < width; ++j)
+            d[j] *= activateDerivativeFromOutput(act, out_l[j]);
+    }
+}
+
+/**
+ * Momentum weight update of one layer. Each (weight, sample) update is
+ * independent — nothing accumulates across elements — so looping
+ * input-outer over the transposed layout changes no value, only the
+ * store order, and lets the unit loop vectorize. The deltas are
+ * pre-scaled by lr in place, so dw is the exact product
+ * (lr * d_r) * in_act_c of the reference formulation.
+ */
+inline void
+updateLayer(std::size_t in, std::size_t out, double lr, double momentum,
+            const double *__restrict in_act, double *__restrict d,
+            double *__restrict wt, double *__restrict pwt,
+            double *__restrict bias, double *__restrict pb)
+{
+    for (std::size_t r = 0; r < out; ++r)
+        d[r] *= lr;
+    if (out == 1) {
+        // Single-unit layer: one weight per input, contiguous in the
+        // transposed layout, so the input loop vectorizes directly.
+        const double d0 = d[0];
+        for (std::size_t c = 0; c < in; ++c) {
+            const double dw = d0 * in_act[c] + momentum * pwt[c];
+            wt[c] += dw;
+            pwt[c] = dw;
+        }
+    } else {
+        for (std::size_t c = 0; c < in; ++c) {
+            const double a = in_act[c];
+            double *__restrict wc = wt + c * out;
+            double *__restrict pwc = pwt + c * out;
+            for (std::size_t r = 0; r < out; ++r) {
+                const double dw = d[r] * a + momentum * pwc[r];
+                wc[r] += dw;
+                pwc[r] = dw;
+            }
+        }
+    }
+    for (std::size_t r = 0; r < out; ++r) {
+        const double db = d[r] + momentum * pb[r];
+        bias[r] += db;
+        pb[r] = db;
+    }
+}
+
+} // namespace
+
+void
+MlpWorkspace::resize(const std::vector<std::size_t> &layer_sizes)
+{
+    if (sizes_ == layer_sizes)
+        return;
+    util::require(layer_sizes.size() >= 2,
+                  "MlpWorkspace::resize: needs input and output layers");
+    sizes_ = layer_sizes;
+    const std::size_t n_layers = sizes_.size() - 1;
+    wOff_.assign(n_layers + 1, 0);
+    uOff_.assign(sizes_.size() + 1, 0);
+    for (std::size_t li = 0; li < n_layers; ++li)
+        wOff_[li + 1] = wOff_[li] + sizes_[li + 1] * sizes_[li];
+    for (std::size_t i = 0; i < sizes_.size(); ++i)
+        uOff_[i + 1] = uOff_[i] + sizes_[i];
+
+    weights_.resize(wOff_[n_layers]);
+    prevDw_.resize(wOff_[n_layers]);
+    // Unit-wide buffers share one layout (offset uOff_[i] for the units
+    // of sizes_ entry i). bias_/prevDb_/deltas_ leave the input-width
+    // prefix unused; the uniform indexing is worth the few doubles.
+    const std::size_t units = uOff_.back();
+    bias_.resize(units);
+    prevDb_.resize(units);
+    acts_.resize(units);
+    deltas_.resize(units);
+}
+
+void
+MlpWorkspace::ensureRows(std::size_t n)
+{
+    // Exact size, not capacity: the whole vector is shuffled each epoch,
+    // so a longer vector would change the RNG draw sequence.
+    visit_.resize(n);
+}
+
+void
+MlpWorkspace::ensureEpochs(std::size_t epochs)
+{
+    if (loss_.size() < epochs)
+        loss_.resize(epochs);
+}
 
 Mlp::Mlp(MlpConfig config) : config_(std::move(config))
 {
@@ -24,6 +222,14 @@ Mlp::Mlp(MlpConfig config) : config_(std::move(config))
 void
 Mlp::fit(const linalg::Matrix &x, const std::vector<double> &y)
 {
+    thread_local MlpWorkspace workspace;
+    fit(x, y, workspace);
+}
+
+void
+Mlp::fit(const linalg::Matrix &x, const std::vector<double> &y,
+         MlpWorkspace &ws)
+{
     util::require(x.rows() == y.size(), "Mlp::fit: row count mismatch");
     util::require(x.rows() >= 1, "Mlp::fit: needs at least one instance");
     util::require(x.cols() >= 1, "Mlp::fit: needs at least one feature");
@@ -38,7 +244,7 @@ Mlp::fit(const linalg::Matrix &x, const std::vector<double> &y)
         util::require(h >= 1, "Mlp::fit: hidden layer size must be >= 1");
 
     // Normalization of attributes and the numeric target.
-    linalg::Matrix xn = x;
+    linalg::Matrix xn;
     std::vector<double> yn = y;
     if (config_.normalize) {
         featureNorm_.fit(x);
@@ -46,129 +252,164 @@ Mlp::fit(const linalg::Matrix &x, const std::vector<double> &y)
         targetNorm_.fitSeries(y);
         for (double &v : yn)
             v = targetNorm_.transformScalar(v);
+    } else {
+        xn = x;
     }
+
+    // Size the workspace once per architecture; every buffer the
+    // epoch x sample loop touches lives in it, so repeat fits with a
+    // warm workspace allocate nothing inside trainOnce.
+    std::vector<std::size_t> sizes;
+    sizes.reserve(hidden_.size() + 2);
+    sizes.push_back(input_size_);
+    for (std::size_t h : hidden_)
+        sizes.push_back(h);
+    sizes.push_back(1);
+    ws.resize(sizes);
+    ws.ensureRows(xn.rows());
+    ws.ensureEpochs(config_.epochs);
 
     // Train, restarting with a halved learning rate if stochastic
     // backprop diverges (possible on very small training sets).
     double lr_base = config_.learningRate;
     for (std::size_t attempt = 0;; ++attempt) {
-        if (trainOnce(xn, yn, lr_base, config_.seed + attempt)) {
+        if (trainOnce(xn, yn, lr_base, config_.seed + attempt, ws)) {
             break;
         }
         util::require(attempt < config_.maxRestarts,
                       "Mlp::fit: training diverged even after reducing "
                       "the learning rate");
+        util::debug("Mlp::fit: attempt " + std::to_string(attempt + 1) +
+                    " diverged; retrying with learning rate " +
+                    std::to_string(lr_base * 0.5));
         lr_base *= 0.5;
     }
+
+    // Publish the accepted run: copy weights out of the workspace and
+    // record only this run's loss history (diverged attempts are gone).
+    const std::size_t n_layers = sizes.size() - 1;
+    layers_.clear();
+    layers_.reserve(n_layers);
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        Layer layer;
+        const std::size_t in = sizes[li];
+        const std::size_t out = sizes[li + 1];
+        layer.weights = linalg::Matrix(out, in);
+        const double *wt = ws.weights_.data() + ws.wOff_[li];
+        for (std::size_t r = 0; r < out; ++r) {
+            double *row = layer.weights.rowData(r);
+            for (std::size_t c = 0; c < in; ++c)
+                row[c] = wt[c * out + r];
+        }
+        layer.bias.assign(ws.bias_.begin() +
+                              static_cast<std::ptrdiff_t>(ws.uOff_[li + 1]),
+                          ws.bias_.begin() +
+                              static_cast<std::ptrdiff_t>(ws.uOff_[li + 1] +
+                                                          out));
+        layer.activation = layerActivation(li, n_layers);
+        layers_.push_back(std::move(layer));
+    }
+    loss_history_.assign(ws.loss_.begin(),
+                         ws.loss_.begin() +
+                             static_cast<std::ptrdiff_t>(config_.epochs));
     trained_ = true;
 }
 
 bool
 Mlp::trainOnce(const linalg::Matrix &xn, const std::vector<double> &yn,
-               double lr_base, std::uint64_t seed)
+               double lr_base, std::uint64_t seed, MlpWorkspace &ws) const
 {
-    // Build layers: hidden layers + one linear output unit.
-    util::Rng rng(seed);
-    layers_.clear();
-    std::vector<std::size_t> sizes;
-    sizes.push_back(input_size_);
-    for (std::size_t h : hidden_)
-        sizes.push_back(h);
-    sizes.push_back(1);
+    const std::vector<std::size_t> &sizes = ws.sizes_;
+    const std::size_t n_layers = sizes.size() - 1;
 
-    for (std::size_t li = 0; li + 1 < sizes.size(); ++li) {
-        Layer layer;
+    // Initialize weights. The RNG draw order (per layer, per output
+    // unit: all incoming weights in ascending input order, then the
+    // bias) matches the pre-workspace implementation exactly, so the
+    // same seed yields bit-identical networks. Storage is transposed
+    // ([input][unit], unit index fastest), so the draws land at strided
+    // positions — but only once per fit.
+    util::Rng rng(seed);
+    for (std::size_t li = 0; li < n_layers; ++li) {
         const std::size_t in = sizes[li];
         const std::size_t out = sizes[li + 1];
-        layer.weights = linalg::Matrix(out, in);
-        layer.bias.assign(out, 0.0);
+        double *__restrict wt = ws.weights_.data() + ws.wOff_[li];
+        double *__restrict bias = ws.bias_.data() + ws.uOff_[li + 1];
         for (std::size_t r = 0; r < out; ++r) {
             for (std::size_t c = 0; c < in; ++c)
-                layer.weights(r, c) = rng.uniform(-config_.initWeightRange,
-                                                  config_.initWeightRange);
-            layer.bias[r] = rng.uniform(-config_.initWeightRange,
-                                        config_.initWeightRange);
+                wt[c * out + r] = rng.uniform(-config_.initWeightRange,
+                                              config_.initWeightRange);
+            bias[r] = rng.uniform(-config_.initWeightRange,
+                                  config_.initWeightRange);
         }
-        layer.prevDeltaW = linalg::Matrix(out, in, 0.0);
-        layer.prevDeltaB.assign(out, 0.0);
-        layer.activation = (li + 2 == sizes.size())
-                               ? config_.outputActivation
-                               : config_.hiddenActivation;
-        layers_.push_back(std::move(layer));
     }
+    std::fill(ws.prevDw_.begin(), ws.prevDw_.end(), 0.0);
+    std::fill(ws.prevDb_.begin(), ws.prevDb_.end(), 0.0);
 
     // Stochastic backpropagation with momentum.
     const std::size_t n = xn.rows();
-    std::vector<std::size_t> visit(n);
     for (std::size_t i = 0; i < n; ++i)
-        visit[i] = i;
+        ws.visit_[i] = i;
 
-    loss_history_.assign(config_.epochs, 0.0);
     for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
         if (config_.shuffleEachEpoch)
-            rng.shuffle(visit);
+            rng.shuffle(ws.visit_);
         const double lr =
             lr_base /
             (1.0 + config_.learningRateDecay * static_cast<double>(epoch));
 
         double sse = 0.0;
         for (std::size_t vi = 0; vi < n; ++vi) {
-            const std::size_t i = visit[vi];
-            const std::vector<double> input = xn.row(i);
-            const auto outputs = forward(input);
-            const double pred = outputs.back()[0];
+            const std::size_t i = ws.visit_[vi];
+            const double *__restrict input = xn.rowData(i);
+
+            // Forward pass over the transposed weight layout.
+            for (std::size_t li = 0; li < n_layers; ++li) {
+                const std::size_t out = sizes[li + 1];
+                double *a_out = ws.acts_.data() + ws.uOff_[li + 1];
+                layerNets(sizes[li], out,
+                          ws.weights_.data() + ws.wOff_[li],
+                          ws.bias_.data() + ws.uOff_[li + 1],
+                          li == 0 ? input
+                                  : ws.acts_.data() + ws.uOff_[li],
+                          a_out);
+                applyActivation(layerActivation(li, n_layers), out,
+                                a_out);
+            }
+            const double pred = ws.acts_[ws.uOff_[n_layers]];
             const double err = yn[i] - pred;
             sse += err * err;
 
-            // Backward pass: delta[l][j] = dE/d(net_j) at layer l.
-            std::vector<std::vector<double>> delta(layers_.size());
-            {
-                const std::size_t last = layers_.size() - 1;
-                delta[last].assign(1, 0.0);
-                delta[last][0] =
-                    err * activateDerivativeFromOutput(
-                              layers_[last].activation, pred);
-            }
-            for (std::size_t lk = layers_.size() - 1; lk-- > 0;) {
-                const Layer &next = layers_[lk + 1];
-                const std::vector<double> &out_l = outputs[lk + 1];
-                delta[lk].assign(out_l.size(), 0.0);
-                for (std::size_t j = 0; j < out_l.size(); ++j) {
-                    double acc = 0.0;
-                    for (std::size_t k = 0; k < delta[lk + 1].size(); ++k)
-                        acc += next.weights(k, j) * delta[lk + 1][k];
-                    delta[lk][j] =
-                        acc * activateDerivativeFromOutput(
-                                  layers_[lk].activation, out_l[j]);
-                }
+            // Backward pass: deltas_[uOff_[l+1] + j] = dE/d(net_j) at
+            // layer l.
+            ws.deltas_[ws.uOff_[n_layers]] =
+                err * activateDerivativeFromOutput(
+                          layerActivation(n_layers - 1, n_layers), pred);
+            for (std::size_t lk = n_layers - 1; lk-- > 0;) {
+                const std::size_t width = sizes[lk + 1];
+                double *d = ws.deltas_.data() + ws.uOff_[lk + 1];
+                layerDeltas(width, sizes[lk + 2],
+                            ws.weights_.data() + ws.wOff_[lk + 1],
+                            ws.deltas_.data() + ws.uOff_[lk + 2], d);
+                scaleByDerivative(layerActivation(lk, n_layers), width,
+                                  ws.acts_.data() + ws.uOff_[lk + 1], d);
             }
 
             // Weight updates with momentum.
-            for (std::size_t lk = 0; lk < layers_.size(); ++lk) {
-                Layer &layer = layers_[lk];
-                const std::vector<double> &in_act = outputs[lk];
-                for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
-                    const double d = delta[lk][r];
-                    for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
-                        const double dw =
-                            lr * d * in_act[c] +
-                            config_.momentum * layer.prevDeltaW(r, c);
-                        layer.weights(r, c) += dw;
-                        layer.prevDeltaW(r, c) = dw;
-                    }
-                    const double db = lr * d +
-                                      config_.momentum * layer.prevDeltaB[r];
-                    layer.bias[r] += db;
-                    layer.prevDeltaB[r] = db;
-                }
-            }
+            for (std::size_t lk = 0; lk < n_layers; ++lk)
+                updateLayer(sizes[lk], sizes[lk + 1], lr,
+                            config_.momentum,
+                            lk == 0 ? input
+                                    : ws.acts_.data() + ws.uOff_[lk],
+                            ws.deltas_.data() + ws.uOff_[lk + 1],
+                            ws.weights_.data() + ws.wOff_[lk],
+                            ws.prevDw_.data() + ws.wOff_[lk],
+                            ws.bias_.data() + ws.uOff_[lk + 1],
+                            ws.prevDb_.data() + ws.uOff_[lk + 1]);
         }
-        loss_history_[epoch] = sse / static_cast<double>(n);
+        ws.loss_[epoch] = sse / static_cast<double>(n);
         const double bound =
-            config_.divergenceFactor *
-            std::max(loss_history_[0], 1e-6);
-        if (!std::isfinite(loss_history_[epoch]) ||
-            loss_history_[epoch] > bound) {
+            config_.divergenceFactor * std::max(ws.loss_[0], 1e-6);
+        if (!std::isfinite(ws.loss_[epoch]) || ws.loss_[epoch] > bound) {
             return false;
         }
     }

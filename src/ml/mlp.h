@@ -65,6 +65,62 @@ struct MlpConfig
 };
 
 /**
+ * Reusable training workspace: every buffer the epoch x sample loop of
+ * Mlp::fit touches, laid out flat and contiguous and sized once per
+ * network architecture.
+ *
+ * The experiment protocols train thousands of small networks per run;
+ * before the workspace existed every sample of every epoch
+ * heap-allocated its input row, per-layer output vectors and delta
+ * vectors. A workspace is reused across fits (resize() is a no-op when
+ * the architecture is unchanged), so steady-state training performs
+ * zero heap allocation inside the epoch loop. Mlp::fit uses one
+ * workspace per thread by default; pass an explicit workspace to
+ * control reuse and lifetime.
+ *
+ * Not thread safe: use one workspace per thread.
+ */
+class MlpWorkspace
+{
+  public:
+    MlpWorkspace() = default;
+
+    /**
+     * Sizes the buffers for a network with the given layer widths
+     * (input, hidden..., output). No-op when already sized for them.
+     */
+    void resize(const std::vector<std::size_t> &layer_sizes);
+
+    /** Grows the per-sample bookkeeping for `n` training rows. */
+    void ensureRows(std::size_t n);
+
+    /** Grows the loss record for `epochs` epochs. */
+    void ensureEpochs(std::size_t epochs);
+
+    /** Layer widths the buffers are currently sized for. */
+    const std::vector<std::size_t> &layerSizes() const { return sizes_; }
+
+  private:
+    friend class Mlp;
+
+    std::vector<std::size_t> sizes_; ///< input, hidden..., output
+    std::vector<std::size_t> wOff_;  ///< per-layer offset into weights_
+    std::vector<std::size_t> uOff_;  ///< per-layer offset into unit-wide
+                                     ///< buffers (bias_, acts_, ...)
+    std::vector<double> weights_;    ///< all layers, transposed in x out
+                                     ///< (unit index fastest, so the
+                                     ///< forward/update loops vectorize
+                                     ///< across units)
+    std::vector<double> prevDw_;     ///< momentum state for weights_
+    std::vector<double> bias_;       ///< all layers' biases
+    std::vector<double> prevDb_;     ///< momentum state for bias_
+    std::vector<double> acts_;       ///< per-layer outputs of one sample
+    std::vector<double> deltas_;     ///< per-layer dE/d(net) of one sample
+    std::vector<double> loss_;       ///< per-epoch MSE of the current run
+    std::vector<std::size_t> visit_; ///< row visit order of one epoch
+};
+
+/**
  * Feed-forward neural network trained with stochastic backpropagation,
  * single numeric output.
  */
@@ -74,12 +130,21 @@ class Mlp
     explicit Mlp(MlpConfig config = MlpConfig{});
 
     /**
-     * Trains the network.
+     * Trains the network using a per-thread workspace (allocation-free
+     * in the epoch loop once the thread's workspace is warm).
      *
      * @param x One row per training instance.
      * @param y Numeric target per instance; y.size() == x.rows() >= 1.
      */
     void fit(const linalg::Matrix &x, const std::vector<double> &y);
+
+    /**
+     * Trains the network with an explicit workspace. Bit-identical to
+     * the per-thread-workspace overload; useful when the caller wants
+     * to control buffer reuse across many fits.
+     */
+    void fit(const linalg::Matrix &x, const std::vector<double> &y,
+             MlpWorkspace &workspace);
 
     /** Predicts the target for one raw (unnormalized) feature vector. */
     double predict(const std::vector<double> &features) const;
@@ -109,13 +174,11 @@ class Mlp
     const std::vector<std::size_t> &hiddenSizes() const { return hidden_; }
 
   private:
-    /** One fully connected layer with its momentum state. */
+    /** One trained fully connected layer (inference state only). */
     struct Layer
     {
-        linalg::Matrix weights;      // out x in
-        std::vector<double> bias;    // out
-        linalg::Matrix prevDeltaW;   // momentum buffer
-        std::vector<double> prevDeltaB;
+        linalg::Matrix weights;   // out x in
+        std::vector<double> bias; // out
         Activation activation = Activation::Sigmoid;
     };
 
@@ -127,11 +190,23 @@ class Mlp
     double forwardScalar(const std::vector<double> &input) const;
 
     /**
-     * One full training run at the given base learning rate.
+     * One full training run at the given base learning rate, entirely
+     * inside the workspace buffers (no heap allocation in the epoch
+     * loop). The accepted run's weights are copied into layers_ by
+     * fit().
      * @return false when the loss diverged (caller retries).
      */
     bool trainOnce(const linalg::Matrix &xn, const std::vector<double> &yn,
-                   double lr_base, std::uint64_t seed);
+                   double lr_base, std::uint64_t seed,
+                   MlpWorkspace &ws) const;
+
+    /** Activation of layer `li` out of `n_layers`. */
+    Activation
+    layerActivation(std::size_t li, std::size_t n_layers) const
+    {
+        return li + 1 == n_layers ? config_.outputActivation
+                                  : config_.hiddenActivation;
+    }
 
     MlpConfig config_;
     std::vector<Layer> layers_;

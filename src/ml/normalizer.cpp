@@ -56,9 +56,24 @@ RangeNormalizer::transform(const std::vector<double> &row) const
 linalg::Matrix
 RangeNormalizer::transform(const linalg::Matrix &x) const
 {
+    util::require(fitted(), "RangeNormalizer: not fitted");
+    util::require(x.cols() == mins_.size(),
+                  "RangeNormalizer::transform: feature count mismatch");
+    // Written straight into the output matrix: the MLP normalizes its
+    // training matrix on every fit, and the per-row temporaries of the
+    // vector overload would dominate a warm-workspace fit's allocation
+    // count. Same per-element expression, so results are unchanged.
     linalg::Matrix out(x.rows(), x.cols());
-    for (std::size_t r = 0; r < x.rows(); ++r)
-        out.setRow(r, transform(x.row(r)));
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const double *in = x.rowData(r);
+        double *o = out.rowData(r);
+        for (std::size_t c = 0; c < x.cols(); ++c) {
+            const double span = maxs_[c] - mins_[c];
+            o[c] = span == 0.0
+                       ? 0.0
+                       : 2.0 * (in[c] - mins_[c]) / span - 1.0;
+        }
+    }
     return out;
 }
 
@@ -115,9 +130,18 @@ StandardNormalizer::transform(const std::vector<double> &row) const
 linalg::Matrix
 StandardNormalizer::transform(const linalg::Matrix &x) const
 {
+    util::require(fitted(), "StandardNormalizer: not fitted");
+    util::require(x.cols() == means_.size(),
+                  "StandardNormalizer::transform: feature count mismatch");
     linalg::Matrix out(x.rows(), x.cols());
-    for (std::size_t r = 0; r < x.rows(); ++r)
-        out.setRow(r, transform(x.row(r)));
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const double *in = x.rowData(r);
+        double *o = out.rowData(r);
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            o[c] = stddevs_[c] == 0.0
+                       ? 0.0
+                       : (in[c] - means_[c]) / stddevs_[c];
+    }
     return out;
 }
 

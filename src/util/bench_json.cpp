@@ -1,0 +1,103 @@
+#include "util/bench_json.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace dtrank::util
+{
+
+namespace
+{
+
+/** JSON string escaping for the record names and context values. */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+BenchJsonWriter::BenchJsonWriter(std::string benchmark)
+    : benchmark_(std::move(benchmark))
+{
+}
+
+void
+BenchJsonWriter::add(BenchRecord record)
+{
+    records_.push_back(std::move(record));
+}
+
+void
+BenchJsonWriter::addTimed(
+    const std::string &section,
+    std::chrono::steady_clock::time_point start,
+    std::vector<std::pair<std::string, std::string>> context)
+{
+    BenchRecord record;
+    record.name = "BENCH_" + benchmark_ + "." + section;
+    record.realTimeMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    record.context = std::move(context);
+    add(std::move(record));
+}
+
+std::string
+BenchJsonWriter::toJson() const
+{
+    std::ostringstream out;
+    out << "{\n  \"benchmark\": \"" << escapeJson(benchmark_)
+        << "\",\n  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const BenchRecord &r = records_[i];
+        out << "    {\"name\": \"" << escapeJson(r.name)
+            << "\", \"real_time_ms\": " << r.realTimeMs;
+        for (const auto &[key, value] : r.context)
+            out << ", \"" << escapeJson(key) << "\": \""
+                << escapeJson(value) << "\"";
+        out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+void
+BenchJsonWriter::writeTo(const std::string &path) const
+{
+    if (path.empty())
+        return;
+    std::ofstream file(path);
+    if (!file)
+        throw IoError("BenchJsonWriter: cannot open '" + path +
+                      "' for writing");
+    file << toJson();
+    if (!file)
+        throw IoError("BenchJsonWriter: failed writing '" + path + "'");
+}
+
+} // namespace dtrank::util

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Machine-readable timing records for the reproduction benchmarks.
+ *
+ * Every protocol binary accepts `--json <path>` and appends one
+ * `BENCH_<binary>.<section>` record per timed section, so the perf
+ * trajectory of the repository can be tracked across PRs by diffing the
+ * emitted files instead of scraping stdout tables.
+ */
+
+#ifndef DTRANK_UTIL_BENCH_JSON_H_
+#define DTRANK_UTIL_BENCH_JSON_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dtrank::util
+{
+
+/** One timed section of a benchmark run. */
+struct BenchRecord
+{
+    /** Record name, conventionally "BENCH_<binary>.<section>". */
+    std::string name;
+    /** Wall-clock time of the section in milliseconds. */
+    double realTimeMs = 0.0;
+    /** Free-form context (thread count, seed, cache stats, ...). */
+    std::vector<std::pair<std::string, std::string>> context;
+};
+
+/**
+ * Collects BenchRecords and writes them as a JSON document
+ * `{"benchmark": ..., "records": [...]}`.
+ */
+class BenchJsonWriter
+{
+  public:
+    /** @param benchmark Name of the emitting binary. */
+    explicit BenchJsonWriter(std::string benchmark);
+
+    /** Adds one finished record. */
+    void add(BenchRecord record);
+
+    /**
+     * Convenience: builds a "BENCH_<benchmark>.<section>" record from a
+     * start time captured with std::chrono::steady_clock::now().
+     */
+    void addTimed(const std::string &section,
+                  std::chrono::steady_clock::time_point start,
+                  std::vector<std::pair<std::string, std::string>>
+                      context = {});
+
+    /** Number of records collected so far. */
+    std::size_t size() const { return records_.size(); }
+
+    /** Serializes the collected records. */
+    std::string toJson() const;
+
+    /**
+     * Writes toJson() to `path`; throws util::IoError when the file
+     * cannot be written. No-op when `path` is empty (flag unset).
+     */
+    void writeTo(const std::string &path) const;
+
+  private:
+    std::string benchmark_;
+    std::vector<BenchRecord> records_;
+};
+
+} // namespace dtrank::util
+
+#endif // DTRANK_UTIL_BENCH_JSON_H_

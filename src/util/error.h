@@ -78,8 +78,20 @@ assertFailure(const char *expr, const char *file, int line,
  * Throws InvalidArgument with a formatted message when `cond` is false.
  *
  * Use for caller-facing precondition checks that should survive release
- * builds.
+ * builds. The const char* overload is what string-literal call sites
+ * resolve to; it defers building the std::string to the failure path,
+ * so a passing check performs no heap allocation (require guards every
+ * hot entry point, e.g. each of the thousands of Mlp::fit calls an
+ * experiment protocol makes).
  */
+inline void
+require(bool cond, const char *msg)
+{
+    if (!cond)
+        throw InvalidArgument(msg);
+}
+
+/** Overload for call sites that build their message dynamically. */
 inline void
 require(bool cond, const std::string &msg)
 {

@@ -204,6 +204,9 @@ evaluateAllApps(util::ArgParser &args, const dataset::PerfDatabase &db,
     experiments::MethodSuiteConfig config;
     config.parallel.threads =
         static_cast<std::size_t>(args.getLong("threads"));
+    if (args.getFlag("model-cache"))
+        config.modelCache =
+            std::make_shared<experiments::TrainedModelCache>();
     // The GA-kNN baseline (the only characteristics consumer) is not
     // reachable from --method, so a placeholder matrix suffices.
     const experiments::SplitEvaluator evaluator(
@@ -232,6 +235,11 @@ evaluateAllApps(util::ArgParser &args, const dataset::PerfDatabase &db,
                   util::formatFixed(top1 / n, 2),
                   util::formatFixed(err / n, 2)});
     table.print(std::cout);
+    if (config.modelCache != nullptr) {
+        const auto stats = config.modelCache->stats();
+        std::cout << "\nModel cache: " << stats.hits << " hits, "
+                  << stats.misses << " misses\n";
+    }
     return 0;
 }
 
@@ -325,6 +333,9 @@ main(int argc, char **argv)
                    "worker threads for --app all (0 = all hardware "
                    "threads)",
                    "0");
+    args.addFlag("model-cache",
+                 "cache trained models during --app all (bit-identical "
+                 "results, fewer trainings)");
 
     try {
         if (!args.parse(argc - 1, argv + 1))
