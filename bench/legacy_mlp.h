@@ -6,8 +6,7 @@
  * against the exact code it replaced. Not part of the library; do not
  * use outside benchmarks.
  */
-#ifndef DTRANK_BENCH_LEGACY_MLP_H_
-#define DTRANK_BENCH_LEGACY_MLP_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -143,4 +142,3 @@ class Mlp
 
 } // namespace dtrank::bench_legacy
 
-#endif // DTRANK_BENCH_LEGACY_MLP_H_

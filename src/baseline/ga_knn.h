@@ -15,8 +15,7 @@
  * have no informative neighbours.
  */
 
-#ifndef DTRANK_BASELINE_GA_KNN_H_
-#define DTRANK_BASELINE_GA_KNN_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -171,4 +170,3 @@ class GaKnnTransposition : public core::TranspositionPredictor
 
 } // namespace dtrank::baseline
 
-#endif // DTRANK_BASELINE_GA_KNN_H_

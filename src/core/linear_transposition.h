@@ -10,8 +10,7 @@
  * interest.
  */
 
-#ifndef DTRANK_CORE_LINEAR_TRANSPOSITION_H_
-#define DTRANK_CORE_LINEAR_TRANSPOSITION_H_
+#pragma once
 
 #include <vector>
 
@@ -83,4 +82,3 @@ class LinearTransposition : public TranspositionPredictor
 
 } // namespace dtrank::core
 
-#endif // DTRANK_CORE_LINEAR_TRANSPOSITION_H_

@@ -5,8 +5,7 @@
  * actual machine rankings, top-1 deficiency, and mean relative error.
  */
 
-#ifndef DTRANK_CORE_METRICS_H_
-#define DTRANK_CORE_METRICS_H_
+#pragma once
 
 #include <vector>
 
@@ -38,4 +37,3 @@ PredictionMetrics evaluatePrediction(const std::vector<double> &actual,
 
 } // namespace dtrank::core
 
-#endif // DTRANK_CORE_METRICS_H_

@@ -12,8 +12,7 @@
  * across machines — is the paper's machine-similarity intuition.
  */
 
-#ifndef DTRANK_CORE_MLP_TRANSPOSITION_H_
-#define DTRANK_CORE_MLP_TRANSPOSITION_H_
+#pragma once
 
 #include <optional>
 
@@ -70,4 +69,3 @@ class MlpTransposition : public TranspositionPredictor
 
 } // namespace dtrank::core
 
-#endif // DTRANK_CORE_MLP_TRANSPOSITION_H_

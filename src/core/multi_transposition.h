@@ -11,8 +11,7 @@
  * from its scores on those proxies.
  */
 
-#ifndef DTRANK_CORE_MULTI_TRANSPOSITION_H_
-#define DTRANK_CORE_MULTI_TRANSPOSITION_H_
+#pragma once
 
 #include <vector>
 
@@ -68,4 +67,3 @@ class MultiTransposition : public TranspositionPredictor
 
 } // namespace dtrank::core
 
-#endif // DTRANK_CORE_MULTI_TRANSPOSITION_H_

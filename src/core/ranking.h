@@ -5,8 +5,7 @@
  * purchase decisions, Section 4).
  */
 
-#ifndef DTRANK_CORE_RANKING_H_
-#define DTRANK_CORE_RANKING_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -62,4 +61,3 @@ class MachineRanking
 
 } // namespace dtrank::core
 
-#endif // DTRANK_CORE_RANKING_H_

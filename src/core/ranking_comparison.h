@@ -7,8 +7,7 @@
  * benches run.
  */
 
-#ifndef DTRANK_CORE_RANKING_COMPARISON_H_
-#define DTRANK_CORE_RANKING_COMPARISON_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -46,4 +45,3 @@ double meanRankDisplacement(const std::vector<double> &actual,
 
 } // namespace dtrank::core
 
-#endif // DTRANK_CORE_RANKING_COMPARISON_H_

@@ -7,8 +7,7 @@
  * target machine.
  */
 
-#ifndef DTRANK_CORE_SELECTION_H_
-#define DTRANK_CORE_SELECTION_H_
+#pragma once
 
 #include <vector>
 
@@ -44,4 +43,3 @@ selectMachinesByKMedoids(const dataset::PerfDatabase &db,
 
 } // namespace dtrank::core
 
-#endif // DTRANK_CORE_SELECTION_H_

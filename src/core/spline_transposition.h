@@ -11,8 +11,7 @@
  * per-pair model.
  */
 
-#ifndef DTRANK_CORE_SPLINE_TRANSPOSITION_H_
-#define DTRANK_CORE_SPLINE_TRANSPOSITION_H_
+#pragma once
 
 #include <vector>
 
@@ -66,4 +65,3 @@ class SplineTransposition : public TranspositionPredictor
 
 } // namespace dtrank::core
 
-#endif // DTRANK_CORE_SPLINE_TRANSPOSITION_H_

@@ -11,8 +11,7 @@
  * interest on every target machine.
  */
 
-#ifndef DTRANK_CORE_TRANSPOSITION_H_
-#define DTRANK_CORE_TRANSPOSITION_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -114,4 +113,3 @@ class TranspositionPredictor
 
 } // namespace dtrank::core
 
-#endif // DTRANK_CORE_TRANSPOSITION_H_

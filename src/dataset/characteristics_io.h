@@ -5,8 +5,7 @@
  * alongside the performance database.
  */
 
-#ifndef DTRANK_DATASET_CHARACTERISTICS_IO_H_
-#define DTRANK_DATASET_CHARACTERISTICS_IO_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -45,4 +44,3 @@ CharacteristicsTable loadCharacteristicsCsv(const std::string &path);
 
 } // namespace dtrank::dataset
 
-#endif // DTRANK_DATASET_CHARACTERISTICS_IO_H_

@@ -19,8 +19,7 @@
  * of the paper.
  */
 
-#ifndef DTRANK_DATASET_LATENT_MODEL_H_
-#define DTRANK_DATASET_LATENT_MODEL_H_
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -115,4 +114,3 @@ const std::vector<std::string> &paperOutlierBenchmarks();
 
 } // namespace dtrank::dataset
 
-#endif // DTRANK_DATASET_LATENT_MODEL_H_

@@ -23,8 +23,7 @@
  *    their documented outlier weakness.
  */
 
-#ifndef DTRANK_DATASET_MICA_H_
-#define DTRANK_DATASET_MICA_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -120,4 +119,3 @@ class MicaGenerator
 
 } // namespace dtrank::dataset
 
-#endif // DTRANK_DATASET_MICA_H_

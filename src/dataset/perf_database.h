@@ -5,8 +5,7 @@
  * plus machine and benchmark metadata.
  */
 
-#ifndef DTRANK_DATASET_PERF_DATABASE_H_
-#define DTRANK_DATASET_PERF_DATABASE_H_
+#pragma once
 
 #include <functional>
 #include <string>
@@ -145,4 +144,3 @@ class PerfDatabase
 
 } // namespace dtrank::dataset
 
-#endif // DTRANK_DATASET_PERF_DATABASE_H_

@@ -5,8 +5,7 @@
  * machines, 29 benchmarks).
  */
 
-#ifndef DTRANK_DATASET_SYNTHETIC_SPEC_H_
-#define DTRANK_DATASET_SYNTHETIC_SPEC_H_
+#pragma once
 
 #include <cstdint>
 
@@ -108,4 +107,3 @@ PerfDatabase makePaperDataset(std::uint64_t seed = 2011);
 
 } // namespace dtrank::dataset
 
-#endif // DTRANK_DATASET_SYNTHETIC_SPEC_H_

@@ -4,8 +4,7 @@
  * case)" table cells.
  */
 
-#ifndef DTRANK_EXPERIMENTS_AGGREGATE_H_
-#define DTRANK_EXPERIMENTS_AGGREGATE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -45,4 +44,3 @@ std::string formatAggregate(const MetricAggregate &a, int decimals);
 
 } // namespace dtrank::experiments
 
-#endif // DTRANK_EXPERIMENTS_AGGREGATE_H_

@@ -6,8 +6,7 @@
  * machine-readable BENCH_*.json output path.
  */
 
-#ifndef DTRANK_EXPERIMENTS_BENCH_OPTIONS_H_
-#define DTRANK_EXPERIMENTS_BENCH_OPTIONS_H_
+#pragma once
 
 #include <iosfwd>
 #include <memory>
@@ -43,4 +42,3 @@ void reportModelCacheStats(const TrainedModelCache *cache,
 
 } // namespace dtrank::experiments
 
-#endif // DTRANK_EXPERIMENTS_BENCH_OPTIONS_H_

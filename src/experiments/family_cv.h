@@ -15,8 +15,7 @@
  * be what produced the paper's Table 2.
  */
 
-#ifndef DTRANK_EXPERIMENTS_FAMILY_CV_H_
-#define DTRANK_EXPERIMENTS_FAMILY_CV_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -96,4 +95,3 @@ class FamilyCrossValidation
 
 } // namespace dtrank::experiments
 
-#endif // DTRANK_EXPERIMENTS_FAMILY_CV_H_

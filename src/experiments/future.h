@@ -7,8 +7,7 @@
  * reliable.
  */
 
-#ifndef DTRANK_EXPERIMENTS_FUTURE_H_
-#define DTRANK_EXPERIMENTS_FUTURE_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -68,4 +67,3 @@ class FuturePrediction
 
 } // namespace dtrank::experiments
 
-#endif // DTRANK_EXPERIMENTS_FUTURE_H_

@@ -6,8 +6,7 @@
  * paper).
  */
 
-#ifndef DTRANK_EXPERIMENTS_HARNESS_H_
-#define DTRANK_EXPERIMENTS_HARNESS_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -155,4 +154,3 @@ class SplitEvaluator
 
 } // namespace dtrank::experiments
 
-#endif // DTRANK_EXPERIMENTS_HARNESS_H_

@@ -5,8 +5,7 @@
  * rather than transcribed by hand.
  */
 
-#ifndef DTRANK_EXPERIMENTS_MARKDOWN_REPORT_H_
-#define DTRANK_EXPERIMENTS_MARKDOWN_REPORT_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -73,4 +72,3 @@ std::string renderSelectionSweep(const SelectionSweepResults &results);
 
 } // namespace dtrank::experiments
 
-#endif // DTRANK_EXPERIMENTS_MARKDOWN_REPORT_H_

@@ -25,7 +25,7 @@ TrainedModelCache::lookup(const util::HashKey &key,
                           std::vector<double> &value)
 {
     Shard &shard = shardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::LockGuard lock(shard.mutex);
     const auto it = shard.map.find(key);
     if (it == shard.map.end()) {
         misses_.fetch_add(1, std::memory_order_relaxed);
@@ -41,7 +41,7 @@ TrainedModelCache::store(const util::HashKey &key,
                          std::vector<double> value)
 {
     Shard &shard = shardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::LockGuard lock(shard.mutex);
     const auto [it, inserted] =
         shard.map.try_emplace(key, std::move(value));
     if (!inserted) {
@@ -65,8 +65,7 @@ TrainedModelCache::stats() const
     s.misses = misses_.load(std::memory_order_relaxed);
     s.evictions = evictions_.load(std::memory_order_relaxed);
     for (const Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(
-            const_cast<Shard &>(shard).mutex);
+        util::LockGuard lock(shard.mutex);
         s.entries += shard.map.size();
     }
     return s;
@@ -76,7 +75,7 @@ void
 TrainedModelCache::clear()
 {
     for (Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        util::LockGuard lock(shard.mutex);
         shard.map.clear();
         shard.fifo.clear();
     }

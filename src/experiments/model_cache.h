@@ -17,14 +17,12 @@
  * serialize on it.
  */
 
-#ifndef DTRANK_EXPERIMENTS_MODEL_CACHE_H_
-#define DTRANK_EXPERIMENTS_MODEL_CACHE_H_
+#pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +30,8 @@
 #include "linalg/matrix.h"
 #include "ml/genetic.h"
 #include "util/hash.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dtrank::experiments
 {
@@ -84,11 +84,12 @@ class TrainedModelCache
 
     struct Shard
     {
-        std::mutex mutex;
+        /** mutable so stats() const can take a reader-style snapshot. */
+        mutable util::Mutex mutex;
         std::unordered_map<util::HashKey, std::vector<double>,
                            util::HashKeyHasher>
-            map;
-        std::deque<util::HashKey> fifo;
+            map DTRANK_GUARDED_BY(mutex);
+        std::deque<util::HashKey> fifo DTRANK_GUARDED_BY(mutex);
     };
 
     Shard &shardFor(const util::HashKey &key);
@@ -139,4 +140,3 @@ util::HashKey gaKnnModelKey(const baseline::GaKnnConfig &config,
 
 } // namespace dtrank::experiments
 
-#endif // DTRANK_EXPERIMENTS_MODEL_CACHE_H_

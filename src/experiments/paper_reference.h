@@ -6,8 +6,7 @@
  * Sections 6.2-6.5.
  */
 
-#ifndef DTRANK_EXPERIMENTS_PAPER_REFERENCE_H_
-#define DTRANK_EXPERIMENTS_PAPER_REFERENCE_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -86,4 +85,3 @@ Figure6Reference figure6();
 
 } // namespace dtrank::experiments::paper
 
-#endif // DTRANK_EXPERIMENTS_PAPER_REFERENCE_H_

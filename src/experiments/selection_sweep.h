@@ -7,8 +7,7 @@
  * target machines.
  */
 
-#ifndef DTRANK_EXPERIMENTS_SELECTION_SWEEP_H_
-#define DTRANK_EXPERIMENTS_SELECTION_SWEEP_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -83,4 +82,3 @@ class SelectionSweep
 
 } // namespace dtrank::experiments
 
-#endif // DTRANK_EXPERIMENTS_SELECTION_SWEEP_H_

@@ -6,8 +6,7 @@
  * when the user owns only a handful of machines.
  */
 
-#ifndef DTRANK_EXPERIMENTS_SUBSET_H_
-#define DTRANK_EXPERIMENTS_SUBSET_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -67,4 +66,3 @@ class SubsetExperiment
 
 } // namespace dtrank::experiments
 
-#endif // DTRANK_EXPERIMENTS_SUBSET_H_

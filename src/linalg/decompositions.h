@@ -4,8 +4,7 @@
  * general least-squares problems.
  */
 
-#ifndef DTRANK_LINALG_DECOMPOSITIONS_H_
-#define DTRANK_LINALG_DECOMPOSITIONS_H_
+#pragma once
 
 #include <vector>
 
@@ -89,4 +88,3 @@ std::vector<double> solveLowerTriangular(const Matrix &l,
 
 } // namespace dtrank::linalg
 
-#endif // DTRANK_LINALG_DECOMPOSITIONS_H_

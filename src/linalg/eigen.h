@@ -5,8 +5,7 @@
  * (covariance matrices up to a few dozen dimensions).
  */
 
-#ifndef DTRANK_LINALG_EIGEN_H_
-#define DTRANK_LINALG_EIGEN_H_
+#pragma once
 
 #include <vector>
 
@@ -39,4 +38,3 @@ SymmetricEigenResult eigenSymmetric(const Matrix &a,
 
 } // namespace dtrank::linalg
 
-#endif // DTRANK_LINALG_EIGEN_H_

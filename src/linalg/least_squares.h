@@ -5,8 +5,7 @@
  * singular (e.g. MLP^T with very few predictive machines).
  */
 
-#ifndef DTRANK_LINALG_LEAST_SQUARES_H_
-#define DTRANK_LINALG_LEAST_SQUARES_H_
+#pragma once
 
 #include <vector>
 
@@ -45,4 +44,3 @@ LeastSquaresResult solveRidge(const Matrix &a, const std::vector<double> &b,
 
 } // namespace dtrank::linalg
 
-#endif // DTRANK_LINALG_LEAST_SQUARES_H_

@@ -8,8 +8,7 @@
  * public API. It is a value type: copyable, movable, comparable.
  */
 
-#ifndef DTRANK_LINALG_MATRIX_H_
-#define DTRANK_LINALG_MATRIX_H_
+#pragma once
 
 #include <cstddef>
 #include <initializer_list>
@@ -177,4 +176,3 @@ class Matrix
 
 } // namespace dtrank::linalg
 
-#endif // DTRANK_LINALG_MATRIX_H_

@@ -4,8 +4,7 @@
  * machine-learning layers.
  */
 
-#ifndef DTRANK_LINALG_VECTOR_OPS_H_
-#define DTRANK_LINALG_VECTOR_OPS_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -48,4 +47,3 @@ double weightedSquaredDistance(const std::vector<double> &a,
 
 } // namespace dtrank::linalg
 
-#endif // DTRANK_LINALG_VECTOR_OPS_H_

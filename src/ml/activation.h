@@ -3,8 +3,7 @@
  * Activation functions for the multilayer perceptron.
  */
 
-#ifndef DTRANK_ML_ACTIVATION_H_
-#define DTRANK_ML_ACTIVATION_H_
+#pragma once
 
 #include <string>
 
@@ -38,4 +37,3 @@ Activation activationFromName(const std::string &name);
 
 } // namespace dtrank::ml
 
-#endif // DTRANK_ML_ACTIVATION_H_

@@ -5,8 +5,7 @@
  * (Hoste et al., PACT 2006).
  */
 
-#ifndef DTRANK_ML_DISTANCE_H_
-#define DTRANK_ML_DISTANCE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -77,4 +76,3 @@ pairwiseDistances(const std::vector<std::vector<double>> &points,
 
 } // namespace dtrank::ml
 
-#endif // DTRANK_ML_DISTANCE_H_

@@ -7,8 +7,7 @@
  * generic optimizer it builds on.
  */
 
-#ifndef DTRANK_ML_GENETIC_H_
-#define DTRANK_ML_GENETIC_H_
+#pragma once
 
 #include <cstddef>
 #include <functional>
@@ -131,4 +130,3 @@ class GeneticAlgorithm
 
 } // namespace dtrank::ml
 
-#endif // DTRANK_ML_GENETIC_H_

@@ -6,8 +6,7 @@
  * machines.
  */
 
-#ifndef DTRANK_ML_KMEDOIDS_H_
-#define DTRANK_ML_KMEDOIDS_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -76,4 +75,3 @@ class KMedoids
 
 } // namespace dtrank::ml
 
-#endif // DTRANK_ML_KMEDOIDS_H_

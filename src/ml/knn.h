@@ -5,8 +5,7 @@
  * the scores of its k = 10 nearest benchmarks in characteristic space.
  */
 
-#ifndef DTRANK_ML_KNN_H_
-#define DTRANK_ML_KNN_H_
+#pragma once
 
 #include <cstddef>
 #include <memory>
@@ -71,4 +70,3 @@ class KnnRegressor
 
 } // namespace dtrank::ml
 
-#endif // DTRANK_ML_KNN_H_

@@ -11,8 +11,7 @@
  * the numeric target to [-1, 1].
  */
 
-#ifndef DTRANK_ML_MLP_H_
-#define DTRANK_ML_MLP_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -220,4 +219,3 @@ class Mlp
 
 } // namespace dtrank::ml
 
-#endif // DTRANK_ML_MLP_H_

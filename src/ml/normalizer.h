@@ -6,8 +6,7 @@
  * distance-based learners.
  */
 
-#ifndef DTRANK_ML_NORMALIZER_H_
-#define DTRANK_ML_NORMALIZER_H_
+#pragma once
 
 #include <vector>
 
@@ -86,4 +85,3 @@ class StandardNormalizer
 
 } // namespace dtrank::ml
 
-#endif // DTRANK_ML_NORMALIZER_H_

@@ -9,8 +9,7 @@
  * characteristic space and the machine performance space.
  */
 
-#ifndef DTRANK_ML_PCA_H_
-#define DTRANK_ML_PCA_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -85,4 +84,3 @@ class Pca
 
 } // namespace dtrank::ml
 
-#endif // DTRANK_ML_PCA_H_

@@ -9,8 +9,7 @@
  * assumptions.
  */
 
-#ifndef DTRANK_STATS_BOOTSTRAP_H_
-#define DTRANK_STATS_BOOTSTRAP_H_
+#pragma once
 
 #include <cstddef>
 #include <functional>
@@ -67,4 +66,3 @@ bootstrapSpearman(const std::vector<double> &actual,
 
 } // namespace dtrank::stats
 
-#endif // DTRANK_STATS_BOOTSTRAP_H_

@@ -5,8 +5,7 @@
  * (the goodness-of-fit measure in Figure 8).
  */
 
-#ifndef DTRANK_STATS_CORRELATION_H_
-#define DTRANK_STATS_CORRELATION_H_
+#pragma once
 
 #include <vector>
 
@@ -43,4 +42,3 @@ double covariancePopulation(const std::vector<double> &x,
 
 } // namespace dtrank::stats
 
-#endif // DTRANK_STATS_CORRELATION_H_

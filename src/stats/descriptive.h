@@ -3,8 +3,7 @@
  * Descriptive statistics over vectors of doubles.
  */
 
-#ifndef DTRANK_STATS_DESCRIPTIVE_H_
-#define DTRANK_STATS_DESCRIPTIVE_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -83,4 +82,3 @@ class Summary
 
 } // namespace dtrank::stats
 
-#endif // DTRANK_STATS_DESCRIPTIVE_H_

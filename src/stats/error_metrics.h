@@ -5,8 +5,7 @@
  * benchmarks, and the top-1 deficiency of a predicted machine ranking.
  */
 
-#ifndef DTRANK_STATS_ERROR_METRICS_H_
-#define DTRANK_STATS_ERROR_METRICS_H_
+#pragma once
 
 #include <vector>
 
@@ -50,4 +49,3 @@ double topNDeficiencyPercent(const std::vector<double> &actual,
 
 } // namespace dtrank::stats
 
-#endif // DTRANK_STATS_ERROR_METRICS_H_

@@ -8,8 +8,7 @@
  * is provided so users can cross-check rankings with both.
  */
 
-#ifndef DTRANK_STATS_KENDALL_H_
-#define DTRANK_STATS_KENDALL_H_
+#pragma once
 
 #include <vector>
 
@@ -27,4 +26,3 @@ double kendallTau(const std::vector<double> &x,
 
 } // namespace dtrank::stats
 
-#endif // DTRANK_STATS_KENDALL_H_

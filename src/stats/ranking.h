@@ -4,8 +4,7 @@
  * correlation used throughout the paper's evaluation (Section 6.1).
  */
 
-#ifndef DTRANK_STATS_RANKING_H_
-#define DTRANK_STATS_RANKING_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -53,4 +52,3 @@ std::size_t positionInDescendingOrder(const std::vector<double> &values,
 
 } // namespace dtrank::stats
 
-#endif // DTRANK_STATS_RANKING_H_

@@ -7,8 +7,7 @@
  * extension and the experiments layer.
  */
 
-#ifndef DTRANK_STATS_REGRESSION_H_
-#define DTRANK_STATS_REGRESSION_H_
+#pragma once
 
 #include <vector>
 
@@ -110,4 +109,3 @@ class MultipleLinearRegression
 
 } // namespace dtrank::stats
 
-#endif // DTRANK_STATS_REGRESSION_H_

@@ -11,8 +11,7 @@
  * linear -> spline -> neural network.
  */
 
-#ifndef DTRANK_STATS_SPLINE_H_
-#define DTRANK_STATS_SPLINE_H_
+#pragma once
 
 #include <cstddef>
 #include <optional>
@@ -107,4 +106,3 @@ class SplineRegression
 
 } // namespace dtrank::stats
 
-#endif // DTRANK_STATS_SPLINE_H_

@@ -8,8 +8,7 @@
  * emitted files instead of scraping stdout tables.
  */
 
-#ifndef DTRANK_UTIL_BENCH_JSON_H_
-#define DTRANK_UTIL_BENCH_JSON_H_
+#pragma once
 
 #include <chrono>
 #include <string>
@@ -71,4 +70,3 @@ class BenchJsonWriter
 
 } // namespace dtrank::util
 
-#endif // DTRANK_UTIL_BENCH_JSON_H_

@@ -44,7 +44,9 @@ ArgParser::parse(int argc, const char *const *argv)
         }
         arg = arg.substr(2);
         if (arg == "help") {
-            std::cout << usage();
+            // --help output is the tool's contract with the shell, not
+            // a log message, so it belongs on stdout.
+            std::cout << usage(); // dtrank-lint-ignore(no-cout-in-src)
             return false;
         }
         std::string name = arg;

@@ -5,8 +5,7 @@
  * Supports `--name value`, `--name=value` and boolean `--flag` forms.
  */
 
-#ifndef DTRANK_UTIL_CLI_H_
-#define DTRANK_UTIL_CLI_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -79,4 +78,3 @@ class ArgParser
 
 } // namespace dtrank::util
 
-#endif // DTRANK_UTIL_CLI_H_

@@ -6,8 +6,7 @@
  * which is enough for exporting and re-importing performance databases.
  */
 
-#ifndef DTRANK_UTIL_CSV_H_
-#define DTRANK_UTIL_CSV_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -48,4 +47,3 @@ void writeCsvFile(const std::string &path, const CsvRows &rows,
 
 } // namespace dtrank::util
 
-#endif // DTRANK_UTIL_CSV_H_

@@ -8,8 +8,7 @@
  * IoError; the latter abort through DTRANK_ASSERT.
  */
 
-#ifndef DTRANK_UTIL_ERROR_H_
-#define DTRANK_UTIL_ERROR_H_
+#pragma once
 
 #include <cstdlib>
 #include <iostream>
@@ -120,4 +119,3 @@ require(bool cond, const std::string &msg)
                                                   __LINE__, (msg));         \
     } while (false)
 
-#endif // DTRANK_UTIL_ERROR_H_

@@ -7,8 +7,7 @@
  * collisions are negligible without storing the raw bytes.
  */
 
-#ifndef DTRANK_UTIL_HASH_H_
-#define DTRANK_UTIL_HASH_H_
+#pragma once
 
 #include <bit>
 #include <cstddef>
@@ -115,4 +114,3 @@ class ContentHasher
 
 } // namespace dtrank::util
 
-#endif // DTRANK_UTIL_HASH_H_

@@ -1,7 +1,9 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace dtrank::util
 {
@@ -9,31 +11,33 @@ namespace dtrank::util
 namespace
 {
 
-LogLevel g_level = LogLevel::Warn;
+// Atomic so worker threads logging mid-experiment never race with a
+// late setLogLevel (e.g. a test toggling verbosity).
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 // Serializes whole lines so messages from parallel experiment tasks
 // do not interleave mid-line.
-std::mutex g_output_mutex;
+Mutex g_output_mutex;
 
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 inform(const std::string &msg)
 {
-    if (g_level >= LogLevel::Info) {
-        std::lock_guard<std::mutex> lock(g_output_mutex);
+    if (logLevel() >= LogLevel::Info) {
+        LockGuard lock(g_output_mutex);
         std::cerr << "info: " << msg << std::endl;
     }
 }
@@ -41,8 +45,8 @@ inform(const std::string &msg)
 void
 warn(const std::string &msg)
 {
-    if (g_level >= LogLevel::Warn) {
-        std::lock_guard<std::mutex> lock(g_output_mutex);
+    if (logLevel() >= LogLevel::Warn) {
+        LockGuard lock(g_output_mutex);
         std::cerr << "warn: " << msg << std::endl;
     }
 }
@@ -50,8 +54,8 @@ warn(const std::string &msg)
 void
 debug(const std::string &msg)
 {
-    if (g_level >= LogLevel::Debug) {
-        std::lock_guard<std::mutex> lock(g_output_mutex);
+    if (logLevel() >= LogLevel::Debug) {
+        LockGuard lock(g_output_mutex);
         std::cerr << "debug: " << msg << std::endl;
     }
 }

@@ -6,8 +6,7 @@
  * quietly by default.
  */
 
-#ifndef DTRANK_UTIL_LOGGING_H_
-#define DTRANK_UTIL_LOGGING_H_
+#pragma once
 
 #include <string>
 
@@ -34,4 +33,3 @@ void debug(const std::string &msg);
 
 } // namespace dtrank::util
 
-#endif // DTRANK_UTIL_LOGGING_H_

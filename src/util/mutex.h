@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Annotated mutual-exclusion primitives: the only lock types dtrank
+ * code is allowed to use (dtrank_lint rule `no-std-mutex`).
+ *
+ * Mutex/LockGuard/CondVar are thin wrappers over their std
+ * counterparts, carrying the util/thread_annotations.h capability
+ * attributes so a clang -Wthread-safety build statically checks that
+ * every access to DTRANK_GUARDED_BY state happens under the right
+ * lock. They add no overhead: everything inlines to the std call.
+ *
+ * CondVar wraps std::condition_variable_any so it can wait directly on
+ * the annotated Mutex (std::condition_variable would insist on a
+ * std::unique_lock<std::mutex>, which the analysis cannot see through).
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex> // dtrank-lint-ignore(no-std-mutex): the annotated wrapper itself
+
+#include "util/thread_annotations.h"
+
+namespace dtrank::util
+{
+
+/**
+ * A std::mutex annotated as a thread-safety capability. Prefer
+ * LockGuard over calling lock()/unlock() directly.
+ */
+class DTRANK_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() DTRANK_ACQUIRE() { mutex_.lock(); }
+    void unlock() DTRANK_RELEASE() { mutex_.unlock(); }
+    bool try_lock() DTRANK_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  private:
+    std::mutex mutex_; // dtrank-lint-ignore(no-std-mutex)
+};
+
+/** RAII lock over a Mutex, visible to the thread-safety analysis. */
+class DTRANK_SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex &mutex) DTRANK_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~LockGuard() DTRANK_RELEASE() { mutex_.unlock(); }
+
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * Condition variable waiting on the annotated Mutex. As with
+ * std::condition_variable, the waiting thread must hold the mutex; the
+ * DTRANK_REQUIRES annotation makes clang enforce that.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /**
+     * Atomically releases `mutex` and blocks until notified; the mutex
+     * is re-acquired before returning. Spurious wakeups happen: always
+     * re-check the predicate in a loop.
+     */
+    void wait(Mutex &mutex) DTRANK_REQUIRES(mutex) { cv_.wait(mutex); }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    // dtrank-lint-ignore(no-std-mutex): wrapped by the annotated API
+    std::condition_variable_any cv_;
+};
+
+} // namespace dtrank::util

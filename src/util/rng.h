@@ -8,8 +8,7 @@
  * reproduction is bit-for-bit repeatable.
  */
 
-#ifndef DTRANK_UTIL_RNG_H_
-#define DTRANK_UTIL_RNG_H_
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -126,4 +125,3 @@ class Rng
 
 } // namespace dtrank::util
 
-#endif // DTRANK_UTIL_RNG_H_

@@ -3,8 +3,7 @@
  * Small string helpers used across dtrank (parsing, formatting).
  */
 
-#ifndef DTRANK_UTIL_STRING_UTILS_H_
-#define DTRANK_UTIL_STRING_UTILS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -50,4 +49,3 @@ long parseLong(const std::string &s);
 
 } // namespace dtrank::util
 
-#endif // DTRANK_UTIL_STRING_UTILS_H_

@@ -4,8 +4,7 @@
  * paper-style tables and figure series.
  */
 
-#ifndef DTRANK_UTIL_TABLE_H_
-#define DTRANK_UTIL_TABLE_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -61,4 +60,3 @@ class TablePrinter
 
 } // namespace dtrank::util
 
-#endif // DTRANK_UTIL_TABLE_H_

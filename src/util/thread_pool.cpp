@@ -33,7 +33,7 @@ ThreadPool::ThreadPool(std::size_t workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         stopping_ = true;
     }
     wake_.notify_all();
@@ -48,9 +48,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock,
-                       [this] { return stopping_ || !queue_.empty(); });
+            LockGuard lock(mutex_);
+            while (!stopping_ && queue_.empty())
+                wake_.wait(mutex_);
             if (queue_.empty())
                 return; // stopping_ and nothing left to do
             task = std::move(queue_.front());

@@ -12,22 +12,21 @@
  * parallel regions run inline instead of oversubscribing the machine).
  */
 
-#ifndef DTRANK_UTIL_THREAD_POOL_H_
-#define DTRANK_UTIL_THREAD_POOL_H_
+#pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "util/error.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dtrank::util
 {
@@ -81,7 +80,7 @@ class ThreadPool
             std::forward<F>(f));
         std::future<R> result = task->get_future();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            LockGuard lock(mutex_);
             require(!stopping_, "ThreadPool::submit: pool is shutting "
                                 "down");
             queue_.emplace_back([task] { (*task)(); });
@@ -100,10 +99,10 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    bool stopping_ = false;
+    Mutex mutex_;
+    CondVar wake_;
+    std::deque<std::function<void()>> queue_ DTRANK_GUARDED_BY(mutex_);
+    bool stopping_ DTRANK_GUARDED_BY(mutex_) = false;
 };
 
 /**
@@ -138,4 +137,3 @@ parallelMap(std::size_t threads, std::size_t count, Fn &&fn)
 
 } // namespace dtrank::util
 
-#endif // DTRANK_UTIL_THREAD_POOL_H_

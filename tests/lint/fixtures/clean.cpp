@@ -1,0 +1,18 @@
+// Fixture: near misses only — every rule must stay silent.
+//
+// Mentions that must not trip anything: std::rand in this comment,
+// a float here, new and delete words, std::mutex in prose.
+
+#include <chrono>
+#include <string>
+
+/* block comment with std::cout << "x"; and time(nullptr) inside */
+
+struct Clean
+{
+    Clean(const Clean &) = delete;
+    int operand = 0;           // 'rand' inside an identifier
+    int newSize = 1;           // 'new' inside an identifier
+    std::string banner = "std::cout << std::rand(); float x;";
+    std::chrono::steady_clock::time_point started{};
+};

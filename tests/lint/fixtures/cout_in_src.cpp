@@ -1,0 +1,8 @@
+// Fixture: exactly one no-cout-in-src violation, on line 7.
+#include <iostream>
+
+void
+report()
+{
+    std::cout << "done\n";
+}

@@ -1,0 +1,3 @@
+// Fixture: exactly one no-float-kernel violation, on line 3.
+
+float halfPrecision(float a) { return a; }

@@ -1,0 +1,3 @@
+// Fixture: a header with no #pragma once; one pragma-once violation.
+
+inline int answer() { return 42; }

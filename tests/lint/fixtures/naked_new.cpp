@@ -1,0 +1,8 @@
+// Fixture: exactly one no-naked-new violation, on line 6.
+// The deleted copy constructor below must NOT be flagged.
+
+struct Buffer
+{
+    double *data = new double[4];
+    Buffer(const Buffer &) = delete;
+};

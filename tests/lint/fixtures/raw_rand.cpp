@@ -1,0 +1,4 @@
+// Fixture: exactly one no-raw-rand violation, on line 4.
+#include <cstdlib>
+
+int badSeed() { return std::rand(); }

@@ -1,0 +1,5 @@
+// Fixture: exactly one no-std-mutex violation, on line 5.
+// The <mutex> include itself is not the violation; naming the std
+// primitive is.
+
+std::mutex g_lock;

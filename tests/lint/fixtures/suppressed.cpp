@@ -1,0 +1,12 @@
+// Fixture: every violation below carries a suppression directive, so
+// the linter must report nothing. Exercises the same-line form, the
+// comment-above form, and the bare (all-rules) form.
+#include <cstdlib>
+
+int seeded() { return std::rand(); } // dtrank-lint-ignore(no-raw-rand)
+
+// dtrank-lint-ignore(no-std-mutex): fixture for the comment-above form
+std::mutex g_lock;
+
+// dtrank-lint-ignore
+float g_tolerance = 0.0f;

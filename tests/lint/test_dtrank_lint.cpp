@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the dtrank_lint rule engine: each rule fires on its
+ * fixture with the exact rule ID and line, near misses stay silent,
+ * and `// dtrank-lint-ignore` suppression works in all three forms.
+ *
+ * Fixture files live in tests/lint/fixtures (a directory the tree
+ * walker skips, since they contain deliberate violations) and are
+ * linted *as if* they sat at a src/ path, because rule scope depends
+ * on the path: kernel-only rules, src-only rules, exempt files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace
+{
+
+using dtrank::lint::Finding;
+using dtrank::lint::lintContent;
+
+std::string
+readFixture(const std::string &name)
+{
+    const std::string path =
+        std::string(DTRANK_LINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Lints fixture `name` as if it lived at `as_path` in the repo. */
+std::vector<Finding>
+lintFixtureAs(const std::string &name, const std::string &as_path)
+{
+    return lintContent(as_path, readFixture(name));
+}
+
+TEST(DtrankLint, RawRandFixtureFiresWithExactLocation)
+{
+    const auto findings =
+        lintFixtureAs("raw_rand.cpp", "src/core/bad.cpp");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "no-raw-rand");
+    EXPECT_EQ(findings[0].file, "src/core/bad.cpp");
+    EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(DtrankLint, CoutFixtureFiresOnlyUnderSrc)
+{
+    const auto in_src =
+        lintFixtureAs("cout_in_src.cpp", "src/core/bad.cpp");
+    ASSERT_EQ(in_src.size(), 1u);
+    EXPECT_EQ(in_src[0].rule, "no-cout-in-src");
+    EXPECT_EQ(in_src[0].line, 7u);
+
+    // Benches and tools legitimately print results to stdout.
+    EXPECT_TRUE(
+        lintFixtureAs("cout_in_src.cpp", "bench/bench_foo.cpp").empty());
+    EXPECT_TRUE(
+        lintFixtureAs("cout_in_src.cpp", "tools/foo.cpp").empty());
+}
+
+TEST(DtrankLint, FloatFixtureFiresOnlyInNumericKernels)
+{
+    for (const std::string dir : {"linalg", "stats", "ml"}) {
+        const auto findings =
+            lintFixtureAs("float_kernel.cpp", "src/" + dir + "/bad.cpp");
+        ASSERT_EQ(findings.size(), 1u) << dir;
+        EXPECT_EQ(findings[0].rule, "no-float-kernel");
+        EXPECT_EQ(findings[0].line, 3u);
+    }
+    // float is allowed outside the numeric kernels (e.g. dataset I/O).
+    EXPECT_TRUE(
+        lintFixtureAs("float_kernel.cpp", "src/dataset/ok.cpp").empty());
+}
+
+TEST(DtrankLint, MissingPragmaOnceFixtureFires)
+{
+    const auto findings =
+        lintFixtureAs("missing_pragma.h", "src/core/bad.h");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "pragma-once");
+    EXPECT_EQ(findings[0].line, 1u);
+
+    // The rule is header-only: the same content as a .cpp is fine.
+    EXPECT_TRUE(
+        lintFixtureAs("missing_pragma.h", "src/core/ok.cpp").empty());
+}
+
+TEST(DtrankLint, NakedNewFixtureFiresButDeletedCtorDoesNot)
+{
+    const auto findings =
+        lintFixtureAs("naked_new.cpp", "src/core/bad.cpp");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "no-naked-new");
+    EXPECT_EQ(findings[0].line, 6u);
+}
+
+TEST(DtrankLint, StdMutexFixtureFiresOutsideTheWrapper)
+{
+    const auto findings =
+        lintFixtureAs("std_mutex.cpp", "src/core/bad.cpp");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "no-std-mutex");
+    EXPECT_EQ(findings[0].line, 5u);
+
+    // The annotated wrapper itself is the one allowed user. (Linting
+    // the fixture under a header path legitimately reports its missing
+    // #pragma once, so assert only that no-std-mutex stays silent.)
+    for (const Finding &finding :
+         lintFixtureAs("std_mutex.cpp", "src/util/mutex.h"))
+        EXPECT_NE(finding.rule, "no-std-mutex");
+}
+
+TEST(DtrankLint, CleanFixtureIsSilentEvenInKernelDirs)
+{
+    EXPECT_TRUE(lintFixtureAs("clean.cpp", "src/linalg/ok.cpp").empty());
+    EXPECT_TRUE(lintFixtureAs("clean.cpp", "src/core/ok.cpp").empty());
+}
+
+TEST(DtrankLint, SuppressionCoversAllThreeForms)
+{
+    EXPECT_TRUE(
+        lintFixtureAs("suppressed.cpp", "src/ml/ok.cpp").empty());
+}
+
+TEST(DtrankLint, SuppressionForADifferentRuleDoesNotApply)
+{
+    const auto findings = lintContent(
+        "src/core/bad.cpp",
+        "int x = std::rand(); // dtrank-lint-ignore(no-std-mutex)\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "no-raw-rand");
+}
+
+TEST(DtrankLint, RngHeaderIsExemptFromRawRand)
+{
+    const std::string engine = "std::mt19937_64 engine_;\n";
+    EXPECT_TRUE(lintContent("src/util/rng.h", "#pragma once\n" + engine)
+                    .empty());
+    EXPECT_EQ(lintContent("src/ml/mlp.cpp", engine).size(), 1u);
+}
+
+TEST(DtrankLint, ViolationsInCommentsAndStringsAreIgnored)
+{
+    EXPECT_TRUE(lintContent("src/core/ok.cpp",
+                            "// std::rand() in a comment\n"
+                            "/* std::mutex in a block */\n"
+                            "const char *s = \"std::cout\";\n")
+                    .empty());
+}
+
+TEST(DtrankLint, TimeSeedAndBareRandAreCaught)
+{
+    const auto findings = lintContent(
+        "src/core/bad.cpp",
+        "unsigned a = rand();\nauto seed = time(nullptr);\n");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(findings[0].rule, "no-raw-rand");
+    EXPECT_EQ(findings[0].line, 1u);
+    EXPECT_EQ(findings[1].rule, "no-raw-rand");
+    EXPECT_EQ(findings[1].line, 2u);
+}
+
+TEST(DtrankLint, FormatFindingIsEditorParsable)
+{
+    const Finding finding{"no-raw-rand", "src/a.cpp", 12, "msg"};
+    EXPECT_EQ(dtrank::lint::formatFinding(finding),
+              "src/a.cpp:12: [no-raw-rand] msg");
+}
+
+TEST(DtrankLint, RuleCatalogIsComplete)
+{
+    const std::vector<std::string> expected = {
+        "no-raw-rand",   "no-cout-in-src", "no-float-kernel",
+        "no-naked-new",  "no-std-mutex",   "pragma-once",
+    };
+    EXPECT_EQ(dtrank::lint::ruleIds(), expected);
+}
+
+TEST(DtrankLint, RepositoryTreeIsLintClean)
+{
+    // The same invariant the dtrank_lint ctest enforces, reachable
+    // from the unit suite so a violation points straight here too.
+    const auto findings = dtrank::lint::lintTree(DTRANK_REPO_ROOT);
+    for (const Finding &finding : findings)
+        ADD_FAILURE() << dtrank::lint::formatFinding(finding);
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Command-line driver for the dtrank source linter.
+ *
+ * Usage:
+ *   dtrank_lint [--list-rules] [--root <repo-root>] [file...]
+ *
+ * With no file arguments the whole tree under the root is linted
+ * (src/, tests/, tools/, bench/, examples/). File arguments are
+ * repo-root-relative paths. Exit status is 0 when clean, 1 when any
+ * violation was found, 2 on usage or I/O errors.
+ */
+
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const std::string &id : dtrank::lint::ruleIds())
+                std::cout << id << "\n";
+            return 0;
+        }
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                std::cerr << "dtrank_lint: --root needs a value\n";
+                return 2;
+            }
+            root = argv[++i];
+            continue;
+        }
+        if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: dtrank_lint [--list-rules] "
+                         "[--root <repo-root>] [file...]\n";
+            return 0;
+        }
+        files.push_back(arg);
+    }
+
+    try {
+        std::vector<dtrank::lint::Finding> findings;
+        if (files.empty()) {
+            findings = dtrank::lint::lintTree(root);
+        } else {
+            for (const std::string &file : files) {
+                auto file_findings = dtrank::lint::lintFile(root, file);
+                findings.insert(findings.end(), file_findings.begin(),
+                                file_findings.end());
+            }
+        }
+        for (const dtrank::lint::Finding &finding : findings)
+            std::cout << dtrank::lint::formatFinding(finding) << "\n";
+        if (!findings.empty()) {
+            std::cout << findings.size()
+                      << " lint violation(s); suppress a line with "
+                         "// dtrank-lint-ignore(rule-id)\n";
+            return 1;
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "dtrank_lint: " << e.what() << "\n";
+        return 2;
+    }
+    return 0;
+}

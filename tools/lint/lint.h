@@ -1,0 +1,74 @@
+/**
+ * @file
+ * dtrank_lint: source-level enforcement of project invariants.
+ *
+ * The reproduction's headline guarantee — parallel/cached runs are
+ * bit-identical to serial — survives only while every stochastic
+ * component draws from util::Rng, all output is serialized, and all
+ * shared state sits behind the annotated util::Mutex. This linter
+ * checks those conventions (the ones a compiler cannot) as named,
+ * individually suppressible rules over the source tree, and runs as a
+ * ctest so CI fails on any violation.
+ *
+ * Rule catalog (see DESIGN.md "Static analysis & determinism
+ * contracts" for rationale):
+ *   no-raw-rand     raw rand()/srand/time-seeded or std <random>
+ *                   engines outside util/rng.h
+ *   no-cout-in-src  stdout writes in library code (use util/logging.h)
+ *   no-float-kernel `float` in the linalg/stats/ml numeric kernels
+ *   pragma-once     every header starts its guard with #pragma once
+ *   no-naked-new    naked new/delete in library code (use containers
+ *                   or smart pointers)
+ *   no-std-mutex    std synchronization primitives outside the
+ *                   annotated util/mutex.h wrapper
+ *
+ * Suppression: append `// dtrank-lint-ignore` (all rules) or
+ * `// dtrank-lint-ignore(rule-id)` to the offending line, or put the
+ * comment alone on the line directly above it.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dtrank::lint
+{
+
+/** One rule violation at a specific source location. */
+struct Finding
+{
+    std::string rule;    ///< Rule ID, e.g. "no-std-mutex".
+    std::string file;    ///< Path as given to the linter.
+    std::size_t line;    ///< 1-based line number.
+    std::string message; ///< Human-readable explanation.
+};
+
+/** `file:line: [rule] message` — the line format CI and editors parse. */
+std::string formatFinding(const Finding &finding);
+
+/** The IDs of every registered rule, in report order. */
+std::vector<std::string> ruleIds();
+
+/**
+ * Lints one in-memory file. `path` selects which rules apply (kernel
+ * dirs, exempt files, header-only rules) and is echoed in findings;
+ * it should be repo-relative (e.g. "src/util/rng.h").
+ */
+std::vector<Finding> lintContent(const std::string &path,
+                                 const std::string &content);
+
+/** Reads and lints one file on disk. @throws util::IoError. */
+std::vector<Finding> lintFile(const std::string &root,
+                              const std::string &relative_path);
+
+/**
+ * Walks root/{src,tests,tools,bench,examples} and lints every
+ * .h/.hpp/.cpp/.cc file, skipping directories named "fixtures" (lint
+ * test inputs contain deliberate violations) and "build". Findings are
+ * sorted by file then line.
+ */
+std::vector<Finding> lintTree(const std::string &root);
+
+} // namespace dtrank::lint
