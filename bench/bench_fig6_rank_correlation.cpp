@@ -52,6 +52,7 @@ main(int argc, char **argv)
     std::cout << "== Figure 6: Spearman rank correlation per benchmark "
                  "(family cross-validation) ==\n\n";
     util::BenchJsonWriter json("fig6_rank_correlation");
+    experiments::applySimdOption(args, &json);
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = cv.run(experiments::allMethods());
     json.addTimed("family_cv", t0,

@@ -51,6 +51,7 @@ main(int argc, char **argv)
     std::cout << "== Figure 7: top-1 prediction error (%) per benchmark "
                  "(family cross-validation) ==\n\n";
     util::BenchJsonWriter json("fig7_top1_error");
+    experiments::applySimdOption(args, &json);
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = cv.run(experiments::allMethods());
     json.addTimed("family_cv", t0,

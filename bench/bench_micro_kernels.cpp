@@ -7,9 +7,18 @@
  * cache-blocked matrix kernels against a naive reference, and the
  * parallel split evaluator at several thread counts.
  *
+ * Also benchmarks every SIMD kernel-table entry once per compiled
+ * dispatch tier ("BM_Kernel<name>/scalar" vs "BM_Kernel<name>/avx2"),
+ * so the AVX2-vs-scalar speedup per kernel can be read off one report.
+ * The
+ * dispatch tier the rest of the process uses and the CPU feature flags
+ * are recorded as report-level context.
+ *
  * Pass --benchmark_format=json for machine-readable output, or
  * --json <path> to write the google-benchmark JSON report to a file
- * (shorthand for --benchmark_out=<path> --benchmark_out_format=json).
+ * (shorthand for --benchmark_out=<path> --benchmark_out_format=json),
+ * and --simd scalar|avx2 to pin the dispatch tier the non-kernel
+ * benchmarks run at.
  */
 
 #include <benchmark/benchmark.h>
@@ -29,6 +38,7 @@
 #include "ml/kmedoids.h"
 #include "ml/pca.h"
 #include "ml/mlp.h"
+#include "simd/simd.h"
 #include "stats/bootstrap.h"
 #include "stats/correlation.h"
 #include "stats/kendall.h"
@@ -144,7 +154,9 @@ BENCHMARK(BM_MlpTrainEpochs)->Arg(10)->Arg(50);
  * be. Every sample of every epoch heap-allocates its input row, the
  * per-layer forward outputs and the per-layer delta vectors, and every
  * unit activation is an out-of-line call. Numerically identical to
- * Mlp::fit for the same seed — only the memory and call behaviour
+ * Mlp::fit for the same seed at this benchmark's layer widths (the
+ * canonical lane-blocked reduction degenerates to the legacy
+ * sequential sum below 16 terms); only the memory and call behaviour
  * differ.
  */
 void
@@ -445,13 +457,168 @@ BM_EvaluateSplitCached(benchmark::State &state)
 BENCHMARK(BM_EvaluateSplitCached)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Per-kernel tier benchmarks: each operates directly on one kernel
+// table (scalar or avx2), bypassing dispatch, so the two registrations
+// of a kernel differ only in the code executed. The avx2 variants are
+// registered at startup only when the tier is compiled in and the CPU
+// reports AVX2.
+
+/** Returns the kernel table for a registered tier name. */
+const simd::KernelTable &
+kernelTable(bool avx2)
+{
+    return avx2 ? *simd::avx2Kernels() : simd::scalarKernels();
+}
+
+void
+BM_KernelDot(benchmark::State &state, bool avx2)
+{
+    util::Rng rng(20);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto a = randomVector(n, rng);
+    const auto b = randomVector(n, rng);
+    const simd::KernelTable &kt = kernelTable(avx2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kt.dot(a.data(), b.data(), n));
+    }
+}
+
+void
+BM_KernelAxpy(benchmark::State &state, bool avx2)
+{
+    util::Rng rng(21);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    auto out = randomVector(n, rng);
+    const auto b = randomVector(n, rng);
+    const simd::KernelTable &kt = kernelTable(avx2);
+    for (auto _ : state) {
+        kt.axpy(out.data(), b.data(), 1.0000001, n);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+BM_KernelSquaredDistance(benchmark::State &state, bool avx2)
+{
+    util::Rng rng(22);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto a = randomVector(n, rng);
+    const auto b = randomVector(n, rng);
+    const simd::KernelTable &kt = kernelTable(avx2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            kt.squaredDistance(a.data(), b.data(), n));
+    }
+}
+
+void
+BM_KernelGemmMicro(benchmark::State &state, bool avx2)
+{
+    util::Rng rng(23);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const linalg::Matrix a = randomMatrix(1, n, rng);
+    const linalg::Matrix b = randomMatrix(n, n, rng);
+    linalg::Matrix out(1, n);
+    const simd::KernelTable &kt = kernelTable(avx2);
+    for (auto _ : state) {
+        kt.gemmMicro(n, n, a.rowData(0), b.rowData(0), n,
+                     out.rowData(0));
+        benchmark::DoNotOptimize(out.rowData(0));
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+BM_KernelMlpForward(benchmark::State &state, bool avx2)
+{
+    util::Rng rng(24);
+    const auto width = static_cast<std::size_t>(state.range(0));
+    const auto wt = randomVector(width * width, rng);
+    const auto bias = randomVector(width, rng);
+    const auto a_in = randomVector(width, rng);
+    std::vector<double> a_out(width, 0.0);
+    const simd::KernelTable &kt = kernelTable(avx2);
+    for (auto _ : state) {
+        kt.mlpLayerNets(width, width, wt.data(), bias.data(),
+                        a_in.data(), a_out.data());
+        benchmark::DoNotOptimize(a_out.data());
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+BM_KernelMlpUpdate(benchmark::State &state, bool avx2)
+{
+    util::Rng rng(25);
+    const auto width = static_cast<std::size_t>(state.range(0));
+    const auto in_act = randomVector(width, rng);
+    auto d = randomVector(width, rng);
+    auto wt = randomVector(width * width, rng);
+    std::vector<double> pwt(width * width, 0.0);
+    auto bias = randomVector(width, rng);
+    std::vector<double> pb(width, 0.0);
+    const simd::KernelTable &kt = kernelTable(avx2);
+    for (auto _ : state) {
+        kt.mlpUpdateLayer(width, width, 1e-9, 0.2, in_act.data(),
+                          d.data(), wt.data(), pwt.data(), bias.data(),
+                          pb.data());
+        benchmark::DoNotOptimize(wt.data());
+        benchmark::ClobberMemory();
+    }
+}
+
+/**
+ * Registers one kernel benchmark under "BM_<name>/<tier>" for the
+ * scalar tier and, when available, the avx2 tier.
+ */
+void
+registerKernelBenchmark(const char *name,
+                        void (*fn)(benchmark::State &, bool),
+                        std::initializer_list<long> args)
+{
+    for (int tier = 0; tier < 2; ++tier) {
+        const bool avx2 = tier == 1;
+        if (avx2 &&
+            (simd::avx2Kernels() == nullptr || !simd::cpuSupportsAvx2()))
+            continue;
+        auto *bench = benchmark::RegisterBenchmark(
+            (std::string(name) + "/" + (avx2 ? "avx2" : "scalar"))
+                .c_str(),
+            fn, avx2);
+        for (long arg : args)
+            bench->Arg(arg);
+    }
+}
+
+void
+registerKernelBenchmarks()
+{
+    registerKernelBenchmark("BM_KernelDot", BM_KernelDot, {256, 1024});
+    registerKernelBenchmark("BM_KernelAxpy", BM_KernelAxpy, {256, 1024});
+    registerKernelBenchmark("BM_KernelSquaredDistance",
+                            BM_KernelSquaredDistance, {256, 1024});
+    registerKernelBenchmark("BM_KernelGemmMicro", BM_KernelGemmMicro,
+                            {64, 256});
+    // MLP layer widths stay L2-resident (128^2 weights = 128 KiB):
+    // beyond that both tiers are bandwidth-bound and the comparison
+    // stops measuring the kernels.
+    registerKernelBenchmark("BM_KernelMlpForward", BM_KernelMlpForward,
+                            {64, 128});
+    registerKernelBenchmark("BM_KernelMlpUpdate", BM_KernelMlpUpdate,
+                            {64, 128});
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     // Translate --json <path> (the flag every dtrank bench binary
-    // understands) into google-benchmark's file-output flags.
+    // understands) into google-benchmark's file-output flags, and
+    // apply --simd <tier> to the process-wide dispatch before any
+    // benchmark runs.
     std::vector<std::string> args;
     args.reserve(static_cast<std::size_t>(argc) + 1);
     args.emplace_back(argv[0]);
@@ -463,6 +630,10 @@ main(int argc, char **argv)
         } else if (arg.rfind("--json=", 0) == 0) {
             args.push_back("--benchmark_out=" + arg.substr(7));
             args.emplace_back("--benchmark_out_format=json");
+        } else if (arg == "--simd" && i + 1 < argc) {
+            simd::requestTier(simd::parseTier(argv[++i]));
+        } else if (arg.rfind("--simd=", 0) == 0) {
+            simd::requestTier(simd::parseTier(arg.substr(7)));
         } else {
             args.push_back(arg);
         }
@@ -473,9 +644,13 @@ main(int argc, char **argv)
         argv2.push_back(a.data());
     int argc2 = static_cast<int>(argv2.size());
 
+    registerKernelBenchmarks();
     benchmark::Initialize(&argc2, argv2.data());
     if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data()))
         return 1;
+    benchmark::AddCustomContext("simd_tier",
+                                simd::tierName(simd::activeTier()));
+    benchmark::AddCustomContext("cpu_features", simd::cpuFeatureString());
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

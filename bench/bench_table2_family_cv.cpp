@@ -56,6 +56,7 @@ main(int argc, char **argv)
                  "the qualitative ordering is expected to match)\n\n";
 
     util::BenchJsonWriter json("table2_family_cv");
+    experiments::applySimdOption(args, &json);
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = cv.run(experiments::allMethods());
     json.addTimed("family_cv", t0,

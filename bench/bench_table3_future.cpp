@@ -111,6 +111,7 @@ main(int argc, char **argv)
               << args.getLong("target-year")
               << " machines from older machines ==\n\n";
     util::BenchJsonWriter json("table3_future");
+    experiments::applySimdOption(args, &json);
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = protocol.run(experiments::allMethods());
     json.addTimed("future_prediction", t0,

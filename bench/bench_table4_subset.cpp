@@ -115,6 +115,7 @@ main(int argc, char **argv)
                  "subsets of the 2008 machines ==\n(averaged over "
               << subset_config.draws << " random draws per size)\n\n";
     util::BenchJsonWriter json("table4_subset");
+    experiments::applySimdOption(args, &json);
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = protocol.run(experiments::allMethods());
     json.addTimed("subset_experiment", t0,

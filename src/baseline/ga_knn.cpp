@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "simd/simd.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -26,14 +27,11 @@ nearestByWeightedDistance(const std::vector<double> &query,
 {
     const std::size_t n = candidates.rows();
     std::vector<double> d2(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-        double acc = 0.0;
-        for (std::size_t c = 0; c < candidates.cols(); ++c) {
-            const double diff = query[c] - candidates(i, c);
-            acc += weights[c] * diff * diff;
-        }
-        d2[i] = acc;
-    }
+    for (std::size_t i = 0; i < n; ++i)
+        d2[i] = simd::weightedSquaredDistance(query.data(),
+                                              candidates.rowData(i),
+                                              weights.data(),
+                                              candidates.cols());
 
     std::vector<std::size_t> order;
     order.reserve(n);
@@ -126,9 +124,8 @@ GaKnnModel::train(const linalg::Matrix &characteristics,
             n_bench, std::vector<double>(n_bench, 0.0));
         for (std::size_t i = 0; i < n_bench; ++i) {
             for (std::size_t j = i + 1; j < n_bench; ++j) {
-                double acc = 0.0;
-                for (std::size_t c = 0; c < n_char; ++c)
-                    acc += w[c] * pair_d2[i][j][c];
+                const double acc =
+                    simd::dot(w.data(), pair_d2[i][j].data(), n_char);
                 d2[i][j] = acc;
                 d2[j][i] = acc;
             }
@@ -237,15 +234,10 @@ GaKnnModel::predictApp(const std::vector<double> &app_characteristics,
 
     // Squared distances for the weighting rule.
     std::vector<double> d2(candidate_chars.rows(), 0.0);
-    for (std::size_t i = 0; i < candidate_chars.rows(); ++i) {
-        double acc = 0.0;
-        for (std::size_t c = 0; c < candidate_chars.cols(); ++c) {
-            const double diff =
-                app_characteristics[c] - candidate_chars(i, c);
-            acc += weights_[c] * diff * diff;
-        }
-        d2[i] = acc;
-    }
+    for (std::size_t i = 0; i < candidate_chars.rows(); ++i)
+        d2[i] = simd::weightedSquaredDistance(
+            app_characteristics.data(), candidate_chars.rowData(i),
+            weights_.data(), candidate_chars.cols());
 
     std::vector<double> out(candidate_scores.cols());
     for (std::size_t m = 0; m < candidate_scores.cols(); ++m)

@@ -17,6 +17,25 @@ addBenchOptions(util::ArgParser &args)
     args.addOption("json",
                    "write machine-readable BENCH_*.json timing records "
                    "to this path", "");
+    args.addOption("simd",
+                   "kernel dispatch tier: auto, scalar or avx2 "
+                   "(results are bit-identical across tiers)",
+                   "auto");
+}
+
+simd::Tier
+applySimdOption(const util::ArgParser &args, util::BenchJsonWriter *json)
+{
+    const std::string value = args.get("simd");
+    const simd::Tier tier =
+        value.empty() || value == "auto"
+            ? simd::activeTier()
+            : simd::requestTier(simd::parseTier(value));
+    if (json != nullptr) {
+        json->addContext("simd_tier", simd::tierName(tier));
+        json->addContext("cpu_features", simd::cpuFeatureString());
+    }
+    return tier;
 }
 
 std::shared_ptr<TrainedModelCache>

@@ -12,14 +12,29 @@
 #include <memory>
 
 #include "experiments/harness.h"
+#include "simd/simd.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
 
 namespace dtrank::experiments
 {
 
-/** Registers --model-cache, --model-cache-capacity and --json. */
+/**
+ * Registers --model-cache, --model-cache-capacity, --json and --simd.
+ */
 void addBenchOptions(util::ArgParser &args);
+
+/**
+ * Applies --simd (auto | scalar | avx2) to the process-wide kernel
+ * dispatch. "auto" keeps whatever the environment (DTRANK_SIMD or
+ * cpuid) resolved; an explicit unknown name throws
+ * util::InvalidArgument; an explicit but unavailable tier warns and
+ * falls back to scalar. When `json` is non-null the resolved tier and
+ * the CPU feature flags are recorded in the document context.
+ * @return The tier actually active after applying the flag.
+ */
+simd::Tier applySimdOption(const util::ArgParser &args,
+                           util::BenchJsonWriter *json = nullptr);
 
 /**
  * Installs a TrainedModelCache into `config` when --model-cache was

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "simd/simd.h"
 #include "util/string_utils.h"
 
 namespace dtrank::linalg
@@ -121,11 +122,13 @@ Matrix::multiply(const Matrix &other) const
     const std::size_t n_i = rows_;
     const std::size_t n_k = cols_;
     const std::size_t n_j = other.cols_;
-    // Blocked i-k-j: the inner loop streams one row of `other` and one
-    // row of `out` contiguously (no strided B access), while blocking
-    // keeps the active tiles cache-resident for larger operands. For
-    // any (i, j) the k terms still accumulate in ascending order, so
-    // the result is bit-identical to the textbook triple loop.
+    // Blocked i-k-j: each (i, k-block, j-block) tile update is one
+    // dispatch-selected GEMM microkernel call streaming rows of
+    // `other` and `out` contiguously, while blocking keeps the active
+    // tiles cache-resident for larger operands. For any (i, j) the k
+    // terms still accumulate in ascending order and the microkernel's
+    // j sweep is elementwise, so the result is bit-identical to the
+    // textbook triple loop at every dispatch tier.
     for (std::size_t ii = 0; ii < n_i; ii += kMultiplyBlock) {
         const std::size_t i_end = std::min(ii + kMultiplyBlock, n_i);
         for (std::size_t kk = 0; kk < n_k; kk += kMultiplyBlock) {
@@ -134,16 +137,11 @@ Matrix::multiply(const Matrix &other) const
                 const std::size_t j_end =
                     std::min(jj + kMultiplyBlock, n_j);
                 for (std::size_t i = ii; i < i_end; ++i) {
-                    double *out_row = out.data_.data() + i * n_j;
-                    for (std::size_t k = kk; k < k_end; ++k) {
-                        const double a = data_[i * n_k + k];
-                        if (a == 0.0)
-                            continue;
-                        const double *b_row =
-                            other.data_.data() + k * n_j;
-                        for (std::size_t j = jj; j < j_end; ++j)
-                            out_row[j] += a * b_row[j];
-                    }
+                    simd::gemmMicro(
+                        k_end - kk, j_end - jj,
+                        data_.data() + i * n_k + kk,
+                        other.data_.data() + kk * n_j + jj, n_j,
+                        out.data_.data() + i * n_j + jj);
                 }
             }
         }
@@ -159,16 +157,13 @@ Matrix::multiplyTransposed(const Matrix &other) const
     Matrix out(rows_, other.rows_, 0.0);
     const std::size_t n_k = cols_;
     // out(i, j) = dot(row i of *this, row j of other): two contiguous
-    // streams per output element, no blocking needed.
+    // streams per output element, no blocking needed. The canonical
+    // lane-blocked reduction makes the bits tier-independent.
     for (std::size_t i = 0; i < rows_; ++i) {
         const double *a_row = data_.data() + i * n_k;
-        for (std::size_t j = 0; j < other.rows_; ++j) {
-            const double *b_row = other.data_.data() + j * n_k;
-            double acc = 0.0;
-            for (std::size_t k = 0; k < n_k; ++k)
-                acc += a_row[k] * b_row[k];
-            out(i, j) = acc;
-        }
+        for (std::size_t j = 0; j < other.rows_; ++j)
+            out(i, j) = simd::dot(a_row,
+                                  other.data_.data() + j * n_k, n_k);
     }
     return out;
 }
@@ -179,12 +174,8 @@ Matrix::multiply(const std::vector<double> &v) const
     util::require(cols_ == v.size(),
                   "Matrix::multiply(vector): dimension mismatch");
     std::vector<double> out(rows_, 0.0);
-    for (std::size_t i = 0; i < rows_; ++i) {
-        double acc = 0.0;
-        for (std::size_t j = 0; j < cols_; ++j)
-            acc += (*this)(i, j) * v[j];
-        out[i] = acc;
-    }
+    for (std::size_t i = 0; i < rows_; ++i)
+        out[i] = simd::dot(data_.data() + i * cols_, v.data(), cols_);
     return out;
 }
 

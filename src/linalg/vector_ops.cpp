@@ -2,19 +2,21 @@
 
 #include <cmath>
 
+#include "simd/simd.h"
 #include "util/error.h"
 
 namespace dtrank::linalg
 {
 
+// The dense sweeps all route through the runtime-dispatched kernel
+// layer (simd/simd.h); this file only keeps the vector-of-double
+// conveniences and their size checks.
+
 double
 dot(const std::vector<double> &a, const std::vector<double> &b)
 {
     util::require(a.size() == b.size(), "dot: size mismatch");
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        acc += a[i] * b[i];
-    return acc;
+    return simd::dot(a.data(), b.data(), a.size());
 }
 
 double
@@ -28,8 +30,7 @@ add(const std::vector<double> &a, const std::vector<double> &b)
 {
     util::require(a.size() == b.size(), "add: size mismatch");
     std::vector<double> out(a);
-    for (std::size_t i = 0; i < b.size(); ++i)
-        out[i] += b[i];
+    simd::axpy(out.data(), b.data(), 1.0, b.size());
     return out;
 }
 
@@ -38,8 +39,7 @@ subtract(const std::vector<double> &a, const std::vector<double> &b)
 {
     util::require(a.size() == b.size(), "subtract: size mismatch");
     std::vector<double> out(a);
-    for (std::size_t i = 0; i < b.size(); ++i)
-        out[i] -= b[i];
+    simd::axpy(out.data(), b.data(), -1.0, b.size());
     return out;
 }
 
@@ -47,8 +47,7 @@ std::vector<double>
 scale(const std::vector<double> &v, double factor)
 {
     std::vector<double> out(v);
-    for (double &x : out)
-        x *= factor;
+    simd::scale(out.data(), factor, out.size());
     return out;
 }
 
@@ -57,20 +56,14 @@ addScaled(std::vector<double> &a, const std::vector<double> &b,
           double factor)
 {
     util::require(a.size() == b.size(), "addScaled: size mismatch");
-    for (std::size_t i = 0; i < a.size(); ++i)
-        a[i] += factor * b[i];
+    simd::axpy(a.data(), b.data(), factor, a.size());
 }
 
 double
 squaredDistance(const std::vector<double> &a, const std::vector<double> &b)
 {
     util::require(a.size() == b.size(), "squaredDistance: size mismatch");
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        const double d = a[i] - b[i];
-        acc += d * d;
-    }
-    return acc;
+    return simd::squaredDistance(a.data(), b.data(), a.size());
 }
 
 double
@@ -80,12 +73,8 @@ weightedSquaredDistance(const std::vector<double> &a,
 {
     util::require(a.size() == b.size() && a.size() == weights.size(),
                   "weightedSquaredDistance: size mismatch");
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        const double d = a[i] - b[i];
-        acc += weights[i] * d * d;
-    }
-    return acc;
+    return simd::weightedSquaredDistance(a.data(), b.data(),
+                                         weights.data(), a.size());
 }
 
 } // namespace dtrank::linalg

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/vector_ops.h"
+#include "simd/simd.h"
 #include "util/error.h"
 
 namespace dtrank::ml
@@ -21,10 +22,7 @@ ManhattanDistance::distance(const std::vector<double> &a,
 {
     util::require(a.size() == b.size(),
                   "ManhattanDistance: size mismatch");
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        acc += std::fabs(a[i] - b[i]);
-    return acc;
+    return simd::manhattan(a.data(), b.data(), a.size());
 }
 
 WeightedEuclideanDistance::WeightedEuclideanDistance(

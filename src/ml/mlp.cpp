@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "simd/simd.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -13,43 +14,10 @@ namespace dtrank::ml
 namespace
 {
 
-// The hot per-sample loops live in free functions whose pointer
-// parameters are __restrict-qualified: GCC only exploits restrict on
-// function parameters (not on local variables), and without it every
-// unit-wide inner loop gets versioned with runtime alias checks that
-// cost more than the loop body itself at these widths.
-
-/**
- * Nets of one layer over the transposed ([input][unit]) weight layout:
- * a_out[r] = bias[r] + sum_c wt(c, r) * a_in[c]. The inner loop runs
- * across units so it vectorizes; each unit still starts from its bias
- * and adds inputs in ascending order — the exact arithmetic of the
- * per-unit dot product.
- */
-inline void
-layerNets(std::size_t in, std::size_t out, const double *__restrict wt,
-          const double *__restrict bias, const double *__restrict a_in,
-          double *__restrict a_out)
-{
-    if (out == 1) {
-        // Single-unit layer (the regression output): a plain dot
-        // product; the unit-wide loops would only pay vectorizer
-        // prologue overhead at width 1.
-        double net = bias[0];
-        for (std::size_t c = 0; c < in; ++c)
-            net += wt[c] * a_in[c];
-        a_out[0] = net;
-        return;
-    }
-    for (std::size_t r = 0; r < out; ++r)
-        a_out[r] = bias[r];
-    for (std::size_t c = 0; c < in; ++c) {
-        const double a = a_in[c];
-        const double *__restrict wc = wt + c * out;
-        for (std::size_t r = 0; r < out; ++r)
-            a_out[r] += wc[r] * a;
-    }
-}
+// The hot per-sample linear algebra (layer nets, delta recurrence,
+// momentum updates) lives in the runtime-dispatched kernel layer
+// (simd/simd.h); only the activation sweeps stay here because the
+// activation dispatch is an ml-level concern.
 
 /**
  * Activation sweep with the dispatch hoisted out of the unit loop; the
@@ -71,34 +39,6 @@ applyActivation(Activation act, std::size_t out, double *__restrict a)
     }
 }
 
-/**
- * Delta recurrence d[j] = sum_k w_next(k, j) * d_next[k]. In the
- * transposed layout unit j's outgoing weights are contiguous, so this
- * is a straight dot product per unit, summed in ascending k order —
- * bit-identical to the per-unit formulation over row-major weights.
- */
-inline void
-layerDeltas(std::size_t width, std::size_t width_next,
-            const double *__restrict wt_next,
-            const double *__restrict d_next, double *__restrict d)
-{
-    if (width_next == 1) {
-        // Single successor unit: the one-term "sums" collapse to an
-        // elementwise product, which vectorizes across this layer.
-        const double dk = d_next[0];
-        for (std::size_t j = 0; j < width; ++j)
-            d[j] = wt_next[j] * dk;
-        return;
-    }
-    for (std::size_t j = 0; j < width; ++j) {
-        const double *__restrict wj = wt_next + j * width_next;
-        double acc = 0.0;
-        for (std::size_t k = 0; k < width_next; ++k)
-            acc += wj[k] * d_next[k];
-        d[j] = acc;
-    }
-}
-
 /** d[j] *= f'(out_l[j]), expressions matching ml::activate's. */
 inline void
 scaleByDerivative(Activation act, std::size_t width,
@@ -114,50 +54,6 @@ scaleByDerivative(Activation act, std::size_t width,
       default:
         for (std::size_t j = 0; j < width; ++j)
             d[j] *= activateDerivativeFromOutput(act, out_l[j]);
-    }
-}
-
-/**
- * Momentum weight update of one layer. Each (weight, sample) update is
- * independent — nothing accumulates across elements — so looping
- * input-outer over the transposed layout changes no value, only the
- * store order, and lets the unit loop vectorize. The deltas are
- * pre-scaled by lr in place, so dw is the exact product
- * (lr * d_r) * in_act_c of the reference formulation.
- */
-inline void
-updateLayer(std::size_t in, std::size_t out, double lr, double momentum,
-            const double *__restrict in_act, double *__restrict d,
-            double *__restrict wt, double *__restrict pwt,
-            double *__restrict bias, double *__restrict pb)
-{
-    for (std::size_t r = 0; r < out; ++r)
-        d[r] *= lr;
-    if (out == 1) {
-        // Single-unit layer: one weight per input, contiguous in the
-        // transposed layout, so the input loop vectorizes directly.
-        const double d0 = d[0];
-        for (std::size_t c = 0; c < in; ++c) {
-            const double dw = d0 * in_act[c] + momentum * pwt[c];
-            wt[c] += dw;
-            pwt[c] = dw;
-        }
-    } else {
-        for (std::size_t c = 0; c < in; ++c) {
-            const double a = in_act[c];
-            double *__restrict wc = wt + c * out;
-            double *__restrict pwc = pwt + c * out;
-            for (std::size_t r = 0; r < out; ++r) {
-                const double dw = d[r] * a + momentum * pwc[r];
-                wc[r] += dw;
-                pwc[r] = dw;
-            }
-        }
-    }
-    for (std::size_t r = 0; r < out; ++r) {
-        const double db = d[r] + momentum * pb[r];
-        bias[r] += db;
-        pb[r] = db;
     }
 }
 
@@ -321,6 +217,9 @@ Mlp::trainOnce(const linalg::Matrix &xn, const std::vector<double> &yn,
 {
     const std::vector<std::size_t> &sizes = ws.sizes_;
     const std::size_t n_layers = sizes.size() - 1;
+    // One dispatch lookup per fit; the per-sample loops below call the
+    // resolved table directly.
+    const simd::KernelTable &kt = simd::kernels();
 
     // Initialize weights. The RNG draw order (per layer, per output
     // unit: all incoming weights in ascending input order, then the
@@ -366,12 +265,12 @@ Mlp::trainOnce(const linalg::Matrix &xn, const std::vector<double> &yn,
             for (std::size_t li = 0; li < n_layers; ++li) {
                 const std::size_t out = sizes[li + 1];
                 double *a_out = ws.acts_.data() + ws.uOff_[li + 1];
-                layerNets(sizes[li], out,
-                          ws.weights_.data() + ws.wOff_[li],
-                          ws.bias_.data() + ws.uOff_[li + 1],
-                          li == 0 ? input
-                                  : ws.acts_.data() + ws.uOff_[li],
-                          a_out);
+                kt.mlpLayerNets(sizes[li], out,
+                                ws.weights_.data() + ws.wOff_[li],
+                                ws.bias_.data() + ws.uOff_[li + 1],
+                                li == 0 ? input
+                                        : ws.acts_.data() + ws.uOff_[li],
+                                a_out);
                 applyActivation(layerActivation(li, n_layers), out,
                                 a_out);
             }
@@ -387,24 +286,25 @@ Mlp::trainOnce(const linalg::Matrix &xn, const std::vector<double> &yn,
             for (std::size_t lk = n_layers - 1; lk-- > 0;) {
                 const std::size_t width = sizes[lk + 1];
                 double *d = ws.deltas_.data() + ws.uOff_[lk + 1];
-                layerDeltas(width, sizes[lk + 2],
-                            ws.weights_.data() + ws.wOff_[lk + 1],
-                            ws.deltas_.data() + ws.uOff_[lk + 2], d);
+                kt.mlpLayerDeltas(width, sizes[lk + 2],
+                                  ws.weights_.data() + ws.wOff_[lk + 1],
+                                  ws.deltas_.data() + ws.uOff_[lk + 2],
+                                  d);
                 scaleByDerivative(layerActivation(lk, n_layers), width,
                                   ws.acts_.data() + ws.uOff_[lk + 1], d);
             }
 
             // Weight updates with momentum.
             for (std::size_t lk = 0; lk < n_layers; ++lk)
-                updateLayer(sizes[lk], sizes[lk + 1], lr,
-                            config_.momentum,
-                            lk == 0 ? input
-                                    : ws.acts_.data() + ws.uOff_[lk],
-                            ws.deltas_.data() + ws.uOff_[lk + 1],
-                            ws.weights_.data() + ws.wOff_[lk],
-                            ws.prevDw_.data() + ws.wOff_[lk],
-                            ws.bias_.data() + ws.uOff_[lk + 1],
-                            ws.prevDb_.data() + ws.uOff_[lk + 1]);
+                kt.mlpUpdateLayer(sizes[lk], sizes[lk + 1], lr,
+                                  config_.momentum,
+                                  lk == 0 ? input
+                                          : ws.acts_.data() + ws.uOff_[lk],
+                                  ws.deltas_.data() + ws.uOff_[lk + 1],
+                                  ws.weights_.data() + ws.wOff_[lk],
+                                  ws.prevDw_.data() + ws.wOff_[lk],
+                                  ws.bias_.data() + ws.uOff_[lk + 1],
+                                  ws.prevDb_.data() + ws.uOff_[lk + 1]);
         }
         ws.loss_[epoch] = sse / static_cast<double>(n);
         const double bound =
@@ -425,10 +325,14 @@ Mlp::forward(const std::vector<double> &input) const
     for (const Layer &layer : layers_) {
         const std::vector<double> &prev = outputs.back();
         std::vector<double> next(layer.weights.rows(), 0.0);
+        // bias + canonical dot per unit: the same formulation as the
+        // batched predict(Matrix), so scalar and batched predictions
+        // stay bit-identical at every dispatch tier.
         for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
-            double net = layer.bias[r];
-            for (std::size_t c = 0; c < layer.weights.cols(); ++c)
-                net += layer.weights(r, c) * prev[c];
+            const double net =
+                layer.bias[r] + simd::dot(layer.weights.rowData(r),
+                                          prev.data(),
+                                          layer.weights.cols());
             next[r] = activate(layer.activation, net);
         }
         outputs.push_back(std::move(next));
@@ -464,21 +368,21 @@ Mlp::predict(const linalg::Matrix &x) const
     util::require(x.cols() == input_size_,
                   "Mlp::predict: feature count mismatch");
     // Batched forward pass: one layer-sized sweep per layer instead of
-    // one dot product per (row, unit) with per-row temporaries. acts
-    // is rows x layer-width throughout; weights are out x in, so both
-    // operands stream row-contiguously. The accumulation starts from
-    // the bias and adds weights in ascending order — the exact
-    // arithmetic of forward() — so batch and scalar predictions are
-    // bit-identical.
+    // per-row temporaries. acts is rows x layer-width throughout;
+    // weights are out x in, so both operands stream row-contiguously.
+    // Each unit computes bias + canonical dot — the exact arithmetic
+    // of forward() — so batch and scalar predictions are bit-identical
+    // at every dispatch tier.
     linalg::Matrix acts =
         config_.normalize ? featureNorm_.transform(x) : x;
     for (const Layer &layer : layers_) {
         linalg::Matrix net(acts.rows(), layer.weights.rows());
         for (std::size_t r = 0; r < acts.rows(); ++r) {
+            const double *act_row = acts.rowData(r);
             for (std::size_t u = 0; u < layer.weights.rows(); ++u) {
-                double sum = layer.bias[u];
-                for (std::size_t k = 0; k < acts.cols(); ++k)
-                    sum += layer.weights(u, k) * acts(r, k);
+                const double sum =
+                    layer.bias[u] + simd::dot(layer.weights.rowData(u),
+                                              act_row, acts.cols());
                 net(r, u) = activate(layer.activation, sum);
             }
         }

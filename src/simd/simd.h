@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel layer for the project's dense inner
+ * loops: dot products, axpy/scale sweeps, the blocked GEMM microkernel,
+ * the kNN distance evaluations and the MLP layer micro-ops.
+ *
+ * Two tiers implement the same kernel table:
+ *   - scalar  portable C++, compiles and runs everywhere;
+ *   - avx2    256-bit AVX2 intrinsics, selected at startup when the
+ *             CPU reports AVX2 support (overridable with --simd or the
+ *             DTRANK_SIMD environment variable).
+ *
+ * # The canonical reduction contract
+ *
+ * The repository's headline guarantee is that every protocol run is
+ * bit-identical across thread counts, caches and machines. Dispatch
+ * adds a new axis: the same binary must produce the same bits whether
+ * the scalar or the AVX2 tier runs. Floating-point addition is not
+ * associative, so both tiers commit to ONE summation order — the
+ * canonical lane-blocked reduction — instead of each tier summing in
+ * its naturally fastest order:
+ *
+ *   - terms are consumed in blocks of 16 (4 lanes x 4-way unroll);
+ *     term i of a full block feeds partial accumulator s[i mod 16];
+ *   - the 16 partials are combined in a fixed tree mirroring the AVX2
+ *     register combine (vector adds, then a low/high 128-bit fold):
+ *         L_l = (s[l] + s[l+4]) + (s[l+8] + s[l+12])   for l = 0..3
+ *         R   = (L_0 + L_2) + (L_1 + L_3)
+ *   - the trailing n mod 16 terms accumulate sequentially into a
+ *     separate scalar, added last:  result = R + tail.
+ *
+ * The scalar tier spells this order out with 16 named partials; the
+ * AVX2 tier reaches it with four vector accumulators and the exact
+ * fold above. Fused multiply-add is deliberately NOT used in either
+ * tier: FMA rounds once where mul+add rounds twice, so an FMA tier
+ * could never be bit-identical to a portable one (see the
+ * DTRANK_NATIVE note in the top-level CMakeLists.txt).
+ *
+ * Elementwise kernels (axpy, scale, mul_add, the GEMM microkernel
+ * inner sweep, the MLP update) never sum across elements, so they are
+ * bit-identical across tiers by construction at any lane width.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dtrank::simd
+{
+
+/** Dispatch tiers, ordered from most portable to most specialized. */
+enum class Tier
+{
+    Scalar = 0,
+    Avx2 = 1,
+};
+
+/**
+ * The kernel table one tier implements. All pointers are non-null in
+ * every published table; sizes follow BLAS conventions (row-major,
+ * leading dimension in elements).
+ */
+struct KernelTable
+{
+    /** Tier name, e.g. "scalar". */
+    const char *name;
+
+    /** Canonical-reduction dot product sum_i a[i] * b[i]. */
+    double (*dot)(const double *a, const double *b, std::size_t n);
+
+    /** a[i] += factor * b[i] (elementwise, no reduction). */
+    void (*axpy)(double *a, const double *b, double factor,
+                 std::size_t n);
+
+    /** v[i] *= factor. */
+    void (*scale)(double *v, double factor, std::size_t n);
+
+    /** out[i] += a[i] * b[i] (elementwise multiply-accumulate). */
+    void (*mulAdd)(double *out, const double *a, const double *b,
+                   std::size_t n);
+
+    /**
+     * GEMM microkernel: one output-row panel update
+     *     c[j] += sum over kk of a[kk] * b[kk * ldb + j]
+     * accumulated k-ascending into c (elementwise in j, so any lane
+     * width gives the same bits). Zero a[kk] panels are skipped, like
+     * the blocked multiply always has.
+     */
+    void (*gemmMicro)(std::size_t k, std::size_t n, const double *a,
+                      const double *b, std::size_t ldb, double *c);
+
+    /** Canonical-reduction sum_i (a[i] - b[i])^2. */
+    double (*squaredDistance)(const double *a, const double *b,
+                              std::size_t n);
+
+    /** Canonical-reduction sum_i |a[i] - b[i]|. */
+    double (*manhattan)(const double *a, const double *b, std::size_t n);
+
+    /** Canonical-reduction sum_i (w[i] * (a[i]-b[i])) * (a[i]-b[i]). */
+    double (*weightedSquaredDistance)(const double *a, const double *b,
+                                      const double *w, std::size_t n);
+
+    /** Canonical-reduction sum_i (a[i] - ca) * (b[i] - cb). */
+    double (*centeredDot)(const double *a, const double *b, double ca,
+                          double cb, std::size_t n);
+
+    /**
+     * MLP forward nets over the transposed ([input][unit]) layout:
+     * a_out[r] = bias[r] + sum_c wt[c * out + r] * a_in[c]. For
+     * out == 1 this is bias + canonical dot; for wider layers the
+     * accumulation runs input-ascending per unit (elementwise across
+     * units), identical in both tiers.
+     */
+    void (*mlpLayerNets)(std::size_t in, std::size_t out,
+                         const double *wt, const double *bias,
+                         const double *a_in, double *a_out);
+
+    /**
+     * MLP backward delta recurrence
+     * d[j] = sum_k wt_next[j * width_next + k] * d_next[k]
+     * (canonical dot per unit; elementwise product when the successor
+     * layer has one unit).
+     */
+    void (*mlpLayerDeltas)(std::size_t width, std::size_t width_next,
+                           const double *wt_next, const double *d_next,
+                           double *d);
+
+    /**
+     * MLP momentum weight update over the transposed layout. Scales
+     * d[r] by lr in place, then per weight
+     *     dw = d[r] * in_act[c] + momentum * pwt[c * out + r]
+     * and adds dw to the weight / stores it as the new previous
+     * delta; biases likewise. Purely elementwise.
+     */
+    void (*mlpUpdateLayer)(std::size_t in, std::size_t out, double lr,
+                           double momentum, const double *in_act,
+                           double *d, double *wt, double *pwt,
+                           double *bias, double *pb);
+};
+
+/** The portable reference tier. Always available. */
+const KernelTable &scalarKernels();
+
+/**
+ * The AVX2 tier, or null when the binary was built without AVX2
+ * support (non-x86 target or a compiler without -mavx2).
+ */
+const KernelTable *avx2Kernels();
+
+/** True when the running CPU reports AVX2 (cpuid). */
+bool cpuSupportsAvx2();
+
+/**
+ * Comma-separated feature flags of the running CPU relevant to the
+ * kernel tiers (e.g. "sse2,avx,avx2,fma,avx512f"), for bench/JSON
+ * context records.
+ */
+std::string cpuFeatureString();
+
+/** "scalar" or "avx2". */
+const char *tierName(Tier tier);
+
+/** Inverse of tierName. @throws util::InvalidArgument on anything else. */
+Tier parseTier(const std::string &name);
+
+/**
+ * Pure tier-resolution rule (unit-testable): an override string (from
+ * DTRANK_SIMD or --simd; null/empty/"auto" means no override) against
+ * what the CPU and the binary provide. Unavailable override requests
+ * fall back to Scalar.
+ */
+Tier resolveTier(const char *override_name, bool cpu_avx2,
+                 bool avx2_compiled);
+
+/**
+ * The active table. Resolved once on first use from DTRANK_SIMD and
+ * cpuid; hot kernels go through one relaxed atomic load + indirect
+ * call, which is noise next to the loops they run.
+ */
+const KernelTable &kernels();
+
+/** The tier kernels() currently dispatches to. */
+Tier activeTier();
+
+/**
+ * Strict override: selects `tier` for all subsequent kernels() calls.
+ * @throws util::InvalidArgument when the tier is not available on this
+ * CPU/binary. Call during startup, before worker threads exist.
+ */
+void setTier(Tier tier);
+
+/**
+ * Forgiving override for CLI/env plumbing: like setTier, but an
+ * unavailable request logs a warning and selects Scalar.
+ * @return the tier actually selected.
+ */
+Tier requestTier(Tier tier);
+
+// ---------------------------------------------------------------------
+// Convenience dispatchers: the names consumers call.
+// ---------------------------------------------------------------------
+
+inline double
+dot(const double *a, const double *b, std::size_t n)
+{
+    return kernels().dot(a, b, n);
+}
+
+inline void
+axpy(double *a, const double *b, double factor, std::size_t n)
+{
+    kernels().axpy(a, b, factor, n);
+}
+
+inline void
+scale(double *v, double factor, std::size_t n)
+{
+    kernels().scale(v, factor, n);
+}
+
+inline void
+mulAdd(double *out, const double *a, const double *b, std::size_t n)
+{
+    kernels().mulAdd(out, a, b, n);
+}
+
+inline void
+gemmMicro(std::size_t k, std::size_t n, const double *a, const double *b,
+          std::size_t ldb, double *c)
+{
+    kernels().gemmMicro(k, n, a, b, ldb, c);
+}
+
+inline double
+squaredDistance(const double *a, const double *b, std::size_t n)
+{
+    return kernels().squaredDistance(a, b, n);
+}
+
+inline double
+manhattan(const double *a, const double *b, std::size_t n)
+{
+    return kernels().manhattan(a, b, n);
+}
+
+inline double
+weightedSquaredDistance(const double *a, const double *b,
+                        const double *w, std::size_t n)
+{
+    return kernels().weightedSquaredDistance(a, b, w, n);
+}
+
+inline double
+centeredDot(const double *a, const double *b, double ca, double cb,
+            std::size_t n)
+{
+    return kernels().centeredDot(a, b, ca, cb, n);
+}
+
+} // namespace dtrank::simd

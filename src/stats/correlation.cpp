@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "simd/simd.h"
 #include "stats/descriptive.h"
 #include "stats/ranking.h"
 #include "util/error.h"
@@ -18,10 +19,8 @@ covariancePopulation(const std::vector<double> &x,
     util::require(!x.empty(), "covariancePopulation: empty input");
     const double mx = mean(x);
     const double my = mean(y);
-    double acc = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i)
-        acc += (x[i] - mx) * (y[i] - my);
-    return acc / static_cast<double>(x.size());
+    return simd::centeredDot(x.data(), y.data(), mx, my, x.size()) /
+           static_cast<double>(x.size());
 }
 
 double
@@ -52,14 +51,10 @@ rSquared(const std::vector<double> &actual,
                   "rSquared: size mismatch");
     util::require(!actual.empty(), "rSquared: empty input");
     const double m = mean(actual);
-    double ss_res = 0.0;
-    double ss_tot = 0.0;
-    for (std::size_t i = 0; i < actual.size(); ++i) {
-        const double r = actual[i] - predicted[i];
-        ss_res += r * r;
-        const double d = actual[i] - m;
-        ss_tot += d * d;
-    }
+    const double ss_res = simd::squaredDistance(
+        actual.data(), predicted.data(), actual.size());
+    const double ss_tot = simd::centeredDot(actual.data(), actual.data(),
+                                            m, m, actual.size());
     if (ss_tot == 0.0)
         return ss_res == 0.0 ? 1.0 : 0.0;
     return 1.0 - ss_res / ss_tot;

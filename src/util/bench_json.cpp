@@ -52,6 +52,12 @@ BenchJsonWriter::add(BenchRecord record)
 }
 
 void
+BenchJsonWriter::addContext(std::string key, std::string value)
+{
+    context_.emplace_back(std::move(key), std::move(value));
+}
+
+void
 BenchJsonWriter::addTimed(
     const std::string &section,
     std::chrono::steady_clock::time_point start,
@@ -71,8 +77,17 @@ std::string
 BenchJsonWriter::toJson() const
 {
     std::ostringstream out;
-    out << "{\n  \"benchmark\": \"" << escapeJson(benchmark_)
-        << "\",\n  \"records\": [\n";
+    out << "{\n  \"benchmark\": \"" << escapeJson(benchmark_) << "\",\n";
+    if (!context_.empty()) {
+        out << "  \"context\": {";
+        for (std::size_t i = 0; i < context_.size(); ++i) {
+            const auto &[key, value] = context_[i];
+            out << (i > 0 ? ", " : "") << "\"" << escapeJson(key)
+                << "\": \"" << escapeJson(value) << "\"";
+        }
+        out << "},\n";
+    }
+    out << "  \"records\": [\n";
     for (std::size_t i = 0; i < records_.size(); ++i) {
         const BenchRecord &r = records_[i];
         out << "    {\"name\": \"" << escapeJson(r.name)

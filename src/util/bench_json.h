@@ -31,7 +31,7 @@ struct BenchRecord
 
 /**
  * Collects BenchRecords and writes them as a JSON document
- * `{"benchmark": ..., "records": [...]}`.
+ * `{"benchmark": ..., "context": {...}, "records": [...]}`.
  */
 class BenchJsonWriter
 {
@@ -41,6 +41,13 @@ class BenchJsonWriter
 
     /** Adds one finished record. */
     void add(BenchRecord record);
+
+    /**
+     * Appends one run-wide context entry (dispatch tier, CPU feature
+     * flags, thread count, ...), emitted once in the document's
+     * "context" object rather than per record.
+     */
+    void addContext(std::string key, std::string value);
 
     /**
      * Convenience: builds a "BENCH_<benchmark>.<section>" record from a
@@ -65,6 +72,7 @@ class BenchJsonWriter
 
   private:
     std::string benchmark_;
+    std::vector<std::pair<std::string, std::string>> context_;
     std::vector<BenchRecord> records_;
 };
 

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the bench_compare library: the minimal JSON parser, both
+ * report dialects (google-benchmark and util::BenchJsonWriter), time
+ * unit normalization, the >N% regression rule, and the equal-tier
+ * precondition that keeps scalar baselines from "regressing" against
+ * AVX2 runs (or vice versa).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "bench_compare.h"
+
+namespace
+{
+
+using namespace dtrank::bench_compare;
+
+const char *const kGoogleReport = R"({
+  "context": {
+    "num_cpus": 1,
+    "caches": [{"type": "Data", "level": 1, "size": 32768}],
+    "simd_tier": "avx2",
+    "cpu_features": "sse2,avx,avx2"
+  },
+  "benchmarks": [
+    {"name": "BM_KernelDot/1024/avx2", "run_type": "iteration",
+     "real_time": 250.0, "time_unit": "ns"},
+    {"name": "BM_KernelDot/1024/avx2_mean", "run_type": "aggregate",
+     "real_time": 999.0, "time_unit": "ns"},
+    {"name": "BM_KernelGemm/64", "run_type": "iteration",
+     "real_time": 2.0, "time_unit": "us"}
+  ]
+})";
+
+const char *const kWriterReport = R"({
+  "benchmark": "fig6_rank_correlation",
+  "context": {"simd_tier": "scalar", "cpu_features": "sse2"},
+  "records": [
+    {"name": "BENCH_fig6.total", "real_time_ms": 120.5, "splits": "40"}
+  ]
+})";
+
+/** A one-entry google-benchmark report with the given timing/tier. */
+std::string
+singleEntryReport(double real_time_ns, const std::string &tier)
+{
+    return "{\"context\": {\"simd_tier\": \"" + tier +
+           "\"}, \"benchmarks\": [{\"name\": \"BM_X\", "
+           "\"run_type\": \"iteration\", \"real_time\": " +
+           std::to_string(real_time_ns) +
+           ", \"time_unit\": \"ns\"}]}";
+}
+
+TEST(BenchCompareJson, ParsesNestedValuesAndEscapes)
+{
+    const JsonValue root = parseJson(
+        "{\"a\": [1, -2.5e2, true, false, null], "
+        "\"s\": \"q\\\"\\\\\\n\\u0041\"}");
+    const JsonValue *a = root.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->array.size(), 5u);
+    EXPECT_EQ(a->array[0].number, 1.0);
+    EXPECT_EQ(a->array[1].number, -250.0);
+    EXPECT_TRUE(a->array[2].boolean);
+    EXPECT_EQ(a->array[4].kind, JsonValue::Kind::Null);
+    const JsonValue *s = root.find("s");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->text, "q\"\\\nA");
+}
+
+TEST(BenchCompareJson, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(parseJson("{\"a\": }"), std::runtime_error);
+    EXPECT_THROW(parseJson("{\"a\": 1"), std::runtime_error);
+    EXPECT_THROW(parseJson("[1, 2] trailing"), std::runtime_error);
+    EXPECT_THROW(parseJson("{\"a\": \"unterminated}"),
+                 std::runtime_error);
+}
+
+TEST(BenchCompareParse, GoogleDialectSkipsAggregatesAndConvertsUnits)
+{
+    const Report report = parseReport("micro", kGoogleReport);
+    EXPECT_EQ(report.simdTier, "avx2");
+    ASSERT_EQ(report.entries.size(), 2u); // the _mean row is skipped
+    EXPECT_EQ(report.entries[0].name, "BM_KernelDot/1024/avx2");
+    EXPECT_DOUBLE_EQ(report.entries[0].realTimeMs, 250.0 * 1e-6);
+    EXPECT_EQ(report.entries[1].name, "BM_KernelGemm/64");
+    EXPECT_DOUBLE_EQ(report.entries[1].realTimeMs, 2.0 * 1e-3);
+}
+
+TEST(BenchCompareParse, WriterDialectReadsMillisecondsDirectly)
+{
+    const Report report = parseReport("fig6", kWriterReport);
+    EXPECT_EQ(report.simdTier, "scalar");
+    ASSERT_EQ(report.entries.size(), 1u);
+    EXPECT_EQ(report.entries[0].name, "BENCH_fig6.total");
+    EXPECT_DOUBLE_EQ(report.entries[0].realTimeMs, 120.5);
+}
+
+TEST(BenchCompareParse, UnrecognizedDocumentThrows)
+{
+    EXPECT_THROW(parseReport("x", "{\"neither\": []}"),
+                 std::runtime_error);
+    EXPECT_THROW(parseReport("x", "[1, 2, 3]"), std::runtime_error);
+}
+
+TEST(BenchCompareRule, FlagsOnlyChangesBeyondTheThreshold)
+{
+    const Report base = parseReport("b", singleEntryReport(100.0, "avx2"));
+    // Below the threshold: noise-level slowdowns must pass.
+    const Report at_limit =
+        parseReport("c", singleEntryReport(124.0, "avx2"));
+    CompareResult result = compareReports(base, at_limit, 25.0);
+    ASSERT_EQ(result.deltas.size(), 1u);
+    EXPECT_FALSE(result.deltas[0].regression);
+    EXPECT_EQ(result.regressions, 0u);
+
+    const Report over = parseReport("c", singleEntryReport(126.0, "avx2"));
+    result = compareReports(base, over, 25.0);
+    ASSERT_EQ(result.deltas.size(), 1u);
+    EXPECT_TRUE(result.deltas[0].regression);
+    EXPECT_EQ(result.regressions, 1u);
+    EXPECT_NEAR(result.deltas[0].changePct, 26.0, 1e-9);
+
+    // Speedups never fail, no matter how large.
+    const Report fast = parseReport("c", singleEntryReport(10.0, "avx2"));
+    result = compareReports(base, fast, 25.0);
+    EXPECT_EQ(result.regressions, 0u);
+    EXPECT_LT(result.deltas[0].changePct, 0.0);
+}
+
+TEST(BenchCompareRule, TierMismatchSkipsInsteadOfFailing)
+{
+    const Report base = parseReport("b", singleEntryReport(100.0, "avx2"));
+    const Report scalar =
+        parseReport("c", singleEntryReport(300.0, "scalar"));
+    const CompareResult result = compareReports(base, scalar, 25.0);
+    EXPECT_TRUE(result.tierMismatch);
+    EXPECT_TRUE(result.deltas.empty());
+    EXPECT_EQ(result.regressions, 0u);
+    const std::string rendered = formatResult(result, 25.0);
+    EXPECT_NE(rendered.find("tier mismatch"), std::string::npos);
+}
+
+TEST(BenchCompareRule, MissingTierContextStillCompares)
+{
+    // Old reports without a context section must stay comparable.
+    const std::string no_context =
+        "{\"benchmarks\": [{\"name\": \"BM_X\", \"run_type\": "
+        "\"iteration\", \"real_time\": 100.0, \"time_unit\": \"ns\"}]}";
+    const Report base = parseReport("b", no_context);
+    const Report current =
+        parseReport("c", singleEntryReport(200.0, "avx2"));
+    const CompareResult result = compareReports(base, current, 25.0);
+    EXPECT_FALSE(result.tierMismatch);
+    EXPECT_EQ(result.regressions, 1u);
+}
+
+TEST(BenchCompareRule, AddedAndRemovedBenchmarksAreListedNotFailed)
+{
+    const std::string two =
+        "{\"benchmarks\": ["
+        "{\"name\": \"BM_A\", \"run_type\": \"iteration\", "
+        "\"real_time\": 1.0, \"time_unit\": \"ms\"},"
+        "{\"name\": \"BM_B\", \"run_type\": \"iteration\", "
+        "\"real_time\": 1.0, \"time_unit\": \"ms\"}]}";
+    const std::string other =
+        "{\"benchmarks\": ["
+        "{\"name\": \"BM_B\", \"run_type\": \"iteration\", "
+        "\"real_time\": 1.0, \"time_unit\": \"ms\"},"
+        "{\"name\": \"BM_C\", \"run_type\": \"iteration\", "
+        "\"real_time\": 1.0, \"time_unit\": \"ms\"}]}";
+    const CompareResult result = compareReports(
+        parseReport("b", two), parseReport("c", other), 25.0);
+    ASSERT_EQ(result.deltas.size(), 1u);
+    EXPECT_EQ(result.deltas[0].name, "BM_B");
+    ASSERT_EQ(result.onlyBaseline.size(), 1u);
+    EXPECT_EQ(result.onlyBaseline[0], "BM_A");
+    ASSERT_EQ(result.onlyCurrent.size(), 1u);
+    EXPECT_EQ(result.onlyCurrent[0], "BM_C");
+    EXPECT_EQ(result.regressions, 0u);
+}
+
+TEST(BenchCompareRule, CrossDialectComparisonWorks)
+{
+    // A protocol bench baseline (writer dialect) against a fresh run:
+    // the CI job compares whichever dialect each file happens to be.
+    const Report base = parseReport("fig6", kWriterReport);
+    const std::string slower = R"({
+      "benchmark": "fig6_rank_correlation",
+      "context": {"simd_tier": "scalar"},
+      "records": [
+        {"name": "BENCH_fig6.total", "real_time_ms": 200.0}
+      ]})";
+    const CompareResult result = compareReports(
+        base, parseReport("fig6b", slower), 25.0);
+    ASSERT_EQ(result.deltas.size(), 1u);
+    EXPECT_TRUE(result.deltas[0].regression);
+}
+
+TEST(BenchCompareFormat, RendersDeltasAndSummary)
+{
+    const Report base = parseReport("b", singleEntryReport(100.0, "avx2"));
+    const Report over = parseReport("c", singleEntryReport(200.0, "avx2"));
+    const std::string rendered =
+        formatResult(compareReports(base, over, 25.0), 25.0);
+    EXPECT_NE(rendered.find("REGRESSION BM_X"), std::string::npos);
+    EXPECT_NE(rendered.find("+100.000%"), std::string::npos);
+    EXPECT_NE(rendered.find("1 regression(s)"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,8 @@
+// Fixture: raw vector intrinsics, legal only under src/simd/.
+#include <immintrin.h>
+
+void doubleInPlace(double *a)
+{
+    __m256d v = _mm256_loadu_pd(a);
+    _mm256_storeu_pd(a, _mm256_add_pd(v, v));
+}

@@ -71,7 +71,7 @@ TEST(DtrankLint, CoutFixtureFiresOnlyUnderSrc)
 
 TEST(DtrankLint, FloatFixtureFiresOnlyInNumericKernels)
 {
-    for (const std::string dir : {"linalg", "stats", "ml"}) {
+    for (const std::string dir : {"linalg", "stats", "ml", "simd"}) {
         const auto findings =
             lintFixtureAs("float_kernel.cpp", "src/" + dir + "/bad.cpp");
         ASSERT_EQ(findings.size(), 1u) << dir;
@@ -119,6 +119,38 @@ TEST(DtrankLint, StdMutexFixtureFiresOutsideTheWrapper)
     for (const Finding &finding :
          lintFixtureAs("std_mutex.cpp", "src/util/mutex.h"))
         EXPECT_NE(finding.rule, "no-std-mutex");
+}
+
+TEST(DtrankLint, RawIntrinsicsFixtureFiresEverywhereButSimd)
+{
+    const auto findings =
+        lintFixtureAs("raw_intrinsics.cpp", "src/ml/bad.cpp");
+    ASSERT_EQ(findings.size(), 3u);
+    for (const Finding &finding : findings)
+        EXPECT_EQ(finding.rule, "no-raw-intrinsics");
+    EXPECT_EQ(findings[0].line, 2u); // the <immintrin.h> include
+    EXPECT_EQ(findings[1].line, 6u); // __m256d + _mm256_loadu_pd
+    EXPECT_EQ(findings[2].line, 7u); // _mm256_storeu_pd
+
+    // The rule fires outside src/ too: benches and tools must also go
+    // through the dispatch layer.
+    EXPECT_FALSE(
+        lintFixtureAs("raw_intrinsics.cpp", "bench/bench_foo.cpp")
+            .empty());
+
+    // The dispatch library is the one home for intrinsics.
+    EXPECT_TRUE(
+        lintFixtureAs("raw_intrinsics.cpp", "src/simd/kernels_avx2.cpp")
+            .empty());
+}
+
+TEST(DtrankLint, IntrinsicLikeSubstringsInsideIdentifiersAreIgnored)
+{
+    EXPECT_TRUE(lintContent("src/core/ok.cpp",
+                            "int custom_mm256_shim = 0;\n"
+                            "// _mm256_add_pd in a comment\n"
+                            "const char *s = \"immintrin.h\";\n")
+                    .empty());
 }
 
 TEST(DtrankLint, CleanFixtureIsSilentEvenInKernelDirs)
@@ -181,8 +213,9 @@ TEST(DtrankLint, FormatFindingIsEditorParsable)
 TEST(DtrankLint, RuleCatalogIsComplete)
 {
     const std::vector<std::string> expected = {
-        "no-raw-rand",   "no-cout-in-src", "no-float-kernel",
-        "no-naked-new",  "no-std-mutex",   "pragma-once",
+        "no-raw-rand",       "no-cout-in-src", "no-float-kernel",
+        "no-naked-new",      "no-std-mutex",   "no-raw-intrinsics",
+        "pragma-once",
     };
     EXPECT_EQ(dtrank::lint::ruleIds(), expected);
 }

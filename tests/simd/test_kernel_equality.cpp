@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Exhaustive scalar <-> AVX2 bit-equality over the full kernel table.
+ * Lengths 1..67 cover every (full-block, 4-lane, remainder) phase of
+ * the canonical lane-blocked reduction several times over; the GEMM
+ * and MLP shapes stress remainder-heavy panels. Every comparison is
+ * EXPECT_EQ on the doubles — bit identity, not tolerance — because
+ * that is the contract the dispatch layer sells.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simd/simd.h"
+#include "util/rng.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+constexpr std::size_t kMaxLen = 67;
+
+/** Deterministic operand with varied signs and magnitudes. */
+std::vector<double>
+operand(std::size_t n, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<double> v(n);
+    for (double &x : v)
+        x = rng.uniform(-3.0, 3.0);
+    return v;
+}
+
+/** Non-negative operand (distance weights). */
+std::vector<double>
+weightOperand(std::size_t n, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<double> v(n);
+    for (double &x : v)
+        x = rng.uniform(0.0, 2.0);
+    return v;
+}
+
+class KernelEquality : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (simd::avx2Kernels() == nullptr || !simd::cpuSupportsAvx2())
+            GTEST_SKIP() << "AVX2 tier unavailable on this build/CPU";
+        avx2_ = simd::avx2Kernels();
+    }
+
+    const simd::KernelTable &scalar_ = simd::scalarKernels();
+    const simd::KernelTable *avx2_ = nullptr;
+};
+
+TEST_F(KernelEquality, ReductionsAgreeOnEveryLength)
+{
+    for (std::size_t n = 1; n <= kMaxLen; ++n) {
+        SCOPED_TRACE("n=" + std::to_string(n));
+        const auto a = operand(n, 100 + n);
+        const auto b = operand(n, 200 + n);
+        const auto w = weightOperand(n, 300 + n);
+        EXPECT_EQ(scalar_.dot(a.data(), b.data(), n),
+                  avx2_->dot(a.data(), b.data(), n));
+        EXPECT_EQ(scalar_.squaredDistance(a.data(), b.data(), n),
+                  avx2_->squaredDistance(a.data(), b.data(), n));
+        EXPECT_EQ(scalar_.manhattan(a.data(), b.data(), n),
+                  avx2_->manhattan(a.data(), b.data(), n));
+        EXPECT_EQ(
+            scalar_.weightedSquaredDistance(a.data(), b.data(), w.data(),
+                                            n),
+            avx2_->weightedSquaredDistance(a.data(), b.data(), w.data(),
+                                           n));
+        EXPECT_EQ(scalar_.centeredDot(a.data(), b.data(), 0.125, -0.75,
+                                      n),
+                  avx2_->centeredDot(a.data(), b.data(), 0.125, -0.75,
+                                     n));
+    }
+}
+
+TEST_F(KernelEquality, ElementwiseSweepsAgreeOnEveryLength)
+{
+    for (std::size_t n = 1; n <= kMaxLen; ++n) {
+        SCOPED_TRACE("n=" + std::to_string(n));
+        const auto base = operand(n, 400 + n);
+        const auto b = operand(n, 500 + n);
+
+        auto s = base;
+        auto v = base;
+        scalar_.axpy(s.data(), b.data(), 1.25, n);
+        avx2_->axpy(v.data(), b.data(), 1.25, n);
+        EXPECT_EQ(s, v);
+
+        s = base;
+        v = base;
+        scalar_.scale(s.data(), -0.333, n);
+        avx2_->scale(v.data(), -0.333, n);
+        EXPECT_EQ(s, v);
+
+        s = base;
+        v = base;
+        scalar_.mulAdd(s.data(), b.data(), base.data(), n);
+        avx2_->mulAdd(v.data(), b.data(), base.data(), n);
+        EXPECT_EQ(s, v);
+    }
+}
+
+TEST_F(KernelEquality, GemmMicroAgreesOnRemainderHeavyShapes)
+{
+    const std::size_t shapes[] = {1,  2,  3,  5,  7,  8,  9, 15,
+                                  16, 17, 31, 33, 63, 65, 67};
+    for (std::size_t k : shapes) {
+        for (std::size_t n : shapes) {
+            SCOPED_TRACE("k=" + std::to_string(k) +
+                         " n=" + std::to_string(n));
+            auto a = operand(k, 600 + k);
+            if (k > 2)
+                a[k / 2] = 0.0; // exercise the zero-skip in both tiers
+            const auto b = operand(k * n, 700 + k * 31 + n);
+            auto cs = operand(n, 800 + n);
+            auto cv = cs;
+            scalar_.gemmMicro(k, n, a.data(), b.data(), n, cs.data());
+            avx2_->gemmMicro(k, n, a.data(), b.data(), n, cv.data());
+            EXPECT_EQ(cs, cv);
+        }
+    }
+}
+
+TEST_F(KernelEquality, MlpKernelsAgreeAcrossLayerShapes)
+{
+    const std::size_t widths[] = {1, 2, 3, 5, 8, 15, 16, 17, 33, 67};
+    for (std::size_t in : widths) {
+        for (std::size_t out : widths) {
+            SCOPED_TRACE("in=" + std::to_string(in) +
+                         " out=" + std::to_string(out));
+            const auto wt = operand(in * out, 900 + in * 71 + out);
+            const auto bias = operand(out, 1000 + out);
+            const auto a_in = operand(in, 1100 + in);
+
+            std::vector<double> nets_s(out, 0.0);
+            std::vector<double> nets_v(out, 0.0);
+            scalar_.mlpLayerNets(in, out, wt.data(), bias.data(),
+                                 a_in.data(), nets_s.data());
+            avx2_->mlpLayerNets(in, out, wt.data(), bias.data(),
+                                a_in.data(), nets_v.data());
+            EXPECT_EQ(nets_s, nets_v);
+
+            // Deltas: `out` plays the successor width here.
+            const auto d_next = operand(out, 1200 + out);
+            std::vector<double> d_s(in, 0.0);
+            std::vector<double> d_v(in, 0.0);
+            scalar_.mlpLayerDeltas(in, out, wt.data(), d_next.data(),
+                                   d_s.data());
+            avx2_->mlpLayerDeltas(in, out, wt.data(), d_next.data(),
+                                  d_v.data());
+            EXPECT_EQ(d_s, d_v);
+
+            // Momentum update mutates every buffer; compare them all.
+            auto d2_s = operand(out, 1300 + out);
+            auto d2_v = d2_s;
+            auto wt_s = wt;
+            auto wt_v = wt;
+            auto pwt_s = operand(in * out, 1400 + in + out);
+            auto pwt_v = pwt_s;
+            auto bias_s = bias;
+            auto bias_v = bias;
+            auto pb_s = operand(out, 1500 + out);
+            auto pb_v = pb_s;
+            scalar_.mlpUpdateLayer(in, out, 0.05, 0.2, a_in.data(),
+                                   d2_s.data(), wt_s.data(),
+                                   pwt_s.data(), bias_s.data(),
+                                   pb_s.data());
+            avx2_->mlpUpdateLayer(in, out, 0.05, 0.2, a_in.data(),
+                                  d2_v.data(), wt_v.data(),
+                                  pwt_v.data(), bias_v.data(),
+                                  pb_v.data());
+            EXPECT_EQ(d2_s, d2_v);
+            EXPECT_EQ(wt_s, wt_v);
+            EXPECT_EQ(pwt_s, pwt_v);
+            EXPECT_EQ(bias_s, bias_v);
+            EXPECT_EQ(pb_s, pb_v);
+        }
+    }
+}
+
+/**
+ * The degenerate-length property the golden-value tests rely on: below
+ * one full block (n < 16) the canonical reduction IS the plain
+ * sequential sum, so small fixtures keep their pre-SIMD values.
+ */
+TEST(KernelCanonicalReduction, ShortLengthsMatchSequentialSum)
+{
+    for (std::size_t n = 1; n < 16; ++n) {
+        SCOPED_TRACE("n=" + std::to_string(n));
+        const auto a = operand(n, 1600 + n);
+        const auto b = operand(n, 1700 + n);
+        double seq = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            seq += a[i] * b[i];
+        EXPECT_EQ(simd::scalarKernels().dot(a.data(), b.data(), n), seq);
+    }
+}
+
+} // namespace

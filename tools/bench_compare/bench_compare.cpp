@@ -1,0 +1,383 @@
+#include "bench_compare.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dtrank::bench_compare
+{
+
+namespace
+{
+
+/**
+ * Recursive-descent JSON parser over the two well-formed report
+ * dialects this tool consumes. Strict enough to reject truncated or
+ * mis-quoted documents with a useful offset; \uXXXX escapes are decoded
+ * for the ASCII range only (report names and context values are ASCII).
+ */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue parseDocument()
+    {
+        JsonValue value = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing characters after the JSON document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw std::runtime_error("bench_compare: JSON error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of document");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consumeIf(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expectLiteral(const char *literal)
+    {
+        for (const char *p = literal; *p != '\0'; ++p, ++pos_) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("expected literal '") + literal + "'");
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char escape = text_[pos_++];
+            switch (escape) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                const unsigned long code = std::strtoul(
+                    text_.substr(pos_, 4).c_str(), nullptr, 16);
+                pos_ += 4;
+                out.push_back(code < 128
+                                  ? static_cast<char>(code)
+                                  : '?'); // non-ASCII: placeholder
+                break;
+              }
+              default:
+                fail("unknown escape sequence");
+            }
+        }
+    }
+
+    JsonValue parseNumber()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) !=
+                    0 ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        JsonValue value;
+        value.kind = JsonValue::Kind::Number;
+        value.number = std::strtod(token.c_str(), &end);
+        if (end == token.c_str() || *end != '\0')
+            fail("malformed number '" + token + "'");
+        return value;
+    }
+
+    JsonValue parseValue()
+    {
+        const char c = peek();
+        JsonValue value;
+        if (c == '{') {
+            ++pos_;
+            value.kind = JsonValue::Kind::Object;
+            if (!consumeIf('}')) {
+                do {
+                    value.keys.push_back(parseString());
+                    expect(':');
+                    value.values.push_back(parseValue());
+                } while (consumeIf(','));
+                expect('}');
+            }
+        } else if (c == '[') {
+            ++pos_;
+            value.kind = JsonValue::Kind::Array;
+            if (!consumeIf(']')) {
+                do {
+                    value.array.push_back(parseValue());
+                } while (consumeIf(','));
+                expect(']');
+            }
+        } else if (c == '"') {
+            value.kind = JsonValue::Kind::String;
+            value.text = parseString();
+        } else if (c == 't') {
+            expectLiteral("true");
+            value.kind = JsonValue::Kind::Bool;
+            value.boolean = true;
+        } else if (c == 'f') {
+            expectLiteral("false");
+            value.kind = JsonValue::Kind::Bool;
+        } else if (c == 'n') {
+            expectLiteral("null");
+        } else {
+            value = parseNumber();
+        }
+        return value;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Factor from `time_unit` to milliseconds. */
+double
+unitToMs(const std::string &unit)
+{
+    if (unit == "ns")
+        return 1e-6;
+    if (unit == "us")
+        return 1e-3;
+    if (unit == "ms")
+        return 1.0;
+    if (unit == "s")
+        return 1e3;
+    throw std::runtime_error("bench_compare: unknown time_unit '" +
+                             unit + "'");
+}
+
+const JsonValue *
+findString(const JsonValue &object, const std::string &key)
+{
+    const JsonValue *value = object.find(key);
+    return value != nullptr && value->kind == JsonValue::Kind::String
+               ? value
+               : nullptr;
+}
+
+std::string
+readTier(const JsonValue &root)
+{
+    const JsonValue *context = root.find("context");
+    if (context == nullptr)
+        return "";
+    const JsonValue *tier = findString(*context, "simd_tier");
+    return tier != nullptr ? tier->text : "";
+}
+
+/** google-benchmark dialect: the "benchmarks" array. */
+void
+readGoogleBenchmarks(const JsonValue &benchmarks, Report &report)
+{
+    for (const JsonValue &row : benchmarks.array) {
+        // Aggregate rows (mean/median/stddev of repetitions) would
+        // double-count the underlying iterations; compare those only.
+        const JsonValue *run_type = findString(row, "run_type");
+        if (run_type != nullptr && run_type->text != "iteration")
+            continue;
+        const JsonValue *name = findString(row, "name");
+        const JsonValue *real_time = row.find("real_time");
+        if (name == nullptr || real_time == nullptr ||
+            real_time->kind != JsonValue::Kind::Number)
+            throw std::runtime_error(
+                "bench_compare: benchmark row without name/real_time "
+                "in " + report.label);
+        const JsonValue *unit = findString(row, "time_unit");
+        const double to_ms =
+            unitToMs(unit != nullptr ? unit->text : "ns");
+        report.entries.push_back(
+            {name->text, real_time->number * to_ms});
+    }
+}
+
+/** util::BenchJsonWriter dialect: the "records" array. */
+void
+readBenchJsonRecords(const JsonValue &records, Report &report)
+{
+    for (const JsonValue &row : records.array) {
+        const JsonValue *name = findString(row, "name");
+        const JsonValue *ms = row.find("real_time_ms");
+        if (name == nullptr || ms == nullptr ||
+            ms->kind != JsonValue::Kind::Number)
+            throw std::runtime_error(
+                "bench_compare: record without name/real_time_ms in " +
+                report.label);
+        report.entries.push_back({name->text, ms->number});
+    }
+}
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (keys[i] == key)
+            return &values[i];
+    }
+    return nullptr;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+Report
+parseReport(const std::string &label, const std::string &json)
+{
+    const JsonValue root = parseJson(json);
+    if (root.kind != JsonValue::Kind::Object)
+        throw std::runtime_error(
+            "bench_compare: top-level JSON value in " + label +
+            " is not an object");
+    Report report;
+    report.label = label;
+    report.simdTier = readTier(root);
+    if (const JsonValue *benchmarks = root.find("benchmarks"))
+        readGoogleBenchmarks(*benchmarks, report);
+    else if (const JsonValue *records = root.find("records"))
+        readBenchJsonRecords(*records, report);
+    else
+        throw std::runtime_error(
+            "bench_compare: " + label +
+            " has neither a \"benchmarks\" nor a \"records\" array");
+    return report;
+}
+
+CompareResult
+compareReports(const Report &baseline, const Report &current,
+               double max_regress_pct)
+{
+    CompareResult result;
+    result.baselineTier = baseline.simdTier;
+    result.currentTier = current.simdTier;
+    // Scalar-vs-AVX2 timing gaps are the dispatch layer working as
+    // designed, not a code regression: refuse to compare across tiers.
+    result.tierMismatch = !baseline.simdTier.empty() &&
+                          !current.simdTier.empty() &&
+                          baseline.simdTier != current.simdTier;
+    if (result.tierMismatch)
+        return result;
+
+    std::unordered_map<std::string, double> current_ms;
+    for (const BenchEntry &entry : current.entries)
+        current_ms.emplace(entry.name, entry.realTimeMs);
+
+    for (const BenchEntry &entry : baseline.entries) {
+        const auto it = current_ms.find(entry.name);
+        if (it == current_ms.end()) {
+            result.onlyBaseline.push_back(entry.name);
+            continue;
+        }
+        Delta delta;
+        delta.name = entry.name;
+        delta.baselineMs = entry.realTimeMs;
+        delta.currentMs = it->second;
+        delta.changePct =
+            entry.realTimeMs > 0.0
+                ? (it->second - entry.realTimeMs) / entry.realTimeMs *
+                      100.0
+                : 0.0;
+        delta.regression = delta.changePct > max_regress_pct;
+        if (delta.regression)
+            ++result.regressions;
+        result.deltas.push_back(std::move(delta));
+        current_ms.erase(it);
+    }
+    for (const BenchEntry &entry : current.entries) {
+        if (current_ms.count(entry.name) != 0)
+            result.onlyCurrent.push_back(entry.name);
+    }
+    return result;
+}
+
+std::string
+formatResult(const CompareResult &result, double max_regress_pct)
+{
+    std::ostringstream out;
+    if (result.tierMismatch) {
+        out << "bench_compare: dispatch tier mismatch (baseline="
+            << result.baselineTier << ", current=" << result.currentTier
+            << "); timings are not comparable across tiers, skipping\n";
+        return out.str();
+    }
+    out.setf(std::ios::fixed);
+    out.precision(3);
+    for (const Delta &delta : result.deltas) {
+        out << (delta.regression ? "REGRESSION " : "ok         ")
+            << delta.name << ": " << delta.baselineMs << " ms -> "
+            << delta.currentMs << " ms (" << (delta.changePct >= 0 ? "+" : "")
+            << delta.changePct << "%)\n";
+    }
+    for (const std::string &name : result.onlyBaseline)
+        out << "removed    " << name << " (present only in baseline)\n";
+    for (const std::string &name : result.onlyCurrent)
+        out << "added      " << name << " (present only in current)\n";
+    out << "bench_compare: " << result.deltas.size() << " compared, "
+        << result.regressions << " regression(s) over "
+        << max_regress_pct << "%\n";
+    return out.str();
+}
+
+} // namespace dtrank::bench_compare

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * bench_compare: the perf-regression gate between two benchmark JSON
+ * reports. Understands both report dialects the tree produces — the
+ * google-benchmark file written by `bench_micro_kernels --json` and the
+ * util::BenchJsonWriter file written by the protocol benches — and
+ * fails when any benchmark present in both reports slowed down by more
+ * than the allowed percentage.
+ *
+ * Timings are only comparable at an equal kernel dispatch tier: when
+ * both reports carry a `simd_tier` context entry and the tiers differ
+ * (say a baseline recorded on an AVX2 runner against a scalar-only
+ * current run), the comparison is skipped and reported as such rather
+ * than flagging the tier gap as a code regression.
+ *
+ * Split into a library plus a thin main (tools/bench_compare) so the
+ * parser, the unit normalization and the regression rule are unit
+ * tested in-process against fixture documents.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dtrank::bench_compare
+{
+
+/**
+ * A minimal JSON value, parsed by parseJson(). Objects keep insertion
+ * order in parallel key/value vectors (std::vector supports the
+ * incomplete element type this recursion needs; std::map does not).
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> array;
+    std::vector<std::string> keys;    ///< Object member names.
+    std::vector<JsonValue> values;    ///< Object member values.
+
+    /** First member named `key`, or nullptr (also for non-objects). */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/** Parses one JSON document. @throws std::runtime_error on malformed
+ *  input (with a character offset in the message). */
+JsonValue parseJson(const std::string &text);
+
+/** One benchmark timing extracted from a report. */
+struct BenchEntry
+{
+    std::string name;
+    double realTimeMs = 0.0;
+};
+
+/** A benchmark report normalized to milliseconds. */
+struct Report
+{
+    std::string label;          ///< Where it came from (for messages).
+    std::string simdTier;       ///< `simd_tier` context, "" if absent.
+    std::vector<BenchEntry> entries;
+};
+
+/**
+ * Parses either report dialect: a top-level "benchmarks" array selects
+ * the google-benchmark format (aggregate rows are skipped, `real_time`
+ * is converted from its `time_unit`), a top-level "records" array
+ * selects the BenchJsonWriter format (`real_time_ms`). The `simd_tier`
+ * key is read from the "context" object in both.
+ * @throws std::runtime_error on malformed or unrecognized documents.
+ */
+Report parseReport(const std::string &label, const std::string &json);
+
+/** One baseline/current pair for a benchmark present in both reports. */
+struct Delta
+{
+    std::string name;
+    double baselineMs = 0.0;
+    double currentMs = 0.0;
+    double changePct = 0.0; ///< Positive = current is slower.
+    bool regression = false;
+};
+
+/** The full outcome of comparing two reports. */
+struct CompareResult
+{
+    bool tierMismatch = false;  ///< Tiers differ: deltas are empty.
+    std::string baselineTier;
+    std::string currentTier;
+    std::vector<Delta> deltas;              ///< Benchmarks in both.
+    std::vector<std::string> onlyBaseline;  ///< Dropped benchmarks.
+    std::vector<std::string> onlyCurrent;   ///< New benchmarks.
+    std::size_t regressions = 0;            ///< Deltas over threshold.
+};
+
+/**
+ * Compares `current` against `baseline`; a benchmark regresses when it
+ * got more than `max_regress_pct` percent slower. Benchmarks only
+ * present on one side are listed, never failed: renames and additions
+ * are not perf regressions.
+ */
+CompareResult compareReports(const Report &baseline,
+                             const Report &current,
+                             double max_regress_pct);
+
+/** Human-readable (and CI-log-friendly) rendering of a comparison. */
+std::string formatResult(const CompareResult &result,
+                         double max_regress_pct);
+
+} // namespace dtrank::bench_compare

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * CLI wrapper for the bench_compare library, the perf-regression gate
+ * CI runs between a stored baseline benchmark report and the current
+ * run:
+ *
+ *   bench_compare <baseline.json> <current.json> [--max-regress-pct N]
+ *
+ * Exit status: 0 when no benchmark regressed beyond the threshold (or
+ * the reports were recorded at different dispatch tiers, which makes
+ * the timings incomparable and the comparison a no-op), 1 when at
+ * least one regressed, 2 on usage or parse errors.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_compare.h"
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("bench_compare: cannot read '" + path +
+                                 "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void
+printUsage(std::ostream &out)
+{
+    out << "usage: bench_compare <baseline.json> <current.json> "
+           "[--max-regress-pct N]\n"
+           "  Compares two benchmark JSON reports (google-benchmark or "
+           "BenchJsonWriter\n"
+           "  format) and fails when a benchmark got more than N% "
+           "slower (default 25).\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dtrank::bench_compare;
+
+    std::string baseline_path;
+    std::string current_path;
+    double max_regress_pct = 25.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
+        }
+        if (arg == "--max-regress-pct") {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_compare: --max-regress-pct needs a "
+                             "value\n";
+                return 2;
+            }
+            max_regress_pct = std::strtod(argv[++i], nullptr);
+        } else if (baseline_path.empty()) {
+            baseline_path = arg;
+        } else if (current_path.empty()) {
+            current_path = arg;
+        } else {
+            printUsage(std::cerr);
+            return 2;
+        }
+    }
+    if (baseline_path.empty() || current_path.empty()) {
+        printUsage(std::cerr);
+        return 2;
+    }
+
+    try {
+        const Report baseline =
+            parseReport(baseline_path, readFile(baseline_path));
+        const Report current =
+            parseReport(current_path, readFile(current_path));
+        const CompareResult result =
+            compareReports(baseline, current, max_regress_pct);
+        std::cout << formatResult(result, max_regress_pct);
+        return result.regressions > 0 ? 1 : 0;
+    } catch (const std::exception &error) {
+        std::cerr << error.what() << "\n";
+        return 2;
+    }
+}

@@ -276,6 +276,35 @@ matchFloatKernel(const std::string &code)
 }
 
 std::string
+matchRawIntrinsics(const std::string &code)
+{
+    // Covers the whole header family: immintrin, xmmintrin, emmintrin...
+    if (code.find("mmintrin") != std::string::npos)
+        return "vendor intrinsic headers may only be included under "
+               "src/simd/; call the runtime-dispatched simd:: kernels "
+               "instead";
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (code[i] != '_' || (i > 0 && isIdentChar(code[i - 1])))
+            continue;
+        std::size_t end = i;
+        while (end < code.size() && isIdentChar(code[end]))
+            ++end;
+        const std::string_view ident(code.data() + i, end - i);
+        const bool vector_type = ident.substr(0, 6) == "__m128" ||
+                                 ident.substr(0, 6) == "__m256" ||
+                                 ident.substr(0, 6) == "__m512";
+        if (vector_type || ident.substr(0, 3) == "_mm")
+            return quotedMessage(
+                "raw SIMD intrinsic ", ident,
+                "outside src/simd/; hand-written vector code bypasses "
+                "the dispatch layer's bit-identical canonical "
+                "reductions — use the simd:: kernel API");
+        i = end;
+    }
+    return "";
+}
+
+std::string
 matchNakedNew(const std::string &code)
 {
     const std::size_t new_pos = findToken(code, "new");
@@ -327,7 +356,13 @@ bool
 appliesKernels(const std::string &path)
 {
     return underDir(path, "src/linalg") || underDir(path, "src/stats") ||
-           underDir(path, "src/ml");
+           underDir(path, "src/ml") || underDir(path, "src/simd");
+}
+
+bool
+appliesOutsideSimd(const std::string &path)
+{
+    return !underDir(path, "src/simd");
 }
 
 bool
@@ -351,6 +386,7 @@ rules()
         {"no-float-kernel", appliesKernels, matchFloatKernel},
         {"no-naked-new", appliesSrc, matchNakedNew},
         {"no-std-mutex", appliesOutsideMutexWrapper, matchStdMutex},
+        {"no-raw-intrinsics", appliesOutsideSimd, matchRawIntrinsics},
     };
     return kRules;
 }

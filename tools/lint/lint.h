@@ -15,12 +15,19 @@
  *   no-raw-rand     raw rand()/srand/time-seeded or std <random>
  *                   engines outside util/rng.h
  *   no-cout-in-src  stdout writes in library code (use util/logging.h)
- *   no-float-kernel `float` in the linalg/stats/ml numeric kernels
+ *   no-float-kernel `float` in the linalg/stats/ml/simd numeric
+ *                   kernels
  *   pragma-once     every header starts its guard with #pragma once
  *   no-naked-new    naked new/delete in library code (use containers
  *                   or smart pointers)
  *   no-std-mutex    std synchronization primitives outside the
  *                   annotated util/mutex.h wrapper
+ *   no-raw-intrinsics
+ *                   vendor intrinsic headers (<immintrin.h> family) or
+ *                   _mm-, __m128-, __m256-, __m512-prefixed names outside
+ *                   src/simd/ — hand-rolled vector code would bypass
+ *                   the dispatch layer's bit-identical canonical
+ *                   reductions
  *
  * Suppression: append `// dtrank-lint-ignore` (all rules) or
  * `// dtrank-lint-ignore(rule-id)` to the offending line, or put the
