@@ -5,10 +5,10 @@
  * cross-validation, plus the Minimum and Average bars.
  */
 
-#include <chrono>
 #include <iostream>
 
 #include "dataset/mica.h"
+#include "obs/clock.h"
 #include "dataset/synthetic_spec.h"
 #include "experiments/bench_options.h"
 #include "experiments/family_cv.h"
@@ -34,6 +34,7 @@ main(int argc, char **argv)
         return 0;
     if (args.getFlag("verbose"))
         util::setLogLevel(util::LogLevel::Info);
+    experiments::applyObservabilityOptions(args);
 
     const dataset::PerfDatabase db = dataset::makePaperDataset(
         static_cast<std::uint64_t>(args.getLong("seed")));
@@ -53,7 +54,7 @@ main(int argc, char **argv)
                  "(family cross-validation) ==\n\n";
     util::BenchJsonWriter json("fig6_rank_correlation");
     experiments::applySimdOption(args, &json);
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = obs::monotonicNow();
     const auto results = cv.run(experiments::allMethods());
     json.addTimed("family_cv", t0,
                   {{"threads", args.get("threads")},
@@ -100,5 +101,6 @@ main(int argc, char **argv)
 
     experiments::reportModelCacheStats(cache.get(), std::cout, &json);
     json.writeTo(args.get("json"));
+    experiments::writeObservabilityOutputs(args);
     return 0;
 }

@@ -38,6 +38,8 @@
 #include "ml/kmedoids.h"
 #include "ml/pca.h"
 #include "ml/mlp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simd/simd.h"
 #include "stats/bootstrap.h"
 #include "stats/correlation.h"
@@ -456,6 +458,64 @@ BM_EvaluateSplitCached(benchmark::State &state)
 }
 BENCHMARK(BM_EvaluateSplitCached)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// Observability primitives: the per-event cost instrumented code pays.
+// The acceptance bar is that instrumentation stays in the noise of the
+// protocol benches; these pin the primitive costs directly.
+
+void
+BM_ObsCounterInc(benchmark::State &state)
+{
+    obs::Counter &counter = obs::MetricsRegistry::global().counter(
+        "dtrank_bench_obs_counter_total");
+    for (auto _ : state) {
+        counter.inc();
+    }
+    benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void
+BM_ObsHistogramObserve(benchmark::State &state)
+{
+    obs::Histogram &hist = obs::MetricsRegistry::global().histogram(
+        "dtrank_bench_obs_seconds", obs::defaultLatencyBounds());
+    double v = 1e-7;
+    for (auto _ : state) {
+        hist.observe(v);
+        v = v < 1.0 ? v * 1.7 : 1e-7;
+    }
+    benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+/** A span when tracing is off: one relaxed load, no allocation. */
+void
+BM_ObsSpanDisabled(benchmark::State &state)
+{
+    obs::TraceCollector::global().disable();
+    for (auto _ : state) {
+        obs::TraceSpan span("bench_span", "bench");
+        benchmark::DoNotOptimize(span.active());
+    }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+/** The full span lifecycle with the collector recording. */
+void
+BM_ObsSpanEnabled(benchmark::State &state)
+{
+    obs::TraceCollector &collector = obs::TraceCollector::global();
+    collector.enable();
+    for (auto _ : state) {
+        obs::TraceSpan span("bench_span", "bench");
+        benchmark::DoNotOptimize(span.active());
+    }
+    collector.disable();
+    collector.clear();
+}
+BENCHMARK(BM_ObsSpanEnabled);
 
 // ---------------------------------------------------------------------
 // Per-kernel tier benchmarks: each operates directly on one kernel

@@ -6,10 +6,10 @@
  * reported numbers next to our measured ones.
  */
 
-#include <chrono>
 #include <iostream>
 
 #include "dataset/mica.h"
+#include "obs/clock.h"
 #include "dataset/synthetic_spec.h"
 #include "experiments/bench_options.h"
 #include "experiments/family_cv.h"
@@ -35,6 +35,7 @@ main(int argc, char **argv)
         return 0;
     if (args.getFlag("verbose"))
         util::setLogLevel(util::LogLevel::Info);
+    experiments::applyObservabilityOptions(args);
 
     const dataset::PerfDatabase db = dataset::makePaperDataset(
         static_cast<std::uint64_t>(args.getLong("seed")));
@@ -57,7 +58,7 @@ main(int argc, char **argv)
 
     util::BenchJsonWriter json("table2_family_cv");
     experiments::applySimdOption(args, &json);
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = obs::monotonicNow();
     const auto results = cv.run(experiments::allMethods());
     json.addTimed("family_cv", t0,
                   {{"threads", args.get("threads")},
@@ -108,5 +109,6 @@ main(int argc, char **argv)
 
     experiments::reportModelCacheStats(cache.get(), std::cout, &json);
     json.writeTo(args.get("json"));
+    experiments::writeObservabilityOutputs(args);
     return 0;
 }

@@ -5,10 +5,10 @@
  * 2007, or before 2007 as the predictive set.
  */
 
-#include <chrono>
 #include <iostream>
 
 #include "dataset/mica.h"
+#include "obs/clock.h"
 #include "dataset/synthetic_spec.h"
 #include "experiments/bench_options.h"
 #include "experiments/future.h"
@@ -91,6 +91,7 @@ main(int argc, char **argv)
         return 0;
     if (args.getFlag("verbose"))
         util::setLogLevel(util::LogLevel::Info);
+    experiments::applyObservabilityOptions(args);
 
     const dataset::PerfDatabase db = dataset::makePaperDataset(
         static_cast<std::uint64_t>(args.getLong("seed")));
@@ -112,7 +113,7 @@ main(int argc, char **argv)
               << " machines from older machines ==\n\n";
     util::BenchJsonWriter json("table3_future");
     experiments::applySimdOption(args, &json);
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = obs::monotonicNow();
     const auto results = protocol.run(experiments::allMethods());
     json.addTimed("future_prediction", t0,
                   {{"threads", args.get("threads")},
@@ -136,5 +137,6 @@ main(int argc, char **argv)
 
     experiments::reportModelCacheStats(cache.get(), std::cout, &json);
     json.writeTo(args.get("json"));
+    experiments::writeObservabilityOutputs(args);
     return 0;
 }

@@ -4,10 +4,10 @@
  * random subsets of 10, 5 and 3 of the 2008 machines.
  */
 
-#include <chrono>
 #include <iostream>
 
 #include "dataset/mica.h"
+#include "obs/clock.h"
 #include "dataset/synthetic_spec.h"
 #include "experiments/bench_options.h"
 #include "experiments/paper_reference.h"
@@ -91,6 +91,7 @@ main(int argc, char **argv)
         return 0;
     if (args.getFlag("verbose"))
         util::setLogLevel(util::LogLevel::Info);
+    experiments::applyObservabilityOptions(args);
 
     const dataset::PerfDatabase db = dataset::makePaperDataset(
         static_cast<std::uint64_t>(args.getLong("seed")));
@@ -116,7 +117,7 @@ main(int argc, char **argv)
               << subset_config.draws << " random draws per size)\n\n";
     util::BenchJsonWriter json("table4_subset");
     experiments::applySimdOption(args, &json);
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = obs::monotonicNow();
     const auto results = protocol.run(experiments::allMethods());
     json.addTimed("subset_experiment", t0,
                   {{"threads", args.get("threads")},
@@ -133,5 +134,6 @@ main(int argc, char **argv)
 
     experiments::reportModelCacheStats(cache.get(), std::cout, &json);
     json.writeTo(args.get("json"));
+    experiments::writeObservabilityOutputs(args);
     return 0;
 }

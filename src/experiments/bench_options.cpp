@@ -3,6 +3,9 @@
 #include <ostream>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dtrank::experiments
 {
 
@@ -21,6 +24,14 @@ addBenchOptions(util::ArgParser &args)
                    "kernel dispatch tier: auto, scalar or avx2 "
                    "(results are bit-identical across tiers)",
                    "auto");
+    args.addOption("metrics-out",
+                   "write the metrics registry to this path after the "
+                   "run (Prometheus text; JSON when the path ends in "
+                   ".json)", "");
+    args.addOption("trace-out",
+                   "record trace spans and write Chrome trace_event "
+                   "JSON to this path (open in chrome://tracing or "
+                   "Perfetto)", "");
 }
 
 simd::Tier
@@ -46,9 +57,11 @@ applyModelCacheOption(const util::ArgParser &args,
         return nullptr;
     const auto capacity = static_cast<std::size_t>(
         args.getLong("model-cache-capacity"));
-    config.modelCache =
-        capacity > 0 ? std::make_shared<TrainedModelCache>(capacity)
-                     : std::make_shared<TrainedModelCache>();
+    // The process-wide cache registers its per-shard counters in the
+    // global registry so --metrics-out shows shard heat.
+    config.modelCache = std::make_shared<TrainedModelCache>(
+        capacity > 0 ? capacity : TrainedModelCache::kDefaultCapacity,
+        &obs::MetricsRegistry::global());
     return config.modelCache;
 }
 
@@ -74,6 +87,21 @@ reportModelCacheStats(const TrainedModelCache *cache, std::ostream &out,
         };
         json->add(std::move(record));
     }
+}
+
+void
+applyObservabilityOptions(const util::ArgParser &args)
+{
+    if (!args.get("trace-out").empty())
+        obs::TraceCollector::global().enable();
+}
+
+void
+writeObservabilityOutputs(const util::ArgParser &args)
+{
+    obs::MetricsRegistry::global().writeMetricsFile(
+        args.get("metrics-out"));
+    obs::TraceCollector::global().writeTo(args.get("trace-out"));
 }
 
 } // namespace dtrank::experiments

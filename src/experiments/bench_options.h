@@ -2,8 +2,10 @@
  * @file
  * Shared command-line plumbing for the protocol bench binaries: the
  * --model-cache / --model-cache-capacity flags that enable the
- * cross-protocol trained-model cache, and the --json flag selecting a
- * machine-readable BENCH_*.json output path.
+ * cross-protocol trained-model cache, the --json flag selecting a
+ * machine-readable BENCH_*.json output path, and the observability
+ * flags --metrics-out (Prometheus text or metrics JSON) and
+ * --trace-out (Chrome trace_event JSON).
  */
 
 #pragma once
@@ -20,7 +22,8 @@ namespace dtrank::experiments
 {
 
 /**
- * Registers --model-cache, --model-cache-capacity, --json and --simd.
+ * Registers --model-cache, --model-cache-capacity, --json, --simd,
+ * --metrics-out and --trace-out.
  */
 void addBenchOptions(util::ArgParser &args);
 
@@ -54,6 +57,22 @@ applyModelCacheOption(const util::ArgParser &args,
 void reportModelCacheStats(const TrainedModelCache *cache,
                            std::ostream &out,
                            util::BenchJsonWriter *json);
+
+/**
+ * Applies the observability flags' side effects that must happen
+ * before the run: enables the global TraceCollector when --trace-out
+ * was given a path. Call once, right after parsing.
+ */
+void applyObservabilityOptions(const util::ArgParser &args);
+
+/**
+ * Writes the end-of-run observability artifacts: the global metrics
+ * registry to --metrics-out (Prometheus text, or the BenchJsonWriter
+ * document when the path ends in ".json") and the global trace
+ * collector to --trace-out (Chrome trace_event JSON). No-op for each
+ * flag left empty. Call once, after the run's work is done.
+ */
+void writeObservabilityOutputs(const util::ArgParser &args);
 
 } // namespace dtrank::experiments
 

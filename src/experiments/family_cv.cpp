@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
 
@@ -80,6 +81,7 @@ FamilyCrossValidation::FamilyCrossValidation(const SplitEvaluator &evaluator,
 FamilyCvResults
 FamilyCrossValidation::run(const std::vector<Method> &methods) const
 {
+    obs::TraceSpan span("family_cv_run", "protocol");
     const dataset::PerfDatabase &db = evaluator_.database();
     FamilyCvResults results;
     for (std::size_t b = 0; b < db.benchmarkCount(); ++b)

@@ -1,5 +1,6 @@
 #include "experiments/future.h"
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
 
@@ -51,6 +52,7 @@ FuturePrediction::FuturePrediction(const SplitEvaluator &evaluator,
 FuturePredictionResults
 FuturePrediction::run(const std::vector<Method> &methods) const
 {
+    obs::TraceSpan span("future_prediction_run", "protocol");
     const dataset::PerfDatabase &db = evaluator_.database();
     FuturePredictionResults results;
     results.targetMachines = db.machineIndicesByYear(target_year_);

@@ -4,6 +4,8 @@
 #include <string_view>
 
 #include "core/transposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/hash.h"
 
@@ -12,6 +14,26 @@ namespace dtrank::experiments
 
 namespace
 {
+
+/** Split/task counters, registered once on first split (cold path). */
+struct HarnessMetrics
+{
+    obs::Counter &splits;
+    obs::Counter &tasks;
+};
+
+HarnessMetrics &
+harnessMetrics()
+{
+    static HarnessMetrics metrics{
+        obs::MetricsRegistry::global().counter(
+            "dtrank_splits_total",
+            "Predictive/target splits evaluated across all protocols"),
+        obs::MetricsRegistry::global().counter(
+            "dtrank_split_tasks_total",
+            "(method, held-out benchmark) tasks executed")};
+    return metrics;
+}
 
 /** Adds every MlpConfig field that shapes training to the hash. */
 void
@@ -144,6 +166,11 @@ SplitEvaluator::evaluateSplit(const std::vector<std::size_t> &predictive,
                   "SplitEvaluator::evaluateSplit: needs >= 2 target "
                   "machines for ranking metrics");
 
+    obs::TraceSpan span("evaluate_split", "experiments");
+    span.arg("split_tag", split_tag);
+    span.arg("methods", static_cast<std::uint64_t>(methods.size()));
+    harnessMetrics().splits.inc();
+
     const dataset::PerfDatabase pred_db = db_.selectMachines(predictive);
     const dataset::PerfDatabase target_db = db_.selectMachines(target);
     const std::size_t n_bench = db_.benchmarkCount();
@@ -161,6 +188,8 @@ SplitEvaluator::evaluateSplit(const std::vector<std::size_t> &predictive,
     // GA run registers hits).
     baseline::GaKnnModel gaknn_model(config_.gaKnn);
     if (want_gaknn) {
+        obs::TraceSpan ga_span("gaknn_split_model", "experiments");
+        ga_span.arg("split_tag", split_tag);
         TrainedModelCache *cache = config_.modelCache.get();
         if (cache != nullptr) {
             const util::HashKey model_key = gaKnnModelKey(
@@ -211,6 +240,13 @@ SplitEvaluator::runTask(Method method, std::size_t app,
                         const baseline::GaKnnModel &gaknn_model,
                         std::uint64_t split_tag) const
 {
+    obs::TraceSpan span("split_task", "experiments");
+    if (span.active()) { // skip the methodName string when disabled
+        span.arg("method", methodName(method));
+        span.arg("app", static_cast<std::uint64_t>(app));
+    }
+    harnessMetrics().tasks.inc();
+
     // Task-specific seed: stable regardless of evaluation order.
     const std::uint64_t mlp_seed =
         config_.mlpSeedBase + split_tag * 1000003ULL + app * 7919ULL;

@@ -7,11 +7,32 @@
 namespace dtrank::experiments
 {
 
-TrainedModelCache::TrainedModelCache(std::size_t capacity)
+TrainedModelCache::TrainedModelCache(std::size_t capacity,
+                                     obs::MetricsRegistry *registry)
     : shard_capacity_(std::max<std::size_t>(1, capacity / kShards))
 {
     util::require(capacity >= 1,
                   "TrainedModelCache: capacity must be >= 1");
+    for (std::size_t i = 0; i < kShards; ++i) {
+        Shard &shard = shards_[i];
+        if (registry == nullptr) {
+            shard.hits = &shard.own_hits;
+            shard.misses = &shard.own_misses;
+            shard.evictions = &shard.own_evictions;
+            continue;
+        }
+        const std::string label =
+            "{shard=\"" + std::to_string(i) + "\"}";
+        shard.hits = &registry->counter(
+            "dtrank_model_cache_hits_total" + label,
+            "Model cache lookups served from a resident entry");
+        shard.misses = &registry->counter(
+            "dtrank_model_cache_misses_total" + label,
+            "Model cache lookups that had to train the artifact");
+        shard.evictions = &registry->counter(
+            "dtrank_model_cache_evictions_total" + label,
+            "Entries dropped by the per-shard FIFO capacity bound");
+    }
 }
 
 TrainedModelCache::Shard &
@@ -28,10 +49,10 @@ TrainedModelCache::lookup(const util::HashKey &key,
     util::LockGuard lock(shard.mutex);
     const auto it = shard.map.find(key);
     if (it == shard.map.end()) {
-        misses_.fetch_add(1, std::memory_order_relaxed);
+        shard.misses->inc();
         return false;
     }
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    shard.hits->inc();
     value = it->second;
     return true;
 }
@@ -53,7 +74,7 @@ TrainedModelCache::store(const util::HashKey &key,
     while (shard.map.size() > shard_capacity_) {
         shard.map.erase(shard.fifo.front());
         shard.fifo.pop_front();
-        evictions_.fetch_add(1, std::memory_order_relaxed);
+        shard.evictions->inc();
     }
 }
 
@@ -61,10 +82,10 @@ TrainedModelCache::Stats
 TrainedModelCache::stats() const
 {
     Stats s;
-    s.hits = hits_.load(std::memory_order_relaxed);
-    s.misses = misses_.load(std::memory_order_relaxed);
-    s.evictions = evictions_.load(std::memory_order_relaxed);
     for (const Shard &shard : shards_) {
+        s.hits += shard.hits->value();
+        s.misses += shard.misses->value();
+        s.evictions += shard.evictions->value();
         util::LockGuard lock(shard.mutex);
         s.entries += shard.map.size();
     }

@@ -20,7 +20,6 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
@@ -29,6 +28,7 @@
 #include "baseline/ga_knn.h"
 #include "linalg/matrix.h"
 #include "ml/genetic.h"
+#include "obs/metrics.h"
 #include "util/hash.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -57,8 +57,20 @@ class TrainedModelCache
     /** Default total entry bound; plenty for every shipped protocol. */
     static constexpr std::size_t kDefaultCapacity = 1 << 16;
 
-    /** @param capacity Maximum resident entries across all shards. */
-    explicit TrainedModelCache(std::size_t capacity = kDefaultCapacity);
+    /**
+     * @param capacity Maximum resident entries across all shards.
+     * @param registry When non-null, the per-shard hit/miss/eviction
+     *     counters are registered there as
+     *     `dtrank_model_cache_*_total{shard="i"}` so a `--metrics-out`
+     *     scrape shows shard heat; only one cache per process should
+     *     share a registry (the names collide otherwise). When null
+     *     (tests, ad-hoc caches) the counters are private members and
+     *     stats() still works — either way the accounting goes through
+     *     obs::Counter's sharded atomics, so a stats() read concurrent
+     *     with the parallel task loop is race-free under TSan.
+     */
+    explicit TrainedModelCache(std::size_t capacity = kDefaultCapacity,
+                               obs::MetricsRegistry *registry = nullptr);
 
     TrainedModelCache(const TrainedModelCache &) = delete;
     TrainedModelCache &operator=(const TrainedModelCache &) = delete;
@@ -90,15 +102,22 @@ class TrainedModelCache
                            util::HashKeyHasher>
             map DTRANK_GUARDED_BY(mutex);
         std::deque<util::HashKey> fifo DTRANK_GUARDED_BY(mutex);
+
+        /** Backing storage when no registry was supplied. */
+        obs::Counter own_hits;
+        obs::Counter own_misses;
+        obs::Counter own_evictions;
+
+        /** Registry-owned or the own_* members above; never null. */
+        obs::Counter *hits = nullptr;
+        obs::Counter *misses = nullptr;
+        obs::Counter *evictions = nullptr;
     };
 
     Shard &shardFor(const util::HashKey &key);
 
     std::size_t shard_capacity_;
     std::array<Shard, kShards> shards_;
-    std::atomic<std::uint64_t> hits_{0};
-    std::atomic<std::uint64_t> misses_{0};
-    std::atomic<std::uint64_t> evictions_{0};
 };
 
 /**

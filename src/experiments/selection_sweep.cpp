@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/selection.h"
+#include "obs/trace.h"
 #include "stats/correlation.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -50,6 +51,7 @@ SelectionSweep::pooledR2(const std::vector<std::size_t> &predictive,
 SelectionSweepResults
 SelectionSweep::run() const
 {
+    obs::TraceSpan span("selection_sweep_run", "protocol");
     const dataset::PerfDatabase &db = evaluator_.database();
     const std::vector<std::size_t> targets =
         db.machineIndicesByYear(config_.targetYear);

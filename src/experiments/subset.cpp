@@ -1,6 +1,7 @@
 #include "experiments/subset.h"
 
 #include "core/selection.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -21,6 +22,7 @@ SubsetExperiment::SubsetExperiment(const SplitEvaluator &evaluator,
 SubsetExperimentResults
 SubsetExperiment::run(const std::vector<Method> &methods) const
 {
+    obs::TraceSpan span("subset_experiment_run", "protocol");
     const dataset::PerfDatabase &db = evaluator_.database();
     const std::vector<std::size_t> targets =
         db.machineIndicesByYear(config_.targetYear);

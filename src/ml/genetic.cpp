@@ -4,10 +4,41 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace dtrank::ml
 {
+
+namespace
+{
+
+/** GA-wide counters, registered once on first optimize (cold path). */
+struct GaMetrics
+{
+    obs::Counter &generations;
+    obs::Counter &evaluations;
+    obs::Counter &memo_hits;
+};
+
+GaMetrics &
+gaMetrics()
+{
+    static GaMetrics metrics{
+        obs::MetricsRegistry::global().counter(
+            "dtrank_ga_generations_total", "GA generations evolved"),
+        obs::MetricsRegistry::global().counter(
+            "dtrank_ga_evaluations_total",
+            "Fitness evaluations actually executed"),
+        obs::MetricsRegistry::global().counter(
+            "dtrank_ga_memo_hits_total",
+            "Fitness evaluations served by the memo instead of "
+            "executing")};
+    return metrics;
+}
+
+} // namespace
 
 GeneticAlgorithm::GeneticAlgorithm(GaConfig config,
                                    std::vector<double> lower,
@@ -107,6 +138,8 @@ GeneticAlgorithm::optimize(const FitnessFn &fitness, util::Rng &rng,
     result.history.reserve(config_.generations);
 
     for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+        obs::TraceSpan gen_span("ga_generation", "ml");
+        gen_span.arg("generation", static_cast<std::uint64_t>(gen));
         std::vector<std::vector<double>> next;
         next.reserve(population.size());
 
@@ -164,6 +197,11 @@ GeneticAlgorithm::optimize(const FitnessFn &fitness, util::Rng &rng,
         result.history.push_back(result.bestFitness);
     }
 
+    GaMetrics &metrics = gaMetrics();
+    metrics.generations.inc(config_.generations);
+    metrics.evaluations.inc(
+        static_cast<std::uint64_t>(result.evaluations));
+    metrics.memo_hits.inc(static_cast<std::uint64_t>(result.memoHits));
     return result;
 }
 

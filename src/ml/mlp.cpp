@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simd/simd.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -13,6 +15,31 @@ namespace dtrank::ml
 
 namespace
 {
+
+/** MLP training counters, registered once on first fit (cold path). */
+struct MlpMetrics
+{
+    obs::Counter &fits;
+    obs::Counter &epochs;
+    obs::Counter &retries;
+};
+
+MlpMetrics &
+mlpMetrics()
+{
+    static MlpMetrics metrics{
+        obs::MetricsRegistry::global().counter(
+            "dtrank_mlp_fits_total", "Completed Mlp::fit calls"),
+        obs::MetricsRegistry::global().counter(
+            "dtrank_mlp_epochs_total",
+            "Backpropagation epochs executed, diverged attempts "
+            "included"),
+        obs::MetricsRegistry::global().counter(
+            "dtrank_mlp_retries_total",
+            "Training attempts that diverged and restarted with a "
+            "halved learning rate")};
+    return metrics;
+}
 
 // The hot per-sample linear algebra (layer nets, delta recurrence,
 // momentum updates) lives in the runtime-dispatched kernel layer
@@ -130,6 +157,10 @@ Mlp::fit(const linalg::Matrix &x, const std::vector<double> &y,
     util::require(x.rows() >= 1, "Mlp::fit: needs at least one instance");
     util::require(x.cols() >= 1, "Mlp::fit: needs at least one feature");
 
+    obs::TraceSpan span("mlp_fit", "ml");
+    span.arg("rows", static_cast<std::uint64_t>(x.rows()));
+    span.arg("epochs", static_cast<std::uint64_t>(config_.epochs));
+
     input_size_ = x.cols();
 
     // Resolve WEKA's automatic hidden layer: (#attributes + #outputs)/2.
@@ -170,6 +201,7 @@ Mlp::fit(const linalg::Matrix &x, const std::vector<double> &y,
     double lr_base = config_.learningRate;
     for (std::size_t attempt = 0;; ++attempt) {
         if (trainOnce(xn, yn, lr_base, config_.seed + attempt, ws)) {
+            span.arg("attempts", static_cast<std::uint64_t>(attempt + 1));
             break;
         }
         util::require(attempt < config_.maxRestarts,
@@ -178,8 +210,10 @@ Mlp::fit(const linalg::Matrix &x, const std::vector<double> &y,
         util::debug("Mlp::fit: attempt " + std::to_string(attempt + 1) +
                     " diverged; retrying with learning rate " +
                     std::to_string(lr_base * 0.5));
+        mlpMetrics().retries.inc();
         lr_base *= 0.5;
     }
+    mlpMetrics().fits.inc();
 
     // Publish the accepted run: copy weights out of the workspace and
     // record only this run's loss history (diverged attempts are gone).
@@ -310,9 +344,11 @@ Mlp::trainOnce(const linalg::Matrix &xn, const std::vector<double> &yn,
         const double bound =
             config_.divergenceFactor * std::max(ws.loss_[0], 1e-6);
         if (!std::isfinite(ws.loss_[epoch]) || ws.loss_[epoch] > bound) {
+            mlpMetrics().epochs.inc(epoch + 1);
             return false;
         }
     }
+    mlpMetrics().epochs.inc(config_.epochs);
     return true;
 }
 

@@ -1,0 +1,221 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/bench_json.h"
+
+namespace dtrank::obs
+{
+
+namespace
+{
+
+/** Name before the optional `{label="..."}` suffix. */
+std::string
+familyOf(const std::string &name)
+{
+    const std::size_t brace = name.find('{');
+    return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/** The `label="..."` pairs of a name, without braces ("" if none). */
+std::string
+labelsOf(const std::string &name)
+{
+    const std::size_t brace = name.find('{');
+    if (brace == std::string::npos)
+        return "";
+    std::string inner = name.substr(brace);
+    if (inner.size() >= 2 && inner.front() == '{' &&
+        inner.back() == '}')
+        return inner.substr(1, inner.size() - 2);
+    return inner;
+}
+
+/** Merges metric labels with an extra `le` label for bucket lines. */
+std::string
+bucketName(const std::string &name, const std::string &le)
+{
+    const std::string family = familyOf(name);
+    const std::string labels = labelsOf(name);
+    std::string out = family + "_bucket{";
+    if (!labels.empty())
+        out += labels + ",";
+    out += "le=\"" + le + "\"}";
+    return out;
+}
+
+/** Suffixes histogram child names under the metric's own labels. */
+std::string
+childName(const std::string &name, const std::string &suffix)
+{
+    const std::string family = familyOf(name);
+    const std::string labels = labelsOf(name);
+    std::string out = family + suffix;
+    if (!labels.empty())
+        out += "{" + labels + "}";
+    return out;
+}
+
+/** Shortest round-trip decimal rendering of a double. */
+std::string
+formatDouble(double value)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << value;
+    std::string text = out.str();
+    // Prefer the short form when it round-trips (it almost always
+    // does for bucket bounds like 0.001).
+    std::ostringstream brief;
+    brief << value;
+    if (std::stod(brief.str()) == value)
+        text = brief.str();
+    return text;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::scrapePrometheus() const
+{
+    util::LockGuard lock(mutex_);
+
+    // Families sorted by name, metrics within a family in label order,
+    // so the output is stable across runs and easy to diff.
+    std::vector<const Entry *> sorted;
+    sorted.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        sorted.push_back(entry.get());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry *a, const Entry *b) {
+                  const std::string fa = familyOf(a->name);
+                  const std::string fb = familyOf(b->name);
+                  if (fa != fb)
+                      return fa < fb;
+                  return labelsOf(a->name) < labelsOf(b->name);
+              });
+
+    std::ostringstream out;
+    std::string open_family;
+    for (const Entry *entry : sorted) {
+        const std::string family = familyOf(entry->name);
+        if (family != open_family) {
+            open_family = family;
+            if (!entry->help.empty())
+                out << "# HELP " << family << " " << entry->help
+                    << "\n";
+            out << "# TYPE " << family << " ";
+            switch (entry->kind) {
+              case Kind::Counter:
+                out << "counter";
+                break;
+              case Kind::Gauge:
+                out << "gauge";
+                break;
+              case Kind::Histogram:
+                out << "histogram";
+                break;
+            }
+            out << "\n";
+        }
+        switch (entry->kind) {
+          case Kind::Counter:
+            out << entry->name << " " << entry->counter->value()
+                << "\n";
+            break;
+          case Kind::Gauge:
+            out << entry->name << " " << entry->gauge->value() << "\n";
+            break;
+          case Kind::Histogram: {
+            const Histogram &histogram = *entry->histogram;
+            std::uint64_t cumulative = 0;
+            for (std::size_t b = 0; b < histogram.bucketCount(); ++b) {
+                cumulative += histogram.bucketValue(b);
+                const std::string le =
+                    b < histogram.upperBounds().size()
+                        ? formatDouble(histogram.upperBounds()[b])
+                        : "+Inf";
+                out << bucketName(entry->name, le) << " " << cumulative
+                    << "\n";
+            }
+            out << childName(entry->name, "_sum") << " "
+                << formatDouble(histogram.sum()) << "\n";
+            out << childName(entry->name, "_count") << " "
+                << histogram.count() << "\n";
+            break;
+          }
+        }
+    }
+    return out.str();
+}
+
+void
+MetricsRegistry::exportTo(util::BenchJsonWriter &json) const
+{
+    util::LockGuard lock(mutex_);
+    for (const auto &entry : entries_) {
+        util::BenchRecord record;
+        record.name = entry->name;
+        switch (entry->kind) {
+          case Kind::Counter:
+            record.context.emplace_back("metric_type", "counter");
+            record.context.emplace_back(
+                "value", std::to_string(entry->counter->value()));
+            break;
+          case Kind::Gauge:
+            record.context.emplace_back("metric_type", "gauge");
+            record.context.emplace_back(
+                "value", std::to_string(entry->gauge->value()));
+            break;
+          case Kind::Histogram: {
+            const Histogram &histogram = *entry->histogram;
+            record.context.emplace_back("metric_type", "histogram");
+            record.context.emplace_back(
+                "count", std::to_string(histogram.count()));
+            record.context.emplace_back("sum",
+                                        formatDouble(histogram.sum()));
+            std::string buckets;
+            for (std::size_t b = 0; b < histogram.bucketCount(); ++b) {
+                const std::string le =
+                    b < histogram.upperBounds().size()
+                        ? formatDouble(histogram.upperBounds()[b])
+                        : "+Inf";
+                if (!buckets.empty())
+                    buckets += ",";
+                buckets += le + ":" +
+                           std::to_string(histogram.bucketValue(b));
+            }
+            record.context.emplace_back("buckets", buckets);
+            break;
+          }
+        }
+        json.add(std::move(record));
+    }
+}
+
+void
+MetricsRegistry::writeMetricsFile(const std::string &path) const
+{
+    if (path.empty())
+        return;
+    if (path.size() >= 5 &&
+        path.compare(path.size() - 5, 5, ".json") == 0) {
+        util::BenchJsonWriter json("metrics");
+        exportTo(json);
+        json.writeTo(path);
+        return;
+    }
+    std::ofstream file(path);
+    if (!file)
+        throw util::IoError("MetricsRegistry: cannot open '" + path +
+                            "' for writing");
+    file << scrapePrometheus();
+    if (!file)
+        throw util::IoError("MetricsRegistry: failed writing '" +
+                            path + "'");
+}
+
+} // namespace dtrank::obs

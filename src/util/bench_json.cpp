@@ -60,15 +60,12 @@ BenchJsonWriter::addContext(std::string key, std::string value)
 void
 BenchJsonWriter::addTimed(
     const std::string &section,
-    std::chrono::steady_clock::time_point start,
+    obs::MonotonicClock::time_point start,
     std::vector<std::pair<std::string, std::string>> context)
 {
     BenchRecord record;
     record.name = "BENCH_" + benchmark_ + "." + section;
-    record.realTimeMs =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
+    record.realTimeMs = obs::secondsSince(start) * 1000.0;
     record.context = std::move(context);
     add(std::move(record));
 }

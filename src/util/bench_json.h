@@ -10,10 +10,11 @@
 
 #pragma once
 
-#include <chrono>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/clock.h"
 
 namespace dtrank::util
 {
@@ -51,10 +52,11 @@ class BenchJsonWriter
 
     /**
      * Convenience: builds a "BENCH_<benchmark>.<section>" record from a
-     * start time captured with std::chrono::steady_clock::now().
+     * start time captured with obs::monotonicNow(), so bench records
+     * share the trace spans' time base.
      */
     void addTimed(const std::string &section,
-                  std::chrono::steady_clock::time_point start,
+                  obs::MonotonicClock::time_point start,
                   std::vector<std::pair<std::string, std::string>>
                       context = {});
 

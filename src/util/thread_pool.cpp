@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
 namespace dtrank::util
 {
 
@@ -10,6 +13,34 @@ namespace
 
 /** Set while a thread is executing tasks for some ThreadPool. */
 thread_local bool t_inside_worker = false;
+
+/** 1 + worker index while inside workerLoop, 0 elsewhere. */
+thread_local std::size_t t_worker_slot = 0;
+
+/** Pool metrics, registered once on first use (cold path). */
+struct PoolMetrics
+{
+    obs::Gauge &queue_depth;
+    obs::Counter &tasks;
+    obs::Histogram &task_seconds;
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics metrics{
+        obs::MetricsRegistry::global().gauge(
+            "dtrank_thread_pool_queue_depth",
+            "Tasks submitted but not yet started, across all pools"),
+        obs::MetricsRegistry::global().counter(
+            "dtrank_thread_pool_tasks_total",
+            "Tasks executed by pool workers"),
+        obs::MetricsRegistry::global().histogram(
+            "dtrank_thread_pool_task_seconds",
+            obs::defaultLatencyBounds(),
+            "Wall-clock task execution latency")};
+    return metrics;
+}
 
 } // namespace
 
@@ -27,7 +58,7 @@ ThreadPool::ThreadPool(std::size_t workers)
     require(workers >= 1, "ThreadPool: needs at least one worker");
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i + 1); });
 }
 
 ThreadPool::~ThreadPool()
@@ -42,9 +73,11 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(std::size_t slot)
 {
     t_inside_worker = true;
+    t_worker_slot = slot;
+    PoolMetrics &metrics = poolMetrics();
     for (;;) {
         std::function<void()> task;
         {
@@ -56,7 +89,11 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        metrics.queue_depth.add(-1);
+        metrics.tasks.inc();
+        const auto started = obs::monotonicNow();
         task(); // packaged_task captures any exception for the future
+        metrics.task_seconds.observe(obs::secondsSince(started));
     }
 }
 
@@ -64,6 +101,18 @@ bool
 ThreadPool::insideWorker()
 {
     return t_inside_worker;
+}
+
+std::size_t
+ThreadPool::workerSlot()
+{
+    return t_worker_slot;
+}
+
+void
+ThreadPool::noteEnqueued()
+{
+    poolMetrics().queue_depth.add(1);
 }
 
 void

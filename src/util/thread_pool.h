@@ -85,6 +85,7 @@ class ThreadPool
                                 "down");
             queue_.emplace_back([task] { (*task)(); });
         }
+        noteEnqueued();
         wake_.notify_one();
         return result;
     }
@@ -95,8 +96,21 @@ class ThreadPool
      */
     static bool insideWorker();
 
+    /**
+     * Stable small integer identifying the calling thread to the
+     * observability layer: 1 + the worker's index inside its pool, or
+     * 0 on any thread that is not a pool worker. Worker slots of
+     * distinct pools overlap by design — consumers (obs::metricSlot,
+     * trace `tid`s) only need a cheap shard index, not a unique id.
+     */
+    static std::size_t workerSlot();
+
   private:
-    void workerLoop();
+    void workerLoop(std::size_t slot);
+
+    /** Observability hook for submit(): keeps the queue-depth gauge
+     *  and task counter out of this header (obs depends on it). */
+    void noteEnqueued();
 
     std::vector<std::thread> workers_;
     Mutex mutex_;

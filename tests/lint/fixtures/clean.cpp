@@ -13,6 +13,7 @@ struct Clean
     Clean(const Clean &) = delete;
     int operand = 0;           // 'rand' inside an identifier
     int newSize = 1;           // 'new' inside an identifier
-    std::string banner = "std::cout << std::rand(); float x;";
-    std::chrono::steady_clock::time_point started{};
+    std::string banner =
+        "std::cout << std::rand(); float x; steady_clock::now();";
+    int steady_clockwork = 0;  // 'steady_clock' inside an identifier
 };

@@ -1,0 +1,10 @@
+// Fixture: raw clock reads that must flow through the obs clock shim.
+
+#include <chrono>
+
+void
+timeSomething()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::high_resolution_clock::now();
+}

@@ -144,6 +144,24 @@ TEST(DtrankLint, RawIntrinsicsFixtureFiresEverywhereButSimd)
             .empty());
 }
 
+TEST(DtrankLint, RawClockFixtureFiresOutsideObsAndBench)
+{
+    const auto findings =
+        lintFixtureAs("raw_clock.cpp", "src/core/bad.cpp");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(findings[0].rule, "no-raw-clock");
+    EXPECT_EQ(findings[0].line, 8u);  // steady_clock::now()
+    EXPECT_EQ(findings[1].rule, "no-raw-clock");
+    EXPECT_EQ(findings[1].line, 9u);  // high_resolution_clock::now()
+
+    // The clock shim itself and the benches are the allowed users.
+    EXPECT_TRUE(
+        lintFixtureAs("raw_clock.cpp", "src/obs/clock_extra.cpp")
+            .empty());
+    EXPECT_TRUE(
+        lintFixtureAs("raw_clock.cpp", "bench/bench_foo.cpp").empty());
+}
+
 TEST(DtrankLint, IntrinsicLikeSubstringsInsideIdentifiersAreIgnored)
 {
     EXPECT_TRUE(lintContent("src/core/ok.cpp",
@@ -215,7 +233,7 @@ TEST(DtrankLint, RuleCatalogIsComplete)
     const std::vector<std::string> expected = {
         "no-raw-rand",       "no-cout-in-src", "no-float-kernel",
         "no-naked-new",      "no-std-mutex",   "no-raw-intrinsics",
-        "pragma-once",
+        "no-raw-clock",      "pragma-once",
     };
     EXPECT_EQ(dtrank::lint::ruleIds(), expected);
 }

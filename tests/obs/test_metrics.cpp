@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the obs metrics primitives and registry: per-thread slot
+ * merging under a real ThreadPool, histogram `le` bucket semantics,
+ * registry kind checking, and the Prometheus text export (family
+ * grouping, label ordering, cumulative buckets).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/bench_json.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace
+{
+
+using namespace dtrank;
+
+std::size_t
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    std::size_t count = 0;
+    std::size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+        ++count;
+        pos += needle.size();
+    }
+    return count;
+}
+
+TEST(ObsMetrics, CounterMergesAcrossPoolThreads)
+{
+    obs::Counter counter;
+    {
+        util::ThreadPool pool(8);
+        std::vector<std::future<void>> done;
+        for (int i = 0; i < 64; ++i)
+            done.push_back(pool.submit([&counter] {
+                for (int k = 0; k < 100; ++k)
+                    counter.inc();
+            }));
+        for (auto &f : done)
+            f.get();
+    }
+    // The non-pool calling thread lands in slot 0 and merges too.
+    counter.inc(36);
+    EXPECT_EQ(counter.value(), 64u * 100u + 36u);
+}
+
+TEST(ObsMetrics, GaugeMergesSignedDeltasAcrossPoolThreads)
+{
+    obs::Gauge gauge;
+    {
+        util::ThreadPool pool(4);
+        std::vector<std::future<void>> done;
+        for (int i = 0; i < 32; ++i)
+            done.push_back(pool.submit([&gauge] {
+                gauge.add(5);
+                gauge.add(-3);
+            }));
+        for (auto &f : done)
+            f.get();
+    }
+    EXPECT_EQ(gauge.value(), 32 * 2);
+}
+
+TEST(ObsMetrics, HistogramMergesObservationsAcrossPoolThreads)
+{
+    obs::Histogram hist(obs::defaultLatencyBounds());
+    {
+        util::ThreadPool pool(8);
+        std::vector<std::future<void>> done;
+        for (int i = 0; i < 48; ++i)
+            done.push_back(pool.submit([&hist] {
+                hist.observe(1e-5);
+                hist.observe(0.5);
+            }));
+        for (auto &f : done)
+            f.get();
+    }
+    EXPECT_EQ(hist.count(), 96u);
+    EXPECT_DOUBLE_EQ(hist.sum(), 48 * (1e-5 + 0.5));
+}
+
+TEST(ObsMetrics, HistogramBucketBoundariesAreLeInclusive)
+{
+    obs::Histogram hist({1.0, 2.0, 4.0});
+    hist.observe(0.5);   // bucket 0
+    hist.observe(1.0);   // bucket 0: `le` means value <= bound
+    hist.observe(1.5);   // bucket 1
+    hist.observe(4.0);   // bucket 2
+    hist.observe(100.0); // +Inf overflow
+    ASSERT_EQ(hist.bucketCount(), 4u);
+    EXPECT_EQ(hist.bucketValue(0), 2u);
+    EXPECT_EQ(hist.bucketValue(1), 1u);
+    EXPECT_EQ(hist.bucketValue(2), 1u);
+    EXPECT_EQ(hist.bucketValue(3), 1u);
+    EXPECT_EQ(hist.count(), 5u);
+    EXPECT_DOUBLE_EQ(hist.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST(ObsMetrics, HistogramRejectsNonAscendingBounds)
+{
+    EXPECT_THROW(obs::Histogram({2.0, 1.0}), util::Error);
+    EXPECT_THROW(obs::Histogram({1.0, 1.0}), util::Error);
+}
+
+TEST(ObsMetrics, RegistryReturnsStableHandlesAndChecksKinds)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter &a = registry.counter("dtrank_test_total", "help");
+    obs::Counter &b = registry.counter("dtrank_test_total");
+    EXPECT_EQ(&a, &b);
+    EXPECT_THROW(registry.gauge("dtrank_test_total"), util::Error);
+    EXPECT_THROW(registry.histogram("dtrank_test_total", {1.0}),
+                 util::Error);
+
+    obs::Histogram &h =
+        registry.histogram("dtrank_test_seconds", {0.5, 1.0});
+    // Bounds are fixed by the first registration.
+    obs::Histogram &h2 =
+        registry.histogram("dtrank_test_seconds", {9.0});
+    EXPECT_EQ(&h, &h2);
+    EXPECT_EQ(h2.upperBounds(), (std::vector<double>{0.5, 1.0}));
+}
+
+TEST(ObsMetrics, ScrapeEmitsCumulativeHistogramFamilies)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("dtrank_a_total", "events").inc(3);
+    obs::Histogram &h =
+        registry.histogram("dtrank_b_seconds", {0.1, 1.0}, "latency");
+    h.observe(0.05);
+    h.observe(0.5);
+    h.observe(5.0);
+
+    const std::string text = registry.scrapePrometheus();
+    EXPECT_NE(text.find("# TYPE dtrank_a_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("dtrank_a_total 3"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE dtrank_b_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("dtrank_b_seconds_bucket{le=\"0.1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("dtrank_b_seconds_bucket{le=\"1\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("dtrank_b_seconds_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("dtrank_b_seconds_count 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("dtrank_b_seconds_sum"), std::string::npos);
+}
+
+TEST(ObsMetrics, LabeledSeriesShareOneFamilyHeader)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("dtrank_l_total{shard=\"1\"}", "sharded").inc();
+    registry.counter("dtrank_l_total{shard=\"0\"}", "sharded").inc(2);
+
+    const std::string text = registry.scrapePrometheus();
+    EXPECT_EQ(countOccurrences(text, "# TYPE dtrank_l_total counter"),
+              1u);
+    // Series are sorted by label within the family.
+    const std::size_t s0 = text.find("dtrank_l_total{shard=\"0\"} 2");
+    const std::size_t s1 = text.find("dtrank_l_total{shard=\"1\"} 1");
+    ASSERT_NE(s0, std::string::npos);
+    ASSERT_NE(s1, std::string::npos);
+    EXPECT_LT(s0, s1);
+}
+
+TEST(ObsMetrics, ExportToProducesOneRecordPerMetric)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("dtrank_x_total").inc(7);
+    registry.gauge("dtrank_y").add(-2);
+    registry.histogram("dtrank_z_seconds", {1.0}).observe(0.5);
+
+    util::BenchJsonWriter json("metrics");
+    registry.exportTo(json);
+    const std::string doc = json.toJson();
+    EXPECT_NE(doc.find("\"name\": \"dtrank_x_total\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"metric_type\": \"counter\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"dtrank_y\""), std::string::npos);
+    EXPECT_NE(doc.find("\"metric_type\": \"gauge\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"dtrank_z_seconds\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"metric_type\": \"histogram\""),
+              std::string::npos);
+}
+
+TEST(ObsMetrics, WriteMetricsFileDispatchesOnExtension)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("dtrank_w_total").inc(4);
+
+    const std::string prom_path =
+        testing::TempDir() + "obs_metrics_test.prom";
+    const std::string json_path =
+        testing::TempDir() + "obs_metrics_test.json";
+    registry.writeMetricsFile(prom_path);
+    registry.writeMetricsFile(json_path);
+    registry.writeMetricsFile(""); // no-op
+
+    std::ifstream prom(prom_path);
+    std::stringstream prom_text;
+    prom_text << prom.rdbuf();
+    EXPECT_NE(prom_text.str().find("# TYPE dtrank_w_total counter"),
+              std::string::npos);
+
+    std::ifstream json(json_path);
+    std::stringstream json_text;
+    json_text << json.rdbuf();
+    EXPECT_NE(json_text.str().find("\"benchmark\": \"metrics\""),
+              std::string::npos);
+    EXPECT_NE(json_text.str().find("\"name\": \"dtrank_w_total\""),
+              std::string::npos);
+
+    std::remove(prom_path.c_str());
+    std::remove(json_path.c_str());
+}
+
+TEST(ObsMetrics, GlobalRegistryCarriesThreadPoolMetrics)
+{
+    obs::Counter &tasks = obs::MetricsRegistry::global().counter(
+        "dtrank_thread_pool_tasks_total");
+    const std::uint64_t before = tasks.value();
+    {
+        util::ThreadPool pool(2);
+        std::vector<std::future<void>> done;
+        for (int i = 0; i < 10; ++i)
+            done.push_back(pool.submit([] {}));
+        for (auto &f : done)
+            f.get();
+    }
+    EXPECT_EQ(tasks.value(), before + 10);
+    EXPECT_EQ(obs::MetricsRegistry::global()
+                  .gauge("dtrank_thread_pool_queue_depth")
+                  .value(),
+              0);
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the obs_check validators: real exporter output (registry
+ * scrape, trace collector JSON, metrics JSON) passes clean, each
+ * violation class is reported, the checked-in malformed fixtures are
+ * rejected, and checkDocument dispatches by path and top-level key.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs_check.h"
+#include "util/bench_json.h"
+
+namespace
+{
+
+using namespace dtrank;
+using obs_check::checkChromeTrace;
+using obs_check::checkDocument;
+using obs_check::checkMetricsJson;
+using obs_check::checkPrometheusText;
+
+std::string
+readFixture(const std::string &name)
+{
+    const std::string path =
+        std::string(DTRANK_OBS_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+bool
+hasErrorContaining(const std::vector<std::string> &errors,
+                   const std::string &needle)
+{
+    for (const std::string &error : errors)
+        if (error.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+/** A registry exercising every metric kind, including labeled series. */
+obs::MetricsRegistry &
+populatedRegistry()
+{
+    static obs::MetricsRegistry registry;
+    static bool once = [] {
+        registry.counter("dtrank_check_total", "events").inc(3);
+        registry.counter("dtrank_check_sharded_total{shard=\"0\"}")
+            .inc();
+        registry.gauge("dtrank_check_depth", "queue depth").add(-1);
+        obs::Histogram &h = registry.histogram(
+            "dtrank_check_seconds", obs::defaultLatencyBounds(),
+            "latency");
+        h.observe(1e-5);
+        h.observe(0.3);
+        h.observe(42.0);
+        return true;
+    }();
+    (void)once;
+    return registry;
+}
+
+TEST(ObsCheck, RealRegistryScrapePassesClean)
+{
+    const std::vector<std::string> errors =
+        checkPrometheusText(populatedRegistry().scrapePrometheus());
+    EXPECT_TRUE(errors.empty())
+        << (errors.empty() ? "" : errors.front());
+}
+
+TEST(ObsCheck, RealMetricsJsonPassesClean)
+{
+    util::BenchJsonWriter json("metrics");
+    populatedRegistry().exportTo(json);
+    const std::vector<std::string> errors =
+        checkMetricsJson(json.toJson());
+    EXPECT_TRUE(errors.empty())
+        << (errors.empty() ? "" : errors.front());
+}
+
+TEST(ObsCheck, RealTraceCollectorOutputPassesClean)
+{
+    obs::TraceCollector collector;
+    collector.enable();
+    {
+        obs::TraceSpan span("check_span", "test", &collector);
+        span.arg("k", std::string("v"));
+    }
+    {
+        obs::TraceSpan plain("plain_span", "test", &collector);
+    }
+    collector.disable();
+    const std::vector<std::string> errors =
+        checkChromeTrace(collector.toJson());
+    EXPECT_TRUE(errors.empty())
+        << (errors.empty() ? "" : errors.front());
+}
+
+TEST(ObsCheck, BadMetricsFixtureReportsEveryViolationClass)
+{
+    const auto errors =
+        checkPrometheusText(readFixture("bad_metrics.prom"));
+    EXPECT_TRUE(hasErrorContaining(errors, "is negative"));
+    EXPECT_TRUE(hasErrorContaining(errors, "no preceding # TYPE"));
+    EXPECT_TRUE(
+        hasErrorContaining(errors, "bucket bounds are not increasing"));
+    EXPECT_TRUE(
+        hasErrorContaining(errors, "bucket counts are not cumulative"));
+    EXPECT_TRUE(hasErrorContaining(errors, "le=\"+Inf\""));
+    EXPECT_TRUE(hasErrorContaining(errors, "missing _count"));
+}
+
+TEST(ObsCheck, BadTraceFixtureReportsEveryViolationClass)
+{
+    const auto errors = checkChromeTrace(readFixture("bad_trace.json"));
+    EXPECT_TRUE(hasErrorContaining(errors, "missing name"));
+    EXPECT_TRUE(hasErrorContaining(errors, "ts is negative"));
+    EXPECT_TRUE(
+        hasErrorContaining(errors, "not a one-character phase"));
+    EXPECT_TRUE(hasErrorContaining(errors, "tid is not a number"));
+}
+
+TEST(ObsCheck, HistogramWithoutSumOrBareSampleIsRejected)
+{
+    const auto missing_sum = checkPrometheusText(
+        "# TYPE h_seconds histogram\n"
+        "h_seconds_bucket{le=\"+Inf\"} 2\n"
+        "h_seconds_count 2\n");
+    EXPECT_TRUE(hasErrorContaining(missing_sum, "missing _sum"));
+
+    const auto bare = checkPrometheusText(
+        "# TYPE h_seconds histogram\n"
+        "h_seconds 2\n");
+    EXPECT_TRUE(hasErrorContaining(bare, "bare sample"));
+}
+
+TEST(ObsCheck, CountDisagreeingWithInfBucketIsRejected)
+{
+    const auto errors = checkPrometheusText(
+        "# TYPE h_seconds histogram\n"
+        "h_seconds_bucket{le=\"1\"} 1\n"
+        "h_seconds_bucket{le=\"+Inf\"} 2\n"
+        "h_seconds_sum 1.5\n"
+        "h_seconds_count 9\n");
+    EXPECT_TRUE(hasErrorContaining(errors, "_count disagrees"));
+}
+
+TEST(ObsCheck, MalformedSampleLinesAreRejected)
+{
+    EXPECT_TRUE(hasErrorContaining(
+        checkPrometheusText("# TYPE a counter\na\n"),
+        "missing value"));
+    EXPECT_TRUE(hasErrorContaining(
+        checkPrometheusText("# TYPE a counter\na not_a_number\n"),
+        "unparseable value"));
+    EXPECT_TRUE(hasErrorContaining(
+        checkPrometheusText("# TYPE a counter\na{x=unquoted} 1\n"),
+        "not quoted"));
+    EXPECT_TRUE(hasErrorContaining(
+        checkPrometheusText("9bad_name 1\n"), "invalid metric name"));
+    EXPECT_TRUE(hasErrorContaining(checkPrometheusText(""),
+                                   "no samples"));
+}
+
+TEST(ObsCheck, TraceDocumentShapeErrorsAreRejected)
+{
+    EXPECT_TRUE(hasErrorContaining(checkChromeTrace("[1, 2]"),
+                                   "not an object"));
+    EXPECT_TRUE(hasErrorContaining(checkChromeTrace("{\"a\": 1}"),
+                                   "missing traceEvents"));
+    EXPECT_TRUE(hasErrorContaining(
+        checkChromeTrace("{\"traceEvents\": 3}"), "not an array"));
+    EXPECT_TRUE(hasErrorContaining(checkChromeTrace("{nope"),
+                                   "malformed JSON"));
+}
+
+TEST(ObsCheck, MetricsJsonShapeErrorsAreRejected)
+{
+    EXPECT_TRUE(hasErrorContaining(
+        checkMetricsJson("{\"benchmark\": \"m\"}"),
+        "missing 'records' array"));
+    EXPECT_TRUE(hasErrorContaining(
+        checkMetricsJson("{\"benchmark\": \"m\", \"records\": "
+                         "[{\"name\": \"x\", \"real_time_ms\": 0, "
+                         "\"metric_type\": \"bogus\"}]}"),
+        "unknown metric_type"));
+    EXPECT_TRUE(hasErrorContaining(
+        checkMetricsJson("{\"benchmark\": \"m\", \"records\": "
+                         "[{\"real_time_ms\": 0}]}"),
+        "missing string 'name'"));
+}
+
+TEST(ObsCheck, CheckDocumentDispatchesByPathAndTopLevelKey)
+{
+    // Prometheus text under a non-.json path.
+    EXPECT_TRUE(checkDocument("out/metrics.prom",
+                              "# TYPE a counter\na 1\n")
+                    .empty());
+    // Trace vs metrics JSON are routed by their top-level key.
+    EXPECT_TRUE(
+        checkDocument("out/trace.json", "{\"traceEvents\": []}")
+            .empty());
+    EXPECT_TRUE(checkDocument("out/metrics.json",
+                              "{\"benchmark\": \"metrics\", "
+                              "\"records\": []}")
+                    .empty());
+    EXPECT_TRUE(hasErrorContaining(
+        checkDocument("out/other.json", "{\"a\": 1}"),
+        "unrecognized JSON document"));
+    EXPECT_TRUE(hasErrorContaining(checkDocument("out/bad.json", "{"),
+                                   "malformed JSON"));
+}
+
+} // namespace

@@ -39,7 +39,9 @@
 #include "core/transposition.h"
 #include "dataset/synthetic_spec.h"
 #include "core/ranking_comparison.h"
+#include "experiments/bench_options.h"
 #include "experiments/harness.h"
+#include "obs/metrics.h"
 #include "stats/bootstrap.h"
 #include "stats/kendall.h"
 #include "util/cli.h"
@@ -206,7 +208,9 @@ evaluateAllApps(util::ArgParser &args, const dataset::PerfDatabase &db,
         static_cast<std::size_t>(args.getLong("threads"));
     if (args.getFlag("model-cache"))
         config.modelCache =
-            std::make_shared<experiments::TrainedModelCache>();
+            std::make_shared<experiments::TrainedModelCache>(
+                experiments::TrainedModelCache::kDefaultCapacity,
+                &obs::MetricsRegistry::global());
     // The GA-kNN baseline (the only characteristics consumer) is not
     // reachable from --method, so a placeholder matrix suffices.
     const experiments::SplitEvaluator evaluator(
@@ -336,20 +340,32 @@ main(int argc, char **argv)
     args.addFlag("model-cache",
                  "cache trained models during --app all (bit-identical "
                  "results, fewer trainings)");
+    args.addOption("metrics-out",
+                   "write the metrics registry to this path after the "
+                   "run (Prometheus text; JSON when the path ends in "
+                   ".json)", "");
+    args.addOption("trace-out",
+                   "record trace spans and write Chrome trace_event "
+                   "JSON to this path (open in chrome://tracing or "
+                   "Perfetto)", "");
 
     try {
         if (!args.parse(argc - 1, argv + 1))
             return 0;
+        experiments::applyObservabilityOptions(args);
+        int rc = 2;
         if (command == "generate")
-            return cmdGenerate(args);
-        if (command == "info")
-            return cmdInfo(args);
-        if (command == "rank")
-            return cmdRank(args);
-        if (command == "evaluate")
-            return cmdEvaluate(args);
-        std::cerr << "unknown command '" << command << "'\n";
-        return 2;
+            rc = cmdGenerate(args);
+        else if (command == "info")
+            rc = cmdInfo(args);
+        else if (command == "rank")
+            rc = cmdRank(args);
+        else if (command == "evaluate")
+            rc = cmdEvaluate(args);
+        else
+            std::cerr << "unknown command '" << command << "'\n";
+        experiments::writeObservabilityOutputs(args);
+        return rc;
     } catch (const util::Error &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

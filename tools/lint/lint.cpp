@@ -340,6 +340,24 @@ matchStdMutex(const std::string &code)
     return "";
 }
 
+std::string
+matchRawClock(const std::string &code)
+{
+    static constexpr std::string_view kClocks[] = {
+        "steady_clock", "high_resolution_clock",
+    };
+    for (const std::string_view clock : kClocks) {
+        if (findToken(code, clock) != std::string::npos)
+            return quotedMessage(
+                "raw monotonic clock ", clock,
+                "outside src/obs/ and bench/; read time through the "
+                "obs clock shim (obs/clock.h: monotonicNow, "
+                "monotonicNanos) so traces, metrics and bench timings "
+                "share one epoch");
+    }
+    return "";
+}
+
 bool
 appliesEverywhere(const std::string &path)
 {
@@ -377,6 +395,12 @@ appliesOutsideMutexWrapper(const std::string &path)
     return path != "src/util/mutex.h";
 }
 
+bool
+appliesOutsideObsAndBench(const std::string &path)
+{
+    return !underDir(path, "src/obs") && !underDir(path, "bench");
+}
+
 const std::vector<Rule> &
 rules()
 {
@@ -387,6 +411,7 @@ rules()
         {"no-naked-new", appliesSrc, matchNakedNew},
         {"no-std-mutex", appliesOutsideMutexWrapper, matchStdMutex},
         {"no-raw-intrinsics", appliesOutsideSimd, matchRawIntrinsics},
+        {"no-raw-clock", appliesOutsideObsAndBench, matchRawClock},
     };
     return kRules;
 }

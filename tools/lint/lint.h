@@ -28,6 +28,10 @@
  *                   src/simd/ — hand-rolled vector code would bypass
  *                   the dispatch layer's bit-identical canonical
  *                   reductions
+ *   no-raw-clock    std::chrono::steady_clock / high_resolution_clock
+ *                   outside src/obs/ and bench/ — read time through
+ *                   the obs/clock.h shim so traces, metrics and bench
+ *                   timings share one monotonic epoch
  *
  * Suppression: append `// dtrank-lint-ignore` (all rules) or
  * `// dtrank-lint-ignore(rule-id)` to the offending line, or put the

@@ -1,0 +1,502 @@
+#include "obs_check.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "bench_compare.h"
+
+namespace dtrank::obs_check
+{
+
+namespace
+{
+
+using bench_compare::JsonValue;
+using bench_compare::parseJson;
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    auto head = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) != 0 ||
+               c == '_' || c == ':';
+    };
+    auto tail = [&](char c) {
+        return head(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+    };
+    if (!head(name.front()))
+        return false;
+    for (std::size_t i = 1; i < name.size(); ++i)
+        if (!tail(name[i]))
+            return false;
+    return true;
+}
+
+bool
+validLabelName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    auto head = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) != 0 ||
+               c == '_';
+    };
+    auto tail = [&](char c) {
+        return head(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+    };
+    if (!head(name.front()))
+        return false;
+    for (std::size_t i = 1; i < name.size(); ++i)
+        if (!tail(name[i]))
+            return false;
+    return true;
+}
+
+/** One `name{labels} value` exposition line, split into parts. */
+struct Sample
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> labels;
+    std::string valueText;
+};
+
+/** Parses one sample line; on failure appends to `errors` and returns
+ *  false. `where` is the "line N" prefix for messages. */
+bool
+parseSample(const std::string &line, const std::string &where,
+            std::vector<std::string> &errors, Sample &out)
+{
+    std::size_t pos = 0;
+    while (pos < line.size() && line[pos] != '{' && line[pos] != ' ')
+        ++pos;
+    out.name = line.substr(0, pos);
+    if (!validMetricName(out.name)) {
+        errors.push_back(where + ": invalid metric name '" + out.name +
+                         "'");
+        return false;
+    }
+    if (pos < line.size() && line[pos] == '{') {
+        ++pos;
+        while (pos < line.size() && line[pos] != '}') {
+            std::size_t eq = line.find('=', pos);
+            if (eq == std::string::npos) {
+                errors.push_back(where + ": malformed label set");
+                return false;
+            }
+            const std::string key = line.substr(pos, eq - pos);
+            if (!validLabelName(key)) {
+                errors.push_back(where + ": invalid label name '" + key +
+                                 "'");
+                return false;
+            }
+            if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+                errors.push_back(where + ": label value for '" + key +
+                                 "' is not quoted");
+                return false;
+            }
+            std::string value;
+            pos = eq + 2;
+            while (pos < line.size() && line[pos] != '"') {
+                if (line[pos] == '\\' && pos + 1 < line.size())
+                    ++pos;
+                value += line[pos++];
+            }
+            if (pos >= line.size()) {
+                errors.push_back(where + ": unterminated label value");
+                return false;
+            }
+            ++pos; // closing quote
+            out.labels.emplace_back(key, value);
+            if (pos < line.size() && line[pos] == ',')
+                ++pos;
+        }
+        if (pos >= line.size()) {
+            errors.push_back(where + ": unterminated label set");
+            return false;
+        }
+        ++pos; // closing brace
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+        errors.push_back(where + ": missing value");
+        return false;
+    }
+    out.valueText = line.substr(pos + 1);
+    if (out.valueText.empty()) {
+        errors.push_back(where + ": missing value");
+        return false;
+    }
+    return true;
+}
+
+/** Parses a sample value ("+Inf" included); NaN on failure. */
+double
+parseValue(const std::string &text)
+{
+    if (text == "+Inf")
+        return std::numeric_limits<double>::infinity();
+    if (text == "-Inf")
+        return -std::numeric_limits<double>::infinity();
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == text.c_str())
+        return std::numeric_limits<double>::quiet_NaN();
+    return v;
+}
+
+/** The cumulative bucket series of one histogram label set. */
+struct BucketSeries
+{
+    std::vector<std::pair<double, double>> buckets; ///< (le, count).
+    bool hasCount = false;
+    double count = 0.0;
+    bool hasSum = false;
+};
+
+/** Joins the non-`le` labels of a sample into a grouping key. */
+std::string
+seriesKey(const Sample &sample)
+{
+    std::string key;
+    for (const auto &[name, value] : sample.labels) {
+        if (name == "le")
+            continue;
+        key += name + "=" + value + ",";
+    }
+    return key;
+}
+
+} // namespace
+
+std::vector<std::string>
+checkPrometheusText(const std::string &text)
+{
+    std::vector<std::string> errors;
+    std::map<std::string, std::string> types; // family -> metric type
+    // (family, non-le labels) -> bucket series, in file order.
+    std::map<std::pair<std::string, std::string>, BucketSeries> series;
+
+    std::size_t line_no = 0;
+    std::size_t start = 0;
+    bool saw_sample = false;
+    while (start <= text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        ++line_no;
+        const std::string where = "line " + std::to_string(line_no);
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            // Only HELP/TYPE comments are structured; anything else is
+            // a free-form comment the format allows.
+            if (line.rfind("# TYPE ", 0) == 0) {
+                const std::string rest = line.substr(7);
+                const std::size_t space = rest.find(' ');
+                if (space == std::string::npos) {
+                    errors.push_back(where + ": TYPE without a type");
+                    continue;
+                }
+                const std::string family = rest.substr(0, space);
+                const std::string type = rest.substr(space + 1);
+                if (!validMetricName(family))
+                    errors.push_back(where +
+                                     ": invalid family name in TYPE '" +
+                                     family + "'");
+                if (type != "counter" && type != "gauge" &&
+                    type != "histogram" && type != "summary" &&
+                    type != "untyped")
+                    errors.push_back(where + ": unknown metric type '" +
+                                     type + "'");
+                if (types.count(family) != 0)
+                    errors.push_back(where + ": duplicate TYPE for '" +
+                                     family + "'");
+                types[family] = type;
+            } else if (line.rfind("# HELP ", 0) == 0) {
+                const std::string rest = line.substr(7);
+                const std::string family =
+                    rest.substr(0, rest.find(' '));
+                if (!validMetricName(family))
+                    errors.push_back(where +
+                                     ": invalid family name in HELP '" +
+                                     family + "'");
+            }
+            continue;
+        }
+
+        Sample sample;
+        if (!parseSample(line, where, errors, sample))
+            continue;
+        saw_sample = true;
+        const double value = parseValue(sample.valueText);
+        if (std::isnan(value)) {
+            errors.push_back(where + ": unparseable value '" +
+                             sample.valueText + "'");
+            continue;
+        }
+
+        // Resolve the family: histogram children carry a suffix.
+        std::string family = sample.name;
+        std::string suffix;
+        for (const char *s : {"_bucket", "_sum", "_count"}) {
+            const std::string sfx = s;
+            if (family.size() > sfx.size() &&
+                family.compare(family.size() - sfx.size(), sfx.size(),
+                               sfx) == 0 &&
+                types.count(family.substr(0,
+                                          family.size() - sfx.size())) !=
+                    0) {
+                suffix = sfx;
+                family = family.substr(0, family.size() - sfx.size());
+                break;
+            }
+        }
+        const auto tit = types.find(family);
+        if (tit == types.end()) {
+            errors.push_back(where + ": sample '" + sample.name +
+                             "' has no preceding # TYPE");
+            continue;
+        }
+        const std::string &type = tit->second;
+        if (type == "histogram" && suffix.empty()) {
+            errors.push_back(where + ": histogram family '" + family +
+                             "' exposes a bare sample '" + sample.name +
+                             "'");
+            continue;
+        }
+        if (type != "histogram" && !suffix.empty()) {
+            // A _bucket/_sum/_count suffix only matched because the
+            // base family exists; non-histogram bases must not match.
+            errors.push_back(where + ": '" + sample.name +
+                             "' uses a histogram suffix but '" + family +
+                             "' is a " + type);
+            continue;
+        }
+        if (type == "counter" && value < 0.0)
+            errors.push_back(where + ": counter '" + sample.name +
+                             "' is negative (" + sample.valueText + ")");
+        if (type == "histogram") {
+            BucketSeries &bs = series[{family, seriesKey(sample)}];
+            if (suffix == "_bucket") {
+                std::string le;
+                bool has_le = false;
+                for (const auto &[name, lv] : sample.labels)
+                    if (name == "le") {
+                        le = lv;
+                        has_le = true;
+                    }
+                if (!has_le) {
+                    errors.push_back(where + ": '" + sample.name +
+                                     "' bucket without an le label");
+                    continue;
+                }
+                const double bound = parseValue(le);
+                if (std::isnan(bound)) {
+                    errors.push_back(where +
+                                     ": unparseable le value '" + le +
+                                     "'");
+                    continue;
+                }
+                bs.buckets.emplace_back(bound, value);
+            } else if (suffix == "_count") {
+                bs.hasCount = true;
+                bs.count = value;
+            } else {
+                bs.hasSum = true;
+            }
+        }
+    }
+
+    for (const auto &[key, bs] : series) {
+        const std::string &family = key.first;
+        const std::string label = key.second.empty()
+                                      ? family
+                                      : family + "{" + key.second + "}";
+        if (bs.buckets.empty()) {
+            errors.push_back("histogram '" + label + "' has no buckets");
+            continue;
+        }
+        for (std::size_t i = 1; i < bs.buckets.size(); ++i) {
+            if (bs.buckets[i].first <= bs.buckets[i - 1].first)
+                errors.push_back("histogram '" + label +
+                                 "' bucket bounds are not increasing");
+            if (bs.buckets[i].second < bs.buckets[i - 1].second)
+                errors.push_back("histogram '" + label +
+                                 "' bucket counts are not cumulative");
+        }
+        if (!std::isinf(bs.buckets.back().first))
+            errors.push_back("histogram '" + label +
+                             "' is missing the le=\"+Inf\" bucket");
+        else if (bs.hasCount && bs.count != bs.buckets.back().second)
+            errors.push_back("histogram '" + label +
+                             "' _count disagrees with the +Inf bucket");
+        if (!bs.hasCount)
+            errors.push_back("histogram '" + label +
+                             "' is missing _count");
+        if (!bs.hasSum)
+            errors.push_back("histogram '" + label + "' is missing _sum");
+    }
+    if (!saw_sample && errors.empty())
+        errors.emplace_back("document contains no samples");
+    return errors;
+}
+
+std::vector<std::string>
+checkChromeTrace(const std::string &json)
+{
+    std::vector<std::string> errors;
+    JsonValue doc;
+    try {
+        doc = parseJson(json);
+    } catch (const std::runtime_error &e) {
+        errors.push_back(std::string("malformed JSON: ") + e.what());
+        return errors;
+    }
+    if (doc.kind != JsonValue::Kind::Object) {
+        errors.emplace_back("top level is not an object");
+        return errors;
+    }
+    const JsonValue *events = doc.find("traceEvents");
+    if (events == nullptr) {
+        errors.emplace_back("missing traceEvents");
+        return errors;
+    }
+    if (events->kind != JsonValue::Kind::Array) {
+        errors.emplace_back("traceEvents is not an array");
+        return errors;
+    }
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const JsonValue &ev = events->array[i];
+        const std::string where = "event " + std::to_string(i);
+        if (ev.kind != JsonValue::Kind::Object) {
+            errors.push_back(where + ": not an object");
+            continue;
+        }
+        auto requireString = [&](const char *key, bool required) {
+            const JsonValue *v = ev.find(key);
+            if (v == nullptr) {
+                if (required)
+                    errors.push_back(where + ": missing " + key);
+                return;
+            }
+            if (v->kind != JsonValue::Kind::String)
+                errors.push_back(where + ": " + key +
+                                 " is not a string");
+        };
+        auto requireNumber = [&](const char *key,
+                                 bool non_negative) -> const JsonValue * {
+            const JsonValue *v = ev.find(key);
+            if (v == nullptr) {
+                errors.push_back(where + ": missing " + key);
+                return nullptr;
+            }
+            if (v->kind != JsonValue::Kind::Number) {
+                errors.push_back(where + ": " + key +
+                                 " is not a number");
+                return nullptr;
+            }
+            if (non_negative && v->number < 0.0)
+                errors.push_back(where + ": " + key + " is negative");
+            return v;
+        };
+        requireString("name", true);
+        requireString("cat", false);
+        const JsonValue *ph = ev.find("ph");
+        if (ph == nullptr) {
+            errors.push_back(where + ": missing ph");
+        } else if (ph->kind != JsonValue::Kind::String ||
+                   ph->text.size() != 1) {
+            errors.push_back(where + ": ph is not a one-character phase");
+        } else if (ph->text == "X") {
+            requireNumber("dur", true);
+        }
+        requireNumber("ts", true);
+        requireNumber("pid", false);
+        requireNumber("tid", false);
+        const JsonValue *args = ev.find("args");
+        if (args != nullptr && args->kind != JsonValue::Kind::Object)
+            errors.push_back(where + ": args is not an object");
+    }
+    return errors;
+}
+
+std::vector<std::string>
+checkMetricsJson(const std::string &json)
+{
+    std::vector<std::string> errors;
+    JsonValue doc;
+    try {
+        doc = parseJson(json);
+    } catch (const std::runtime_error &e) {
+        errors.push_back(std::string("malformed JSON: ") + e.what());
+        return errors;
+    }
+    if (doc.kind != JsonValue::Kind::Object) {
+        errors.emplace_back("top level is not an object");
+        return errors;
+    }
+    const JsonValue *benchmark = doc.find("benchmark");
+    if (benchmark == nullptr ||
+        benchmark->kind != JsonValue::Kind::String)
+        errors.emplace_back("missing string 'benchmark'");
+    const JsonValue *records = doc.find("records");
+    if (records == nullptr || records->kind != JsonValue::Kind::Array) {
+        errors.emplace_back("missing 'records' array");
+        return errors;
+    }
+    for (std::size_t i = 0; i < records->array.size(); ++i) {
+        const JsonValue &r = records->array[i];
+        const std::string where = "record " + std::to_string(i);
+        if (r.kind != JsonValue::Kind::Object) {
+            errors.push_back(where + ": not an object");
+            continue;
+        }
+        const JsonValue *name = r.find("name");
+        if (name == nullptr || name->kind != JsonValue::Kind::String)
+            errors.push_back(where + ": missing string 'name'");
+        const JsonValue *ms = r.find("real_time_ms");
+        if (ms == nullptr || ms->kind != JsonValue::Kind::Number)
+            errors.push_back(where + ": missing numeric 'real_time_ms'");
+        const JsonValue *type = r.find("metric_type");
+        if (type == nullptr ||
+            type->kind != JsonValue::Kind::String) {
+            errors.push_back(where + ": missing string 'metric_type'");
+        } else if (type->text != "counter" && type->text != "gauge" &&
+                   type->text != "histogram") {
+            errors.push_back(where + ": unknown metric_type '" +
+                             type->text + "'");
+        }
+    }
+    return errors;
+}
+
+std::vector<std::string>
+checkDocument(const std::string &path, const std::string &content)
+{
+    const bool is_json =
+        path.size() >= 5 &&
+        path.compare(path.size() - 5, 5, ".json") == 0;
+    if (!is_json)
+        return checkPrometheusText(content);
+    JsonValue doc;
+    try {
+        doc = parseJson(content);
+    } catch (const std::runtime_error &e) {
+        return {std::string("malformed JSON: ") + e.what()};
+    }
+    if (doc.find("traceEvents") != nullptr)
+        return checkChromeTrace(content);
+    if (doc.find("records") != nullptr)
+        return checkMetricsJson(content);
+    return {"unrecognized JSON document: neither traceEvents nor "
+            "records"};
+}
+
+} // namespace dtrank::obs_check

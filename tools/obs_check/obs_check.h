@@ -1,0 +1,64 @@
+/**
+ * @file
+ * obs_check: schema validator for the observability artifacts the
+ * instrumented binaries write — Prometheus text exposition files
+ * (`--metrics-out x.prom`), BenchJsonWriter metrics documents
+ * (`--metrics-out x.json`) and Chrome trace_event JSON
+ * (`--trace-out x.json`). The CI observability-smoke job runs it over
+ * freshly produced outputs so a malformed exporter fails the build
+ * rather than a downstream dashboard.
+ *
+ * Split into a library plus a thin main (tools/obs_check) so every
+ * checker is unit tested in-process against fixture documents,
+ * including checked-in malformed ones.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dtrank::obs_check
+{
+
+/**
+ * Validates one Prometheus text exposition document: every line must
+ * be a `# HELP`/`# TYPE` comment or a `name{labels} value` sample,
+ * every sample's family must carry a preceding `# TYPE` of a known
+ * kind, counter samples must be non-negative, and histogram families
+ * must expose strictly-ordered cumulative `_bucket` series ending in
+ * `le="+Inf"` whose total matches `_count`.
+ * @return One message per violation; empty means the document is valid.
+ */
+std::vector<std::string> checkPrometheusText(const std::string &text);
+
+/**
+ * Validates one Chrome trace_event JSON document: a top-level object
+ * with a `traceEvents` array whose members are complete events — a
+ * string `name`, a known `ph` phase, non-negative numeric `ts`/`dur`,
+ * numeric `pid`/`tid`, and (when present) a string `cat` plus an
+ * object `args`.
+ * @return One message per violation; empty means the document is valid.
+ */
+std::vector<std::string> checkChromeTrace(const std::string &json);
+
+/**
+ * Validates one BenchJsonWriter metrics document (`--metrics-out` with
+ * a `.json` path): a top-level object with a string `benchmark` and a
+ * `records` array whose members carry a string `name`, a numeric
+ * `real_time_ms` and a known `metric_type`.
+ * @return One message per violation; empty means the document is valid.
+ */
+std::vector<std::string> checkMetricsJson(const std::string &json);
+
+/**
+ * Dispatches `content` to the matching checker: `.json` paths are
+ * parsed and routed by their top-level key (`traceEvents` → trace,
+ * `records` → metrics document), anything else is checked as
+ * Prometheus text.
+ * @return One message per violation; empty means the document is valid.
+ */
+std::vector<std::string> checkDocument(const std::string &path,
+                                       const std::string &content);
+
+} // namespace dtrank::obs_check

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * CLI wrapper for the obs_check library, the schema gate CI runs over
+ * freshly written observability artifacts:
+ *
+ *   obs_check <file>...
+ *
+ * Each file is dispatched by path and content: `.json` files are
+ * routed to the Chrome-trace or BenchJsonWriter-metrics checker by
+ * their top-level key, everything else is checked as Prometheus text.
+ *
+ * Exit status: 0 when every file is valid, 1 when any violation was
+ * found, 2 on usage or read errors.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs_check.h"
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("obs_check: cannot read '" + path +
+                                 "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: obs_check <file>...\n"
+                     "  Validates Prometheus text, Chrome trace_event "
+                     "JSON and metrics JSON\n"
+                     "  files written by --metrics-out/--trace-out.\n";
+        return 2;
+    }
+    bool any_violation = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string path = argv[i];
+        std::string content;
+        try {
+            content = readFile(path);
+        } catch (const std::exception &error) {
+            std::cerr << error.what() << "\n";
+            return 2;
+        }
+        const std::vector<std::string> errors =
+            dtrank::obs_check::checkDocument(path, content);
+        if (errors.empty()) {
+            std::cout << path << ": ok\n";
+            continue;
+        }
+        any_violation = true;
+        for (const std::string &error : errors)
+            std::cerr << path << ": " << error << "\n";
+    }
+    return any_violation ? 1 : 0;
+}
