@@ -7,18 +7,17 @@
  * cache-blocked matrix kernels against a naive reference, and the
  * parallel split evaluator at several thread counts.
  *
- * Also benchmarks every SIMD kernel-table entry once per compiled
- * dispatch tier ("BM_Kernel<name>/scalar" vs "BM_Kernel<name>/avx2"),
- * so the AVX2-vs-scalar speedup per kernel can be read off one report.
- * The
- * dispatch tier the rest of the process uses and the CPU feature flags
- * are recorded as report-level context.
+ * Also benchmarks every SIMD kernel-table entry once per available
+ * dispatch tier ("BM_Kernel<name>/scalar", ".../avx2", ".../avx512"),
+ * so the per-kernel speedup of each vector tier can be read off one
+ * report. The dispatch tier the rest of the process uses and the CPU
+ * feature flags are recorded as report-level context.
  *
  * Pass --benchmark_format=json for machine-readable output, or
  * --json <path> to write the google-benchmark JSON report to a file
  * (shorthand for --benchmark_out=<path> --benchmark_out_format=json),
- * and --simd scalar|avx2 to pin the dispatch tier the non-kernel
- * benchmarks run at.
+ * and --simd scalar|avx2|avx512 to pin the dispatch tier the
+ * non-kernel benchmarks run at.
  */
 
 #include <benchmark/benchmark.h>
@@ -47,6 +46,7 @@
 #include "stats/spline.h"
 #include "stats/regression.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 using namespace dtrank;
 
@@ -181,6 +181,40 @@ BM_MlpTrainEpochsLegacy(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MlpTrainEpochsLegacy)->Arg(10)->Arg(50);
+
+/**
+ * The GEMM-backed minibatch engine at the exact shape of
+ * BM_MlpTrainEpochs (100 x 28, WEKA-automatic hidden layer) trained
+ * full-batch: the forward pass is one whole-batch mlpBatchNets call
+ * per layer, the gradient sums one mlpGradAccum call, and the
+ * momentum/weight read-modify-write traffic is paid once per epoch
+ * instead of once per sample. The speedup of the minibatch
+ * formulation is BM_MlpTrainEpochs / BM_MlpTrainEpochsMinibatch at the
+ * same Arg (a different deterministic trajectory than per-sample SGD,
+ * so the comparison is throughput, not bit-identity).
+ */
+void
+BM_MlpTrainEpochsMinibatch(benchmark::State &state)
+{
+    util::Rng rng(4);
+    const std::size_t rows = 100;
+    const std::size_t cols = 28;
+    linalg::Matrix x(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            x(r, c) = rng.uniform(1.0, 50.0);
+    const auto y = randomVector(rows, rng);
+    ml::MlpConfig config;
+    config.epochs = static_cast<std::size_t>(state.range(0));
+    config.batchSize = 0; // full batch
+    ml::MlpWorkspace workspace;
+    for (auto _ : state) {
+        ml::Mlp net(config);
+        net.fit(x, y, workspace);
+        benchmark::DoNotOptimize(net.trainingMse());
+    }
+}
+BENCHMARK(BM_MlpTrainEpochsMinibatch)->Arg(10)->Arg(50);
 
 void
 BM_MlpPredict(benchmark::State &state)
@@ -517,41 +551,72 @@ BM_ObsSpanEnabled(benchmark::State &state)
 }
 BENCHMARK(BM_ObsSpanEnabled);
 
+/**
+ * Work-stealing scheduler under a deliberately unbalanced load: every
+ * 8th task is two orders of magnitude bigger, so the round-robin deal
+ * drains most deques early and the steady state exercises the steal
+ * path. Arg is the worker count; compare against Arg(1) for the
+ * scheduling overhead and scaling.
+ */
+void
+BM_ThreadPoolUnbalanced(benchmark::State &state)
+{
+    const auto workers = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        util::ThreadPool pool(workers);
+        util::TaskGroup group(pool);
+        for (std::size_t i = 0; i < 256; ++i)
+            group.run([i] {
+                volatile double sink = 0.0;
+                const int spins = i % 8 == 0 ? 20000 : 200;
+                for (int s = 0; s < spins; ++s)
+                    sink = sink + 1.0;
+            });
+        group.wait();
+    }
+}
+BENCHMARK(BM_ThreadPoolUnbalanced)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 // ---------------------------------------------------------------------
 // Per-kernel tier benchmarks: each operates directly on one kernel
-// table (scalar or avx2), bypassing dispatch, so the two registrations
-// of a kernel differ only in the code executed. The avx2 variants are
-// registered at startup only when the tier is compiled in and the CPU
-// reports AVX2.
+// table (scalar, avx2 or avx512), bypassing dispatch, so the
+// registrations of a kernel differ only in the code executed. A vector
+// tier's variants are registered at startup only when the tier is
+// compiled in and the CPU reports the feature.
 
-/** Returns the kernel table for a registered tier name. */
+/** Kernel table per tier index: 0 scalar, 1 avx2, 2 avx512. */
 const simd::KernelTable &
-kernelTable(bool avx2)
+kernelTable(int tier)
 {
-    return avx2 ? *simd::avx2Kernels() : simd::scalarKernels();
+    if (tier == 2)
+        return *simd::avx512Kernels();
+    if (tier == 1)
+        return *simd::avx2Kernels();
+    return simd::scalarKernels();
 }
 
 void
-BM_KernelDot(benchmark::State &state, bool avx2)
+BM_KernelDot(benchmark::State &state, int tier)
 {
     util::Rng rng(20);
     const auto n = static_cast<std::size_t>(state.range(0));
     const auto a = randomVector(n, rng);
     const auto b = randomVector(n, rng);
-    const simd::KernelTable &kt = kernelTable(avx2);
+    const simd::KernelTable &kt = kernelTable(tier);
     for (auto _ : state) {
         benchmark::DoNotOptimize(kt.dot(a.data(), b.data(), n));
     }
 }
 
 void
-BM_KernelAxpy(benchmark::State &state, bool avx2)
+BM_KernelAxpy(benchmark::State &state, int tier)
 {
     util::Rng rng(21);
     const auto n = static_cast<std::size_t>(state.range(0));
     auto out = randomVector(n, rng);
     const auto b = randomVector(n, rng);
-    const simd::KernelTable &kt = kernelTable(avx2);
+    const simd::KernelTable &kt = kernelTable(tier);
     for (auto _ : state) {
         kt.axpy(out.data(), b.data(), 1.0000001, n);
         benchmark::DoNotOptimize(out.data());
@@ -560,13 +625,13 @@ BM_KernelAxpy(benchmark::State &state, bool avx2)
 }
 
 void
-BM_KernelSquaredDistance(benchmark::State &state, bool avx2)
+BM_KernelSquaredDistance(benchmark::State &state, int tier)
 {
     util::Rng rng(22);
     const auto n = static_cast<std::size_t>(state.range(0));
     const auto a = randomVector(n, rng);
     const auto b = randomVector(n, rng);
-    const simd::KernelTable &kt = kernelTable(avx2);
+    const simd::KernelTable &kt = kernelTable(tier);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             kt.squaredDistance(a.data(), b.data(), n));
@@ -574,14 +639,14 @@ BM_KernelSquaredDistance(benchmark::State &state, bool avx2)
 }
 
 void
-BM_KernelGemmMicro(benchmark::State &state, bool avx2)
+BM_KernelGemmMicro(benchmark::State &state, int tier)
 {
     util::Rng rng(23);
     const auto n = static_cast<std::size_t>(state.range(0));
     const linalg::Matrix a = randomMatrix(1, n, rng);
     const linalg::Matrix b = randomMatrix(n, n, rng);
     linalg::Matrix out(1, n);
-    const simd::KernelTable &kt = kernelTable(avx2);
+    const simd::KernelTable &kt = kernelTable(tier);
     for (auto _ : state) {
         kt.gemmMicro(n, n, a.rowData(0), b.rowData(0), n,
                      out.rowData(0));
@@ -591,7 +656,7 @@ BM_KernelGemmMicro(benchmark::State &state, bool avx2)
 }
 
 void
-BM_KernelMlpForward(benchmark::State &state, bool avx2)
+BM_KernelMlpForward(benchmark::State &state, int tier)
 {
     util::Rng rng(24);
     const auto width = static_cast<std::size_t>(state.range(0));
@@ -599,7 +664,7 @@ BM_KernelMlpForward(benchmark::State &state, bool avx2)
     const auto bias = randomVector(width, rng);
     const auto a_in = randomVector(width, rng);
     std::vector<double> a_out(width, 0.0);
-    const simd::KernelTable &kt = kernelTable(avx2);
+    const simd::KernelTable &kt = kernelTable(tier);
     for (auto _ : state) {
         kt.mlpLayerNets(width, width, wt.data(), bias.data(),
                         a_in.data(), a_out.data());
@@ -609,7 +674,7 @@ BM_KernelMlpForward(benchmark::State &state, bool avx2)
 }
 
 void
-BM_KernelMlpUpdate(benchmark::State &state, bool avx2)
+BM_KernelMlpUpdate(benchmark::State &state, int tier)
 {
     util::Rng rng(25);
     const auto width = static_cast<std::size_t>(state.range(0));
@@ -619,7 +684,7 @@ BM_KernelMlpUpdate(benchmark::State &state, bool avx2)
     std::vector<double> pwt(width * width, 0.0);
     auto bias = randomVector(width, rng);
     std::vector<double> pb(width, 0.0);
-    const simd::KernelTable &kt = kernelTable(avx2);
+    const simd::KernelTable &kt = kernelTable(tier);
     for (auto _ : state) {
         kt.mlpUpdateLayer(width, width, 1e-9, 0.2, in_act.data(),
                           d.data(), wt.data(), pwt.data(), bias.data(),
@@ -629,24 +694,89 @@ BM_KernelMlpUpdate(benchmark::State &state, bool avx2)
     }
 }
 
+/** The blocked canonical-dot GEMM the batched Mlp::predict(Matrix)
+ *  serve path runs on: C (n x n) = bias + A (n x n) * B^T. */
+void
+BM_KernelGemmDot(benchmark::State &state, int tier)
+{
+    util::Rng rng(26);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const linalg::Matrix a = randomMatrix(n, n, rng);
+    const linalg::Matrix b = randomMatrix(n, n, rng);
+    const auto bias = randomVector(n, rng);
+    linalg::Matrix out(n, n);
+    const simd::KernelTable &kt = kernelTable(tier);
+    for (auto _ : state) {
+        simd::gemmDot(kt, n, n, n, a.rowData(0), n, b.rowData(0), n,
+                      bias.data(), out.rowData(0), n);
+        benchmark::DoNotOptimize(out.rowData(0));
+        benchmark::ClobberMemory();
+    }
+}
+
+/** The whole-minibatch layer forward at the paper-scale L1 shape
+ *  (bn x out x in = 100 x width/2 x width). */
+void
+BM_KernelBatchNets(benchmark::State &state, int tier)
+{
+    util::Rng rng(27);
+    const std::size_t bn = 100;
+    const auto in = static_cast<std::size_t>(state.range(0));
+    const std::size_t out = in / 2;
+    const auto a = randomVector(bn * in, rng);
+    const auto wt = randomVector(in * out, rng);
+    const auto bias = randomVector(out, rng);
+    std::vector<double> nets(bn * out, 0.0);
+    const simd::KernelTable &kt = kernelTable(tier);
+    for (auto _ : state) {
+        kt.mlpBatchNets(bn, in, out, a.data(), in, wt.data(),
+                        bias.data(), nets.data(), out);
+        benchmark::DoNotOptimize(nets.data());
+        benchmark::ClobberMemory();
+    }
+}
+
+/** The whole-minibatch gradient accumulation at the matching shape. */
+void
+BM_KernelGradAccum(benchmark::State &state, int tier)
+{
+    util::Rng rng(28);
+    const std::size_t bn = 100;
+    const auto in = static_cast<std::size_t>(state.range(0));
+    const std::size_t out = in / 2;
+    const auto d = randomVector(bn * out, rng);
+    const auto a = randomVector(bn * in, rng);
+    std::vector<double> gw(out * in, 0.0);
+    const simd::KernelTable &kt = kernelTable(tier);
+    for (auto _ : state) {
+        kt.mlpGradAccum(bn, out, in, d.data(), out, a.data(), in,
+                        gw.data());
+        benchmark::DoNotOptimize(gw.data());
+        benchmark::ClobberMemory();
+    }
+}
+
 /**
  * Registers one kernel benchmark under "BM_<name>/<tier>" for the
- * scalar tier and, when available, the avx2 tier.
+ * scalar tier and every available vector tier.
  */
 void
 registerKernelBenchmark(const char *name,
-                        void (*fn)(benchmark::State &, bool),
+                        void (*fn)(benchmark::State &, int),
                         std::initializer_list<long> args)
 {
-    for (int tier = 0; tier < 2; ++tier) {
-        const bool avx2 = tier == 1;
-        if (avx2 &&
-            (simd::avx2Kernels() == nullptr || !simd::cpuSupportsAvx2()))
+    static const char *const tier_names[] = {"scalar", "avx2",
+                                             "avx512"};
+    for (int tier = 0; tier < 3; ++tier) {
+        if (tier == 1 && (simd::avx2Kernels() == nullptr ||
+                          !simd::cpuSupportsAvx2()))
+            continue;
+        if (tier == 2 && (simd::avx512Kernels() == nullptr ||
+                          !simd::cpuSupportsAvx512()))
             continue;
         auto *bench = benchmark::RegisterBenchmark(
-            (std::string(name) + "/" + (avx2 ? "avx2" : "scalar"))
-                .c_str(),
-            fn, avx2);
+            (std::string(name) + "/" + tier_names[tier]).c_str(), fn,
+            tier);
         for (long arg : args)
             bench->Arg(arg);
     }
@@ -661,6 +791,8 @@ registerKernelBenchmarks()
                             BM_KernelSquaredDistance, {256, 1024});
     registerKernelBenchmark("BM_KernelGemmMicro", BM_KernelGemmMicro,
                             {64, 256});
+    registerKernelBenchmark("BM_KernelGemmDot", BM_KernelGemmDot,
+                            {64, 256});
     // MLP layer widths stay L2-resident (128^2 weights = 128 KiB):
     // beyond that both tiers are bandwidth-bound and the comparison
     // stops measuring the kernels.
@@ -668,6 +800,12 @@ registerKernelBenchmarks()
                             {64, 128});
     registerKernelBenchmark("BM_KernelMlpUpdate", BM_KernelMlpUpdate,
                             {64, 128});
+    // Paper-scale minibatch shapes: 28 is the MICA feature width, 128
+    // a comfortably wider layer that still stays cache-resident.
+    registerKernelBenchmark("BM_KernelBatchNets", BM_KernelBatchNets,
+                            {28, 128});
+    registerKernelBenchmark("BM_KernelGradAccum", BM_KernelGradAccum,
+                            {28, 128});
 }
 
 } // namespace

@@ -21,8 +21,8 @@ addBenchOptions(util::ArgParser &args)
                    "write machine-readable BENCH_*.json timing records "
                    "to this path", "");
     args.addOption("simd",
-                   "kernel dispatch tier: auto, scalar or avx2 "
-                   "(results are bit-identical across tiers)",
+                   "kernel dispatch tier: auto, scalar, avx2 or "
+                   "avx512 (results are bit-identical across tiers)",
                    "auto");
     args.addOption("metrics-out",
                    "write the metrics registry to this path after the "

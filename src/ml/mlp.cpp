@@ -84,6 +84,47 @@ scaleByDerivative(Activation act, std::size_t width,
     }
 }
 
+/**
+ * The minibatch momentum step: dw = step * grad + momentum * prev,
+ * applied elementwise over a whole layer's weights (or biases) once
+ * per batch — the per-sample engine pays this read-modify-write
+ * traffic once per SAMPLE, which is most of what the batched engine
+ * saves. Tier-independent plain code, so bit-identical everywhere.
+ */
+inline void
+momentumUpdate(double *__restrict w, double *__restrict prev,
+               const double *__restrict grad, double step,
+               double momentum, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dw = step * grad[i] + momentum * prev[i];
+        w[i] += dw;
+        prev[i] = dw;
+    }
+}
+
+/**
+ * The same momentum step with the gradient (and its momentum state)
+ * in unit-major [unit][input] order — the layout the outer-product
+ * gradient sweep fills — applied to the transposed [input][unit]
+ * weight storage. One strided pass per layer per batch; still plain
+ * elementwise arithmetic, so bit-identical in every tier.
+ */
+inline void
+momentumUpdateTransposed(double *__restrict w, double *__restrict prev,
+                         const double *__restrict grad, double step,
+                         double momentum, std::size_t in,
+                         std::size_t out)
+{
+    for (std::size_t r = 0; r < out; ++r)
+        for (std::size_t c = 0; c < in; ++c) {
+            const std::size_t g = r * in + c;
+            const double dw = step * grad[g] + momentum * prev[g];
+            w[c * out + r] += dw;
+            prev[g] = dw;
+        }
+}
+
 } // namespace
 
 void
@@ -127,6 +168,26 @@ MlpWorkspace::ensureEpochs(std::size_t epochs)
 {
     if (loss_.size() < epochs)
         loss_.resize(epochs);
+}
+
+void
+MlpWorkspace::ensureBatch(std::size_t rows)
+{
+    util::require(sizes_.size() >= 2,
+                  "MlpWorkspace::ensureBatch: call resize() first");
+    if (rows > batchRows_)
+        batchRows_ = rows;
+    // batchRows_ is the row stride of every per-layer block below, so
+    // the blocks only grow; a smaller batch reuses the larger layout.
+    const std::size_t total = uOff_.back() * batchRows_;
+    if (actsB_.size() < total)
+        actsB_.resize(total);
+    if (deltasB_.size() < total)
+        deltasB_.resize(total);
+    if (gradW_.size() < weights_.size())
+        gradW_.resize(weights_.size());
+    if (gradB_.size() < bias_.size())
+        gradB_.resize(bias_.size());
 }
 
 Mlp::Mlp(MlpConfig config) : config_(std::move(config))
@@ -195,6 +256,11 @@ Mlp::fit(const linalg::Matrix &x, const std::vector<double> &y,
     ws.resize(sizes);
     ws.ensureRows(xn.rows());
     ws.ensureEpochs(config_.epochs);
+    const bool batched = config_.batchSize != 1;
+    if (batched)
+        ws.ensureBatch(config_.batchSize == 0
+                           ? xn.rows()
+                           : std::min(config_.batchSize, xn.rows()));
 
     // Train, restarting with a halved learning rate if stochastic
     // backprop diverges (possible on very small training sets).
@@ -227,6 +293,8 @@ Mlp::fit(const linalg::Matrix &x, const std::vector<double> &y,
         layer.weights = linalg::Matrix(out, in);
         const double *wt = ws.weights_.data() + ws.wOff_[li];
         for (std::size_t r = 0; r < out; ++r) {
+            // Both engines train in the transposed [input][unit]
+            // layout; gather each unit's row out of it.
             double *row = layer.weights.rowData(r);
             for (std::size_t c = 0; c < in; ++c)
                 row[c] = wt[c * out + r];
@@ -249,6 +317,9 @@ bool
 Mlp::trainOnce(const linalg::Matrix &xn, const std::vector<double> &yn,
                double lr_base, std::uint64_t seed, MlpWorkspace &ws) const
 {
+    if (config_.batchSize != 1)
+        return trainOnceBatched(xn, yn, lr_base, seed, ws);
+
     const std::vector<std::size_t> &sizes = ws.sizes_;
     const std::size_t n_layers = sizes.size() - 1;
     // One dispatch lookup per fit; the per-sample loops below call the
@@ -352,6 +423,172 @@ Mlp::trainOnce(const linalg::Matrix &xn, const std::vector<double> &yn,
     return true;
 }
 
+bool
+Mlp::trainOnceBatched(const linalg::Matrix &xn,
+                      const std::vector<double> &yn, double lr_base,
+                      std::uint64_t seed, MlpWorkspace &ws) const
+{
+    const std::vector<std::size_t> &sizes = ws.sizes_;
+    const std::size_t n_layers = sizes.size() - 1;
+    const simd::KernelTable &kt = simd::kernels();
+    const std::size_t n = xn.rows();
+    const std::size_t batch = config_.batchSize == 0
+                                  ? n
+                                  : std::min(config_.batchSize, n);
+    // Row stride of the per-layer batch blocks; >= any bn used below.
+    const std::size_t stride = ws.batchRows_;
+
+    // Initialize weights with the exact RNG draw order of the
+    // per-sample engine (per layer, per output unit: incoming weights
+    // input-ascending, then the bias), so the same seed starts both
+    // engines from the identical network. Storage is the same
+    // transposed ([input][unit]) layout the per-sample engine uses:
+    // each layer is the panel whose rows the mlpBatchNets forward
+    // kernel streams contiguously, and publication needs no special
+    // case.
+    util::Rng rng(seed);
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        const std::size_t in = sizes[li];
+        const std::size_t out = sizes[li + 1];
+        double *__restrict wt = ws.weights_.data() + ws.wOff_[li];
+        double *__restrict bias = ws.bias_.data() + ws.uOff_[li + 1];
+        for (std::size_t r = 0; r < out; ++r) {
+            for (std::size_t c = 0; c < in; ++c)
+                wt[c * out + r] = rng.uniform(-config_.initWeightRange,
+                                              config_.initWeightRange);
+            bias[r] = rng.uniform(-config_.initWeightRange,
+                                  config_.initWeightRange);
+        }
+    }
+    std::fill(ws.prevDw_.begin(), ws.prevDw_.end(), 0.0);
+    std::fill(ws.prevDb_.begin(), ws.prevDb_.end(), 0.0);
+
+    for (std::size_t i = 0; i < n; ++i)
+        ws.visit_[i] = i;
+
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        if (config_.shuffleEachEpoch)
+            rng.shuffle(ws.visit_);
+        const double lr =
+            lr_base /
+            (1.0 + config_.learningRateDecay * static_cast<double>(epoch));
+
+        double sse = 0.0;
+        for (std::size_t b0 = 0; b0 < n; b0 += batch) {
+            const std::size_t bn = std::min(batch, n - b0);
+
+            // Gather the batch rows into the layer-0 activation block
+            // (visit order scatters them across xn).
+            const std::size_t in0 = sizes[0];
+            double *a0 = ws.actsB_.data();
+            for (std::size_t s = 0; s < bn; ++s) {
+                const double *src = xn.rowData(ws.visit_[b0 + s]);
+                std::copy(src, src + in0, a0 + s * in0);
+            }
+
+            // Forward: per layer, one whole-batch GEMM through the
+            // kernel table (each sample row gets the exact per-sample
+            // mlpLayerNets arithmetic, so the batched forward is
+            // bit-identical to the per-sample engine's; the in-kernel
+            // sample loop overlaps samples), then the activation
+            // sweep over the whole bn x out block.
+            for (std::size_t li = 0; li < n_layers; ++li) {
+                const std::size_t in = sizes[li];
+                const std::size_t out = sizes[li + 1];
+                const double *a_in =
+                    ws.actsB_.data() + ws.uOff_[li] * stride;
+                double *a_out =
+                    ws.actsB_.data() + ws.uOff_[li + 1] * stride;
+                const double *wt = ws.weights_.data() + ws.wOff_[li];
+                const double *bias = ws.bias_.data() + ws.uOff_[li + 1];
+                kt.mlpBatchNets(bn, in, out, a_in, in, wt, bias, a_out,
+                                out);
+                applyActivation(layerActivation(li, n_layers), bn * out,
+                                a_out);
+            }
+
+            // Output deltas and the epoch loss (batch order is visit
+            // order, so the sse accumulation is deterministic).
+            const double *preds =
+                ws.actsB_.data() + ws.uOff_[n_layers] * stride;
+            double *d_out =
+                ws.deltasB_.data() + ws.uOff_[n_layers] * stride;
+            const Activation out_act =
+                layerActivation(n_layers - 1, n_layers);
+            for (std::size_t s = 0; s < bn; ++s) {
+                const double err = yn[ws.visit_[b0 + s]] - preds[s];
+                sse += err * err;
+                d_out[s] =
+                    err * activateDerivativeFromOutput(out_act, preds[s]);
+            }
+
+            // Backward: the per-sample delta recurrence kernel over
+            // the transposed layout (canonical dot per unit against
+            // the successor layer's contiguous weight row; an
+            // elementwise product when the successor has one unit).
+            for (std::size_t lk = n_layers - 1; lk-- > 0;) {
+                const std::size_t width = sizes[lk + 1];
+                const std::size_t width_next = sizes[lk + 2];
+                double *d =
+                    ws.deltasB_.data() + ws.uOff_[lk + 1] * stride;
+                const double *d_next =
+                    ws.deltasB_.data() + ws.uOff_[lk + 2] * stride;
+                const double *w_next =
+                    ws.weights_.data() + ws.wOff_[lk + 1];
+                for (std::size_t s = 0; s < bn; ++s)
+                    kt.mlpLayerDeltas(width, width_next, w_next,
+                                      d_next + s * width_next,
+                                      d + s * width);
+                scaleByDerivative(layerActivation(lk, n_layers),
+                                  bn * width,
+                                  ws.actsB_.data() +
+                                      ws.uOff_[lk + 1] * stride,
+                                  d);
+            }
+
+            // Gradient sums over the batch: the fused batch kernel
+            // overwrites gw with sample-ascending rank-1 adds from
+            // zero (elementwise, so tier-independent — identical bits
+            // to a per-sample accumulation sweep), then ONE batch-mean
+            // momentum update per layer. The gradient matrix is
+            // unit-major ([unit][input], contiguous rows); the
+            // momentum step transposes it onto the [input][unit]
+            // weight storage once per batch.
+            for (std::size_t lk = 0; lk < n_layers; ++lk) {
+                const std::size_t in = sizes[lk];
+                const std::size_t out = sizes[lk + 1];
+                double *gw = ws.gradW_.data() + ws.wOff_[lk];
+                double *gb = ws.gradB_.data() + ws.uOff_[lk + 1];
+                std::fill(gb, gb + out, 0.0);
+                const double *a_in =
+                    ws.actsB_.data() + ws.uOff_[lk] * stride;
+                const double *d =
+                    ws.deltasB_.data() + ws.uOff_[lk + 1] * stride;
+                kt.mlpGradAccum(bn, out, in, d, out, a_in, in, gw);
+                for (std::size_t s = 0; s < bn; ++s)
+                    kt.axpy(gb, d + s * out, 1.0, out);
+                const double step = lr / static_cast<double>(bn);
+                momentumUpdateTransposed(
+                    ws.weights_.data() + ws.wOff_[lk],
+                    ws.prevDw_.data() + ws.wOff_[lk], gw, step,
+                    config_.momentum, in, out);
+                momentumUpdate(ws.bias_.data() + ws.uOff_[lk + 1],
+                               ws.prevDb_.data() + ws.uOff_[lk + 1], gb,
+                               step, config_.momentum, out);
+            }
+        }
+        ws.loss_[epoch] = sse / static_cast<double>(n);
+        const double bound =
+            config_.divergenceFactor * std::max(ws.loss_[0], 1e-6);
+        if (!std::isfinite(ws.loss_[epoch]) || ws.loss_[epoch] > bound) {
+            mlpMetrics().epochs.inc(epoch + 1);
+            return false;
+        }
+    }
+    mlpMetrics().epochs.inc(config_.epochs);
+    return true;
+}
+
 std::vector<std::vector<double>>
 Mlp::forward(const std::vector<double> &input) const
 {
@@ -403,25 +640,26 @@ Mlp::predict(const linalg::Matrix &x) const
     util::require(trained_, "Mlp::predict: model not trained");
     util::require(x.cols() == input_size_,
                   "Mlp::predict: feature count mismatch");
-    // Batched forward pass: one layer-sized sweep per layer instead of
-    // per-row temporaries. acts is rows x layer-width throughout;
-    // weights are out x in, so both operands stream row-contiguously.
-    // Each unit computes bias + canonical dot — the exact arithmetic
-    // of forward() — so batch and scalar predictions are bit-identical
-    // at every dispatch tier.
+    // Batched forward pass: one blocked canonical-dot GEMM per layer
+    // (simd::gemmDot) instead of per-row temporaries. acts is
+    // rows x layer-width throughout; weights are out x in, so both
+    // GEMM operands stream row-contiguously and a panel of weight
+    // rows stays cache-hot across all input rows. Each output entry
+    // is still bias + canonical dot — the exact arithmetic of
+    // forward() — so batch and scalar predictions are bit-identical
+    // at every dispatch tier and any gemmDot block size.
     linalg::Matrix acts =
         config_.normalize ? featureNorm_.transform(x) : x;
+    const simd::KernelTable &kt = simd::kernels();
     for (const Layer &layer : layers_) {
-        linalg::Matrix net(acts.rows(), layer.weights.rows());
-        for (std::size_t r = 0; r < acts.rows(); ++r) {
-            const double *act_row = acts.rowData(r);
-            for (std::size_t u = 0; u < layer.weights.rows(); ++u) {
-                const double sum =
-                    layer.bias[u] + simd::dot(layer.weights.rowData(u),
-                                              act_row, acts.cols());
-                net(r, u) = activate(layer.activation, sum);
-            }
-        }
+        const std::size_t out = layer.weights.rows();
+        linalg::Matrix net(acts.rows(), out);
+        simd::gemmDot(kt, acts.rows(), out, acts.cols(),
+                      acts.rowData(0), acts.cols(),
+                      layer.weights.rowData(0), layer.weights.cols(),
+                      layer.bias.data(), net.rowData(0), out);
+        applyActivation(layer.activation, acts.rows() * out,
+                        net.rowData(0));
         acts = std::move(net);
     }
     std::vector<double> out(x.rows());

@@ -52,6 +52,20 @@ struct MlpConfig
     /** Visit training rows in random order each epoch. */
     bool shuffleEachEpoch = true;
     /**
+     * Training batch size. 1 (the default) is WEKA's per-sample
+     * stochastic backprop — the exact per-sample code path, bit-
+     * unchanged. Any other value selects the GEMM-backed minibatch
+     * engine: 0 trains full-batch, k > 1 trains on minibatches of k
+     * rows (the last batch of an epoch may be smaller). One momentum
+     * update per layer per batch is applied with the batch-mean
+     * gradient, and the epoch's forward/backward passes run as blocked
+     * GEMM calls through the simd kernel table. Batched training is a
+     * different (deterministic) optimization trajectory than
+     * per-sample SGD, but like every path in this repo it is
+     * bit-identical across dispatch tiers and thread counts.
+     */
+    std::size_t batchSize = 1;
+    /**
      * Stochastic backprop with a fixed step can diverge on tiny
      * training sets (the transposition setting trains on as few as 3
      * machines). When the epoch loss turns non-finite or grows beyond
@@ -96,6 +110,14 @@ class MlpWorkspace
     /** Grows the loss record for `epochs` epochs. */
     void ensureEpochs(std::size_t epochs);
 
+    /**
+     * Sizes the minibatch buffers (batch activations, batch deltas,
+     * gradient accumulators) for `rows` samples per batch. Requires
+     * resize() to have fixed the architecture first. No-op when
+     * already at least that large.
+     */
+    void ensureBatch(std::size_t rows);
+
     /** Layer widths the buffers are currently sized for. */
     const std::vector<std::size_t> &layerSizes() const { return sizes_; }
 
@@ -117,6 +139,19 @@ class MlpWorkspace
     std::vector<double> deltas_;     ///< per-layer dE/d(net) of one sample
     std::vector<double> loss_;       ///< per-epoch MSE of the current run
     std::vector<std::size_t> visit_; ///< row visit order of one epoch
+
+    // Minibatch-engine buffers (batchSize != 1). The batched engine
+    // stores weights_ UNIT-major ([unit][input], input index fastest)
+    // so each unit's weight vector is a contiguous GEMM operand; the
+    // per-sample engine keeps the transposed [input][unit] layout
+    // above. A workspace is only ever warm for one engine at a time —
+    // trainOnce reinitializes all weights per fit either way.
+    std::size_t batchRows_ = 0;      ///< rows the batch buffers hold
+    std::vector<double> gradW_;      ///< batch weight-gradient sums
+    std::vector<double> gradB_;      ///< batch bias-gradient sums
+    std::vector<double> actsB_;      ///< per-layer outputs, batch-wide
+                                     ///< (layer i at uOff_[i] * rows)
+    std::vector<double> deltasB_;    ///< per-layer deltas, batch-wide
 };
 
 /**
@@ -198,6 +233,22 @@ class Mlp
     bool trainOnce(const linalg::Matrix &xn, const std::vector<double> &yn,
                    double lr_base, std::uint64_t seed,
                    MlpWorkspace &ws) const;
+
+    /**
+     * The GEMM-backed minibatch engine (config_.batchSize != 1): the
+     * per-epoch forward and backward passes over each batch run as
+     * whole-batch kernel-table calls (mlpBatchNets for forward nets,
+     * the per-sample mlpLayerDeltas recurrence, and mlpGradAccum plus
+     * an axpy sweep for the gradient sums) with one batch-mean
+     * momentum update per layer per batch. Weights live input-major
+     * in the workspace so the forward kernel streams weight rows
+     * contiguously; the momentum step transposes the unit-major
+     * gradient back onto that layout. Same divergence/restart
+     * protocol as trainOnce.
+     */
+    bool trainOnceBatched(const linalg::Matrix &xn,
+                          const std::vector<double> &yn, double lr_base,
+                          std::uint64_t seed, MlpWorkspace &ws) const;
 
     /** Activation of layer `li` out of `n_layers`. */
     Activation

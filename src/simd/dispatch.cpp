@@ -3,10 +3,11 @@
  * Tier selection for the SIMD kernel layer. Resolution happens once,
  * on the first kernels() call:
  *
- *   1. DTRANK_SIMD=scalar|avx2 in the environment wins (an
- *      unavailable request logs a warning and falls back to scalar);
- *   2. otherwise the best tier both the CPU (cpuid) and the binary
- *      (compile flags) support.
+ *   1. DTRANK_SIMD=scalar|avx2|avx512 in the environment wins (an
+ *      unavailable request logs a warning and falls back to the best
+ *      remaining tier);
+ *   2. otherwise the widest tier both the CPU (cpuid) and the binary
+ *      (compile flags) support: avx512 > avx2 > scalar.
  *
  * --simd on the CLI binaries routes through requestTier() after flag
  * parsing, overriding whatever the environment resolved.
@@ -29,6 +30,8 @@ namespace
 const KernelTable *
 tableFor(Tier tier)
 {
+    if (tier == Tier::Avx512)
+        return avx512Kernels();
     if (tier == Tier::Avx2)
         return avx2Kernels();
     return &scalarKernels();
@@ -52,7 +55,9 @@ resolveFromEnvironment()
 {
     const char *env = std::getenv("DTRANK_SIMD");
     const Tier tier = resolveTier(env, cpuSupportsAvx2(),
-                                  avx2Kernels() != nullptr);
+                                  avx2Kernels() != nullptr,
+                                  cpuSupportsAvx512(),
+                                  avx512Kernels() != nullptr);
     return tableFor(tier);
 }
 
@@ -63,6 +68,16 @@ cpuSupportsAvx2()
 {
 #if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
     return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+bool
+cpuSupportsAvx512()
+{
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx512f") != 0;
 #else
     return false;
 #endif
@@ -95,6 +110,8 @@ cpuFeatureString()
 const char *
 tierName(Tier tier)
 {
+    if (tier == Tier::Avx512)
+        return "avx512";
     return tier == Tier::Avx2 ? "avx2" : "scalar";
 }
 
@@ -105,17 +122,26 @@ parseTier(const std::string &name)
         return Tier::Scalar;
     if (name == "avx2")
         return Tier::Avx2;
+    if (name == "avx512")
+        return Tier::Avx512;
     throw util::InvalidArgument("simd::parseTier: unknown tier '" +
-                                name + "' (expected scalar or avx2)");
+                                name +
+                                "' (expected scalar, avx2 or avx512)");
 }
 
 Tier
-resolveTier(const char *override_name, bool cpu_avx2, bool avx2_compiled)
+resolveTier(const char *override_name, bool cpu_avx2,
+            bool avx2_compiled, bool cpu_avx512, bool avx512_compiled)
 {
     const bool avx2_available = cpu_avx2 && avx2_compiled;
+    const bool avx512_available = cpu_avx512 && avx512_compiled;
+    const Tier widest = avx512_available
+                            ? Tier::Avx512
+                            : (avx2_available ? Tier::Avx2
+                                              : Tier::Scalar);
     if (override_name == nullptr || override_name[0] == '\0' ||
         std::string(override_name) == "auto")
-        return avx2_available ? Tier::Avx2 : Tier::Scalar;
+        return widest;
 
     Tier requested = Tier::Scalar;
     try {
@@ -124,6 +150,16 @@ resolveTier(const char *override_name, bool cpu_avx2, bool avx2_compiled)
         util::warn(std::string("DTRANK_SIMD/--simd value '") +
                    override_name + "' not recognized; using scalar");
         return Tier::Scalar;
+    }
+    if (requested == Tier::Avx512 && !avx512_available) {
+        util::warn(std::string("avx512 tier requested but ") +
+                   (avx512_compiled ? "the CPU does not report AVX-512F"
+                                    : "the binary was built without "
+                                      "AVX-512 support") +
+                   "; using " +
+                   tierName(avx2_available ? Tier::Avx2
+                                           : Tier::Scalar));
+        return avx2_available ? Tier::Avx2 : Tier::Scalar;
     }
     if (requested == Tier::Avx2 && !avx2_available) {
         util::warn(std::string("avx2 tier requested but ") +
@@ -152,7 +188,10 @@ kernels()
 Tier
 activeTier()
 {
-    return &kernels() == avx2Kernels() ? Tier::Avx2 : Tier::Scalar;
+    const KernelTable *active = &kernels();
+    if (active == avx512Kernels())
+        return Tier::Avx512;
+    return active == avx2Kernels() ? Tier::Avx2 : Tier::Scalar;
 }
 
 void
@@ -160,10 +199,15 @@ setTier(Tier tier)
 {
     const KernelTable *table = tableFor(tier);
     util::require(table != nullptr,
-                  "simd::setTier: avx2 tier not compiled into this "
-                  "binary");
+                  tier == Tier::Avx512
+                      ? "simd::setTier: avx512 tier not compiled into "
+                        "this binary"
+                      : "simd::setTier: avx2 tier not compiled into "
+                        "this binary");
     util::require(tier != Tier::Avx2 || cpuSupportsAvx2(),
                   "simd::setTier: CPU does not report AVX2");
+    util::require(tier != Tier::Avx512 || cpuSupportsAvx512(),
+                  "simd::setTier: CPU does not report AVX-512F");
     activeSlot().store(table, std::memory_order_relaxed);
 }
 
@@ -172,7 +216,8 @@ requestTier(Tier tier)
 {
     const Tier resolved =
         resolveTier(tierName(tier), cpuSupportsAvx2(),
-                    avx2Kernels() != nullptr);
+                    avx2Kernels() != nullptr, cpuSupportsAvx512(),
+                    avx512Kernels() != nullptr);
     activeSlot().store(tableFor(resolved), std::memory_order_relaxed);
     return resolved;
 }

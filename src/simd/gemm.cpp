@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The blocked canonical-dot GEMM. Portable: all arithmetic runs
+ * through the kernel table it is handed, so the TU itself needs no
+ * target flags and one implementation serves every tier.
+ *
+ * C = bias + A * B^T with every C entry computed as one
+ * canonical-reduction dot product. Blocking reorders only the (i, j)
+ * traversal — each entry's arithmetic is a single kt.dot call plus the
+ * bias add — so the bits match the naive two-loop formulation exactly.
+ * The panel shape is chosen for the serving/training hot path: a
+ * kColBlock panel of B rows (for the MLP, unit-major weight vectors)
+ * stays resident in L1/L2 while every A row streams past it once.
+ */
+
+#include "simd/simd.h"
+
+#include <algorithm>
+
+namespace dtrank::simd
+{
+
+namespace
+{
+
+/** B rows per panel: 16 rows x 64 columns of doubles = 8 KiB. */
+constexpr std::size_t kColBlock = 16;
+
+/** A rows per panel, bounding the C working set per pass. */
+constexpr std::size_t kRowBlock = 256;
+
+} // namespace
+
+void
+gemmDot(const KernelTable &kt, std::size_t m, std::size_t n,
+        std::size_t k, const double *a, std::size_t lda,
+        const double *b, std::size_t ldb, const double *bias,
+        double *c, std::size_t ldc)
+{
+    for (std::size_t i0 = 0; i0 < m; i0 += kRowBlock) {
+        const std::size_t i1 = std::min(m, i0 + kRowBlock);
+        for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+            const std::size_t j1 = std::min(n, j0 + kColBlock);
+            for (std::size_t i = i0; i < i1; ++i) {
+                const double *a_row = a + i * lda;
+                double *c_row = c + i * ldc;
+                for (std::size_t j = j0; j < j1; ++j) {
+                    const double d = kt.dot(a_row, b + j * ldb, k);
+                    c_row[j] = bias != nullptr ? bias[j] + d : d;
+                }
+            }
+        }
+    }
+}
+
+} // namespace dtrank::simd

@@ -387,6 +387,175 @@ mlpUpdateLayerAvx2(std::size_t in, std::size_t out, double lr,
     }
 }
 
+/** Lane mask for the first `live` of 4 lanes (maskload semantics). */
+inline __m256i
+laneMask4(std::size_t live)
+{
+    const long long kAll = -1;
+    return _mm256_setr_epi64x(live > 0 ? kAll : 0, live > 1 ? kAll : 0,
+                              live > 2 ? kAll : 0, live > 3 ? kAll : 0);
+}
+
+void
+mlpBatchNetsAvx2(std::size_t bn, std::size_t in, std::size_t out,
+                 const double *a, std::size_t lda, const double *wt,
+                 const double *bias, double *c, std::size_t ldc)
+{
+    if (out == 1) {
+        // Single-unit layer with a contiguous weight column: one
+        // canonical dot per sample, like the per-sample engine.
+        for (std::size_t s = 0; s < bn; ++s)
+            c[s * ldc] = bias[0] + dotAvx2(wt, a + s * lda, in);
+        return;
+    }
+    // Per sample: bias init, then input-ascending rank-1 adds with a
+    // register accumulator per unit block — element (s, r) sees the
+    // exact add sequence of the scalar mlpLayerNets loop. Samples are
+    // tiled in fours so one weight-row load feeds four independent
+    // accumulator chains; a lone chain is in * add-latency cycles of
+    // exposed latency, four of them run at FP throughput instead.
+    std::size_t s = 0;
+    for (; s + 4 <= bn; s += 4) {
+        const double *a0 = a + s * lda;
+        const double *a1 = a0 + lda;
+        const double *a2 = a1 + lda;
+        const double *a3 = a2 + lda;
+        double *c0 = c + s * ldc;
+        double *c1 = c0 + ldc;
+        double *c2 = c1 + ldc;
+        double *c3 = c2 + ldc;
+        std::size_t r = 0;
+        for (; r + 4 <= out; r += 4) {
+            const __m256d b0 = _mm256_loadu_pd(bias + r);
+            __m256d x0 = b0, x1 = b0, x2 = b0, x3 = b0;
+            for (std::size_t k = 0; k < in; ++k) {
+                const __m256d w = _mm256_loadu_pd(wt + k * out + r);
+                x0 = _mm256_add_pd(
+                    x0, _mm256_mul_pd(_mm256_set1_pd(a0[k]), w));
+                x1 = _mm256_add_pd(
+                    x1, _mm256_mul_pd(_mm256_set1_pd(a1[k]), w));
+                x2 = _mm256_add_pd(
+                    x2, _mm256_mul_pd(_mm256_set1_pd(a2[k]), w));
+                x3 = _mm256_add_pd(
+                    x3, _mm256_mul_pd(_mm256_set1_pd(a3[k]), w));
+            }
+            _mm256_storeu_pd(c0 + r, x0);
+            _mm256_storeu_pd(c1 + r, x1);
+            _mm256_storeu_pd(c2 + r, x2);
+            _mm256_storeu_pd(c3 + r, x3);
+        }
+        if (r < out) {
+            const __m256i mask = laneMask4(out - r);
+            const __m256d b0 = _mm256_maskload_pd(bias + r, mask);
+            __m256d x0 = b0, x1 = b0, x2 = b0, x3 = b0;
+            for (std::size_t k = 0; k < in; ++k) {
+                const __m256d w =
+                    _mm256_maskload_pd(wt + k * out + r, mask);
+                x0 = _mm256_add_pd(
+                    x0, _mm256_mul_pd(_mm256_set1_pd(a0[k]), w));
+                x1 = _mm256_add_pd(
+                    x1, _mm256_mul_pd(_mm256_set1_pd(a1[k]), w));
+                x2 = _mm256_add_pd(
+                    x2, _mm256_mul_pd(_mm256_set1_pd(a2[k]), w));
+                x3 = _mm256_add_pd(
+                    x3, _mm256_mul_pd(_mm256_set1_pd(a3[k]), w));
+            }
+            _mm256_maskstore_pd(c0 + r, mask, x0);
+            _mm256_maskstore_pd(c1 + r, mask, x1);
+            _mm256_maskstore_pd(c2 + r, mask, x2);
+            _mm256_maskstore_pd(c3 + r, mask, x3);
+        }
+    }
+    for (; s < bn; ++s) {
+        const double *as = a + s * lda;
+        double *cs = c + s * ldc;
+        std::size_t r = 0;
+        for (; r + 4 <= out; r += 4) {
+            __m256d acc = _mm256_loadu_pd(bias + r);
+            for (std::size_t k = 0; k < in; ++k)
+                acc = _mm256_add_pd(
+                    acc,
+                    _mm256_mul_pd(_mm256_set1_pd(as[k]),
+                                  _mm256_loadu_pd(wt + k * out + r)));
+            _mm256_storeu_pd(cs + r, acc);
+        }
+        if (r < out) {
+            const __m256i mask = laneMask4(out - r);
+            __m256d acc = _mm256_maskload_pd(bias + r, mask);
+            for (std::size_t k = 0; k < in; ++k)
+                acc = _mm256_add_pd(
+                    acc, _mm256_mul_pd(
+                             _mm256_set1_pd(as[k]),
+                             _mm256_maskload_pd(wt + k * out + r,
+                                                mask)));
+            _mm256_maskstore_pd(cs + r, mask, acc);
+        }
+    }
+}
+
+
+/**
+ * One column block of the batched gradient, all rows. Rows are tiled
+ * in fours so one activation load feeds four accumulator chains —
+ * without the tiling the s-loop is one long add-latency chain per
+ * (row, block) and the loads outnumber the arithmetic.
+ */
+inline void
+gradAccumPanelAvx2(std::size_t bn, std::size_t out, std::size_t in,
+                   const double *d, std::size_t ldd, const double *a,
+                   std::size_t lda, double *gw, std::size_t c,
+                   std::size_t live)
+{
+    const __m256i mask = laneMask4(live);
+    std::size_t r = 0;
+    for (; r + 4 <= out; r += 4) {
+        __m256d acc0 = _mm256_setzero_pd(), acc1 = acc0, acc2 = acc0,
+                acc3 = acc0;
+        for (std::size_t s = 0; s < bn; ++s) {
+            const __m256d av =
+                _mm256_maskload_pd(a + s * lda + c, mask);
+            const double *ds = d + s * ldd + r;
+            acc0 = _mm256_add_pd(
+                acc0, _mm256_mul_pd(_mm256_set1_pd(ds[0]), av));
+            acc1 = _mm256_add_pd(
+                acc1, _mm256_mul_pd(_mm256_set1_pd(ds[1]), av));
+            acc2 = _mm256_add_pd(
+                acc2, _mm256_mul_pd(_mm256_set1_pd(ds[2]), av));
+            acc3 = _mm256_add_pd(
+                acc3, _mm256_mul_pd(_mm256_set1_pd(ds[3]), av));
+        }
+        _mm256_maskstore_pd(gw + (r + 0) * in + c, mask, acc0);
+        _mm256_maskstore_pd(gw + (r + 1) * in + c, mask, acc1);
+        _mm256_maskstore_pd(gw + (r + 2) * in + c, mask, acc2);
+        _mm256_maskstore_pd(gw + (r + 3) * in + c, mask, acc3);
+    }
+    for (; r < out; ++r) {
+        __m256d acc = _mm256_setzero_pd();
+        for (std::size_t s = 0; s < bn; ++s)
+            acc = _mm256_add_pd(
+                acc, _mm256_mul_pd(
+                         _mm256_set1_pd(d[s * ldd + r]),
+                         _mm256_maskload_pd(a + s * lda + c, mask)));
+        _mm256_maskstore_pd(gw + r * in + c, mask, acc);
+    }
+}
+
+void
+mlpGradAccumAvx2(std::size_t bn, std::size_t out, std::size_t in,
+                 const double *d, std::size_t ldd, const double *a,
+                 std::size_t lda, double *gw)
+{
+    // Register accumulators swept over all samples, stored once. Each
+    // gw element still sees zero-init plus sample-ascending adds — the
+    // same bits as a read-modify-write sweep — but without bn
+    // store-forwarding round trips per element.
+    std::size_t c = 0;
+    for (; c + 4 <= in; c += 4)
+        gradAccumPanelAvx2(bn, out, in, d, ldd, a, lda, gw, c, 4);
+    if (c < in)
+        gradAccumPanelAvx2(bn, out, in, d, ldd, a, lda, gw, c, in - c);
+}
+
 } // namespace
 
 const KernelTable *
@@ -406,6 +575,8 @@ avx2Kernels()
         mlpLayerNetsAvx2,
         mlpLayerDeltasAvx2,
         mlpUpdateLayerAvx2,
+        mlpBatchNetsAvx2,
+        mlpGradAccumAvx2,
     };
     return &kTable;
 }

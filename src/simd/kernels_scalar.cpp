@@ -239,6 +239,43 @@ mlpUpdateLayerScalar(std::size_t in, std::size_t out, double lr,
     }
 }
 
+void
+mlpBatchNetsScalar(std::size_t bn, std::size_t in, std::size_t out,
+                   const double *__restrict a, std::size_t lda,
+                   const double *__restrict wt,
+                   const double *__restrict bias, double *__restrict c,
+                   std::size_t ldc)
+{
+    // Row s is exactly mlpLayerNets on sample s, so the batched
+    // forward is bit-identical to the per-sample engine's.
+    for (std::size_t s = 0; s < bn; ++s)
+        mlpLayerNetsScalar(in, out, wt, bias, a + s * lda,
+                           c + s * ldc);
+}
+
+void
+mlpGradAccumScalar(std::size_t bn, std::size_t out, std::size_t in,
+                   const double *__restrict d, std::size_t ldd,
+                   const double *__restrict a, std::size_t lda,
+                   double *__restrict gw)
+{
+    // Zero-init then sample-ascending rank-1 adds: element (r, c)
+    // receives ((0.0 + t_0) + t_1) + ... — the association the vector
+    // tiers reproduce with register accumulators.
+    for (std::size_t i = 0; i < out * in; ++i)
+        gw[i] = 0.0;
+    for (std::size_t s = 0; s < bn; ++s) {
+        const double *__restrict ds = d + s * ldd;
+        const double *__restrict as = a + s * lda;
+        for (std::size_t r = 0; r < out; ++r) {
+            const double dr = ds[r];
+            double *__restrict row = gw + r * in;
+            for (std::size_t c = 0; c < in; ++c)
+                row[c] += dr * as[c];
+        }
+    }
+}
+
 } // namespace
 
 const KernelTable &
@@ -258,6 +295,8 @@ scalarKernels()
         mlpLayerNetsScalar,
         mlpLayerDeltasScalar,
         mlpUpdateLayerScalar,
+        mlpBatchNetsScalar,
+        mlpGradAccumScalar,
     };
     return kTable;
 }

@@ -4,11 +4,14 @@
  * loops: dot products, axpy/scale sweeps, the blocked GEMM microkernel,
  * the kNN distance evaluations and the MLP layer micro-ops.
  *
- * Two tiers implement the same kernel table:
+ * Three tiers implement the same kernel table:
  *   - scalar  portable C++, compiles and runs everywhere;
  *   - avx2    256-bit AVX2 intrinsics, selected at startup when the
  *             CPU reports AVX2 support (overridable with --simd or the
- *             DTRANK_SIMD environment variable).
+ *             DTRANK_SIMD environment variable);
+ *   - avx512  512-bit AVX-512F intrinsics, selected when the CPU
+ *             reports avx512f (same overrides; an unavailable request
+ *             falls back to the best remaining tier).
  *
  * # The canonical reduction contract
  *
@@ -31,10 +34,13 @@
  *
  * The scalar tier spells this order out with 16 named partials; the
  * AVX2 tier reaches it with four vector accumulators and the exact
- * fold above. Fused multiply-add is deliberately NOT used in either
- * tier: FMA rounds once where mul+add rounds twice, so an FMA tier
- * could never be bit-identical to a portable one (see the
- * DTRANK_NATIVE note in the top-level CMakeLists.txt).
+ * fold above; the AVX-512 tier holds the same 16 partials in two zmm
+ * registers and folds halves so each 256-bit lane-add lands on the
+ * identical (s[l] + s[l+4]) + (s[l+8] + s[l+12]) association. Fused
+ * multiply-add is deliberately NOT used in any tier: FMA rounds once
+ * where mul+add rounds twice, so an FMA tier could never be
+ * bit-identical to a portable one (see the DTRANK_NATIVE note in the
+ * top-level CMakeLists.txt).
  *
  * Elementwise kernels (axpy, scale, mul_add, the GEMM microkernel
  * inner sweep, the MLP update) never sum across elements, so they are
@@ -54,6 +60,7 @@ enum class Tier
 {
     Scalar = 0,
     Avx2 = 1,
+    Avx512 = 2,
 };
 
 /**
@@ -137,6 +144,44 @@ struct KernelTable
                            double momentum, const double *in_act,
                            double *d, double *wt, double *pwt,
                            double *bias, double *pb);
+
+    /**
+     * Whole-minibatch layer forward (a blocked GEMM): for every
+     * sample s < bn, computes the row
+     *     c[s * ldc + r] = bias[r] + sum over k of
+     *                      a[s * lda + k] * wt[k * out + r]
+     * with EXACTLY the arithmetic of mlpLayerNets on row s: bias
+     * init, then input-ascending rank-1 adds (and the out == 1 case
+     * is one canonical-reduction dot per sample, like the per-sample
+     * engine's single-unit path). Each output element is a plain
+     * sequential sum, elementwise across (s, r), so any lane width
+     * lands on the same bits — and the minibatch forward is
+     * bit-identical to running the per-sample forward row by row.
+     * Vector tiers broadcast a[s][k] against contiguous rows of the
+     * transposed ([input][unit]) weight panel and keep a register
+     * accumulator per unit block across the whole input loop; the
+     * in-kernel sample loop lets the pipeline overlap independent
+     * samples' chains instead of paying an indirect call per sample.
+     */
+    void (*mlpBatchNets)(std::size_t bn, std::size_t in, std::size_t out,
+                         const double *a, std::size_t lda,
+                         const double *wt, const double *bias, double *c,
+                         std::size_t ldc);
+
+    /**
+     * Batched gradient accumulation (a sum of rank-1 outer products):
+     *     gw[r * in + c] = sum over s of d[s * ldd + r] * a[s * lda + c]
+     * for r < out, c < in, OVERWRITING gw. Every element's sum starts
+     * from 0.0 and adds its per-sample products in ascending s order —
+     * plain sequential adds, elementwise across (r, c) — so any lane
+     * width and any loop nesting lands on the same bits. Vector tiers
+     * keep the accumulators in registers across the whole sample loop,
+     * which is what makes the minibatch MLP gradient pass cheaper than
+     * per-sample read-modify-write sweeps.
+     */
+    void (*mlpGradAccum)(std::size_t bn, std::size_t out, std::size_t in,
+                         const double *d, std::size_t ldd,
+                         const double *a, std::size_t lda, double *gw);
 };
 
 /** The portable reference tier. Always available. */
@@ -148,8 +193,18 @@ const KernelTable &scalarKernels();
  */
 const KernelTable *avx2Kernels();
 
+/**
+ * The AVX-512 tier, or null when the binary was built without AVX-512
+ * support (non-x86 target or a compiler without -mavx512f). Uses only
+ * the AVX512F subset so any avx512f CPU can run it.
+ */
+const KernelTable *avx512Kernels();
+
 /** True when the running CPU reports AVX2 (cpuid). */
 bool cpuSupportsAvx2();
+
+/** True when the running CPU reports AVX-512 Foundation (cpuid). */
+bool cpuSupportsAvx512();
 
 /**
  * Comma-separated feature flags of the running CPU relevant to the
@@ -158,7 +213,7 @@ bool cpuSupportsAvx2();
  */
 std::string cpuFeatureString();
 
-/** "scalar" or "avx2". */
+/** "scalar", "avx2" or "avx512". */
 const char *tierName(Tier tier);
 
 /** Inverse of tierName. @throws util::InvalidArgument on anything else. */
@@ -167,11 +222,15 @@ Tier parseTier(const std::string &name);
 /**
  * Pure tier-resolution rule (unit-testable): an override string (from
  * DTRANK_SIMD or --simd; null/empty/"auto" means no override) against
- * what the CPU and the binary provide. Unavailable override requests
- * fall back to Scalar.
+ * what the CPU and the binary provide. "auto" picks the widest
+ * available tier (avx512 > avx2 > scalar). An unavailable avx512
+ * request falls back to the widest remaining tier; an unavailable
+ * avx2 request falls back to Scalar. The avx512 arguments default to
+ * "absent" so the PR 4 three-argument truth table keeps its meaning.
  */
 Tier resolveTier(const char *override_name, bool cpu_avx2,
-                 bool avx2_compiled);
+                 bool avx2_compiled, bool cpu_avx512 = false,
+                 bool avx512_compiled = false);
 
 /**
  * The active table. Resolved once on first use from DTRANK_SIMD and
@@ -197,9 +256,37 @@ void setTier(Tier tier);
  */
 Tier requestTier(Tier tier);
 
+/**
+ * Blocked "canonical-dot GEMM": with A row-major m x k (leading
+ * dimension lda) and B row-major n x k (ldb), computes
+ *
+ *     c[i * ldc + j] = (bias ? bias[j] : 0) + dot(A row i, B row j, k)
+ *
+ * i.e. C = bias + A * B^T where every output entry is ONE
+ * canonical-reduction dot product. The blocking only reorders which
+ * (i, j) entries are computed when — never the arithmetic inside an
+ * entry — so the result is bit-identical to the naive per-entry
+ * `bias[j] + kt.dot(...)` loop, in every tier, at any block size.
+ * This is the workhorse of the minibatch MLP forward pass and the
+ * batched predict: B rows are the transposed operand (for the MLP,
+ * unit-major weight rows), kept hot in cache across a panel of A rows.
+ */
+void gemmDot(const KernelTable &kt, std::size_t m, std::size_t n,
+             std::size_t k, const double *a, std::size_t lda,
+             const double *b, std::size_t ldb, const double *bias,
+             double *c, std::size_t ldc);
+
 // ---------------------------------------------------------------------
 // Convenience dispatchers: the names consumers call.
 // ---------------------------------------------------------------------
+
+inline void
+gemmDot(std::size_t m, std::size_t n, std::size_t k, const double *a,
+        std::size_t lda, const double *b, std::size_t ldb,
+        const double *bias, double *c, std::size_t ldc)
+{
+    gemmDot(kernels(), m, n, k, a, lda, b, ldb, bias, c, ldc);
+}
 
 inline double
 dot(const double *a, const double *b, std::size_t n)
@@ -230,6 +317,22 @@ gemmMicro(std::size_t k, std::size_t n, const double *a, const double *b,
           std::size_t ldb, double *c)
 {
     kernels().gemmMicro(k, n, a, b, ldb, c);
+}
+
+inline void
+mlpBatchNets(std::size_t bn, std::size_t in, std::size_t out,
+             const double *a, std::size_t lda, const double *wt,
+             const double *bias, double *c, std::size_t ldc)
+{
+    kernels().mlpBatchNets(bn, in, out, a, lda, wt, bias, c, ldc);
+}
+
+inline void
+mlpGradAccum(std::size_t bn, std::size_t out, std::size_t in,
+             const double *d, std::size_t ldd, const double *a,
+             std::size_t lda, double *gw)
+{
+    kernels().mlpGradAccum(bn, out, in, d, ldd, a, lda, gw);
 }
 
 inline double

@@ -42,6 +42,29 @@ poolMetrics()
     return metrics;
 }
 
+/**
+ * The queue-depth gauge moves in exactly two places — one push site,
+ * one take site — no matter which deque a task lands in or which
+ * worker ends up stealing it. Centralizing the accounting is what
+ * keeps the gauge from drifting negative or leaking now that tasks
+ * can change hands: a steal is NOT a pop-then-repush, it is a single
+ * take, so it touches the gauge exactly once.
+ */
+void
+notePushed()
+{
+    poolMetrics().queue_depth.add(1);
+}
+
+/** The matching single take site (local pop and remote steal alike). */
+void
+noteTaken()
+{
+    PoolMetrics &metrics = poolMetrics();
+    metrics.queue_depth.add(-1);
+    metrics.tasks.inc();
+}
+
 } // namespace
 
 std::size_t
@@ -56,6 +79,9 @@ ParallelConfig::resolved() const
 ThreadPool::ThreadPool(std::size_t workers)
 {
     require(workers >= 1, "ThreadPool: needs at least one worker");
+    queues_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i)
         workers_.emplace_back([this, i] { workerLoop(i + 1); });
@@ -64,7 +90,7 @@ ThreadPool::ThreadPool(std::size_t workers)
 ThreadPool::~ThreadPool()
 {
     {
-        LockGuard lock(mutex_);
+        LockGuard lock(sleep_mutex_);
         stopping_ = true;
     }
     wake_.notify_all();
@@ -73,24 +99,79 @@ ThreadPool::~ThreadPool()
 }
 
 void
+ThreadPool::post(std::function<void()> task)
+{
+    // Reserve under the sleep lock first so a sleeping worker can
+    // never observe "nothing pending" after this push becomes visible
+    // (no lost wakeup); a worker that races ahead of the push below
+    // simply rescans the deques.
+    {
+        LockGuard lock(sleep_mutex_);
+        require(!stopping_, "ThreadPool::post: pool is shutting down");
+        ++pending_;
+    }
+    const std::size_t home =
+        next_submit_.fetch_add(1, std::memory_order_relaxed) %
+        queues_.size();
+    {
+        LockGuard lock(queues_[home]->mutex);
+        queues_[home]->tasks.push_back(std::move(task));
+    }
+    notePushed();
+    wake_.notify_one();
+}
+
+bool
+ThreadPool::takeTask(std::size_t self, std::function<void()> &task)
+{
+    const std::size_t n = queues_.size();
+    for (std::size_t v = 0; v < n; ++v) {
+        const std::size_t q = (self + v) % n;
+        WorkerQueue &wq = *queues_[q];
+        bool got = false;
+        {
+            LockGuard lock(wq.mutex);
+            if (!wq.tasks.empty()) {
+                if (q == self) {
+                    // Own deque: newest task (cache-warm LIFO end).
+                    task = std::move(wq.tasks.back());
+                    wq.tasks.pop_back();
+                } else {
+                    // Steal: oldest task (cold FIFO end), so the
+                    // owner and the thief fight over opposite ends.
+                    task = std::move(wq.tasks.front());
+                    wq.tasks.pop_front();
+                }
+                got = true;
+            }
+        }
+        if (got) {
+            noteTaken();
+            LockGuard lock(sleep_mutex_);
+            --pending_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
 ThreadPool::workerLoop(std::size_t slot)
 {
     t_inside_worker = true;
     t_worker_slot = slot;
     PoolMetrics &metrics = poolMetrics();
+    const std::size_t self = slot - 1;
     for (;;) {
         std::function<void()> task;
-        {
-            LockGuard lock(mutex_);
-            while (!stopping_ && queue_.empty())
-                wake_.wait(mutex_);
-            if (queue_.empty())
-                return; // stopping_ and nothing left to do
-            task = std::move(queue_.front());
-            queue_.pop_front();
+        if (!takeTask(self, task)) {
+            LockGuard lock(sleep_mutex_);
+            while (!stopping_ && pending_ == 0)
+                wake_.wait(sleep_mutex_);
+            if (stopping_ && pending_ == 0)
+                return; // drained: nothing queued or in flight to take
+            continue;   // something was pushed (or is mid-push): rescan
         }
-        metrics.queue_depth.add(-1);
-        metrics.tasks.inc();
         const auto started = obs::monotonicNow();
         task(); // packaged_task captures any exception for the future
         metrics.task_seconds.observe(obs::secondsSince(started));
@@ -109,10 +190,67 @@ ThreadPool::workerSlot()
     return t_worker_slot;
 }
 
-void
-ThreadPool::noteEnqueued()
+TaskGroup::~TaskGroup()
 {
-    poolMetrics().queue_depth.add(1);
+    LockGuard lock(mutex_);
+    while (active_ != 0)
+        done_.wait(mutex_);
+}
+
+void
+TaskGroup::run(std::function<void()> fn)
+{
+    if (ThreadPool::insideWorker()) {
+        // Same rule as nested parallelFor regions: a pool worker runs
+        // nested work inline instead of queueing it, which also means
+        // wait() cannot deadlock on a fully busy pool.
+        try {
+            fn();
+        } catch (...) {
+            recordError(std::current_exception());
+        }
+        return;
+    }
+    {
+        LockGuard lock(mutex_);
+        ++active_;
+    }
+    pool_.post([this, fn = std::move(fn)] {
+        std::exception_ptr error;
+        try {
+            fn();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        if (error)
+            recordError(error);
+        LockGuard lock(mutex_);
+        if (--active_ == 0)
+            done_.notify_all();
+    });
+}
+
+void
+TaskGroup::wait()
+{
+    std::exception_ptr error;
+    {
+        LockGuard lock(mutex_);
+        while (active_ != 0)
+            done_.wait(mutex_);
+        error = error_;
+        error_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+TaskGroup::recordError(std::exception_ptr error)
+{
+    LockGuard lock(mutex_);
+    if (!error_)
+        error_ = error;
 }
 
 void
@@ -129,25 +267,28 @@ parallelFor(std::size_t threads, std::size_t count,
         return;
     }
 
+    // Chunk ownership is static (iteration i is dealt to deque
+    // i mod workers by post); stealing only moves who executes an
+    // iteration, and every iteration writes disjoint state, so the
+    // results match the serial loop bit for bit.
     ThreadPool pool(workers);
-    std::vector<std::future<void>> pending;
-    pending.reserve(count);
+    TaskGroup group(pool);
+    std::vector<std::exception_ptr> errors(count);
     for (std::size_t i = 0; i < count; ++i)
-        pending.push_back(pool.submit([&body, i] { body(i); }));
+        group.run([&body, &errors, i] {
+            try {
+                body(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    group.wait();
 
-    // Wait for everything, then rethrow the lowest-indexed failure so
-    // error reporting is as deterministic as the results.
-    std::exception_ptr first_error;
-    for (std::future<void> &f : pending) {
-        try {
-            f.get();
-        } catch (...) {
-            if (!first_error)
-                first_error = std::current_exception();
-        }
-    }
-    if (first_error)
-        std::rethrow_exception(first_error);
+    // Rethrow the lowest-indexed failure so error reporting is as
+    // deterministic as the results.
+    for (const std::exception_ptr &error : errors)
+        if (error)
+            std::rethrow_exception(error);
 }
 
 } // namespace dtrank::util

@@ -1,24 +1,36 @@
 /**
  * @file
- * Fixed-size thread pool and data-parallel loop helpers.
+ * Work-stealing thread pool and data-parallel loop helpers.
  *
  * The experiment protocols decompose into independent (split, method,
  * held-out benchmark) tasks whose seeds are derived from their indices,
  * so they may run in any order — and therefore concurrently — without
  * changing a single bit of the results. parallelFor/parallelMap are the
- * only entry points the rest of the code base uses; both fall back to a
+ * main entry points the rest of the code base uses; both fall back to a
  * plain serial loop when one thread is requested, when there is at most
  * one task, or when already executing inside a pool worker (nested
  * parallel regions run inline instead of oversubscribing the machine).
+ *
+ * Scheduling: each worker owns a deque. Submissions are dealt
+ * round-robin across the deques (task i lands in deque i mod workers —
+ * static, submission-order ownership), a worker pops its own deque LIFO
+ * (newest first, cache-warm) and steals FIFO from the other deques'
+ * cold ends when its own runs dry. Stealing only changes WHICH thread
+ * executes a task, never what the task computes or where it writes, so
+ * results stay bit-identical to a serial run at any thread count — the
+ * same determinism contract the single-queue pool upheld, without its
+ * one-hot-mutex bottleneck under many short unbalanced tasks.
  */
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -46,11 +58,13 @@ struct ParallelConfig
 };
 
 /**
- * A fixed set of worker threads consuming a FIFO task queue.
+ * A fixed set of worker threads scheduling tasks by work stealing (see
+ * the file comment for the deque discipline).
  *
  * Tasks are submitted as callables; submit() returns a future through
- * which the task's result — or the exception it threw — is delivered.
- * The destructor drains outstanding tasks and joins all workers.
+ * which the task's result — or the exception it threw — is delivered,
+ * while post() is the fire-and-forget path TaskGroup builds on. The
+ * destructor drains outstanding tasks and joins all workers.
  */
 class ThreadPool
 {
@@ -65,7 +79,7 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Number of worker threads. */
-    std::size_t workerCount() const { return workers_.size(); }
+    std::size_t workerCount() const { return queues_.size(); }
 
     /**
      * Enqueues a callable; the returned future yields its result or
@@ -79,16 +93,18 @@ class ThreadPool
         auto task = std::make_shared<std::packaged_task<R()>>(
             std::forward<F>(f));
         std::future<R> result = task->get_future();
-        {
-            LockGuard lock(mutex_);
-            require(!stopping_, "ThreadPool::submit: pool is shutting "
-                                "down");
-            queue_.emplace_back([task] { (*task)(); });
-        }
-        noteEnqueued();
-        wake_.notify_one();
+        post([task] { (*task)(); });
         return result;
     }
+
+    /**
+     * Enqueues a fire-and-forget task (no future, no allocation beyond
+     * the std::function). The task must not throw anything it wants
+     * observed — exceptions escaping a posted task terminate, exactly
+     * like a detached thread; route errors through TaskGroup or
+     * submit() instead.
+     */
+    void post(std::function<void()> task);
 
     /**
      * True when called from inside a pool worker thread (of any pool).
@@ -106,17 +122,89 @@ class ThreadPool
     static std::size_t workerSlot();
 
   private:
+    /** One worker's deque with its own lock, so local pops and remote
+     *  steals only contend pairwise, never across the whole pool. */
+    struct WorkerQueue
+    {
+        Mutex mutex;
+        std::deque<std::function<void()>> tasks
+            DTRANK_GUARDED_BY(mutex);
+    };
+
     void workerLoop(std::size_t slot);
 
-    /** Observability hook for submit(): keeps the queue-depth gauge
-     *  and task counter out of this header (obs depends on it). */
-    void noteEnqueued();
+    /**
+     * Pops the calling worker's newest local task, or failing that
+     * steals the oldest task of another worker (scanning from
+     * (self + 1) mod workers). False when every deque is empty.
+     */
+    bool takeTask(std::size_t self, std::function<void()> &task);
 
+    /** Sized in the constructor, immutable afterwards (unique_ptr
+     *  because Mutex is neither movable nor copyable). */
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
     std::vector<std::thread> workers_;
-    Mutex mutex_;
+
+    /** Round-robin deal position for post(). */
+    std::atomic<std::size_t> next_submit_{0};
+
+    /** Sleep/shutdown state, shared because an idle worker must be
+     *  wakeable by a push to ANY deque (it will steal from it). */
+    Mutex sleep_mutex_;
     CondVar wake_;
-    std::deque<std::function<void()>> queue_ DTRANK_GUARDED_BY(mutex_);
-    bool stopping_ DTRANK_GUARDED_BY(mutex_) = false;
+    std::size_t pending_ DTRANK_GUARDED_BY(sleep_mutex_) = 0;
+    bool stopping_ DTRANK_GUARDED_BY(sleep_mutex_) = false;
+};
+
+/**
+ * Structured fork/join over a ThreadPool: run() hands tasks to the
+ * pool, wait() blocks until every one of them finished and rethrows
+ * the first recorded failure (first by completion; wrap tasks when a
+ * deterministic choice among multiple failures matters, as parallelFor
+ * does). A group is reusable after wait() returns.
+ *
+ * Called from inside a pool worker, run() executes the task inline on
+ * the calling thread — the same no-oversubscription rule nested
+ * parallelFor regions follow — so nested groups cannot deadlock a
+ * fully busy pool.
+ *
+ * The pool must outlive the group. Not thread safe: one thread drives
+ * run()/wait(); the tasks themselves run concurrently.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool) : pool_(pool) {}
+
+    /** Blocks until outstanding tasks finish. Errors a wait() never
+     *  observed are discarded — prefer calling wait(). */
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /**
+     * Schedules fn on the pool (inline when already on a pool worker).
+     * An exception thrown by fn is captured and rethrown by the next
+     * wait(), never propagated out of run().
+     */
+    void run(std::function<void()> fn);
+
+    /**
+     * Blocks until every task passed to run() has finished; rethrows
+     * the first captured task exception, if any, and resets it.
+     */
+    void wait();
+
+  private:
+    /** Records a task's failure (keeps only the first). */
+    void recordError(std::exception_ptr error);
+
+    ThreadPool &pool_;
+    Mutex mutex_;
+    CondVar done_;
+    std::size_t active_ DTRANK_GUARDED_BY(mutex_) = 0;
+    std::exception_ptr error_ DTRANK_GUARDED_BY(mutex_);
 };
 
 /**
@@ -150,4 +238,3 @@ parallelMap(std::size_t threads, std::size_t count, Fn &&fn)
 }
 
 } // namespace dtrank::util
-

@@ -146,6 +146,48 @@ TEST(BenchCompareRule, TierMismatchSkipsInsteadOfFailing)
     EXPECT_NE(rendered.find("tier mismatch"), std::string::npos);
 }
 
+TEST(BenchCompareParse, AcceptsEveryKnownTierAndRejectsUnknownOnes)
+{
+    // avx512 is a first-class tier value: same-tier avx512 runs must
+    // parse and compare like any other.
+    for (const std::string tier : {"scalar", "avx2", "avx512"}) {
+        const Report report =
+            parseReport("r", singleEntryReport(100.0, tier));
+        EXPECT_EQ(report.simdTier, tier);
+    }
+    // Anything else is a corrupted or future report: refuse it.
+    EXPECT_THROW(parseReport("r", singleEntryReport(100.0, "avx512f")),
+                 std::runtime_error);
+    EXPECT_THROW(parseReport("r", singleEntryReport(100.0, "neon")),
+                 std::runtime_error);
+    EXPECT_THROW(parseReport("r", singleEntryReport(100.0, "AVX2")),
+                 std::runtime_error);
+}
+
+TEST(BenchCompareRule, SameTierAvx512RunsCompareNormally)
+{
+    const Report base =
+        parseReport("b", singleEntryReport(100.0, "avx512"));
+    const Report over =
+        parseReport("c", singleEntryReport(200.0, "avx512"));
+    const CompareResult result = compareReports(base, over, 25.0);
+    EXPECT_FALSE(result.tierMismatch);
+    ASSERT_EQ(result.deltas.size(), 1u);
+    EXPECT_TRUE(result.deltas[0].regression);
+}
+
+TEST(BenchCompareRule, Avx512AgainstAvx2IsATierMismatch)
+{
+    const Report base =
+        parseReport("b", singleEntryReport(100.0, "avx2"));
+    const Report faster =
+        parseReport("c", singleEntryReport(60.0, "avx512"));
+    const CompareResult result = compareReports(base, faster, 25.0);
+    EXPECT_TRUE(result.tierMismatch);
+    EXPECT_TRUE(result.deltas.empty());
+    EXPECT_EQ(result.regressions, 0u);
+}
+
 TEST(BenchCompareRule, MissingTierContextStillCompares)
 {
     // Old reports without a context section must stay comparable.

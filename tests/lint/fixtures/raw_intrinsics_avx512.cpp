@@ -1,0 +1,6 @@
+// Fixture: AVX-512 intrinsics, legal only under src/simd/.
+void scaleInPlace(double *a)
+{
+    __m512d v = _mm512_mul_pd(_mm512_loadu_pd(a), _mm512_set1_pd(2.0));
+    _mm512_storeu_pd(a, v);
+}

@@ -78,6 +78,13 @@ TEST(DtrankLint, FloatFixtureFiresOnlyInNumericKernels)
         EXPECT_EQ(findings[0].rule, "no-float-kernel");
         EXPECT_EQ(findings[0].line, 3u);
     }
+    // The rule covers every TU under a kernel dir, including the
+    // AVX-512 kernel table added alongside this test.
+    const auto avx512_tu =
+        lintFixtureAs("float_kernel.cpp", "src/simd/kernels_avx512.cpp");
+    ASSERT_EQ(avx512_tu.size(), 1u);
+    EXPECT_EQ(avx512_tu[0].rule, "no-float-kernel");
+
     // float is allowed outside the numeric kernels (e.g. dataset I/O).
     EXPECT_TRUE(
         lintFixtureAs("float_kernel.cpp", "src/dataset/ok.cpp").empty());
@@ -142,6 +149,27 @@ TEST(DtrankLint, RawIntrinsicsFixtureFiresEverywhereButSimd)
     EXPECT_TRUE(
         lintFixtureAs("raw_intrinsics.cpp", "src/simd/kernels_avx2.cpp")
             .empty());
+}
+
+TEST(DtrankLint, Avx512IntrinsicsFixtureFiresOutsideSimd)
+{
+    const auto findings =
+        lintFixtureAs("raw_intrinsics_avx512.cpp", "src/ml/bad.cpp");
+    ASSERT_EQ(findings.size(), 2u);
+    for (const Finding &finding : findings)
+        EXPECT_EQ(finding.rule, "no-raw-intrinsics");
+    EXPECT_EQ(findings[0].line, 4u); // __m512d + _mm512_mul_pd/loadu
+    EXPECT_EQ(findings[1].line, 5u); // _mm512_storeu_pd
+
+    // Benches and tools must also go through the dispatch layer.
+    EXPECT_FALSE(
+        lintFixtureAs("raw_intrinsics_avx512.cpp", "tools/foo.cpp")
+            .empty());
+
+    // The AVX-512 kernel TU sits in the one allowed home.
+    EXPECT_TRUE(lintFixtureAs("raw_intrinsics_avx512.cpp",
+                              "src/simd/kernels_avx512.cpp")
+                    .empty());
 }
 
 TEST(DtrankLint, RawClockFixtureFiresOutsideObsAndBench)

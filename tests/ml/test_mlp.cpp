@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "ml/mlp.h"
+#include "simd/simd.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -233,6 +234,149 @@ TEST(Mlp, BatchPredictIsBitIdenticalOnWideNetworks)
     ASSERT_EQ(batch.size(), 30u);
     for (std::size_t r = 0; r < 30; ++r)
         EXPECT_EQ(batch[r], net.predict(x.row(r))) << "row " << r;
+}
+
+TEST(Mlp, MinibatchConvergesOnLinearFunction)
+{
+    // The GEMM-backed minibatch engine is a different optimization
+    // trajectory than per-sample SGD, but it must still learn. Cover
+    // full-batch (0) and a batch size that leaves a partial final
+    // batch (40 % 16 = 8 rows).
+    util::Rng rng(1);
+    Matrix x(40, 2);
+    std::vector<double> y(40);
+    for (std::size_t i = 0; i < 40; ++i) {
+        x(i, 0) = rng.uniform(0.0, 10.0);
+        x(i, 1) = rng.uniform(0.0, 10.0);
+        y[i] = 2.0 * x(i, 0) - x(i, 1) + 1.0;
+    }
+    for (std::size_t batch : {std::size_t{0}, std::size_t{16}}) {
+        ml::MlpConfig config = fastConfig();
+        config.epochs = 2000;
+        config.batchSize = batch;
+        ml::Mlp net(config);
+        net.fit(x, y);
+        EXPECT_TRUE(net.trained());
+        double max_err = 0.0;
+        for (std::size_t i = 0; i < 40; ++i)
+            max_err = std::max(
+                max_err, std::fabs(net.predict(x.row(i)) - y[i]));
+        const double y_range = 31.0;
+        EXPECT_LT(max_err / y_range, 0.08) << "batch=" << batch;
+    }
+}
+
+TEST(Mlp, MinibatchLossDecreasesAndIsDeterministic)
+{
+    util::Rng rng(2);
+    Matrix x(30, 3);
+    std::vector<double> y(30);
+    for (std::size_t i = 0; i < 30; ++i) {
+        for (std::size_t c = 0; c < 3; ++c)
+            x(i, c) = rng.uniform(-1.0, 1.0);
+        y[i] = x(i, 0) + 0.5 * x(i, 1);
+    }
+    ml::MlpConfig config = fastConfig();
+    config.batchSize = 8;
+    ml::Mlp a(config);
+    ml::Mlp b(config);
+    a.fit(x, y);
+    b.fit(x, y);
+    const auto &loss = a.lossHistory();
+    ASSERT_EQ(loss.size(), config.epochs);
+    EXPECT_LT(loss.back(), loss.front());
+    // Same seed, same batch size: bit-identical runs.
+    EXPECT_EQ(a.lossHistory(), b.lossHistory());
+    const auto pa = a.predict(x);
+    const auto pb = b.predict(x);
+    EXPECT_EQ(pa, pb);
+}
+
+TEST(Mlp, MinibatchMatchesAcrossBatchedWorkspaceReuse)
+{
+    // One workspace reused for a per-sample fit, then a batched fit,
+    // then per-sample again: each engine relays out the weights it
+    // needs (per-sample transposed, batched unit-major), so reuse must
+    // not contaminate results.
+    Matrix x{{1}, {2}, {3}, {4}};
+    const std::vector<double> y = {2, 4, 6, 8};
+
+    ml::MlpConfig per_sample = fastConfig();
+    ml::MlpConfig batched = fastConfig();
+    batched.batchSize = 0;
+
+    ml::Mlp fresh_ps(per_sample);
+    fresh_ps.fit(x, y);
+    ml::Mlp fresh_b(batched);
+    fresh_b.fit(x, y);
+
+    ml::MlpWorkspace ws;
+    ml::Mlp a(per_sample);
+    a.fit(x, y, ws);
+    ml::Mlp b(batched);
+    b.fit(x, y, ws);
+    ml::Mlp c(per_sample);
+    c.fit(x, y, ws);
+
+    const std::vector<double> probe{2.5};
+    EXPECT_EQ(a.predict(probe), fresh_ps.predict(probe));
+    EXPECT_EQ(b.predict(probe), fresh_b.predict(probe));
+    EXPECT_EQ(c.predict(probe), fresh_ps.predict(probe));
+}
+
+TEST(Mlp, MinibatchBitIdenticalAcrossSimdTiers)
+{
+    // The minibatch trajectory differs from per-sample SGD, but like
+    // every path in the repo it must be bit-identical across dispatch
+    // tiers: the GEMM forward is canonical dots, the delta recurrence
+    // and gradient sweeps are elementwise.
+    util::Rng rng(7);
+    Matrix x(30, 5);
+    std::vector<double> y(30);
+    for (std::size_t i = 0; i < 30; ++i) {
+        for (std::size_t c = 0; c < 5; ++c)
+            x(i, c) = rng.uniform(-3.0, 3.0);
+        y[i] = x(i, 0) - 2.0 * x(i, 3);
+    }
+    ml::MlpConfig config = fastConfig();
+    config.epochs = 60;
+    config.hiddenLayers = {17, 6}; // >16 inputs: full canonical blocks
+    config.batchSize = 8;
+
+    const simd::Tier saved = simd::activeTier();
+    simd::setTier(simd::Tier::Scalar);
+    ml::Mlp ref(config);
+    ref.fit(x, y);
+    const auto ref_loss = ref.lossHistory();
+    const auto ref_pred = ref.predict(x);
+
+    for (simd::Tier tier : {simd::Tier::Avx2, simd::Tier::Avx512}) {
+        if (simd::requestTier(tier) != tier)
+            continue; // tier unavailable on this build/CPU
+        ml::Mlp net(config);
+        net.fit(x, y);
+        EXPECT_EQ(net.lossHistory(), ref_loss)
+            << simd::tierName(tier);
+        EXPECT_EQ(net.predict(x), ref_pred) << simd::tierName(tier);
+    }
+    simd::setTier(saved);
+}
+
+TEST(Mlp, MinibatchTinyTrainingSetDoesNotDiverge)
+{
+    // The batched engine shares the divergence/restart protocol; the
+    // 3-machine transposition regime must stay finite under it too.
+    Matrix x{{100, 200, 300}, {110, 220, 330}, {90, 180, 270}};
+    const std::vector<double> y = {50, 55, 45};
+    ml::MlpConfig config;
+    config.epochs = 500;
+    config.batchSize = 0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        config.seed = seed;
+        ml::Mlp net(config);
+        net.fit(x, y);
+        EXPECT_TRUE(std::isfinite(net.trainingMse())) << seed;
+    }
 }
 
 TEST(Mlp, NoNormalizationModeWorksOnCenteredData)

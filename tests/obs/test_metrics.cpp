@@ -251,4 +251,37 @@ TEST(ObsMetrics, GlobalRegistryCarriesThreadPoolMetrics)
               0);
 }
 
+TEST(ObsMetrics, QueueDepthIsExactAtQuiescenceUnderStealing)
+{
+    // The work-stealing pool updates the queue-depth gauge in exactly
+    // one push site and one take site, so no matter how many tasks
+    // change hands between deques the merged gauge must return to
+    // exactly zero once the pool has drained — not negative (a steal
+    // double-counted as a take) and not positive (a stolen task's
+    // push leaked). The task counter must advance by exactly the
+    // number of submissions. Unbalanced task costs force steals;
+    // mid-flight the sharded relaxed gauge may read anything, so only
+    // the quiescent value is contractual.
+    obs::Gauge &depth = obs::MetricsRegistry::global().gauge(
+        "dtrank_thread_pool_queue_depth");
+    obs::Counter &tasks = obs::MetricsRegistry::global().counter(
+        "dtrank_thread_pool_tasks_total");
+    const std::int64_t depth_before = depth.value();
+    const std::uint64_t tasks_before = tasks.value();
+    const std::size_t count = 200;
+    {
+        util::ThreadPool pool(4);
+        for (std::size_t i = 0; i < count; ++i)
+            pool.post([i] {
+                volatile double sink = 0.0;
+                const int spins = i % 7 == 0 ? 10000 : 20;
+                for (int s = 0; s < spins; ++s)
+                    sink = sink + 1.0;
+            });
+    }
+    EXPECT_EQ(depth.value(), depth_before);
+    EXPECT_EQ(depth.value(), 0);
+    EXPECT_EQ(tasks.value(), tasks_before + count);
+}
+
 } // namespace

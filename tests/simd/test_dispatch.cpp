@@ -37,14 +37,23 @@ avx2Available()
     return simd::cpuSupportsAvx2() && simd::avx2Kernels() != nullptr;
 }
 
+bool
+avx512Available()
+{
+    return simd::cpuSupportsAvx512() &&
+           simd::avx512Kernels() != nullptr;
+}
+
 TEST(SimdCpuid, FeatureStringIsConsistentWithAvx2Probe)
 {
     const std::string features = simd::cpuFeatureString();
     EXPECT_FALSE(features.empty());
-    // The avx2 probe and the feature string must agree — both come from
-    // cpuid, through the same builtin.
+    // The avx2/avx512 probes and the feature string must agree — all
+    // come from cpuid, through the same builtin.
     EXPECT_EQ(simd::cpuSupportsAvx2(),
               features.find("avx2") != std::string::npos);
+    EXPECT_EQ(simd::cpuSupportsAvx512(),
+              features.find("avx512f") != std::string::npos);
 #if defined(__x86_64__)
     // Baseline x86-64 guarantees SSE2; "none" would mean detection is
     // broken, not that the CPU is ancient.
@@ -67,19 +76,31 @@ TEST(SimdCpuid, Avx2TableNameMatchesWhenCompiled)
     EXPECT_STREQ(simd::avx2Kernels()->name, "avx2");
 }
 
+TEST(SimdCpuid, Avx512TableNameMatchesWhenCompiled)
+{
+    if (simd::avx512Kernels() == nullptr)
+        GTEST_SKIP() << "binary built without AVX-512 support";
+    EXPECT_STREQ(simd::avx512Kernels()->name, "avx512");
+}
+
 TEST(SimdTierNames, RoundTrip)
 {
     EXPECT_STREQ(simd::tierName(Tier::Scalar), "scalar");
     EXPECT_STREQ(simd::tierName(Tier::Avx2), "avx2");
+    EXPECT_STREQ(simd::tierName(Tier::Avx512), "avx512");
     EXPECT_EQ(simd::parseTier("scalar"), Tier::Scalar);
     EXPECT_EQ(simd::parseTier("avx2"), Tier::Avx2);
+    EXPECT_EQ(simd::parseTier("avx512"), Tier::Avx512);
     EXPECT_THROW(simd::parseTier("sse2"), util::InvalidArgument);
     EXPECT_THROW(simd::parseTier(""), util::InvalidArgument);
     EXPECT_THROW(simd::parseTier("AVX2"), util::InvalidArgument);
+    EXPECT_THROW(simd::parseTier("avx512f"), util::InvalidArgument);
 }
 
 TEST(SimdResolveTier, AutoPicksBestAvailable)
 {
+    // The PR 4 three-argument truth table keeps its meaning (the
+    // avx512 legs default to absent).
     EXPECT_EQ(simd::resolveTier(nullptr, true, true), Tier::Avx2);
     EXPECT_EQ(simd::resolveTier("", true, true), Tier::Avx2);
     EXPECT_EQ(simd::resolveTier("auto", true, true), Tier::Avx2);
@@ -87,6 +108,18 @@ TEST(SimdResolveTier, AutoPicksBestAvailable)
     EXPECT_EQ(simd::resolveTier(nullptr, false, true), Tier::Scalar);
     EXPECT_EQ(simd::resolveTier(nullptr, true, false), Tier::Scalar);
     EXPECT_EQ(simd::resolveTier(nullptr, false, false), Tier::Scalar);
+    // avx512 outranks avx2 when both legs are present.
+    EXPECT_EQ(simd::resolveTier(nullptr, true, true, true, true),
+              Tier::Avx512);
+    EXPECT_EQ(simd::resolveTier("auto", true, true, true, true),
+              Tier::Avx512);
+    EXPECT_EQ(simd::resolveTier(nullptr, true, true, false, true),
+              Tier::Avx2);
+    EXPECT_EQ(simd::resolveTier(nullptr, true, true, true, false),
+              Tier::Avx2);
+    // avx512-capable CPU without AVX2 kernels still degrades cleanly.
+    EXPECT_EQ(simd::resolveTier(nullptr, false, false, true, true),
+              Tier::Avx512);
 }
 
 TEST(SimdResolveTier, ExplicitRequestsAndFallbacks)
@@ -99,6 +132,19 @@ TEST(SimdResolveTier, ExplicitRequestsAndFallbacks)
     EXPECT_EQ(simd::resolveTier("avx2", true, true), Tier::Avx2);
     EXPECT_EQ(simd::resolveTier("avx2", false, true), Tier::Scalar);
     EXPECT_EQ(simd::resolveTier("avx2", true, false), Tier::Scalar);
+    // avx2 stays honored even when avx512 is also available.
+    EXPECT_EQ(simd::resolveTier("avx2", true, true, true, true),
+              Tier::Avx2);
+    // avx512 is honored when available and falls back to the widest
+    // remaining tier when not.
+    EXPECT_EQ(simd::resolveTier("avx512", true, true, true, true),
+              Tier::Avx512);
+    EXPECT_EQ(simd::resolveTier("avx512", true, true, false, true),
+              Tier::Avx2);
+    EXPECT_EQ(simd::resolveTier("avx512", true, true, true, false),
+              Tier::Avx2);
+    EXPECT_EQ(simd::resolveTier("avx512", false, false, false, false),
+              Tier::Scalar);
     // Unknown env values warn and fall back rather than abort startup.
     EXPECT_EQ(simd::resolveTier("neon", true, true), Tier::Scalar);
 }
@@ -113,6 +159,11 @@ TEST_F(SimdDispatch, SetTierSwitchesTheActiveTable)
         EXPECT_EQ(simd::activeTier(), Tier::Avx2);
         EXPECT_STREQ(simd::kernels().name, "avx2");
     }
+    if (avx512Available()) {
+        simd::setTier(Tier::Avx512);
+        EXPECT_EQ(simd::activeTier(), Tier::Avx512);
+        EXPECT_STREQ(simd::kernels().name, "avx512");
+    }
 }
 
 TEST_F(SimdDispatch, SetTierThrowsWhenAvx2Unavailable)
@@ -122,6 +173,14 @@ TEST_F(SimdDispatch, SetTierThrowsWhenAvx2Unavailable)
     EXPECT_THROW(simd::setTier(Tier::Avx2), util::InvalidArgument);
 }
 
+TEST_F(SimdDispatch, SetTierThrowsWhenAvx512Unavailable)
+{
+    if (avx512Available())
+        GTEST_SKIP()
+            << "AVX-512 available; the strict path cannot fail";
+    EXPECT_THROW(simd::setTier(Tier::Avx512), util::InvalidArgument);
+}
+
 TEST_F(SimdDispatch, RequestTierReturnsWhatItSelected)
 {
     EXPECT_EQ(simd::requestTier(Tier::Scalar), Tier::Scalar);
@@ -129,6 +188,17 @@ TEST_F(SimdDispatch, RequestTierReturnsWhatItSelected)
     const Tier granted = simd::requestTier(Tier::Avx2);
     EXPECT_EQ(granted,
               avx2Available() ? Tier::Avx2 : Tier::Scalar);
+    EXPECT_EQ(simd::activeTier(), granted);
+}
+
+TEST_F(SimdDispatch, RequestAvx512FallsBackToWidestRemainingTier)
+{
+    const Tier granted = simd::requestTier(Tier::Avx512);
+    if (avx512Available())
+        EXPECT_EQ(granted, Tier::Avx512);
+    else
+        EXPECT_EQ(granted,
+                  avx2Available() ? Tier::Avx2 : Tier::Scalar);
     EXPECT_EQ(simd::activeTier(), granted);
 }
 

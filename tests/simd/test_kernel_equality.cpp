@@ -1,15 +1,19 @@
 /**
  * @file
- * Exhaustive scalar <-> AVX2 bit-equality over the full kernel table.
- * Lengths 1..67 cover every (full-block, 4-lane, remainder) phase of
- * the canonical lane-blocked reduction several times over; the GEMM
- * and MLP shapes stress remainder-heavy panels. Every comparison is
- * EXPECT_EQ on the doubles — bit identity, not tolerance — because
- * that is the contract the dispatch layer sells.
+ * Exhaustive scalar <-> vector-tier bit-equality over the full kernel
+ * table, run once per vector tier (AVX2 and AVX-512) through a
+ * value-parameterized fixture. Lengths 1..67 cover every (full-block,
+ * lane, remainder) phase of the canonical lane-blocked reduction
+ * several times over; the GEMM and MLP shapes stress remainder-heavy
+ * panels. Every comparison is EXPECT_EQ on the doubles — bit identity,
+ * not tolerance — because that is the contract the dispatch layer
+ * sells. A tier the build or CPU lacks skips its instantiation
+ * cleanly (the runtime probe half of the CI avx512 guard).
  */
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "simd/simd.h"
@@ -44,21 +48,36 @@ weightOperand(std::size_t n, std::uint64_t seed)
     return v;
 }
 
-class KernelEquality : public ::testing::Test
+class KernelEquality : public ::testing::TestWithParam<simd::Tier>
 {
   protected:
     void SetUp() override
     {
-        if (simd::avx2Kernels() == nullptr || !simd::cpuSupportsAvx2())
-            GTEST_SKIP() << "AVX2 tier unavailable on this build/CPU";
-        avx2_ = simd::avx2Kernels();
+        switch (GetParam()) {
+          case simd::Tier::Avx2:
+            if (simd::avx2Kernels() == nullptr ||
+                !simd::cpuSupportsAvx2())
+                GTEST_SKIP()
+                    << "AVX2 tier unavailable on this build/CPU";
+            vec_ = simd::avx2Kernels();
+            break;
+          case simd::Tier::Avx512:
+            if (simd::avx512Kernels() == nullptr ||
+                !simd::cpuSupportsAvx512())
+                GTEST_SKIP()
+                    << "AVX-512 tier unavailable on this build/CPU";
+            vec_ = simd::avx512Kernels();
+            break;
+          default:
+            FAIL() << "parameterized over vector tiers only";
+        }
     }
 
     const simd::KernelTable &scalar_ = simd::scalarKernels();
-    const simd::KernelTable *avx2_ = nullptr;
+    const simd::KernelTable *vec_ = nullptr;
 };
 
-TEST_F(KernelEquality, ReductionsAgreeOnEveryLength)
+TEST_P(KernelEquality, ReductionsAgreeOnEveryLength)
 {
     for (std::size_t n = 1; n <= kMaxLen; ++n) {
         SCOPED_TRACE("n=" + std::to_string(n));
@@ -66,24 +85,24 @@ TEST_F(KernelEquality, ReductionsAgreeOnEveryLength)
         const auto b = operand(n, 200 + n);
         const auto w = weightOperand(n, 300 + n);
         EXPECT_EQ(scalar_.dot(a.data(), b.data(), n),
-                  avx2_->dot(a.data(), b.data(), n));
+                  vec_->dot(a.data(), b.data(), n));
         EXPECT_EQ(scalar_.squaredDistance(a.data(), b.data(), n),
-                  avx2_->squaredDistance(a.data(), b.data(), n));
+                  vec_->squaredDistance(a.data(), b.data(), n));
         EXPECT_EQ(scalar_.manhattan(a.data(), b.data(), n),
-                  avx2_->manhattan(a.data(), b.data(), n));
+                  vec_->manhattan(a.data(), b.data(), n));
         EXPECT_EQ(
             scalar_.weightedSquaredDistance(a.data(), b.data(), w.data(),
                                             n),
-            avx2_->weightedSquaredDistance(a.data(), b.data(), w.data(),
-                                           n));
+            vec_->weightedSquaredDistance(a.data(), b.data(), w.data(),
+                                          n));
         EXPECT_EQ(scalar_.centeredDot(a.data(), b.data(), 0.125, -0.75,
                                       n),
-                  avx2_->centeredDot(a.data(), b.data(), 0.125, -0.75,
-                                     n));
+                  vec_->centeredDot(a.data(), b.data(), 0.125, -0.75,
+                                    n));
     }
 }
 
-TEST_F(KernelEquality, ElementwiseSweepsAgreeOnEveryLength)
+TEST_P(KernelEquality, ElementwiseSweepsAgreeOnEveryLength)
 {
     for (std::size_t n = 1; n <= kMaxLen; ++n) {
         SCOPED_TRACE("n=" + std::to_string(n));
@@ -93,24 +112,24 @@ TEST_F(KernelEquality, ElementwiseSweepsAgreeOnEveryLength)
         auto s = base;
         auto v = base;
         scalar_.axpy(s.data(), b.data(), 1.25, n);
-        avx2_->axpy(v.data(), b.data(), 1.25, n);
+        vec_->axpy(v.data(), b.data(), 1.25, n);
         EXPECT_EQ(s, v);
 
         s = base;
         v = base;
         scalar_.scale(s.data(), -0.333, n);
-        avx2_->scale(v.data(), -0.333, n);
+        vec_->scale(v.data(), -0.333, n);
         EXPECT_EQ(s, v);
 
         s = base;
         v = base;
         scalar_.mulAdd(s.data(), b.data(), base.data(), n);
-        avx2_->mulAdd(v.data(), b.data(), base.data(), n);
+        vec_->mulAdd(v.data(), b.data(), base.data(), n);
         EXPECT_EQ(s, v);
     }
 }
 
-TEST_F(KernelEquality, GemmMicroAgreesOnRemainderHeavyShapes)
+TEST_P(KernelEquality, GemmMicroAgreesOnRemainderHeavyShapes)
 {
     const std::size_t shapes[] = {1,  2,  3,  5,  7,  8,  9, 15,
                                   16, 17, 31, 33, 63, 65, 67};
@@ -125,13 +144,13 @@ TEST_F(KernelEquality, GemmMicroAgreesOnRemainderHeavyShapes)
             auto cs = operand(n, 800 + n);
             auto cv = cs;
             scalar_.gemmMicro(k, n, a.data(), b.data(), n, cs.data());
-            avx2_->gemmMicro(k, n, a.data(), b.data(), n, cv.data());
+            vec_->gemmMicro(k, n, a.data(), b.data(), n, cv.data());
             EXPECT_EQ(cs, cv);
         }
     }
 }
 
-TEST_F(KernelEquality, MlpKernelsAgreeAcrossLayerShapes)
+TEST_P(KernelEquality, MlpKernelsAgreeAcrossLayerShapes)
 {
     const std::size_t widths[] = {1, 2, 3, 5, 8, 15, 16, 17, 33, 67};
     for (std::size_t in : widths) {
@@ -146,8 +165,8 @@ TEST_F(KernelEquality, MlpKernelsAgreeAcrossLayerShapes)
             std::vector<double> nets_v(out, 0.0);
             scalar_.mlpLayerNets(in, out, wt.data(), bias.data(),
                                  a_in.data(), nets_s.data());
-            avx2_->mlpLayerNets(in, out, wt.data(), bias.data(),
-                                a_in.data(), nets_v.data());
+            vec_->mlpLayerNets(in, out, wt.data(), bias.data(),
+                               a_in.data(), nets_v.data());
             EXPECT_EQ(nets_s, nets_v);
 
             // Deltas: `out` plays the successor width here.
@@ -156,8 +175,8 @@ TEST_F(KernelEquality, MlpKernelsAgreeAcrossLayerShapes)
             std::vector<double> d_v(in, 0.0);
             scalar_.mlpLayerDeltas(in, out, wt.data(), d_next.data(),
                                    d_s.data());
-            avx2_->mlpLayerDeltas(in, out, wt.data(), d_next.data(),
-                                  d_v.data());
+            vec_->mlpLayerDeltas(in, out, wt.data(), d_next.data(),
+                                 d_v.data());
             EXPECT_EQ(d_s, d_v);
 
             // Momentum update mutates every buffer; compare them all.
@@ -175,10 +194,10 @@ TEST_F(KernelEquality, MlpKernelsAgreeAcrossLayerShapes)
                                    d2_s.data(), wt_s.data(),
                                    pwt_s.data(), bias_s.data(),
                                    pb_s.data());
-            avx2_->mlpUpdateLayer(in, out, 0.05, 0.2, a_in.data(),
-                                  d2_v.data(), wt_v.data(),
-                                  pwt_v.data(), bias_v.data(),
-                                  pb_v.data());
+            vec_->mlpUpdateLayer(in, out, 0.05, 0.2, a_in.data(),
+                                 d2_v.data(), wt_v.data(),
+                                 pwt_v.data(), bias_v.data(),
+                                 pb_v.data());
             EXPECT_EQ(d2_s, d2_v);
             EXPECT_EQ(wt_s, wt_v);
             EXPECT_EQ(pwt_s, pwt_v);
@@ -187,6 +206,125 @@ TEST_F(KernelEquality, MlpKernelsAgreeAcrossLayerShapes)
         }
     }
 }
+
+/**
+ * The minibatch kernels. mlpBatchNets must equal running mlpLayerNets
+ * row by row (the per-sample engine's arithmetic) and the vector tier
+ * must match the scalar tier bit-for-bit; mlpGradAccum must equal the
+ * zero-init sample-ascending rank-1 accumulation and OVERWRITE any
+ * garbage already in gw. Strided variants cover lda/ldd/ldc larger
+ * than the row width.
+ */
+TEST_P(KernelEquality, BatchKernelsMatchPerSampleLoops)
+{
+    const std::size_t bns[] = {1, 2, 3, 4, 5, 8, 13};
+    const std::size_t ins[] = {1, 2, 7, 16, 28, 33};
+    const std::size_t outs[] = {1, 2, 4, 8, 14, 17};
+    for (std::size_t bn : bns) {
+        for (std::size_t in : ins) {
+            for (std::size_t out : outs) {
+                SCOPED_TRACE("bn=" + std::to_string(bn) +
+                             " in=" + std::to_string(in) +
+                             " out=" + std::to_string(out));
+                const std::size_t lda = in + (bn % 3);  // packed + padded
+                const std::size_t ldc = out + (bn % 2);
+                const auto a =
+                    operand(bn * lda, 2100 + bn * 131 + in * 7 + out);
+                const auto wt = operand(in * out, 2200 + in * 71 + out);
+                const auto bias = operand(out, 2300 + out);
+
+                std::vector<double> ref(bn * ldc, 0.0);
+                for (std::size_t s = 0; s < bn; ++s)
+                    scalar_.mlpLayerNets(in, out, wt.data(),
+                                         bias.data(), a.data() + s * lda,
+                                         ref.data() + s * ldc);
+
+                std::vector<double> nets_s(bn * ldc, 0.0);
+                scalar_.mlpBatchNets(bn, in, out, a.data(), lda,
+                                     wt.data(), bias.data(),
+                                     nets_s.data(), ldc);
+                std::vector<double> nets_v(bn * ldc, 0.0);
+                vec_->mlpBatchNets(bn, in, out, a.data(), lda,
+                                   wt.data(), bias.data(), nets_v.data(),
+                                   ldc);
+                for (std::size_t s = 0; s < bn; ++s)
+                    for (std::size_t r = 0; r < out; ++r) {
+                        EXPECT_EQ(ref[s * ldc + r], nets_s[s * ldc + r]);
+                        EXPECT_EQ(ref[s * ldc + r], nets_v[s * ldc + r]);
+                    }
+
+                const std::size_t ldd = out + (in % 2);
+                const auto d =
+                    operand(bn * ldd, 2400 + bn * 17 + in + out);
+                std::vector<double> gw_ref(out * in, 0.0);
+                for (std::size_t s = 0; s < bn; ++s)
+                    for (std::size_t r = 0; r < out; ++r)
+                        for (std::size_t col = 0; col < in; ++col)
+                            gw_ref[r * in + col] +=
+                                d[s * ldd + r] * a[s * lda + col];
+
+                // Prefill with garbage: the kernel must overwrite.
+                auto gw_s = operand(out * in, 2500 + in + out);
+                scalar_.mlpGradAccum(bn, out, in, d.data(), ldd,
+                                     a.data(), lda, gw_s.data());
+                EXPECT_EQ(gw_ref, gw_s);
+                auto gw_v = operand(out * in, 2600 + in + out);
+                vec_->mlpGradAccum(bn, out, in, d.data(), ldd, a.data(),
+                                   lda, gw_v.data());
+                EXPECT_EQ(gw_ref, gw_v);
+            }
+        }
+    }
+}
+
+/**
+ * gemmDot: the blocked canonical-dot GEMM must match the naive
+ * `bias[j] + dot(...)` double loop bit-for-bit on shapes that straddle
+ * its 16x256 panel boundaries, and the vector tier must match the
+ * scalar tier entry by entry.
+ */
+TEST_P(KernelEquality, GemmDotMatchesNaiveDotLoopAcrossBlocks)
+{
+    const std::size_t ms[] = {1, 3, 16, 31, 257};
+    const std::size_t ns[] = {1, 2, 15, 16, 17, 33};
+    const std::size_t ks[] = {1, 7, 16, 28, 67};
+    for (std::size_t m : ms) {
+        for (std::size_t n : ns) {
+            for (std::size_t k : ks) {
+                SCOPED_TRACE("m=" + std::to_string(m) +
+                             " n=" + std::to_string(n) +
+                             " k=" + std::to_string(k));
+                const auto a = operand(m * k, 1800 + m * 131 + k);
+                const auto b = operand(n * k, 1900 + n * 17 + k);
+                const auto bias = operand(n, 2000 + n);
+
+                std::vector<double> naive(m * n);
+                for (std::size_t i = 0; i < m; ++i)
+                    for (std::size_t j = 0; j < n; ++j)
+                        naive[i * n + j] =
+                            bias[j] + scalar_.dot(a.data() + i * k,
+                                                  b.data() + j * k, k);
+
+                std::vector<double> blocked_s(m * n);
+                simd::gemmDot(scalar_, m, n, k, a.data(), k, b.data(),
+                              k, bias.data(), blocked_s.data(), n);
+                EXPECT_EQ(naive, blocked_s);
+
+                std::vector<double> blocked_v(m * n);
+                simd::gemmDot(*vec_, m, n, k, a.data(), k, b.data(), k,
+                              bias.data(), blocked_v.data(), n);
+                EXPECT_EQ(naive, blocked_v);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VectorTiers, KernelEquality,
+    ::testing::Values(simd::Tier::Avx2, simd::Tier::Avx512),
+    [](const ::testing::TestParamInfo<simd::Tier> &info) {
+        return std::string(simd::tierName(info.param));
+    });
 
 /**
  * The degenerate-length property the golden-value tests rely on: below

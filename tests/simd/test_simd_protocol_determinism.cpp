@@ -2,7 +2,8 @@
  * @file
  * The end-to-end determinism guarantee of the dispatch layer: a full
  * method-suite split evaluation produces bit-identical results whether
- * the scalar or the AVX2 tier runs the kernels, at any thread count.
+ * the scalar, AVX2, or AVX-512 tier runs the kernels, at any thread
+ * count.
  * This is the protocol-level counterpart of the per-kernel equality
  * tests — it exercises the canonical reduction through MLP training,
  * GA-kNN fitness, the matrix kernels and the rank statistics at once.
@@ -97,6 +98,14 @@ class SimdProtocolDeterminism : public ::testing::Test
                                        5);
     }
 
+    /** True when the widest tier can actually dispatch here. */
+    static bool
+    avx512Available()
+    {
+        return simd::avx512Kernels() != nullptr &&
+               simd::cpuSupportsAvx512();
+    }
+
     dataset::PerfDatabase db_ = dataset::makePaperDataset();
     linalg::Matrix chars_ = dataset::MicaGenerator().generateForCatalog();
 
@@ -106,7 +115,10 @@ class SimdProtocolDeterminism : public ::testing::Test
 
 TEST_F(SimdProtocolDeterminism, SerialSplitsMatchAcrossTiers)
 {
-    expectIdentical(runSplit(Tier::Scalar, 1), runSplit(Tier::Avx2, 1));
+    const auto reference = runSplit(Tier::Scalar, 1);
+    expectIdentical(reference, runSplit(Tier::Avx2, 1));
+    if (avx512Available())
+        expectIdentical(reference, runSplit(Tier::Avx512, 1));
 }
 
 TEST_F(SimdProtocolDeterminism, TierAndThreadAxesAreIndependent)
@@ -116,6 +128,10 @@ TEST_F(SimdProtocolDeterminism, TierAndThreadAxesAreIndependent)
     const auto reference = runSplit(Tier::Scalar, 1);
     expectIdentical(reference, runSplit(Tier::Avx2, 4));
     expectIdentical(reference, runSplit(Tier::Scalar, 4));
+    if (avx512Available()) {
+        expectIdentical(reference, runSplit(Tier::Avx512, 1));
+        expectIdentical(reference, runSplit(Tier::Avx512, 4));
+    }
 }
 
 } // namespace

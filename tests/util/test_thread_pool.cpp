@@ -79,6 +79,102 @@ TEST(ThreadPool, DrainsQueueOnDestruction)
     EXPECT_EQ(done.load(), 32);
 }
 
+TEST(ThreadPool, PostRunsFireAndForgetTasks)
+{
+    std::atomic<int> done{0};
+    {
+        util::ThreadPool pool(2);
+        for (int i = 0; i < 16; ++i)
+            pool.post([&done] { ++done; });
+    }
+    EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, StealingDrainsUnbalancedLoads)
+{
+    // All the long tasks are dealt round-robin onto the same few home
+    // deques; idle workers must steal them. Every task records which
+    // worker slot ran it — with stealing at work and enough tasks,
+    // more than one slot shows up, and all tasks complete exactly
+    // once regardless.
+    for (std::size_t workers : {1u, 2u, 4u, 8u, 16u}) {
+        const std::size_t count = 64;
+        std::vector<std::atomic<int>> runs(count);
+        std::vector<std::atomic<std::size_t>> slot(count);
+        {
+            util::ThreadPool pool(workers);
+            for (std::size_t i = 0; i < count; ++i)
+                pool.post([&runs, &slot, i] {
+                    // Unbalanced: every 4th task spins much longer.
+                    volatile double sink = 0.0;
+                    const int spins = i % 4 == 0 ? 20000 : 50;
+                    for (int s = 0; s < spins; ++s)
+                        sink = sink + 1.0;
+                    slot[i] = util::ThreadPool::workerSlot();
+                    ++runs[i];
+                });
+        }
+        for (std::size_t i = 0; i < count; ++i) {
+            EXPECT_EQ(runs[i].load(), 1)
+                << "workers=" << workers << " index " << i;
+            EXPECT_GE(slot[i].load(), 1u);
+            EXPECT_LE(slot[i].load(), workers);
+        }
+    }
+}
+
+TEST(TaskGroup, RunWaitCompletesAllTasks)
+{
+    util::ThreadPool pool(4);
+    util::TaskGroup group(pool);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 40; ++i)
+        group.run([&done] { ++done; });
+    group.wait();
+    EXPECT_EQ(done.load(), 40);
+    // The group is reusable after wait().
+    group.run([&done] { ++done; });
+    group.wait();
+    EXPECT_EQ(done.load(), 41);
+}
+
+TEST(TaskGroup, WaitRethrowsATaskError)
+{
+    util::ThreadPool pool(2);
+    util::TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i)
+        group.run([i] {
+            if (i == 5)
+                throw std::runtime_error("group task failed");
+        });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    // The error was consumed; the group works again.
+    group.run([] {});
+    group.wait();
+}
+
+TEST(TaskGroup, NestedGroupsRunInlineInsideWorkers)
+{
+    util::ThreadPool pool(2);
+    util::TaskGroup outer(pool);
+    std::atomic<int> inner_runs{0};
+    for (int i = 0; i < 4; ++i)
+        outer.run([&pool, &inner_runs] {
+            // Inside a worker a nested group must execute inline on
+            // this thread instead of re-queueing (which could starve
+            // a fully busy pool).
+            util::TaskGroup inner(pool);
+            for (int j = 0; j < 3; ++j)
+                inner.run([&inner_runs] {
+                    EXPECT_TRUE(util::ThreadPool::insideWorker());
+                    ++inner_runs;
+                });
+            inner.wait();
+        });
+    outer.wait();
+    EXPECT_EQ(inner_runs.load(), 12);
+}
+
 TEST(ParallelFor, ZeroTasksIsANoOp)
 {
     bool called = false;
@@ -147,6 +243,27 @@ TEST(ParallelMap, MatchesSerialResult)
     const auto parallel = util::parallelMap(
         4, 33, [](std::size_t i) { return 3.5 * static_cast<double>(i); });
     EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelMap, StolenExecutionIsBitIdenticalToSerial)
+{
+    // Unbalanced per-iteration cost forces heavy stealing; the result
+    // vector must still match the serial run bit for bit at every
+    // thread count, because stealing only moves who executes an
+    // iteration, never what it computes or where it writes.
+    const std::size_t count = 96;
+    const auto work = [](std::size_t i) {
+        double acc = 0.0;
+        const std::size_t terms = i % 5 == 0 ? 4000 : 37;
+        for (std::size_t t = 1; t <= terms; ++t)
+            acc += 1.0 / static_cast<double>(t * t + i);
+        return acc;
+    };
+    const auto serial = util::parallelMap(1, count, work);
+    for (std::size_t threads : {2u, 4u, 8u, 16u}) {
+        const auto parallel = util::parallelMap(threads, count, work);
+        EXPECT_EQ(serial, parallel) << "threads=" << threads;
+    }
 }
 
 } // namespace

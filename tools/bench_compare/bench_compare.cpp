@@ -222,6 +222,19 @@ readTier(const JsonValue &root)
     return tier != nullptr ? tier->text : "";
 }
 
+/**
+ * The dispatch tiers a report may legitimately carry (empty = the
+ * pre-dispatch report format). An unknown value means a corrupted,
+ * hand-edited or future-format report whose timings this tool cannot
+ * reason about — reject it instead of silently comparing.
+ */
+bool
+isKnownTier(const std::string &tier)
+{
+    return tier.empty() || tier == "scalar" || tier == "avx2" ||
+           tier == "avx512";
+}
+
 /** google-benchmark dialect: the "benchmarks" array. */
 void
 readGoogleBenchmarks(const JsonValue &benchmarks, Report &report)
@@ -294,6 +307,10 @@ parseReport(const std::string &label, const std::string &json)
     Report report;
     report.label = label;
     report.simdTier = readTier(root);
+    if (!isKnownTier(report.simdTier))
+        throw std::runtime_error(
+            "bench_compare: " + label + " reports unknown simd_tier '" +
+            report.simdTier + "' (known: scalar, avx2, avx512)");
     if (const JsonValue *benchmarks = root.find("benchmarks"))
         readGoogleBenchmarks(*benchmarks, report);
     else if (const JsonValue *records = root.find("records"))
