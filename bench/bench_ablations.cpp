@@ -24,6 +24,7 @@
 #include "core/transposition.h"
 #include "dataset/mica.h"
 #include "dataset/synthetic_spec.h"
+#include "experiments/bench_options.h"
 #include "experiments/family_cv.h"
 #include "util/cli.h"
 #include "util/string_utils.h"
@@ -79,6 +80,7 @@ main(int argc, char **argv)
     args.addOption("epochs", "MLP training epochs", "300");
     args.addOption("threads", "worker threads (0 = all hardware threads)",
                    "0");
+    experiments::addBenchOptions(args);
     if (!args.parse(argc, argv))
         return 0;
 
@@ -87,9 +89,10 @@ main(int argc, char **argv)
         static_cast<std::size_t>(args.getLong("epochs"));
     const auto threads =
         static_cast<std::size_t>(args.getLong("threads"));
-    const dataset::PerfDatabase db = dataset::makePaperDataset(seed);
-    const linalg::Matrix chars =
-        dataset::MicaGenerator().generateForCatalog();
+    const experiments::BenchDataset data =
+        experiments::loadDatasetOption(args, seed);
+    const dataset::PerfDatabase &db = data.db;
+    const linalg::Matrix &chars = data.characteristics;
 
     util::TablePrinter table({"configuration", "rank avg", "rank worst",
                               "top-1 avg %", "top-1 worst %",
@@ -186,7 +189,8 @@ main(int argc, char **argv)
             dataset::MicaConfig mica_config;
             mica_config.disguiseOutliers = variant.disguises;
             const linalg::Matrix variant_chars =
-                dataset::MicaGenerator(mica_config).generateForCatalog();
+                dataset::MicaGenerator(mica_config)
+                    .generate(data.benchmarkProfiles);
 
             experiments::MethodSuiteConfig config;
             config.gaKnn.weighting = variant.weighting;

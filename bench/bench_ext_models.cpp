@@ -19,6 +19,7 @@
 
 #include "dataset/mica.h"
 #include "dataset/synthetic_spec.h"
+#include "experiments/bench_options.h"
 #include "experiments/family_cv.h"
 #include "ml/pca.h"
 #include "stats/error_metrics.h"
@@ -38,15 +39,17 @@ main(int argc, char **argv)
     args.addOption("threads", "worker threads (0 = all hardware threads)",
                    "0");
     args.addFlag("verbose", "print progress");
+    experiments::addBenchOptions(args);
     if (!args.parse(argc, argv))
         return 0;
     if (args.getFlag("verbose"))
         util::setLogLevel(util::LogLevel::Info);
+    experiments::applyObservabilityOptions(args);
 
-    const dataset::PerfDatabase db = dataset::makePaperDataset(
-        static_cast<std::uint64_t>(args.getLong("seed")));
-    const linalg::Matrix chars =
-        dataset::MicaGenerator().generateForCatalog();
+    const experiments::BenchDataset data = experiments::loadDatasetOption(
+        args, static_cast<std::uint64_t>(args.getLong("seed")));
+    const dataset::PerfDatabase &db = data.db;
+    const linalg::Matrix &chars = data.characteristics;
 
     experiments::MethodSuiteConfig config;
     config.mlp.mlp.epochs =

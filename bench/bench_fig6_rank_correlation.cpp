@@ -36,10 +36,10 @@ main(int argc, char **argv)
         util::setLogLevel(util::LogLevel::Info);
     experiments::applyObservabilityOptions(args);
 
-    const dataset::PerfDatabase db = dataset::makePaperDataset(
-        static_cast<std::uint64_t>(args.getLong("seed")));
-    const linalg::Matrix chars =
-        dataset::MicaGenerator().generateForCatalog();
+    const experiments::BenchDataset data = experiments::loadDatasetOption(
+        args, static_cast<std::uint64_t>(args.getLong("seed")));
+    const dataset::PerfDatabase &db = data.db;
+    const linalg::Matrix &chars = data.characteristics;
 
     experiments::MethodSuiteConfig config;
     config.mlp.mlp.epochs =
@@ -53,6 +53,7 @@ main(int argc, char **argv)
     std::cout << "== Figure 6: Spearman rank correlation per benchmark "
                  "(family cross-validation) ==\n\n";
     util::BenchJsonWriter json("fig6_rank_correlation");
+    json.addContext("dataset", data.description);
     experiments::applySimdOption(args, &json);
     const auto t0 = obs::monotonicNow();
     const auto results = cv.run(experiments::allMethods());

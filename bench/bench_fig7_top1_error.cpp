@@ -35,10 +35,10 @@ main(int argc, char **argv)
         util::setLogLevel(util::LogLevel::Info);
     experiments::applyObservabilityOptions(args);
 
-    const dataset::PerfDatabase db = dataset::makePaperDataset(
-        static_cast<std::uint64_t>(args.getLong("seed")));
-    const linalg::Matrix chars =
-        dataset::MicaGenerator().generateForCatalog();
+    const experiments::BenchDataset data = experiments::loadDatasetOption(
+        args, static_cast<std::uint64_t>(args.getLong("seed")));
+    const dataset::PerfDatabase &db = data.db;
+    const linalg::Matrix &chars = data.characteristics;
 
     experiments::MethodSuiteConfig config;
     config.mlp.mlp.epochs =

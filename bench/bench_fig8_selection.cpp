@@ -9,6 +9,7 @@
 
 #include "dataset/mica.h"
 #include "dataset/synthetic_spec.h"
+#include "experiments/bench_options.h"
 #include "experiments/paper_reference.h"
 #include "experiments/selection_sweep.h"
 #include "util/cli.h"
@@ -29,15 +30,17 @@ main(int argc, char **argv)
     args.addOption("threads", "worker threads (0 = all hardware threads)",
                    "0");
     args.addFlag("verbose", "print progress");
+    experiments::addBenchOptions(args);
     if (!args.parse(argc, argv))
         return 0;
     if (args.getFlag("verbose"))
         util::setLogLevel(util::LogLevel::Info);
+    experiments::applyObservabilityOptions(args);
 
-    const dataset::PerfDatabase db = dataset::makePaperDataset(
-        static_cast<std::uint64_t>(args.getLong("seed")));
-    const linalg::Matrix chars =
-        dataset::MicaGenerator().generateForCatalog();
+    const experiments::BenchDataset data = experiments::loadDatasetOption(
+        args, static_cast<std::uint64_t>(args.getLong("seed")));
+    const dataset::PerfDatabase &db = data.db;
+    const linalg::Matrix &chars = data.characteristics;
 
     experiments::MethodSuiteConfig config;
     config.mlp.mlp.epochs =
@@ -88,5 +91,6 @@ main(int argc, char **argv)
               << util::formatFixed(km2, 3)
               << ") vs five random machines (R^2 = "
               << util::formatFixed(rnd5, 3) << ").\n";
+    experiments::writeObservabilityOutputs(args);
     return 0;
 }

@@ -20,6 +20,7 @@
 #include "core/transposition.h"
 #include "dataset/mica.h"
 #include "dataset/synthetic_spec.h"
+#include "experiments/bench_options.h"
 #include "experiments/family_cv.h"
 #include "util/cli.h"
 #include "util/logging.h"
@@ -60,6 +61,7 @@ main(int argc, char **argv)
     args.addOption("threads", "worker threads (0 = all hardware threads)",
                    "0");
     args.addFlag("verbose", "print progress");
+    experiments::addBenchOptions(args);
     if (!args.parse(argc, argv))
         return 0;
     if (args.getFlag("verbose"))
@@ -70,6 +72,12 @@ main(int argc, char **argv)
     const auto threads =
         static_cast<std::size_t>(args.getLong("threads"));
 
+    // The --dataset option selects the database for the suite-reduction
+    // sweep below. The noise sweep regenerates paper-shaped databases
+    // at each sigma, so it always runs against the 29-benchmark catalog
+    // characteristics.
+    const experiments::BenchDataset data =
+        experiments::loadDatasetOption(args, seed);
     const linalg::Matrix chars =
         dataset::MicaGenerator().generateForCatalog();
 
@@ -97,7 +105,7 @@ main(int argc, char **argv)
     // ---- 2. Suite-reduction sweep ----------------------------------
     std::cout << "\n== Sensitivity 2: accuracy vs number of training "
                  "benchmarks (2008 -> 2009 split) ==\n\n";
-    const dataset::PerfDatabase db = dataset::makePaperDataset(seed);
+    const dataset::PerfDatabase &db = data.db;
     const auto predictive = db.machineIndicesByYear(2008);
     const auto targets = db.machineIndicesByYear(2009);
     const auto target_db = db.selectMachines(targets);

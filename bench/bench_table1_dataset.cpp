@@ -10,6 +10,7 @@
 #include <map>
 
 #include "dataset/synthetic_spec.h"
+#include "experiments/bench_options.h"
 #include "stats/descriptive.h"
 #include "util/cli.h"
 #include "util/string_utils.h"
@@ -22,11 +23,13 @@ main(int argc, char **argv)
 {
     util::ArgParser args("bench_table1_dataset");
     args.addOption("seed", "dataset generator seed", "2011");
+    experiments::addBenchOptions(args);
     if (!args.parse(argc, argv))
         return 0;
 
-    const dataset::PerfDatabase db = dataset::makePaperDataset(
-        static_cast<std::uint64_t>(args.getLong("seed")));
+    const experiments::BenchDataset data = experiments::loadDatasetOption(
+        args, static_cast<std::uint64_t>(args.getLong("seed")));
+    const dataset::PerfDatabase &db = data.db;
 
     std::cout << "== Table 1: machines considered in this study, by "
                  "processor family ==\n\n";

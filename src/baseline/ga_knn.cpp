@@ -7,6 +7,7 @@
 #include "simd/simd.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace dtrank::baseline
 {
@@ -100,42 +101,71 @@ GaKnnModel::train(const linalg::Matrix &characteristics,
 
     const std::size_t n_machine = train_scores.cols();
 
-    // Precompute per-pair, per-characteristic squared differences so a
-    // fitness evaluation is a dot product per pair.
-    std::vector<std::vector<std::vector<double>>> pair_d2(
-        n_bench, std::vector<std::vector<double>>(
-                     n_bench, std::vector<double>(n_char, 0.0)));
-    for (std::size_t i = 0; i < n_bench; ++i) {
-        for (std::size_t j = i + 1; j < n_bench; ++j) {
-            for (std::size_t c = 0; c < n_char; ++c) {
-                const double diff =
-                    characteristics(i, c) - characteristics(j, c);
-                pair_d2[i][j][c] = diff * diff;
-                pair_d2[j][i][c] = diff * diff;
+    // Precompute the per-pair, per-characteristic squared differences
+    // (flat [i][j][c] table) when they fit the memory budget, so a
+    // fitness evaluation is a dot product per pair. Past the budget —
+    // the table is O(B^2 * C) and reaches gigabytes at scaled
+    // benchmark counts — the fitness streams each leave-one-out
+    // distance row on the fly instead. The streamed path feeds the
+    // same squared differences to the same canonical simd::dot, so
+    // both paths drive the GA through bit-identical trajectories.
+    const std::size_t per_pair_bytes = n_char * sizeof(double);
+    // Overflow-safe form of n_bench^2 * per_pair_bytes <= budget.
+    const bool use_table =
+        n_bench <=
+        config_.pairTableBudgetBytes / per_pair_bytes / n_bench;
+    std::vector<double> pair_d2;
+    if (use_table) {
+        pair_d2.assign(n_bench * n_bench * n_char, 0.0);
+        for (std::size_t i = 0; i < n_bench; ++i) {
+            for (std::size_t j = i + 1; j < n_bench; ++j) {
+                double *fwd = pair_d2.data() + (i * n_bench + j) * n_char;
+                double *rev = pair_d2.data() + (j * n_bench + i) * n_char;
+                for (std::size_t c = 0; c < n_char; ++c) {
+                    const double diff =
+                        characteristics(i, c) - characteristics(j, c);
+                    fwd[c] = diff * diff;
+                    rev[c] = diff * diff;
+                }
             }
         }
     }
 
     // Fitness: negative mean relative error of leave-one-benchmark-out
-    // kNN prediction across the training machines.
+    // kNN prediction across the training machines. Scratch buffers are
+    // hoisted so an evaluation allocates nothing but the sort index.
+    std::vector<double> row_d2(n_bench, 0.0);
+    std::vector<double> diff2(n_char, 0.0);
+    std::vector<std::size_t> order;
     const auto fitness = [&](const std::vector<double> &w) {
-        // Pairwise weighted squared distances under w.
-        std::vector<std::vector<double>> d2(
-            n_bench, std::vector<double>(n_bench, 0.0));
-        for (std::size_t i = 0; i < n_bench; ++i) {
-            for (std::size_t j = i + 1; j < n_bench; ++j) {
-                const double acc =
-                    simd::dot(w.data(), pair_d2[i][j].data(), n_char);
-                d2[i][j] = acc;
-                d2[j][i] = acc;
-            }
-        }
-
         double error_sum = 0.0;
         std::size_t error_count = 0;
         for (std::size_t i = 0; i < n_bench; ++i) {
+            // Weighted squared distances from benchmark i to all
+            // candidates under w — one row, built from the table or
+            // streamed from the characteristics.
+            row_d2[i] = 0.0;
+            for (std::size_t j = 0; j < n_bench; ++j) {
+                if (j == i)
+                    continue;
+                if (use_table) {
+                    row_d2[j] = simd::dot(
+                        w.data(),
+                        pair_d2.data() + (i * n_bench + j) * n_char,
+                        n_char);
+                } else {
+                    for (std::size_t c = 0; c < n_char; ++c) {
+                        const double diff = characteristics(i, c) -
+                                            characteristics(j, c);
+                        diff2[c] = diff * diff;
+                    }
+                    row_d2[j] =
+                        simd::dot(w.data(), diff2.data(), n_char);
+                }
+            }
+
             // k nearest other benchmarks to benchmark i.
-            std::vector<std::size_t> order;
+            order.clear();
             order.reserve(n_bench - 1);
             for (std::size_t j = 0; j < n_bench; ++j)
                 if (j != i)
@@ -146,15 +176,15 @@ GaKnnModel::train(const linalg::Matrix &characteristics,
                 order.begin(),
                 order.begin() + static_cast<std::ptrdiff_t>(take),
                 order.end(), [&](std::size_t a, std::size_t b) {
-                    if (d2[i][a] != d2[i][b])
-                        return d2[i][a] < d2[i][b];
+                    if (row_d2[a] != row_d2[b])
+                        return row_d2[a] < row_d2[b];
                     return a < b;
                 });
             order.resize(take);
 
             for (std::size_t m = 0; m < n_machine; ++m) {
                 const double pred = combineNeighborScores(
-                    order, d2[i], train_scores, m, config_.weighting);
+                    order, row_d2, train_scores, m, config_.weighting);
                 const double actual = train_scores(i, m);
                 error_sum += std::fabs(pred - actual) / actual * 100.0;
                 ++error_count;
@@ -228,21 +258,70 @@ GaKnnModel::predictApp(const std::vector<double> &app_characteristics,
     util::require(trained_, "GaKnnModel: not trained");
     util::require(candidate_chars.rows() == candidate_scores.rows(),
                   "GaKnnModel::predictApp: candidate row mismatch");
+    util::require(config_.predictTile >= 1,
+                  "GaKnnModel::predictApp: predictTile must be >= 1");
     const auto nn =
         neighbors(app_characteristics, candidate_chars, exclude_row);
     DTRANK_ASSERT(!nn.empty());
 
-    // Squared distances for the weighting rule.
-    std::vector<double> d2(candidate_chars.rows(), 0.0);
-    for (std::size_t i = 0; i < candidate_chars.rows(); ++i)
-        d2[i] = simd::weightedSquaredDistance(
-            app_characteristics.data(), candidate_chars.rowData(i),
-            weights_.data(), candidate_chars.cols());
+    const std::size_t n_target = candidate_scores.cols();
 
-    std::vector<double> out(candidate_scores.cols());
-    for (std::size_t m = 0; m < candidate_scores.cols(); ++m)
-        out[m] = combineNeighborScores(nn, d2, candidate_scores, m,
-                                       config_.weighting);
+    if (!config_.sweepPredict) {
+        // Reference path: per-machine gather over strided score
+        // columns, exactly the original formulation.
+        std::vector<double> d2(candidate_chars.rows(), 0.0);
+        for (std::size_t i = 0; i < candidate_chars.rows(); ++i)
+            d2[i] = simd::weightedSquaredDistance(
+                app_characteristics.data(), candidate_chars.rowData(i),
+                weights_.data(), candidate_chars.cols());
+
+        std::vector<double> out(n_target);
+        for (std::size_t m = 0; m < n_target; ++m)
+            out[m] = combineNeighborScores(nn, d2, candidate_scores, m,
+                                           config_.weighting);
+        return out;
+    }
+
+    // Row-sweep path: accumulate each neighbour's contiguous score row
+    // into the output with one axpy per neighbour, then apply the
+    // combine divisor elementwise. The per-machine accumulator sees
+    // the neighbours in exactly the order the reference loop adds
+    // them, axpy/divide are elementwise (tier-independent), and tiles
+    // write disjoint ranges — bit-identical to the reference at any
+    // thread count, but cache-linear in the 100k-machine score matrix.
+    std::vector<double> neighbor_weight(nn.size(), 1.0);
+    double denom = static_cast<double>(nn.size());
+    if (config_.weighting == ml::KnnWeighting::InverseDistance) {
+        constexpr double eps = 1e-9;
+        double wsum = 0.0;
+        for (std::size_t idx = 0; idx < nn.size(); ++idx) {
+            const double d2 = simd::weightedSquaredDistance(
+                app_characteristics.data(),
+                candidate_chars.rowData(nn[idx]), weights_.data(),
+                candidate_chars.cols());
+            neighbor_weight[idx] = 1.0 / (std::sqrt(d2) + eps);
+            wsum += neighbor_weight[idx];
+        }
+        denom = wsum;
+    }
+
+    std::vector<double> out(n_target, 0.0);
+    const std::size_t tile = config_.predictTile;
+    const std::size_t n_tiles = (n_target + tile - 1) / tile;
+    util::parallelFor(config_.predictThreads, n_tiles,
+                      [&](std::size_t ti) {
+                          const std::size_t lo = ti * tile;
+                          const std::size_t hi =
+                              std::min(n_target, lo + tile);
+                          for (std::size_t idx = 0; idx < nn.size();
+                               ++idx)
+                              simd::axpy(
+                                  out.data() + lo,
+                                  candidate_scores.rowData(nn[idx]) + lo,
+                                  neighbor_weight[idx], hi - lo);
+                          for (std::size_t m = lo; m < hi; ++m)
+                              out[m] = out[m] / denom;
+                      });
     return out;
 }
 

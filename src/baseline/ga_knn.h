@@ -41,6 +41,32 @@ struct GaKnnConfig
     ml::GaConfig ga;
     /** Seed for the GA's randomness. */
     std::uint64_t seed = 42;
+    /**
+     * Memory budget for the precomputed B x B x C pairwise
+     * squared-difference table the GA fitness consumes. At paper scale
+     * the table is a few hundred KB and makes a fitness evaluation a
+     * dot product per pair; at thousands of benchmarks it would be
+     * gigabytes, so larger problems switch to streaming one distance
+     * row at a time (O(B + C) scratch) instead of a full-table rescan.
+     * Both paths feed identical inputs to the same canonical
+     * simd::dot, so the GA trajectory is bit-identical either way.
+     */
+    std::size_t pairTableBudgetBytes = std::size_t{64} << 20;
+    /**
+     * Use the row-sweep predictApp path: one simd::axpy sweep per
+     * neighbour over the target tile instead of a per-machine gather
+     * loop over strided columns. Bit-identical to the reference loop
+     * (kept behind `false` for tests and bench_scale comparisons).
+     */
+    bool sweepPredict = true;
+    /**
+     * Worker threads for the predictApp target sweep (1 = serial,
+     * 0 = hardware concurrency). Tiles are disjoint, so the thread
+     * count cannot change a bit of the output.
+     */
+    std::size_t predictThreads = 1;
+    /** Target machines per predictApp sweep tile. */
+    std::size_t predictTile = 4096;
 };
 
 /**

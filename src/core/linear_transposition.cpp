@@ -1,17 +1,36 @@
 #include "core/linear_transposition.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "stats/regression.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace dtrank::core
 {
 
+namespace
+{
+
+/** Same arithmetic as stats::mean (sequential sum, one divide). */
+double
+meanOf(const double *v, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += v[i];
+    return acc / static_cast<double>(n);
+}
+
+} // namespace
+
 LinearTransposition::LinearTransposition(LinearTranspositionConfig config)
     : config_(config)
 {
+    util::require(config_.targetTile >= 1,
+                  "LinearTransposition: targetTile must be >= 1");
 }
 
 std::vector<double>
@@ -47,42 +66,159 @@ LinearTransposition::predict(const TranspositionProblem &problem)
     diagnostics_.slope.assign(n_target, 0.0);
 
     std::vector<double> predictions(n_target, 0.0);
-    for (std::size_t t = 0; t < n_target; ++t) {
-        std::vector<double> y = problem.targetBenchScores.column(t);
+
+    if (config_.scan == ScanMode::Naive) {
+        for (std::size_t t = 0; t < n_target; ++t) {
+            std::vector<double> y = problem.targetBenchScores.column(t);
+            if (config_.logSpace)
+                for (double &v : y)
+                    v = std::log2(v);
+
+            double best_score = std::numeric_limits<double>::infinity();
+            std::size_t best_p = 0;
+            double best_intercept = 0.0;
+            double best_slope = 0.0;
+            double best_r2 = 0.0;
+
+            for (std::size_t p = 0; p < n_pred; ++p) {
+                const stats::SimpleLinearRegression fit(pred_cols[p], y);
+                // Both criteria are expressed as "smaller is better".
+                const double score =
+                    config_.criterion == FitCriterion::ResidualSumSquares
+                        ? fit.residualSumSquares()
+                        : -fit.rSquared();
+                if (score < best_score) {
+                    best_score = score;
+                    best_p = p;
+                    best_intercept = fit.intercept();
+                    best_slope = fit.slope();
+                    best_r2 = fit.rSquared();
+                }
+            }
+
+            const double app_x =
+                maybe_log(problem.predictiveAppScores[best_p]);
+            predictions[t] = maybe_exp(best_intercept + best_slope * app_x);
+
+            diagnostics_.chosenPredictive[t] = best_p;
+            diagnostics_.fitRSquared[t] = best_r2;
+            diagnostics_.intercept[t] = best_intercept;
+            diagnostics_.slope[t] = best_slope;
+        }
+        return predictions;
+    }
+
+    // Tiled scan. Every accumulator below reproduces the exact
+    // sequential arithmetic of SimpleLinearRegression: hoisting a
+    // per-x (or per-y) statistic out of the pair loop only splits an
+    // interleaved loop into independent per-accumulator loops, which
+    // leaves each accumulator's operation sequence — and therefore its
+    // rounding — unchanged.
+    std::vector<double> pred_mean(n_pred, 0.0);
+    std::vector<double> pred_sxx(n_pred, 0.0);
+    for (std::size_t p = 0; p < n_pred; ++p) {
+        const double *x = pred_cols[p].data();
+        const double mx = meanOf(x, n_bench);
+        double sxx = 0.0;
+        for (std::size_t i = 0; i < n_bench; ++i) {
+            const double dx = x[i] - mx;
+            sxx += dx * dx;
+        }
+        pred_mean[p] = mx;
+        pred_sxx[p] = sxx;
+    }
+
+    const std::size_t tile = config_.targetTile;
+    const std::size_t n_tiles = (n_target + tile - 1) / tile;
+    util::parallelFor(config_.threads, n_tiles, [&](std::size_t ti) {
+        const std::size_t t0 = ti * tile;
+        const std::size_t t1 = std::min(n_target, t0 + tile);
+        const std::size_t width = t1 - t0;
+
+        // Gather the tile's target columns into contiguous rows by
+        // streaming each benchmark row of the score matrix once —
+        // the blocked-transpose access pattern.
+        std::vector<double> ytile(width * n_bench);
+        for (std::size_t b = 0; b < n_bench; ++b) {
+            const double *src = problem.targetBenchScores.rowData(b);
+            for (std::size_t t = t0; t < t1; ++t)
+                ytile[(t - t0) * n_bench + b] = src[t];
+        }
         if (config_.logSpace)
-            for (double &v : y)
+            for (double &v : ytile)
                 v = std::log2(v);
 
-        double best_score = std::numeric_limits<double>::infinity();
-        std::size_t best_p = 0;
-        double best_intercept = 0.0;
-        double best_slope = 0.0;
-        double best_r2 = 0.0;
-
-        for (std::size_t p = 0; p < n_pred; ++p) {
-            const stats::SimpleLinearRegression fit(pred_cols[p], y);
-            // Both criteria are expressed as "smaller is better".
-            const double score =
-                config_.criterion == FitCriterion::ResidualSumSquares
-                    ? fit.residualSumSquares()
-                    : -fit.rSquared();
-            if (score < best_score) {
-                best_score = score;
-                best_p = p;
-                best_intercept = fit.intercept();
-                best_slope = fit.slope();
-                best_r2 = fit.rSquared();
+        for (std::size_t t = t0; t < t1; ++t) {
+            const double *y = ytile.data() + (t - t0) * n_bench;
+            const double my = meanOf(y, n_bench);
+            double ss_tot = 0.0;
+            for (std::size_t i = 0; i < n_bench; ++i) {
+                const double d = y[i] - my;
+                ss_tot += d * d;
             }
+
+            double best_score = std::numeric_limits<double>::infinity();
+            std::size_t best_p = 0;
+            double best_intercept = 0.0;
+            double best_slope = 0.0;
+            double best_r2 = 0.0;
+
+            for (std::size_t p = 0; p < n_pred; ++p) {
+                const double *x = pred_cols[p].data();
+                const double mx = pred_mean[p];
+                const double sxx = pred_sxx[p];
+
+                double sxy = 0.0;
+                for (std::size_t i = 0; i < n_bench; ++i) {
+                    const double dx = x[i] - mx;
+                    sxy += dx * (y[i] - my);
+                }
+
+                double slope;
+                double intercept;
+                if (sxx == 0.0) {
+                    slope = 0.0;
+                    intercept = my;
+                } else {
+                    slope = sxy / sxx;
+                    intercept = my - slope * mx;
+                }
+
+                double rss = 0.0;
+                for (std::size_t i = 0; i < n_bench; ++i) {
+                    const double r = y[i] - (intercept + slope * x[i]);
+                    rss += r * r;
+                }
+                double r2;
+                if (ss_tot == 0.0)
+                    r2 = rss == 0.0 ? 1.0 : 0.0;
+                else
+                    r2 = 1.0 - rss / ss_tot;
+
+                const double score =
+                    config_.criterion == FitCriterion::ResidualSumSquares
+                        ? rss
+                        : -r2;
+                if (score < best_score) {
+                    best_score = score;
+                    best_p = p;
+                    best_intercept = intercept;
+                    best_slope = slope;
+                    best_r2 = r2;
+                }
+            }
+
+            const double app_x =
+                maybe_log(problem.predictiveAppScores[best_p]);
+            predictions[t] =
+                maybe_exp(best_intercept + best_slope * app_x);
+
+            diagnostics_.chosenPredictive[t] = best_p;
+            diagnostics_.fitRSquared[t] = best_r2;
+            diagnostics_.intercept[t] = best_intercept;
+            diagnostics_.slope[t] = best_slope;
         }
-
-        const double app_x = maybe_log(problem.predictiveAppScores[best_p]);
-        predictions[t] = maybe_exp(best_intercept + best_slope * app_x);
-
-        diagnostics_.chosenPredictive[t] = best_p;
-        diagnostics_.fitRSquared[t] = best_r2;
-        diagnostics_.intercept[t] = best_intercept;
-        diagnostics_.slope[t] = best_slope;
-    }
+    });
     return predictions;
 }
 

@@ -39,8 +39,9 @@ machineFeatureVectors(const dataset::PerfDatabase &db,
     // k-medoids merely segments the speed axis and picks similar
     // microarchitectures at different clocks.
     linalg::Matrix features(machines.size(), db.benchmarkCount());
+    std::vector<double> scores;
     for (std::size_t i = 0; i < machines.size(); ++i) {
-        const auto scores = db.machineScores(machines[i]);
+        db.machineScoresInto(machines[i], scores);
         double mean = 0.0;
         for (double s : scores)
             mean += std::log2(s);

@@ -71,6 +71,17 @@ PerfDatabase::machineScores(std::size_t m) const
     return scores_.column(m);
 }
 
+void
+PerfDatabase::machineScoresInto(std::size_t m,
+                                std::vector<double> &out) const
+{
+    util::require(m < machines_.size(),
+                  "PerfDatabase::machineScoresInto: index out of range");
+    out.resize(benchmarks_.size());
+    for (std::size_t b = 0; b < benchmarks_.size(); ++b)
+        out[b] = scores_(b, m);
+}
+
 std::size_t
 PerfDatabase::benchmarkIndex(const std::string &name) const
 {
@@ -177,8 +188,11 @@ std::vector<double>
 PerfDatabase::machineGeometricMeans() const
 {
     std::vector<double> out(machines_.size());
-    for (std::size_t m = 0; m < machines_.size(); ++m)
-        out[m] = stats::geometricMean(machineScores(m));
+    std::vector<double> column;
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+        machineScoresInto(m, column);
+        out[m] = stats::geometricMean(column);
+    }
     return out;
 }
 

@@ -93,6 +93,27 @@ class PerfDatabase
     /** Scores of all benchmarks on one machine (a matrix column). */
     std::vector<double> machineScores(std::size_t m) const;
 
+    /**
+     * Zero-copy view of one benchmark row (machineCount() doubles,
+     * contiguous). Invalidated by destroying/moving the database. At
+     * 100k machines the copying benchmarkScores() is a 800 KB
+     * allocation per call — hot loops should use this instead.
+     */
+    const double *
+    benchmarkScoresData(std::size_t b) const
+    {
+        util::require(b < benchmarks_.size(),
+                      "PerfDatabase::benchmarkScoresData: out of range");
+        return scores_.rowData(b);
+    }
+
+    /**
+     * Fills a caller-owned buffer with one machine column
+     * (benchmarkCount() doubles). Resizes `out` only when needed, so a
+     * buffer reused across a loop over machines never reallocates.
+     */
+    void machineScoresInto(std::size_t m, std::vector<double> &out) const;
+
     /** Index of the named benchmark. @throws InvalidArgument if absent. */
     std::size_t benchmarkIndex(const std::string &name) const;
 

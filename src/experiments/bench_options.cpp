@@ -3,8 +3,12 @@
 #include <ostream>
 #include <string>
 
+#include "dataset/mica.h"
+#include "dataset/scaled_spec.h"
+#include "dataset/synthetic_spec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/string_utils.h"
 
 namespace dtrank::experiments
 {
@@ -32,6 +36,78 @@ addBenchOptions(util::ArgParser &args)
                    "record trace spans and write Chrome trace_event "
                    "JSON to this path (open in chrome://tracing or "
                    "Perfetto)", "");
+    args.addOption("dataset",
+                   "input database: paper (117x29) or "
+                   "scaled:<machines>[x<benchmarks>][:<seed>]",
+                   "paper");
+}
+
+DatasetSpec
+parseDatasetSpec(const std::string &value)
+{
+    DatasetSpec spec;
+    if (value.empty() || value == "paper")
+        return spec;
+
+    const auto parts = util::split(value, ':');
+    if (parts.size() < 2 || parts.size() > 3 || parts[0] != "scaled")
+        throw util::InvalidArgument(
+            "--dataset: expected 'paper' or "
+            "'scaled:<machines>[x<benchmarks>][:<seed>]', got '" +
+            value + "'");
+
+    spec.scaled = true;
+    const auto dims = util::split(parts[1], 'x');
+    if (dims.empty() || dims.size() > 2)
+        throw util::InvalidArgument(
+            "--dataset: bad size spec '" + parts[1] + "'");
+    const long machines = util::parseLong(dims[0]);
+    util::require(machines >= 1, "--dataset: machines must be >= 1");
+    spec.machines = static_cast<std::size_t>(machines);
+    if (dims.size() == 2) {
+        const long benchmarks = util::parseLong(dims[1]);
+        util::require(benchmarks >= 3,
+                      "--dataset: benchmarks must be >= 3");
+        spec.benchmarks = static_cast<std::size_t>(benchmarks);
+    }
+    if (parts.size() == 3)
+        spec.seed = static_cast<std::uint64_t>(
+            util::parseLong(parts[2]));
+    return spec;
+}
+
+BenchDataset
+loadDatasetOption(const util::ArgParser &args,
+                  std::uint64_t fallback_seed,
+                  util::BenchJsonWriter *json)
+{
+    const DatasetSpec spec = parseDatasetSpec(args.get("dataset"));
+    BenchDataset out;
+    if (!spec.scaled) {
+        out.db = dataset::makePaperDataset(fallback_seed);
+        out.characteristics =
+            dataset::MicaGenerator().generateForCatalog();
+        out.benchmarkProfiles = dataset::benchmarkCatalog();
+        out.description = "paper";
+    } else {
+        dataset::ScaledSpecConfig config;
+        config.machines = spec.machines;
+        config.benchmarks = spec.benchmarks > 0
+                                ? spec.benchmarks
+                                : dataset::benchmarkCatalog().size();
+        config.seed = spec.seed != 0 ? spec.seed : fallback_seed;
+        const dataset::ScaledSpecGenerator generator(config);
+        out.db = generator.generate();
+        out.benchmarkProfiles = generator.benchmarkProfiles();
+        out.characteristics =
+            dataset::MicaGenerator().generate(out.benchmarkProfiles);
+        out.description = "scaled:" + std::to_string(config.machines) +
+                          "x" + std::to_string(config.benchmarks) +
+                          ":" + std::to_string(config.seed);
+    }
+    if (json != nullptr)
+        json->addContext("dataset", out.description);
+    return out;
 }
 
 simd::Tier

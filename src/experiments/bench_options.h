@@ -10,10 +10,15 @@
 
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <string>
 
+#include "dataset/latent_model.h"
+#include "dataset/perf_database.h"
 #include "experiments/harness.h"
+#include "linalg/matrix.h"
 #include "simd/simd.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -23,9 +28,55 @@ namespace dtrank::experiments
 
 /**
  * Registers --model-cache, --model-cache-capacity, --json, --simd,
- * --metrics-out and --trace-out.
+ * --metrics-out, --trace-out and --dataset.
  */
 void addBenchOptions(util::ArgParser &args);
+
+/** Parsed form of a --dataset argument. */
+struct DatasetSpec
+{
+    /** False = the paper's 117 x 29 database. */
+    bool scaled = false;
+    /** Machine count (scaled only). */
+    std::size_t machines = 0;
+    /** Benchmark count (scaled only; 0 = the paper's 29). */
+    std::size_t benchmarks = 0;
+    /** Explicit seed; 0 = inherit the bench's --seed value. */
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Parses "paper" or "scaled:<machines>[x<benchmarks>][:<seed>]"
+ * (e.g. "scaled:10000", "scaled:10000x58:7").
+ * @throws util::InvalidArgument on anything else.
+ */
+DatasetSpec parseDatasetSpec(const std::string &value);
+
+/** A bench's input data: database + matching MICA characteristics. */
+struct BenchDataset
+{
+    dataset::PerfDatabase db;
+    linalg::Matrix characteristics;
+    /**
+     * The latent benchmark profiles behind `db`'s rows, for benches
+     * that regenerate characteristics under a custom MicaConfig
+     * (e.g. the no-disguise ablation).
+     */
+    std::vector<dataset::BenchmarkProfile> benchmarkProfiles;
+    /** Canonical description, e.g. "paper" or "scaled:10000x29:2011". */
+    std::string description;
+};
+
+/**
+ * Builds the database selected by --dataset: the paper dataset (with
+ * `fallback_seed`) by default, or a scaled one with matching
+ * characteristics derived from its benchmark profiles. When `json` is
+ * non-null the canonical dataset description is recorded in the
+ * document context.
+ */
+BenchDataset loadDatasetOption(const util::ArgParser &args,
+                               std::uint64_t fallback_seed,
+                               util::BenchJsonWriter *json = nullptr);
 
 /**
  * Applies --simd (auto | scalar | avx2) to the process-wide kernel

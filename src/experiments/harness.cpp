@@ -310,7 +310,10 @@ SplitEvaluator::runTask(Method method, std::size_t app,
 
     TaskResult task;
     task.benchmark = db_.benchmark(app).name;
-    task.actual = target_db.benchmarkScores(app);
+    {
+        const double *row = target_db.benchmarkScoresData(app);
+        task.actual.assign(row, row + target_db.machineCount());
+    }
     task.metrics = core::evaluatePrediction(task.actual, predicted);
     task.predicted = std::move(predicted);
     return task;

@@ -3,12 +3,15 @@
  * Unit tests for the GA-kNN baseline.
  */
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "baseline/ga_knn.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace
 {
@@ -135,6 +138,80 @@ TEST(GaKnn, ConfigValidation)
     baseline::GaKnnConfig config = fastConfig();
     config.k = 0;
     EXPECT_THROW(baseline::GaKnnModel{config}, util::InvalidArgument);
+}
+
+/** Random world with the given benchmark/characteristic/machine shape. */
+void
+randomWorld(std::size_t benchmarks, std::size_t chars,
+            std::size_t machines, std::uint64_t seed,
+            linalg::Matrix &characteristics, linalg::Matrix &scores)
+{
+    util::Rng rng(seed);
+    characteristics = linalg::Matrix(benchmarks, chars);
+    scores = linalg::Matrix(benchmarks, machines);
+    for (std::size_t b = 0; b < benchmarks; ++b) {
+        for (std::size_t c = 0; c < chars; ++c)
+            characteristics(b, c) = rng.uniform(0.0, 1.0);
+        for (std::size_t m = 0; m < machines; ++m)
+            scores(b, m) = rng.uniform(5.0, 50.0);
+    }
+}
+
+TEST(GaKnn, StreamedFitnessMatchesPairTableBitForBit)
+{
+    // Force the streaming path by shrinking the pair-table budget to
+    // nothing; the GA trajectory (and thus the weights) must be
+    // bit-identical to the precomputed-table run.
+    linalg::Matrix chars, scores;
+    randomWorld(24, 5, 8, 99, chars, scores);
+
+    baseline::GaKnnConfig table_config = fastConfig();
+    table_config.k = 5;
+    baseline::GaKnnConfig stream_config = table_config;
+    stream_config.pairTableBudgetBytes = 1;
+
+    baseline::GaKnnModel table_model(table_config);
+    baseline::GaKnnModel stream_model(stream_config);
+    table_model.train(chars, scores);
+    stream_model.train(chars, scores);
+    EXPECT_EQ(table_model.weights(), stream_model.weights());
+    EXPECT_EQ(table_model.trainingFitness(),
+              stream_model.trainingFitness());
+}
+
+TEST(GaKnn, ScaledSweepPredictMatchesReferenceBitForBit)
+{
+    linalg::Matrix chars, scores;
+    randomWorld(24, 5, 401, 7, chars, scores);
+
+    for (const auto weighting : {ml::KnnWeighting::Uniform,
+                                 ml::KnnWeighting::InverseDistance}) {
+        baseline::GaKnnConfig ref_config = fastConfig();
+        ref_config.k = 6;
+        ref_config.weighting = weighting;
+        ref_config.sweepPredict = false;
+        baseline::GaKnnModel reference(ref_config);
+        reference.train(chars, scores);
+        const std::vector<double> app = chars.row(0);
+        const auto ref_pred =
+            reference.predictApp(app, chars, scores, 0);
+
+        for (const std::size_t tile : {1u, 7u, 64u, 4096u}) {
+            for (const std::size_t threads : {1u, 4u, 0u}) {
+                baseline::GaKnnConfig sweep_config = ref_config;
+                sweep_config.sweepPredict = true;
+                sweep_config.predictTile = tile;
+                sweep_config.predictThreads = threads;
+                baseline::GaKnnModel sweep(sweep_config);
+                sweep.restore(reference.weights(),
+                              reference.trainingFitness());
+                const auto sweep_pred =
+                    sweep.predictApp(app, chars, scores, 0);
+                EXPECT_EQ(ref_pred, sweep_pred)
+                    << "tile " << tile << " threads " << threads;
+            }
+        }
+    }
 }
 
 TEST(GaKnnTransposition, AdapterPredictsViaModel)

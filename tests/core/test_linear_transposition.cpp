@@ -5,6 +5,9 @@
  */
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -122,6 +125,84 @@ TEST(LinearTransposition, DeterministicAcrossCalls)
     const auto a = predictor.predict(problem);
     const auto b = predictor.predict(problem);
     EXPECT_EQ(a, b);
+}
+
+/** Random positive problem of the given size. */
+core::TranspositionProblem
+randomProblem(std::size_t benchmarks, std::size_t predictive,
+              std::size_t targets, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    core::TranspositionProblem p;
+    p.predictiveBenchScores = linalg::Matrix(benchmarks, predictive);
+    p.targetBenchScores = linalg::Matrix(benchmarks, targets);
+    for (std::size_t b = 0; b < benchmarks; ++b) {
+        for (std::size_t m = 0; m < predictive; ++m)
+            p.predictiveBenchScores(b, m) = rng.uniform(1.0, 60.0);
+        for (std::size_t t = 0; t < targets; ++t)
+            p.targetBenchScores(b, t) = rng.uniform(1.0, 60.0);
+    }
+    for (std::size_t m = 0; m < predictive; ++m)
+        p.predictiveAppScores.push_back(rng.uniform(1.0, 60.0));
+    return p;
+}
+
+/** Predicts with the given scan mode and returns all outputs. */
+std::pair<std::vector<double>, core::LinearTranspositionDiagnostics>
+runScan(const core::TranspositionProblem &problem, core::ScanMode scan,
+        std::size_t tile, std::size_t threads, bool log_space = false)
+{
+    core::LinearTranspositionConfig config;
+    config.scan = scan;
+    config.targetTile = tile;
+    config.threads = threads;
+    config.logSpace = log_space;
+    core::LinearTransposition predictor(config);
+    auto pred = predictor.predict(problem);
+    return {std::move(pred), predictor.diagnostics()};
+}
+
+TEST(LinearTransposition, TiledScanMatchesNaiveBitForBit)
+{
+    const auto problem = randomProblem(28, 7, 301, 17);
+    const auto [naive_pred, naive_diag] =
+        runScan(problem, core::ScanMode::Naive, 256, 1);
+    for (const std::size_t tile : {1u, 3u, 64u, 256u, 1024u}) {
+        const auto [tiled_pred, tiled_diag] =
+            runScan(problem, core::ScanMode::Tiled, tile, 1);
+        EXPECT_EQ(naive_pred, tiled_pred) << "tile " << tile;
+        EXPECT_EQ(naive_diag.chosenPredictive,
+                  tiled_diag.chosenPredictive);
+        EXPECT_EQ(naive_diag.fitRSquared, tiled_diag.fitRSquared);
+        EXPECT_EQ(naive_diag.slope, tiled_diag.slope);
+        EXPECT_EQ(naive_diag.intercept, tiled_diag.intercept);
+    }
+}
+
+TEST(LinearTransposition, TiledScanMatchesNaiveInLogSpace)
+{
+    const auto problem = randomProblem(20, 5, 97, 23);
+    const auto [naive_pred, naive_diag] =
+        runScan(problem, core::ScanMode::Naive, 256, 1, true);
+    const auto [tiled_pred, tiled_diag] =
+        runScan(problem, core::ScanMode::Tiled, 32, 1, true);
+    EXPECT_EQ(naive_pred, tiled_pred);
+    EXPECT_EQ(naive_diag.chosenPredictive, tiled_diag.chosenPredictive);
+}
+
+TEST(LinearTransposition, ScaledScanThreadCountCannotChangeOutput)
+{
+    const auto problem = randomProblem(28, 9, 513, 29);
+    const auto [serial_pred, serial_diag] =
+        runScan(problem, core::ScanMode::Tiled, 64, 1);
+    for (const std::size_t threads : {2u, 4u, 0u}) {
+        const auto [par_pred, par_diag] =
+            runScan(problem, core::ScanMode::Tiled, 64, threads);
+        EXPECT_EQ(serial_pred, par_pred) << "threads " << threads;
+        EXPECT_EQ(serial_diag.chosenPredictive,
+                  par_diag.chosenPredictive);
+        EXPECT_EQ(serial_diag.fitRSquared, par_diag.fitRSquared);
+    }
 }
 
 TEST(LinearTransposition, RobustToNoisyProxies)

@@ -3,8 +3,14 @@
  * dtrank — command-line interface to the library.
  *
  * Subcommands:
- *   generate   Write the synthetic SPEC-style database to CSV.
- *   info       Summarize a database CSV.
+ *   generate   Write the synthetic SPEC-style database (paper-sized or
+ *              --dataset scaled:...) to CSV, or to the binary columnar
+ *              format when --out ends in .dtc.
+ *   save       Convert a database between formats: load --db (either
+ *              format) and write --out (.dtc = columnar, else CSV).
+ *   load       Open a database, print a one-line summary and the load
+ *              timing (columnar files are memory-mapped).
+ *   info       Summarize a database (CSV or columnar).
  *   rank       Rank the machines of a database for an application of
  *              interest, given the user's own measurements on the
  *              machines they own.
@@ -14,8 +20,11 @@
  *
  * Examples:
  *   dtrank_cli generate --out spec.csv
+ *   dtrank_cli generate --dataset scaled:10000 --out spec10k.dtc
+ *   dtrank_cli save --db spec.csv --out spec.dtc
+ *   dtrank_cli load --db spec10k.dtc
  *   dtrank_cli info --db spec.csv
- *   dtrank_cli rank --db spec.csv --measurements my_app.csv --top 10
+ *   dtrank_cli rank --db spec.dtc --measurements my_app.csv --top 10
  *   dtrank_cli evaluate --db spec.csv --app gcc --owned 6
  *   dtrank_cli evaluate --db spec.csv --app all --threads 8
  *
@@ -37,8 +46,11 @@
 #include "core/selection.h"
 #include "core/spline_transposition.h"
 #include "core/transposition.h"
+#include "dataset/columnar_io.h"
+#include "dataset/scaled_spec.h"
 #include "dataset/synthetic_spec.h"
 #include "core/ranking_comparison.h"
+#include "obs/clock.h"
 #include "experiments/bench_options.h"
 #include "experiments/harness.h"
 #include "obs/metrics.h"
@@ -89,24 +101,113 @@ harnessMethod(const std::string &method)
                                 "' (nn, mlp, spline, multi)");
 }
 
+/** True when `path` names a columnar file by extension. */
+bool
+wantsColumnar(const std::string &path)
+{
+    const std::string ext = dataset::kColumnarExtension;
+    return path.size() > ext.size() &&
+           path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+/** Builds the database selected by --dataset (paper or scaled). */
+dataset::PerfDatabase
+makeDatabaseFromSpec(const util::ArgParser &args)
+{
+    const auto seed = static_cast<std::uint64_t>(args.getLong("seed"));
+    const experiments::DatasetSpec spec =
+        experiments::parseDatasetSpec(args.get("dataset"));
+    if (!spec.scaled)
+        return dataset::makePaperDataset(seed);
+    dataset::ScaledSpecConfig config;
+    config.machines = spec.machines;
+    config.benchmarks = spec.benchmarks > 0
+                            ? spec.benchmarks
+                            : dataset::benchmarkCatalog().size();
+    config.seed = spec.seed != 0 ? spec.seed : seed;
+    return dataset::ScaledSpecGenerator(config).generate();
+}
+
+/** Loads --db in either format, reporting which was detected. */
+dataset::PerfDatabase
+loadDatabaseArg(const util::ArgParser &args)
+{
+    const std::string path = args.get("db");
+    util::require(!path.empty(), "--db is required");
+    return dataset::loadDatabaseAuto(path);
+}
+
+/** Writes `db` to `path`, columnar when the extension asks for it. */
+void
+writeDatabase(const dataset::PerfDatabase &db, const std::string &path)
+{
+    if (wantsColumnar(path))
+        dataset::saveColumnar(db, path);
+    else
+        db.saveCsv(path);
+}
+
 int
 cmdGenerate(util::ArgParser &args)
 {
-    const dataset::PerfDatabase db = dataset::makePaperDataset(
-        static_cast<std::uint64_t>(args.getLong("seed")));
+    const dataset::PerfDatabase db = makeDatabaseFromSpec(args);
     const std::string out = args.get("out");
     util::require(!out.empty(), "generate: --out is required");
-    db.saveCsv(out);
+    writeDatabase(db, out);
     std::cout << "wrote " << db.benchmarkCount() << " benchmarks x "
-              << db.machineCount() << " machines to " << out << "\n";
+              << db.machineCount() << " machines to " << out << " ("
+              << (wantsColumnar(out) ? "columnar" : "CSV") << ")\n";
+    return 0;
+}
+
+int
+cmdSave(util::ArgParser &args)
+{
+    const std::string out = args.get("out");
+    util::require(!out.empty(), "save: --out is required");
+    const dataset::PerfDatabase db = loadDatabaseArg(args);
+    writeDatabase(db, out);
+    std::cout << "wrote " << db.benchmarkCount() << " benchmarks x "
+              << db.machineCount() << " machines to " << out << " ("
+              << (wantsColumnar(out) ? "columnar" : "CSV") << ")\n";
+    return 0;
+}
+
+int
+cmdLoad(util::ArgParser &args)
+{
+    const std::string path = args.get("db");
+    util::require(!path.empty(), "load: --db is required");
+    const auto t0 = obs::monotonicNow();
+    if (dataset::isColumnarFile(path)) {
+        const auto columnar = dataset::ColumnarDatabase::open(path);
+        const double open_ms = obs::secondsSince(t0) * 1e3;
+        const auto t1 = obs::monotonicNow();
+        const dataset::PerfDatabase db = columnar.toDatabase();
+        const double mat_ms = obs::secondsSince(t1) * 1e3;
+        std::cout << path << ": columnar, " << db.benchmarkCount()
+                  << " benchmarks x " << db.machineCount()
+                  << " machines, " << columnar.fileBytes() << " bytes, "
+                  << (columnar.memoryMapped() ? "mmap" : "buffered")
+                  << "\nopen+validate " << util::formatFixed(open_ms, 2)
+                  << " ms, materialize " << util::formatFixed(mat_ms, 2)
+                  << " ms\n";
+    } else {
+        const dataset::PerfDatabase db =
+            dataset::PerfDatabase::loadCsv(path);
+        const double ms = obs::secondsSince(t0) * 1e3;
+        std::cout << path << ": CSV, " << db.benchmarkCount()
+                  << " benchmarks x " << db.machineCount()
+                  << " machines\nparse " << util::formatFixed(ms, 2)
+                  << " ms\n";
+    }
     return 0;
 }
 
 int
 cmdInfo(util::ArgParser &args)
 {
-    const dataset::PerfDatabase db =
-        dataset::PerfDatabase::loadCsv(args.get("db"));
+    const dataset::PerfDatabase db = loadDatabaseArg(args);
     std::cout << db.benchmarkCount() << " benchmarks, "
               << db.machineCount() << " machines, "
               << db.families().size() << " families\n\nBenchmarks:";
@@ -158,8 +259,7 @@ loadMeasurements(const dataset::PerfDatabase &db, const std::string &path)
 int
 cmdRank(util::ArgParser &args)
 {
-    const dataset::PerfDatabase db =
-        dataset::PerfDatabase::loadCsv(args.get("db"));
+    const dataset::PerfDatabase db = loadDatabaseArg(args);
     const auto [owned, app_scores] =
         loadMeasurements(db, args.get("measurements"));
 
@@ -250,8 +350,7 @@ evaluateAllApps(util::ArgParser &args, const dataset::PerfDatabase &db,
 int
 cmdEvaluate(util::ArgParser &args)
 {
-    const dataset::PerfDatabase db =
-        dataset::PerfDatabase::loadCsv(args.get("db"));
+    const dataset::PerfDatabase db = loadDatabaseArg(args);
     const std::string app = args.get("app");
     util::require(app == "all" || db.hasBenchmark(app),
                   "evaluate: unknown benchmark '" + app + "'");
@@ -314,7 +413,8 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cerr << "usage: dtrank_cli <generate|info|rank|evaluate> "
+        std::cerr << "usage: dtrank_cli "
+                     "<generate|save|load|info|rank|evaluate> "
                      "[options]\nRun a subcommand with --help for its "
                      "options.\n";
         return 2;
@@ -322,9 +422,13 @@ main(int argc, char **argv)
     const std::string command = argv[1];
 
     util::ArgParser args("dtrank_cli " + command);
-    args.addOption("db", "database CSV path", "");
-    args.addOption("out", "output path", "");
+    args.addOption("db", "database path (CSV or .dtc columnar)", "");
+    args.addOption("out", "output path (.dtc writes columnar)", "");
     args.addOption("seed", "random seed", "2011");
+    args.addOption("dataset",
+                   "generate: paper (117x29) or "
+                   "scaled:<machines>[x<benchmarks>][:<seed>]",
+                   "paper");
     args.addOption("measurements",
                    "CSV of 'machine,score' rows for your application",
                    "");
@@ -356,6 +460,10 @@ main(int argc, char **argv)
         int rc = 2;
         if (command == "generate")
             rc = cmdGenerate(args);
+        else if (command == "save")
+            rc = cmdSave(args);
+        else if (command == "load")
+            rc = cmdLoad(args);
         else if (command == "info")
             rc = cmdInfo(args);
         else if (command == "rank")
