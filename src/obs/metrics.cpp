@@ -12,6 +12,68 @@ namespace dtrank::obs
 namespace
 {
 
+/**
+ * The production util::ThreadPoolObserver: feeds pool activity into
+ * the global registry. Living here (not in util) keeps the module DAG
+ * acyclic — util cannot include obs — while any binary that links the
+ * observability layer still gets pool metrics: the installer below
+ * runs during static initialization of this TU, which every metrics
+ * consumer pulls in through the scrape/export entry points.
+ *
+ * Instruments are registered lazily on the first callback (the same
+ * cold-path behavior the pool had when it registered them itself), so
+ * binaries that never run a pool do not grow pool metric families.
+ */
+class PoolMetricsObserver final : public util::ThreadPoolObserver
+{
+  public:
+    void onTaskQueued() override { instruments().queue_depth.add(1); }
+
+    void onTaskTaken() override
+    {
+        const Instruments &metrics = instruments();
+        metrics.queue_depth.add(-1);
+        metrics.tasks.inc();
+    }
+
+    void onTaskDone(double seconds) override
+    {
+        instruments().task_seconds.observe(seconds);
+    }
+
+  private:
+    struct Instruments
+    {
+        Gauge &queue_depth;
+        Counter &tasks;
+        Histogram &task_seconds;
+    };
+
+    static const Instruments &
+    instruments()
+    {
+        static const Instruments metrics{
+            MetricsRegistry::global().gauge(
+                "dtrank_thread_pool_queue_depth",
+                "Tasks submitted but not yet started, across all "
+                "pools"),
+            MetricsRegistry::global().counter(
+                "dtrank_thread_pool_tasks_total",
+                "Tasks executed by pool workers"),
+            MetricsRegistry::global().histogram(
+                "dtrank_thread_pool_task_seconds",
+                defaultLatencyBounds(),
+                "Wall-clock task execution latency")};
+        return metrics;
+    }
+};
+
+PoolMetricsObserver g_pool_observer;
+
+/** Installs the observer before main() runs (pools only exist after). */
+[[maybe_unused]] const bool g_pool_observer_installed =
+    (util::setThreadPoolObserver(&g_pool_observer), true);
+
 /** Name before the optional `{label="..."}` suffix. */
 std::string
 familyOf(const std::string &name)

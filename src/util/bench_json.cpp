@@ -60,12 +60,12 @@ BenchJsonWriter::addContext(std::string key, std::string value)
 void
 BenchJsonWriter::addTimed(
     const std::string &section,
-    obs::MonotonicClock::time_point start,
+    MonotonicClock::time_point start,
     std::vector<std::pair<std::string, std::string>> context)
 {
     BenchRecord record;
     record.name = "BENCH_" + benchmark_ + "." + section;
-    record.realTimeMs = obs::secondsSince(start) * 1000.0;
+    record.realTimeMs = secondsSince(start) * 1000.0;
     record.context = std::move(context);
     add(std::move(record));
 }

@@ -14,7 +14,7 @@
 #include <utility>
 #include <vector>
 
-#include "obs/clock.h"
+#include "util/clock.h"
 
 namespace dtrank::util
 {
@@ -52,11 +52,11 @@ class BenchJsonWriter
 
     /**
      * Convenience: builds a "BENCH_<benchmark>.<section>" record from a
-     * start time captured with obs::monotonicNow(), so bench records
+     * start time captured with util::monotonicNow(), so bench records
      * share the trace spans' time base.
      */
     void addTimed(const std::string &section,
-                  obs::MonotonicClock::time_point start,
+                  MonotonicClock::time_point start,
                   std::vector<std::pair<std::string, std::string>>
                       context = {});
 

@@ -1,9 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
-#include "obs/clock.h"
-#include "obs/metrics.h"
+#include "util/clock.h"
 
 namespace dtrank::util
 {
@@ -17,55 +17,46 @@ thread_local bool t_inside_worker = false;
 /** 1 + worker index while inside workerLoop, 0 elsewhere. */
 thread_local std::size_t t_worker_slot = 0;
 
-/** Pool metrics, registered once on first use (cold path). */
-struct PoolMetrics
-{
-    obs::Gauge &queue_depth;
-    obs::Counter &tasks;
-    obs::Histogram &task_seconds;
-};
+/** The installed observer; relaxed is enough because installation
+ *  happens-before any pool runs (static init / startup). */
+std::atomic<ThreadPoolObserver *> g_observer{nullptr};
 
-PoolMetrics &
-poolMetrics()
+ThreadPoolObserver *
+observer()
 {
-    static PoolMetrics metrics{
-        obs::MetricsRegistry::global().gauge(
-            "dtrank_thread_pool_queue_depth",
-            "Tasks submitted but not yet started, across all pools"),
-        obs::MetricsRegistry::global().counter(
-            "dtrank_thread_pool_tasks_total",
-            "Tasks executed by pool workers"),
-        obs::MetricsRegistry::global().histogram(
-            "dtrank_thread_pool_task_seconds",
-            obs::defaultLatencyBounds(),
-            "Wall-clock task execution latency")};
-    return metrics;
+    return g_observer.load(std::memory_order_relaxed);
 }
 
 /**
- * The queue-depth gauge moves in exactly two places — one push site,
- * one take site — no matter which deque a task lands in or which
- * worker ends up stealing it. Centralizing the accounting is what
- * keeps the gauge from drifting negative or leaking now that tasks
- * can change hands: a steal is NOT a pop-then-repush, it is a single
- * take, so it touches the gauge exactly once.
+ * The queued/taken callbacks fire in exactly two places — one push
+ * site, one take site — no matter which deque a task lands in or
+ * which worker ends up stealing it. Centralizing the accounting is
+ * what keeps the observer's queue-depth gauge from drifting negative
+ * or leaking now that tasks can change hands: a steal is NOT a
+ * pop-then-repush, it is a single take, so it fires exactly once.
  */
 void
 notePushed()
 {
-    poolMetrics().queue_depth.add(1);
+    if (ThreadPoolObserver *obs = observer())
+        obs->onTaskQueued();
 }
 
 /** The matching single take site (local pop and remote steal alike). */
 void
 noteTaken()
 {
-    PoolMetrics &metrics = poolMetrics();
-    metrics.queue_depth.add(-1);
-    metrics.tasks.inc();
+    if (ThreadPoolObserver *obs = observer())
+        obs->onTaskTaken();
 }
 
 } // namespace
+
+void
+setThreadPoolObserver(ThreadPoolObserver *observer_to_install)
+{
+    g_observer.store(observer_to_install, std::memory_order_relaxed);
+}
 
 std::size_t
 ParallelConfig::resolved() const
@@ -160,7 +151,6 @@ ThreadPool::workerLoop(std::size_t slot)
 {
     t_inside_worker = true;
     t_worker_slot = slot;
-    PoolMetrics &metrics = poolMetrics();
     const std::size_t self = slot - 1;
     for (;;) {
         std::function<void()> task;
@@ -172,9 +162,13 @@ ThreadPool::workerLoop(std::size_t slot)
                 return; // drained: nothing queued or in flight to take
             continue;   // something was pushed (or is mid-push): rescan
         }
-        const auto started = obs::monotonicNow();
-        task(); // packaged_task captures any exception for the future
-        metrics.task_seconds.observe(obs::secondsSince(started));
+        if (ThreadPoolObserver *obs = observer()) {
+            const auto started = monotonicNow();
+            task(); // packaged_task captures exceptions for the future
+            obs->onTaskDone(secondsSince(started));
+        } else {
+            task();
+        }
     }
 }
 

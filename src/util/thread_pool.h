@@ -43,6 +43,42 @@
 namespace dtrank::util
 {
 
+/**
+ * Hook through which an upper layer observes pool activity without
+ * util depending on it (the module DAG puts obs above util, so the
+ * pool cannot call obs::MetricsRegistry directly). obs/metrics.cpp
+ * installs the one production implementation — the queue-depth gauge,
+ * task counter and task-latency histogram — from a static
+ * initializer, so any binary that links the observability layer gets
+ * pool metrics with no further wiring.
+ *
+ * Implementations must be thread safe: callbacks fire concurrently
+ * from every worker. They must also be pure observers — the
+ * determinism contract requires results to be bit-identical with and
+ * without an observer installed.
+ */
+class ThreadPoolObserver
+{
+  public:
+    virtual ~ThreadPoolObserver() = default;
+
+    /** A task was pushed onto some worker's deque. */
+    virtual void onTaskQueued() = 0;
+
+    /** A task left a deque (local pop and remote steal alike). */
+    virtual void onTaskTaken() = 0;
+
+    /** A task finished after `seconds` of wall-clock execution. */
+    virtual void onTaskDone(double seconds) = 0;
+};
+
+/**
+ * Installs the process-wide pool observer (nullptr uninstalls). The
+ * observer must outlive every pool; install it once at startup, not
+ * concurrently with running pools.
+ */
+void setThreadPoolObserver(ThreadPoolObserver *observer);
+
 /** Thread-count knob shared by every experiment protocol. */
 struct ParallelConfig
 {
