@@ -1,0 +1,9 @@
+// Clean control for the layering rule: core (layer 6) may include
+// util (layer 0).
+#include "util/rng.h"
+
+int
+helper()
+{
+    return 1;
+}

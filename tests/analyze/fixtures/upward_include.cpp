@@ -1,0 +1,9 @@
+// Deliberate layering violation: this file is analyzed as if it were
+// a src/util/ TU, and util (layer 0) may not include core (layer 6).
+#include "core/ranking.h"
+
+int
+helper()
+{
+    return 1;
+}

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Tests for the dtrank_analyze rule engine: the determinism-contract
+ * rules (no-fp-accumulate, no-unordered-iteration,
+ * no-unguarded-static), suppression in both spellings, the ported
+ * legacy rules staying token-accurate (no firing inside comments,
+ * strings or raw strings), output formats and the baseline mechanism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tools/analyze/analyze.h"
+#include "tools/lint/lint.h"
+
+namespace
+{
+
+using dtrank::analyze::analyzeContent;
+using dtrank::analyze::Finding;
+using dtrank::analyze::RuleSet;
+
+std::vector<Finding>
+ofRule(const std::vector<Finding> &findings, const std::string &rule)
+{
+    std::vector<Finding> matching;
+    for (const Finding &finding : findings)
+        if (finding.rule == rule)
+            matching.push_back(finding);
+    return matching;
+}
+
+std::vector<Finding>
+analyzeAll(const std::string &path, const std::string &content)
+{
+    return analyzeContent(path, content, RuleSet::All);
+}
+
+// ---------------------------------------------------------- fp-accumulate
+
+TEST(AnalyzeRules, FpAccumulateFiresInsideABracedLoop)
+{
+    const auto findings = analyzeAll("src/core/x.cpp",
+                                     "double f(int n) {\n"
+                                     "  double acc = 0.0;\n"
+                                     "  for (int i = 0; i < n; ++i) {\n"
+                                     "    acc += 1.0;\n"
+                                     "  }\n"
+                                     "  return acc;\n"
+                                     "}\n");
+    const auto hits = ofRule(findings, "no-fp-accumulate");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 4u);
+}
+
+TEST(AnalyzeRules, FpAccumulateFiresInASingleStatementBody)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "double f(int n) {\n"
+        "  double acc = 0.0;\n"
+        "  for (int i = 0; i < n; ++i) acc += 1.0;\n"
+        "  return acc;\n"
+        "}\n");
+    ASSERT_EQ(ofRule(findings, "no-fp-accumulate").size(), 1u);
+}
+
+TEST(AnalyzeRules, FpAccumulateFiresInWhileAndDoLoops)
+{
+    const auto findings = analyzeAll("src/core/x.cpp",
+                                     "double f() {\n"
+                                     "  double a = 0.0, b = 0.0;\n"
+                                     "  while (a < 3.0) { a += 1.0; }\n"
+                                     "  do { b -= 1.0; } while (b > -3.0);\n"
+                                     "  return a + b;\n"
+                                     "}\n");
+    EXPECT_EQ(ofRule(findings, "no-fp-accumulate").size(), 2u);
+}
+
+TEST(AnalyzeRules, FpAccumulateSilentOutsideLoops)
+{
+    const auto findings = analyzeAll("src/core/x.cpp",
+                                     "double f(double x) {\n"
+                                     "  double acc = 0.0;\n"
+                                     "  acc += x;\n"
+                                     "  return acc;\n"
+                                     "}\n");
+    EXPECT_TRUE(ofRule(findings, "no-fp-accumulate").empty());
+}
+
+TEST(AnalyzeRules, FpAccumulateSilentForElementwiseStores)
+{
+    // a[i] += ... is element-wise, not a reduction.
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "void f(double *a, int n) {\n"
+        "  for (int i = 0; i < n; ++i) a[i] += 1.0;\n"
+        "}\n");
+    EXPECT_TRUE(ofRule(findings, "no-fp-accumulate").empty());
+}
+
+TEST(AnalyzeRules, FpAccumulateSilentForIntegerCounters)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "int f(int n) {\n"
+        "  int count = 0;\n"
+        "  for (int i = 0; i < n; ++i) count += 2;\n"
+        "  return count;\n"
+        "}\n");
+    EXPECT_TRUE(ofRule(findings, "no-fp-accumulate").empty());
+}
+
+TEST(AnalyzeRules, FpAccumulateExemptsSimdAndNonSrc)
+{
+    const std::string loop = "double f(int n) {\n"
+                             "  double acc = 0.0;\n"
+                             "  for (int i = 0; i < n; ++i) acc += 1.0;\n"
+                             "  return acc;\n"
+                             "}\n";
+    EXPECT_TRUE(
+        ofRule(analyzeAll("src/simd/kernels_scalar.cpp", loop),
+               "no-fp-accumulate")
+            .empty());
+    EXPECT_TRUE(ofRule(analyzeAll("tools/foo.cpp", loop),
+                       "no-fp-accumulate")
+                    .empty());
+    EXPECT_TRUE(ofRule(analyzeAll("bench/bench_foo.cpp", loop),
+                       "no-fp-accumulate")
+                    .empty());
+}
+
+// ---------------------------------------------- unordered-iteration
+
+TEST(AnalyzeRules, UnorderedRangeForFires)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "#include <unordered_map>\n"
+        "int f(const std::unordered_map<int, int> &m) {\n"
+        "  int s = 0;\n"
+        "  for (const auto &kv : m) s += kv.second;\n"
+        "  return s;\n"
+        "}\n");
+    const auto hits = ofRule(findings, "no-unordered-iteration");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 4u);
+}
+
+TEST(AnalyzeRules, UnorderedBeginFires)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "#include <unordered_set>\n"
+        "int f(const std::unordered_set<int> &s) {\n"
+        "  return *s.begin();\n"
+        "}\n");
+    ASSERT_EQ(ofRule(findings, "no-unordered-iteration").size(), 1u);
+}
+
+TEST(AnalyzeRules, UnorderedLookupsAreSilent)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "#include <unordered_map>\n"
+        "int f(std::unordered_map<int, int> &m) {\n"
+        "  m[1] = 2;\n"
+        "  return m.at(1) + static_cast<int>(m.count(7));\n"
+        "}\n");
+    EXPECT_TRUE(ofRule(findings, "no-unordered-iteration").empty());
+}
+
+TEST(AnalyzeRules, OrderedMapIterationIsSilent)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "#include <map>\n"
+        "int f(const std::map<int, int> &m) {\n"
+        "  int s = 0;\n"
+        "  for (const auto &kv : m) s += kv.second;\n"
+        "  return s;\n"
+        "}\n");
+    EXPECT_TRUE(ofRule(findings, "no-unordered-iteration").empty());
+}
+
+// ------------------------------------------------- unguarded-static
+
+TEST(AnalyzeRules, UnguardedStaticFires)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "#include <vector>\n"
+        "std::vector<int> &cache() {\n"
+        "  static std::vector<int> entries;\n"
+        "  return entries;\n"
+        "}\n");
+    const auto hits = ofRule(findings, "no-unguarded-static");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 3u);
+}
+
+TEST(AnalyzeRules, GuardedStaticsAreSilent)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "#include <atomic>\n"
+        "int f() {\n"
+        "  static const int k_table[] = {1, 2};\n"
+        "  static constexpr double k_eps = 1e-9;\n"
+        "  static thread_local int scratch = 0;\n"
+        "  static std::atomic<int> hits{0};\n"
+        "  return k_table[0] + scratch + hits.load() +\n"
+        "         static_cast<int>(k_eps);\n"
+        "}\n");
+    EXPECT_TRUE(ofRule(findings, "no-unguarded-static").empty());
+}
+
+TEST(AnalyzeRules, MutexGuardedStaticIsSilent)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "#include \"util/mutex.h\"\n"
+        "int f() {\n"
+        "  static util::Mutex mu;\n"
+        "  static int shared DTRANK_GUARDED_BY(mu) = 0;\n"
+        "  return shared;\n"
+        "}\n");
+    EXPECT_TRUE(ofRule(findings, "no-unguarded-static").empty());
+}
+
+TEST(AnalyzeRules, StaticFunctionDeclarationsAreSilent)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "static int helper(int x) { return x + 1; }\n"
+        "static int forward(int x);\n");
+    EXPECT_TRUE(ofRule(findings, "no-unguarded-static").empty());
+}
+
+TEST(AnalyzeRules, FileScopeGlobalWithoutStaticFires)
+{
+    const auto findings = analyzeAll("src/core/x.cpp",
+                                     "namespace dtrank {\n"
+                                     "namespace {\n"
+                                     "int g_counter = 0;\n"
+                                     "}\n"
+                                     "}\n");
+    const auto hits = ofRule(findings, "no-unguarded-static");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 3u);
+}
+
+TEST(AnalyzeRules, NamespaceScopeFunctionsAndTypesAreSilent)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "namespace dtrank {\n"
+        "struct Point { int x; int y; };\n"
+        "int add(int a, int b) { return a + b; }\n"
+        "const int k_limit = 8;\n"
+        "constexpr double k_eps = 1e-9;\n"
+        "using Row = Point;\n"
+        "namespace fs = Row_is_not_a_namespace_but_parses;\n"
+        "}\n");
+    EXPECT_TRUE(ofRule(findings, "no-unguarded-static").empty());
+}
+
+TEST(AnalyzeRules, LocalVariablesInFunctionBodiesAreSilent)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "int work(int n) {\n"
+        "  int total = 0;\n"
+        "  std::vector<int> scratch;\n"
+        "  return total + static_cast<int>(scratch.size()) + n;\n"
+        "}\n");
+    EXPECT_TRUE(ofRule(findings, "no-unguarded-static").empty());
+}
+
+// ----------------------------------------------------- suppression
+
+TEST(AnalyzeRules, AnalyzeIgnoreSuppressesOnTheLine)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "int &cache() {\n"
+        "  // dtrank-analyze-ignore(no-unguarded-static): registry\n"
+        "  static int entry = 0;\n"
+        "  return entry;\n"
+        "}\n");
+    EXPECT_TRUE(ofRule(findings, "no-unguarded-static").empty());
+}
+
+TEST(AnalyzeRules, LegacyIgnoreSpellingSuppressesNewRules)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "int &cache() {\n"
+        "  static int entry = 0; // dtrank-lint-ignore\n"
+        "  return entry;\n"
+        "}\n");
+    EXPECT_TRUE(ofRule(findings, "no-unguarded-static").empty());
+}
+
+TEST(AnalyzeRules, SuppressionForAnotherRuleDoesNotApply)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "int &cache() {\n"
+        "  static int entry = 0; // dtrank-analyze-ignore(layering)\n"
+        "  return entry;\n"
+        "}\n");
+    EXPECT_EQ(ofRule(findings, "no-unguarded-static").size(), 1u);
+}
+
+// ------------------------------------- token accuracy (regressions)
+
+TEST(AnalyzeRules, RulesDoNotFireInCommentsOrStrings)
+{
+    const auto findings = analyzeAll(
+        "src/linalg/x.cpp",
+        "// float in a comment, acc += 1.0 too\n"
+        "/* static int g_bad; std::rand(); */\n"
+        "const char *s = \"float static steady_clock\";\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeRules, RulesDoNotFireInRawStrings)
+{
+    // The old regex linter had no raw-string support at all; the
+    // token engine must treat the body as opaque text.
+    const auto findings = analyzeAll(
+        "src/linalg/x.cpp",
+        "const char *s = R\"(float x; static int g; rand();)\";\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeRules, LineContinuationCannotHideAViolation)
+{
+    // `flo\<newline>at` is the token `float`: invisible to a
+    // line-based regex, caught by the lexer.
+    const auto findings = analyzeContent("src/linalg/x.cpp",
+                                         "flo\\\nat x = 0.f;\n",
+                                         RuleSet::Legacy);
+    ASSERT_EQ(ofRule(findings, "no-float-kernel").size(), 1u);
+}
+
+TEST(AnalyzeRules, LegacyRulesStillFireOnRealCode)
+{
+    const auto findings = analyzeAll(
+        "src/core/x.cpp",
+        "#include <mutex>\n"
+        "std::mutex g_mu; // dtrank-analyze-ignore(no-unguarded-static)\n"
+        "int seed = static_cast<int>(time(nullptr));\n");
+    EXPECT_EQ(ofRule(findings, "no-std-mutex").size(), 1u);
+    EXPECT_EQ(ofRule(findings, "no-raw-rand").size(), 1u);
+}
+
+// --------------------------------------------- catalogs and outputs
+
+TEST(AnalyzeRules, LegacyRuleCatalogMatchesTheOldLinter)
+{
+    const std::vector<std::string> expected = {
+        "no-raw-rand",  "no-cout-in-src",    "no-float-kernel",
+        "no-naked-new", "no-std-mutex",      "no-raw-intrinsics",
+        "no-raw-clock", "pragma-once",
+    };
+    EXPECT_EQ(dtrank::analyze::ruleIds(RuleSet::Legacy), expected);
+    EXPECT_EQ(dtrank::lint::ruleIds(), expected);
+}
+
+TEST(AnalyzeRules, FullCatalogAddsTheCrossFileAndContractRules)
+{
+    const auto ids = dtrank::analyze::ruleIds(RuleSet::All);
+    for (const std::string rule :
+         {"layering", "include-cycle", "unused-include",
+          "no-fp-accumulate", "no-unordered-iteration",
+          "no-unguarded-static"})
+        EXPECT_NE(std::find(ids.begin(), ids.end(), rule), ids.end())
+            << rule;
+}
+
+TEST(AnalyzeRules, ShimProducesIdenticalFindingsToTheEngine)
+{
+    const std::string content =
+        "unsigned a = rand();\nfloat x = 1.f;\n";
+    const auto lint = dtrank::lint::lintContent("src/ml/x.cpp", content);
+    const auto engine =
+        analyzeContent("src/ml/x.cpp", content, RuleSet::Legacy);
+    ASSERT_EQ(lint.size(), engine.size());
+    for (std::size_t i = 0; i < lint.size(); ++i) {
+        EXPECT_EQ(lint[i].rule, engine[i].rule);
+        EXPECT_EQ(lint[i].line, engine[i].line);
+        EXPECT_EQ(lint[i].message, engine[i].message);
+    }
+}
+
+TEST(AnalyzeRules, JsonOutputEscapesAndCounts)
+{
+    const std::vector<Finding> findings = {
+        {"layering", "src/a\"b.cpp", 3, "line1\nline2"}};
+    const std::string json = dtrank::analyze::toJson(findings);
+    EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+    EXPECT_NE(json.find("src/a\\\"b.cpp"), std::string::npos);
+    EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+}
+
+TEST(AnalyzeRules, SarifOutputCarriesRuleFileAndLine)
+{
+    const std::vector<Finding> findings = {
+        {"no-fp-accumulate", "src/ml/mlp.cpp", 42, "msg"}};
+    const std::string sarif = dtrank::analyze::toSarif(findings);
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"no-fp-accumulate\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"uri\": \"src/ml/mlp.cpp\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 42"), std::string::npos);
+    EXPECT_NE(sarif.find("dtrank_analyze"), std::string::npos);
+}
+
+TEST(AnalyzeRules, EmptyOutputsAreStillWellFormed)
+{
+    EXPECT_NE(dtrank::analyze::toJson({}).find("\"count\": 0"),
+              std::string::npos);
+    EXPECT_NE(dtrank::analyze::toSarif({}).find("\"results\": []"),
+              std::string::npos);
+}
+
+TEST(AnalyzeRules, BaselineRoundTripFiltersTrackedFindings)
+{
+    const std::vector<Finding> findings = {
+        {"no-fp-accumulate", "src/ml/mlp.cpp", 384, "msg"},
+        {"no-unguarded-static", "src/obs/trace.cpp", 48, "msg"}};
+    const std::string rendered =
+        dtrank::analyze::renderBaseline(findings);
+    const auto keys = dtrank::analyze::parseBaseline(rendered);
+    EXPECT_EQ(keys.size(), 2u);
+    EXPECT_TRUE(
+        dtrank::analyze::filterBaselined(findings, keys).empty());
+}
+
+TEST(AnalyzeRules, BaselineFiltersOnlyExactKeys)
+{
+    const std::vector<Finding> tracked = {
+        {"no-fp-accumulate", "src/ml/mlp.cpp", 384, "msg"}};
+    const auto keys = dtrank::analyze::parseBaseline(
+        "# comment\nno-fp-accumulate src/ml/mlp.cpp:384\n");
+    EXPECT_TRUE(
+        dtrank::analyze::filterBaselined(tracked, keys).empty());
+
+    // A different line on the same file is a new finding.
+    const std::vector<Finding> moved = {
+        {"no-fp-accumulate", "src/ml/mlp.cpp", 385, "msg"}};
+    EXPECT_EQ(dtrank::analyze::filterBaselined(moved, keys).size(),
+              1u);
+}
+
+TEST(AnalyzeRules, FormatFindingIsEditorParsable)
+{
+    EXPECT_EQ(dtrank::analyze::formatFinding(
+                  {"layering", "src/util/x.cpp", 7, "msg"}),
+              "src/util/x.cpp:7: [layering] msg");
+}
+
+} // namespace

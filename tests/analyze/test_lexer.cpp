@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the dtrank_analyze token lexer: kinds, line numbers,
+ * preprocessor classification, and the constructs the old regex
+ * linter could not represent — raw strings, line continuations,
+ * digit separators, header-name operands, comment edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tools/analyze/lexer.h"
+
+namespace
+{
+
+using dtrank::analyze::lex;
+using dtrank::analyze::lineCount;
+using dtrank::analyze::Token;
+using dtrank::analyze::TokenKind;
+
+/** The non-comment tokens of `content`, for compact assertions. */
+std::vector<Token>
+codeOf(const std::string &content)
+{
+    std::vector<Token> code;
+    for (const Token &token : lex(content))
+        if (token.kind != TokenKind::Comment)
+            code.push_back(token);
+    return code;
+}
+
+std::vector<std::string>
+spellingsOf(const std::vector<Token> &tokens)
+{
+    std::vector<std::string> spellings;
+    for (const Token &token : tokens)
+        spellings.push_back(token.text);
+    return spellings;
+}
+
+TEST(AnalyzeLexer, IdentifiersNumbersAndPunctuation)
+{
+    const auto tokens = codeOf("int x = 42;");
+    ASSERT_EQ(tokens.size(), 5u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::Identifier);
+    EXPECT_EQ(tokens[0].text, "int");
+    EXPECT_EQ(tokens[1].text, "x");
+    EXPECT_EQ(tokens[2].kind, TokenKind::Punct);
+    EXPECT_EQ(tokens[2].text, "=");
+    EXPECT_EQ(tokens[3].kind, TokenKind::Number);
+    EXPECT_EQ(tokens[3].text, "42");
+    EXPECT_EQ(tokens[4].text, ";");
+}
+
+TEST(AnalyzeLexer, LineNumbersAreOneBasedAndTrackNewlines)
+{
+    const auto tokens = codeOf("a\nb\n\nc\n");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[0].line, 1u);
+    EXPECT_EQ(tokens[1].line, 2u);
+    EXPECT_EQ(tokens[2].line, 4u);
+}
+
+TEST(AnalyzeLexer, LineCommentBecomesCommentToken)
+{
+    const auto tokens = lex("x; // trailing note\ny;");
+    ASSERT_EQ(tokens.size(), 5u);
+    EXPECT_EQ(tokens[2].kind, TokenKind::Comment);
+    EXPECT_NE(tokens[2].text.find("trailing note"), std::string::npos);
+    EXPECT_EQ(tokens[3].text, "y");
+    EXPECT_EQ(tokens[3].line, 2u);
+}
+
+TEST(AnalyzeLexer, BlockCommentSpansLinesAndLineKeepsCounting)
+{
+    const auto tokens = codeOf("a /* one\ntwo\nthree */ b");
+    ASSERT_EQ(tokens.size(), 2u);
+    EXPECT_EQ(tokens[0].line, 1u);
+    EXPECT_EQ(tokens[1].text, "b");
+    EXPECT_EQ(tokens[1].line, 3u);
+}
+
+TEST(AnalyzeLexer, BlockCommentsDoNotNest)
+{
+    // `/* /* */` closes at the first `*/`; `x` is code again.
+    const auto tokens = codeOf("/* /* */ x");
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_EQ(tokens[0].text, "x");
+}
+
+TEST(AnalyzeLexer, UnterminatedBlockCommentConsumesTheRest)
+{
+    const auto tokens = codeOf("a /* no close\nb c d");
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_EQ(tokens[0].text, "a");
+}
+
+TEST(AnalyzeLexer, StringBodiesAreLiteralsNotCode)
+{
+    const auto tokens = codeOf("s = \"std::rand()\";");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[2].kind, TokenKind::String);
+    EXPECT_EQ(tokens[2].text, "std::rand()");
+}
+
+TEST(AnalyzeLexer, EscapedQuoteDoesNotEndTheString)
+{
+    const auto tokens = codeOf(R"(s = "a\"b";)");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[2].kind, TokenKind::String);
+    EXPECT_EQ(tokens[2].text, "a\\\"b");
+}
+
+TEST(AnalyzeLexer, DigitSeparatorStaysInsideTheNumber)
+{
+    const auto tokens = codeOf("n = 1'000'000;");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[2].kind, TokenKind::Number);
+    EXPECT_EQ(tokens[2].text, "1'000'000");
+}
+
+TEST(AnalyzeLexer, ExponentSignsStayInsideTheNumber)
+{
+    const auto tokens = codeOf("x = 1.5e-3;");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[2].kind, TokenKind::Number);
+    EXPECT_EQ(tokens[2].text, "1.5e-3");
+}
+
+TEST(AnalyzeLexer, CharLiteralIsItsOwnKind)
+{
+    const auto tokens = codeOf("c = 'x';");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[2].kind, TokenKind::CharLiteral);
+    EXPECT_EQ(tokens[2].text, "x");
+}
+
+TEST(AnalyzeLexer, RawStringBodyIsOpaqueWithCustomDelimiter)
+{
+    // Contains a plain `)"` that must NOT terminate it, plus code-like
+    // text that must never become identifiers.
+    const auto tokens = codeOf("s = R\"tag(x )\" float )tag\";");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[2].kind, TokenKind::RawString);
+    EXPECT_EQ(tokens[2].text, "x )\" float ");
+}
+
+TEST(AnalyzeLexer, PrefixedRawStringIsRecognized)
+{
+    const auto tokens = codeOf("s = u8R\"(body)\";");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[2].kind, TokenKind::RawString);
+    EXPECT_EQ(tokens[2].text, "body");
+}
+
+TEST(AnalyzeLexer, LineContinuationJoinsAnIdentifier)
+{
+    const auto tokens = codeOf("flo\\\nat x;");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::Identifier);
+    EXPECT_EQ(tokens[0].text, "float");
+    EXPECT_EQ(tokens[0].line, 1u);
+    // The next token is on the physical line after the splice.
+    EXPECT_EQ(tokens[1].line, 2u);
+}
+
+TEST(AnalyzeLexer, LineContinuationExtendsALineComment)
+{
+    const auto tokens = lex("// note \\\nstill comment\ncode;");
+    ASSERT_GE(tokens.size(), 2u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::Comment);
+    EXPECT_NE(tokens[0].text.find("still comment"),
+              std::string::npos);
+    EXPECT_EQ(tokens[1].text, "code");
+    EXPECT_EQ(tokens[1].line, 3u);
+}
+
+TEST(AnalyzeLexer, PreprocessorTokensAreMarked)
+{
+    const auto tokens = codeOf("#define FOO 1\nint x;");
+    ASSERT_GE(tokens.size(), 6u);
+    EXPECT_TRUE(tokens[0].preprocessor); // '#'
+    EXPECT_TRUE(tokens[1].preprocessor); // 'define'
+    EXPECT_TRUE(tokens[2].preprocessor); // 'FOO'
+    EXPECT_TRUE(tokens[3].preprocessor); // '1'
+    EXPECT_FALSE(tokens[4].preprocessor); // 'int'
+}
+
+TEST(AnalyzeLexer, AngleIncludeOperandIsAHeaderName)
+{
+    const auto tokens = codeOf("#include <vector>\n");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[2].kind, TokenKind::HeaderName);
+    EXPECT_EQ(tokens[2].text, "<vector>");
+    EXPECT_TRUE(tokens[2].preprocessor);
+}
+
+TEST(AnalyzeLexer, QuotedIncludeOperandIsAHeaderName)
+{
+    const auto tokens = codeOf("#include \"util/rng.h\"\n");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[2].kind, TokenKind::HeaderName);
+    EXPECT_EQ(tokens[2].text, "\"util/rng.h\"");
+}
+
+TEST(AnalyzeLexer, AnglesOutsideIncludeAreComparisons)
+{
+    const auto tokens = codeOf("#if A < B\n#endif\n");
+    for (const Token &token : tokens)
+        EXPECT_NE(token.kind, TokenKind::HeaderName)
+            << "token '" << token.text << "'";
+}
+
+TEST(AnalyzeLexer, MaximalMunchOnCompoundOperators)
+{
+    const auto spellings = spellingsOf(codeOf("a <<= b += c->*d;"));
+    const std::vector<std::string> expected = {
+        "a", "<<=", "b", "+=", "c", "->*", "d", ";"};
+    EXPECT_EQ(spellings, expected);
+}
+
+TEST(AnalyzeLexer, LineCountIgnoresASingleTrailingNewline)
+{
+    EXPECT_EQ(lineCount(""), 1u);
+    EXPECT_EQ(lineCount("a"), 1u);
+    EXPECT_EQ(lineCount("a\n"), 1u);
+    EXPECT_EQ(lineCount("a\nb"), 2u);
+    EXPECT_EQ(lineCount("a\nb\n"), 2u);
+}
+
+TEST(AnalyzeLexer, UnterminatedStringResyncsAtNewline)
+{
+    const auto tokens = codeOf("s = \"oops\nnext;");
+    // `next` must come back as a real identifier on line 2.
+    bool found = false;
+    for (const Token &token : tokens)
+        if (token.kind == TokenKind::Identifier &&
+            token.text == "next") {
+            found = true;
+            EXPECT_EQ(token.line, 2u);
+        }
+    EXPECT_TRUE(found);
+}
+
+} // namespace

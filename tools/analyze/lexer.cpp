@@ -1,0 +1,490 @@
+#include "lexer.h"
+
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace dtrank::analyze
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+isDigit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/** String/char literal encoding prefixes ("" handles the bare case). */
+bool
+isLiteralPrefix(std::string_view ident)
+{
+    return ident == "L" || ident == "u" || ident == "U" || ident == "u8";
+}
+
+/** Raw string prefixes: R plus any encoding prefix before it. */
+bool
+isRawStringPrefix(std::string_view ident)
+{
+    return ident == "R" || ident == "LR" || ident == "uR" ||
+           ident == "UR" || ident == "u8R";
+}
+
+/**
+ * Multi-character punctuators, longest first so maximal munch finds
+ * `+=` before `+` and `...` before `..`/`.`.
+ */
+constexpr std::array<std::string_view, 21> kPuncts = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=",
+    "*=",  "/=",  "%=",  "&=",  "|=", "^=", "<<", ">>", "<=", ">=",
+    "==",
+};
+
+/**
+ * Cursor over the source that makes backslash-newline splices
+ * invisible to token scanning while still counting the lines they
+ * consume, and that tracks the current 1-based line.
+ */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &text) : text_(text)
+    {
+        skipSplices();
+    }
+
+    bool done() const { return pos_ >= text_.size(); }
+
+    /** Current character ('\0' at end). Never a splice backslash. */
+    char peek() const { return done() ? '\0' : text_[pos_]; }
+
+    /** Character `ahead` positions forward, splice-aware. */
+    char
+    peekAhead(std::size_t ahead) const
+    {
+        std::size_t p = pos_; // already splice-free
+        for (std::size_t k = 0; k < ahead && p < text_.size(); ++k)
+            p = skipSplicesFrom(p + 1);
+        return p < text_.size() ? text_[p] : '\0';
+    }
+
+    /** Consumes the current character, maintaining the line count. */
+    void
+    advance()
+    {
+        if (done())
+            return;
+        if (text_[pos_] == '\n')
+            ++line_;
+        ++pos_;
+        skipSplices();
+    }
+
+    std::size_t line() const { return line_; }
+
+  private:
+    /** Skips any run of backslash-newline splices at `p`. */
+    std::size_t
+    skipSplicesFrom(std::size_t p) const
+    {
+        while (p + 1 < text_.size() && text_[p] == '\\') {
+            if (text_[p + 1] == '\n') {
+                p += 2;
+            } else if (text_[p + 1] == '\r' && p + 2 < text_.size() &&
+                       text_[p + 2] == '\n') {
+                p += 3;
+            } else {
+                break;
+            }
+        }
+        return p;
+    }
+
+    void
+    skipSplices()
+    {
+        for (;;) {
+            const std::size_t next = skipSplicesFrom(pos_);
+            if (next == pos_)
+                return;
+            // Each consumed splice swallowed one newline.
+            for (std::size_t p = pos_; p < next; ++p)
+                if (text_[p] == '\n')
+                    ++line_;
+            pos_ = next;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &content) : cursor_(content) {}
+
+    std::vector<Token>
+    run()
+    {
+        while (!cursor_.done())
+            next();
+        return std::move(tokens_);
+    }
+
+  private:
+    void
+    emit(TokenKind kind, std::string text, std::size_t line)
+    {
+        Token token;
+        token.kind = kind;
+        token.text = std::move(text);
+        token.line = line;
+        token.preprocessor = in_pp_;
+        tokens_.push_back(std::move(token));
+    }
+
+    void
+    next()
+    {
+        const char c = cursor_.peek();
+        if (c == '\n') {
+            // A real (unspliced) newline terminates the directive.
+            in_pp_ = false;
+            pp_directive_.clear();
+            at_line_start_ = true;
+            cursor_.advance();
+            return;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+            c == '\f') {
+            cursor_.advance();
+            return;
+        }
+        if (c == '/' && cursor_.peekAhead(1) == '/') {
+            lexLineComment();
+            return;
+        }
+        if (c == '/' && cursor_.peekAhead(1) == '*') {
+            lexBlockComment();
+            return;
+        }
+        if (c == '#' && at_line_start_) {
+            in_pp_ = true;
+            pp_directive_.clear();
+            at_line_start_ = false;
+            emit(TokenKind::Punct, "#", cursor_.line());
+            cursor_.advance();
+            return;
+        }
+        at_line_start_ = false;
+        if (isIdentStart(c)) {
+            lexIdentifier();
+            return;
+        }
+        if (isDigit(c) || (c == '.' && isDigit(cursor_.peekAhead(1)))) {
+            lexNumber();
+            return;
+        }
+        if (c == '"') {
+            if (in_pp_ && pp_directive_ == "include") {
+                lexHeaderName('"', '"');
+            } else {
+                lexString("");
+            }
+            return;
+        }
+        if (c == '\'') {
+            lexCharLiteral();
+            return;
+        }
+        if (c == '<' && in_pp_ && pp_directive_ == "include") {
+            lexHeaderName('<', '>');
+            return;
+        }
+        lexPunct();
+    }
+
+    void
+    lexLineComment()
+    {
+        const std::size_t line = cursor_.line();
+        cursor_.advance(); // '/'
+        cursor_.advance(); // '/'
+        std::string text;
+        // A spliced newline continues the comment; the Cursor already
+        // hides splices, so we stop at the first real newline.
+        while (!cursor_.done() && cursor_.peek() != '\n') {
+            text.push_back(cursor_.peek());
+            cursor_.advance();
+        }
+        emit(TokenKind::Comment, std::move(text), line);
+    }
+
+    void
+    lexBlockComment()
+    {
+        const std::size_t line = cursor_.line();
+        cursor_.advance(); // '/'
+        cursor_.advance(); // '*'
+        std::string text;
+        // Block comments do not nest: the first */ ends the comment,
+        // no matter how many /* appeared inside.
+        while (!cursor_.done()) {
+            if (cursor_.peek() == '*' && cursor_.peekAhead(1) == '/') {
+                cursor_.advance();
+                cursor_.advance();
+                break;
+            }
+            text.push_back(cursor_.peek());
+            cursor_.advance();
+        }
+        emit(TokenKind::Comment, std::move(text), line);
+    }
+
+    void
+    lexIdentifier()
+    {
+        const std::size_t line = cursor_.line();
+        std::string text;
+        while (!cursor_.done() && isIdentChar(cursor_.peek())) {
+            text.push_back(cursor_.peek());
+            cursor_.advance();
+        }
+        // String-literal prefixes glue onto the following quote:
+        // u8"x", L'c', R"(body)", u8R"(body)".
+        if (cursor_.peek() == '"' && isRawStringPrefix(text)) {
+            lexRawString(line);
+            return;
+        }
+        if (cursor_.peek() == '"' && isLiteralPrefix(text)) {
+            lexString(text);
+            return;
+        }
+        if (cursor_.peek() == '\'' && isLiteralPrefix(text)) {
+            lexCharLiteral();
+            return;
+        }
+        if (in_pp_ && pp_directive_.empty())
+            pp_directive_ = text;
+        emit(TokenKind::Identifier, std::move(text), line);
+    }
+
+    void
+    lexNumber()
+    {
+        const std::size_t line = cursor_.line();
+        std::string text;
+        while (!cursor_.done()) {
+            const char c = cursor_.peek();
+            if (isIdentChar(c) || c == '.') {
+                text.push_back(c);
+                cursor_.advance();
+                // Exponent signs belong to the pp-number.
+                if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+                    (cursor_.peek() == '+' || cursor_.peek() == '-') &&
+                    text.find("0x") != 0 && text.find("0X") != 0) {
+                    text.push_back(cursor_.peek());
+                    cursor_.advance();
+                }
+                continue;
+            }
+            // Digit separator: 1'000'000 (quote between digit-likes).
+            if (c == '\'' && !text.empty() &&
+                isIdentChar(cursor_.peekAhead(1))) {
+                text.push_back(c);
+                cursor_.advance();
+                continue;
+            }
+            break;
+        }
+        emit(TokenKind::Number, std::move(text), line);
+    }
+
+    void
+    lexString(const std::string &prefix)
+    {
+        const std::size_t line = cursor_.line();
+        (void)prefix; // encoding does not matter to the rules
+        cursor_.advance(); // opening '"'
+        std::string text;
+        while (!cursor_.done()) {
+            const char c = cursor_.peek();
+            if (c == '"') {
+                cursor_.advance();
+                break;
+            }
+            if (c == '\n')
+                break; // unterminated: resync at the newline
+            if (c == '\\') {
+                text.push_back(c);
+                cursor_.advance();
+                if (!cursor_.done() && cursor_.peek() != '\n') {
+                    text.push_back(cursor_.peek());
+                    cursor_.advance();
+                }
+                continue;
+            }
+            text.push_back(c);
+            cursor_.advance();
+        }
+        emit(TokenKind::String, std::move(text), line);
+    }
+
+    void
+    lexRawString(std::size_t line)
+    {
+        cursor_.advance(); // opening '"'
+        std::string delim;
+        while (!cursor_.done() && cursor_.peek() != '(' &&
+               cursor_.peek() != '\n' && delim.size() < 16) {
+            delim.push_back(cursor_.peek());
+            cursor_.advance();
+        }
+        if (cursor_.peek() != '(') {
+            // Malformed raw string: treat what we have as a string.
+            emit(TokenKind::String, std::move(delim), line);
+            return;
+        }
+        cursor_.advance(); // '('
+        const std::string closer = ")" + delim + "\"";
+        std::string text;
+        while (!cursor_.done()) {
+            if (cursor_.peek() == ')') {
+                // Check for the full `)delim"` closer.
+                bool matches = true;
+                for (std::size_t k = 1; k < closer.size() && matches;
+                     ++k)
+                    matches = cursor_.peekAhead(k) == closer[k];
+                if (matches) {
+                    for (std::size_t k = 0; k < closer.size(); ++k)
+                        cursor_.advance();
+                    break;
+                }
+            }
+            text.push_back(cursor_.peek());
+            cursor_.advance();
+        }
+        emit(TokenKind::RawString, std::move(text), line);
+    }
+
+    void
+    lexCharLiteral()
+    {
+        const std::size_t line = cursor_.line();
+        cursor_.advance(); // opening '\''
+        std::string text;
+        while (!cursor_.done()) {
+            const char c = cursor_.peek();
+            if (c == '\'') {
+                cursor_.advance();
+                break;
+            }
+            if (c == '\n')
+                break; // unterminated: resync
+            if (c == '\\') {
+                text.push_back(c);
+                cursor_.advance();
+                if (!cursor_.done() && cursor_.peek() != '\n') {
+                    text.push_back(cursor_.peek());
+                    cursor_.advance();
+                }
+                continue;
+            }
+            text.push_back(c);
+            cursor_.advance();
+        }
+        emit(TokenKind::CharLiteral, std::move(text), line);
+    }
+
+    void
+    lexHeaderName(char open, char close)
+    {
+        const std::size_t line = cursor_.line();
+        std::string text(1, open);
+        cursor_.advance();
+        while (!cursor_.done() && cursor_.peek() != close &&
+               cursor_.peek() != '\n') {
+            text.push_back(cursor_.peek());
+            cursor_.advance();
+        }
+        if (cursor_.peek() == close) {
+            text.push_back(close);
+            cursor_.advance();
+        }
+        emit(TokenKind::HeaderName, std::move(text), line);
+    }
+
+    void
+    lexPunct()
+    {
+        const std::size_t line = cursor_.line();
+        for (const std::string_view punct : kPuncts) {
+            bool matches = true;
+            for (std::size_t k = 0; k < punct.size() && matches; ++k)
+                matches = cursor_.peekAhead(k) == punct[k];
+            if (matches) {
+                for (std::size_t k = 0; k < punct.size(); ++k)
+                    cursor_.advance();
+                emit(TokenKind::Punct, std::string(punct), line);
+                return;
+            }
+        }
+        emit(TokenKind::Punct, std::string(1, cursor_.peek()), line);
+        cursor_.advance();
+    }
+
+    Cursor cursor_;
+    std::vector<Token> tokens_;
+    bool in_pp_ = false;
+    bool at_line_start_ = true;
+    std::string pp_directive_;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &content)
+{
+    return Lexer(content).run();
+}
+
+std::size_t
+lineCount(const std::string &content)
+{
+    std::size_t lines = 1;
+    for (const char c : content)
+        if (c == '\n')
+            ++lines;
+    if (!content.empty() && content.back() == '\n')
+        --lines;
+    return lines;
+}
+
+bool
+isIdent(const Token &token, const std::string &text)
+{
+    return token.kind == TokenKind::Identifier && token.text == text;
+}
+
+bool
+isPunct(const Token &token, const std::string &text)
+{
+    return token.kind == TokenKind::Punct && token.text == text;
+}
+
+} // namespace dtrank::analyze

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Token-stream lexer for the dtrank static analysis engine.
+ *
+ * The predecessor linter matched regexes against blanked-out source
+ * lines, which cannot tell an identifier from a string body once raw
+ * strings, line continuations or digit separators appear. This lexer
+ * produces a real C++ token stream — identifiers, numbers, string /
+ * char / raw-string literals, punctuation, comments, and preprocessor
+ * material classified as such — with 1-based source lines attached,
+ * so every rule in tools/analyze matches tokens, never text.
+ *
+ * It is a lexer for analysis, not compilation: tokens keep their
+ * spelling, keywords are identifiers (rules compare spellings), and
+ * broken input (unterminated literals) resyncs at the next newline
+ * instead of failing, so the engine can lint deliberately-broken test
+ * fixtures.
+ *
+ * Handled precisely because rules depend on it:
+ *  - `//` and `/ * * /` comments (comment text is kept: suppression
+ *    directives live there); block comments do not nest.
+ *  - string/char literals with escapes, encoding prefixes (L, u, U,
+ *    u8) and raw strings `R"delim(...)delim"` of any delimiter.
+ *  - backslash-newline splices anywhere, including inside literals,
+ *    comments and preprocessor directives.
+ *  - digit separators (`1'000'000`) inside pp-numbers, so the `'` is
+ *    not mistaken for a char literal.
+ *  - preprocessor lines: every token on one carries `preprocessor =
+ *    true`, and the operand of `#include` is lexed as a HeaderName
+ *    token (`<vector>` or `"util/rng.h"`, delimiters included) rather
+ *    than as comparison operators or a string literal.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dtrank::analyze
+{
+
+enum class TokenKind
+{
+    Identifier, ///< Identifiers and keywords, spelling preserved.
+    Number,     ///< pp-number: integers, floats, separators, exponents.
+    String,     ///< Ordinary (possibly prefixed) string literal body.
+    RawString,  ///< Raw string literal body (between the delimiters).
+    CharLiteral, ///< Character literal body.
+    Punct,       ///< Operators and punctuation, maximal munch.
+    HeaderName,  ///< `#include` operand, delimiters included.
+    Comment,     ///< Comment body, `//`/`/*` delimiters stripped.
+};
+
+/** One lexed token. */
+struct Token
+{
+    TokenKind kind = TokenKind::Punct;
+    /** The token's spelling (literal kinds: the body, no quotes). */
+    std::string text;
+    /** 1-based line the token starts on. */
+    std::size_t line = 1;
+    /** True for tokens belonging to a preprocessor directive line. */
+    bool preprocessor = false;
+};
+
+/** Lexes a whole source file. Never throws on malformed input. */
+std::vector<Token> lex(const std::string &content);
+
+/** Number of lines in `content` (a trailing newline adds no line). */
+std::size_t lineCount(const std::string &content);
+
+/** True when the token is an identifier spelled `text`. */
+bool isIdent(const Token &token, const std::string &text);
+
+/** True when the token is punctuation spelled `text`. */
+bool isPunct(const Token &token, const std::string &text);
+
+} // namespace dtrank::analyze

@@ -2,6 +2,11 @@
  * @file
  * Command-line driver for the dtrank source linter.
  *
+ * DEPRECATED: dtrank_lint is a compatibility shim over the
+ * dtrank_analyze engine and only runs the legacy rule set. Prefer
+ * `dtrank_analyze`, which adds include-graph layering and
+ * determinism-contract rules plus JSON/SARIF output.
+ *
  * Usage:
  *   dtrank_lint [--list-rules] [--root <repo-root>] [file...]
  *

@@ -1,12 +1,24 @@
+/**
+ * @file
+ * Compatibility shim: dtrank_lint over the dtrank_analyze engine.
+ *
+ * The regex/line implementation that used to live here was replaced
+ * by the token-stream engine in tools/analyze (see analyze.h). This
+ * TU keeps the dtrank::lint interface — and the exact legacy rule
+ * set, IDs, scopes, messages and suppression behavior — by delegating
+ * to the engine with RuleSet::Legacy, so existing callers, fixtures
+ * and `// dtrank-lint-ignore` comments keep working unchanged. New
+ * code should call dtrank::analyze directly; the extra cross-file and
+ * determinism-contract rules only exist there.
+ */
+
 #include "lint.h"
 
-#include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <string_view>
 
+#include "tools/analyze/analyze.h"
 #include "util/error.h"
 
 namespace dtrank::lint
@@ -15,407 +27,16 @@ namespace dtrank::lint
 namespace
 {
 
-/** True for characters that can appear in a C++ identifier. */
-bool
-isIdentChar(char c)
+std::vector<Finding>
+fromEngine(std::vector<analyze::Finding> findings)
 {
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/**
- * One source line after lexing: executable text with comments and
- * string/char-literal bodies blanked out, plus the comment text (the
- * channel suppression directives live in).
- */
-struct LexedLine
-{
-    std::string code;
-    std::string comment;
-};
-
-/**
- * Splits source into lines, blanking comments and literal bodies.
- * A correct-enough lexer for linting: tracks block comments across
- * lines and skips escaped quotes; raw string literals are not handled
- * (the tree does not use them in lint-relevant positions).
- */
-std::vector<LexedLine>
-lexLines(const std::string &content)
-{
-    std::vector<LexedLine> lines;
-    lines.emplace_back();
-    bool in_block_comment = false;
-    bool in_string = false;
-    bool in_char = false;
-    for (std::size_t i = 0; i < content.size(); ++i) {
-        const char c = content[i];
-        const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-        LexedLine &line = lines.back();
-        if (c == '\n') {
-            in_string = in_char = false; // unterminated literal: resync
-            lines.emplace_back();
-            continue;
-        }
-        if (in_block_comment) {
-            if (c == '*' && next == '/') {
-                in_block_comment = false;
-                ++i;
-            } else {
-                line.comment.push_back(c);
-            }
-            continue;
-        }
-        if (in_string || in_char) {
-            if (c == '\\') {
-                ++i; // skip the escaped character
-            } else if ((in_string && c == '"') || (in_char && c == '\'')) {
-                in_string = in_char = false;
-                line.code.push_back(c);
-            }
-            continue;
-        }
-        if (c == '/' && next == '/') {
-            // Line comment: the rest of the line is comment text.
-            std::size_t end = content.find('\n', i);
-            if (end == std::string::npos)
-                end = content.size();
-            line.comment.append(content, i + 2, end - i - 2);
-            i = end - 1;
-            continue;
-        }
-        if (c == '/' && next == '*') {
-            in_block_comment = true;
-            ++i;
-            continue;
-        }
-        if (c == '"')
-            in_string = true;
-        else if (c == '\'' && (line.code.empty() ||
-                               !isIdentChar(line.code.back())))
-            in_char = true; // not a digit separator like 1'000
-        line.code.push_back(c);
-    }
-    return lines;
-}
-
-/** Position of `token` in `code` with identifier boundaries on both
- *  sides, or npos. */
-std::size_t
-findToken(const std::string &code, std::string_view token)
-{
-    std::size_t pos = 0;
-    while ((pos = code.find(token, pos)) != std::string::npos) {
-        const bool left_ok = pos == 0 || !isIdentChar(code[pos - 1]);
-        const std::size_t after = pos + token.size();
-        const bool right_ok =
-            after >= code.size() || !isIdentChar(code[after]);
-        if (left_ok && right_ok)
-            return pos;
-        pos += 1;
-    }
-    return std::string::npos;
-}
-
-/** Like findToken but the token may be qualified (e.g. "std::rand"). */
-std::size_t
-findQualifiedToken(const std::string &code, std::string_view token)
-{
-    std::size_t pos = 0;
-    while ((pos = code.find(token, pos)) != std::string::npos) {
-        const bool left_ok = pos == 0 || !isIdentChar(code[pos - 1]);
-        const std::size_t after = pos + token.size();
-        const bool right_ok =
-            after >= code.size() || !isIdentChar(code[after]);
-        if (left_ok && right_ok)
-            return pos;
-        pos += 1;
-    }
-    return std::string::npos;
-}
-
-/** First non-space character at or after `pos`, or '\0'. */
-char
-nextNonSpace(const std::string &code, std::size_t pos)
-{
-    while (pos < code.size() &&
-           std::isspace(static_cast<unsigned char>(code[pos])) != 0)
-        ++pos;
-    return pos < code.size() ? code[pos] : '\0';
-}
-
-/** Last non-space character before `pos`, or '\0'. */
-char
-prevNonSpace(const std::string &code, std::size_t pos)
-{
-    while (pos > 0) {
-        --pos;
-        if (std::isspace(static_cast<unsigned char>(code[pos])) == 0)
-            return code[pos];
-    }
-    return '\0';
-}
-
-/** `prefix + quoted + suffix` built by append (GCC 12's -Wrestrict
- *  misfires on chained operator+ of string temporaries). */
-std::string
-quotedMessage(std::string_view prefix, std::string_view quoted,
-              std::string_view suffix)
-{
-    std::string message(prefix);
-    message.append("'").append(quoted).append("' ").append(suffix);
-    return message;
-}
-
-/** True when the comment carries a suppression that covers `rule`. */
-bool
-suppresses(const std::string &comment, const std::string &rule)
-{
-    static constexpr std::string_view kDirective = "dtrank-lint-ignore";
-    std::size_t pos = 0;
-    while ((pos = comment.find(kDirective, pos)) != std::string::npos) {
-        std::size_t after = pos + kDirective.size();
-        if (after >= comment.size() || comment[after] != '(')
-            return true; // bare directive: ignore every rule
-        const std::size_t close = comment.find(')', after);
-        if (close == std::string::npos)
-            return true; // malformed; err on the side of the author
-        const std::string listed =
-            comment.substr(after + 1, close - after - 1);
-        if (listed == rule)
-            return true;
-        pos = close;
-    }
-    return false;
-}
-
-/** True when `path` (repo-relative, '/'-separated) is under `dir`. */
-bool
-underDir(const std::string &path, std::string_view dir)
-{
-    return path.size() > dir.size() &&
-           path.compare(0, dir.size(), dir) == 0 &&
-           path[dir.size()] == '/';
-}
-
-bool
-isHeaderPath(const std::string &path)
-{
-    return path.ends_with(".h") || path.ends_with(".hpp");
-}
-
-/**
- * A lint rule: an ID, a scope predicate over repo-relative paths, and
- * a per-line matcher returning a message (empty = no violation).
- */
-struct Rule
-{
-    std::string id;
-    bool (*applies)(const std::string &path);
-    std::string (*match)(const std::string &code);
-};
-
-std::string
-matchRawRand(const std::string &code)
-{
-    static constexpr std::string_view kEngines[] = {
-        "srand", "random_device", "mt19937", "mt19937_64",
-        "minstd_rand", "minstd_rand0", "default_random_engine",
-        "ranlux24", "ranlux48", "knuth_b",
-    };
-    for (const std::string_view engine : kEngines) {
-        if (findToken(code, engine) != std::string::npos)
-            return quotedMessage(
-                "raw random source ", engine,
-                "bypasses util::Rng; all randomness must flow through "
-                "an explicitly seeded util::Rng");
-    }
-    const std::size_t rand_pos = findToken(code, "rand");
-    if (rand_pos != std::string::npos &&
-        nextNonSpace(code, rand_pos + 4) == '(')
-        return "rand() is non-deterministic across platforms; use "
-               "util::Rng with an explicit seed";
-    const std::size_t time_pos = findToken(code, "time");
-    if (time_pos != std::string::npos &&
-        nextNonSpace(code, time_pos + 4) == '(') {
-        const std::size_t paren = code.find('(', time_pos);
-        const char arg = nextNonSpace(code, paren + 1);
-        if (arg == 'n' || arg == 'N' || arg == '0')
-            return "wall-clock seeding breaks reproducibility; derive "
-                   "seeds from util::Rng streams";
-    }
-    return "";
-}
-
-std::string
-matchCoutInSrc(const std::string &code)
-{
-    static constexpr std::string_view kWriters[] = {
-        "printf", "fprintf", "puts", "putchar",
-    };
-    if (findQualifiedToken(code, "std::cout") != std::string::npos)
-        return "library code must not write to stdout; use "
-               "util::logging (inform/warn/debug) or take an ostream";
-    for (const std::string_view writer : kWriters) {
-        if (findToken(code, writer) != std::string::npos)
-            return quotedMessage(
-                "", writer,
-                "in library code; use util::logging or an ostream "
-                "parameter");
-    }
-    return "";
-}
-
-std::string
-matchFloatKernel(const std::string &code)
-{
-    if (findToken(code, "float") != std::string::npos)
-        return "numeric kernels are double-precision only: float "
-               "changes rounding and breaks bit-identical "
-               "reproduction of the paper tables";
-    return "";
-}
-
-std::string
-matchRawIntrinsics(const std::string &code)
-{
-    // Covers the whole header family: immintrin, xmmintrin, emmintrin...
-    if (code.find("mmintrin") != std::string::npos)
-        return "vendor intrinsic headers may only be included under "
-               "src/simd/; call the runtime-dispatched simd:: kernels "
-               "instead";
-    for (std::size_t i = 0; i < code.size(); ++i) {
-        if (code[i] != '_' || (i > 0 && isIdentChar(code[i - 1])))
-            continue;
-        std::size_t end = i;
-        while (end < code.size() && isIdentChar(code[end]))
-            ++end;
-        const std::string_view ident(code.data() + i, end - i);
-        const bool vector_type = ident.substr(0, 6) == "__m128" ||
-                                 ident.substr(0, 6) == "__m256" ||
-                                 ident.substr(0, 6) == "__m512";
-        if (vector_type || ident.substr(0, 3) == "_mm")
-            return quotedMessage(
-                "raw SIMD intrinsic ", ident,
-                "outside src/simd/; hand-written vector code bypasses "
-                "the dispatch layer's bit-identical canonical "
-                "reductions — use the simd:: kernel API");
-        i = end;
-    }
-    return "";
-}
-
-std::string
-matchNakedNew(const std::string &code)
-{
-    const std::size_t new_pos = findToken(code, "new");
-    if (new_pos != std::string::npos)
-        return "naked 'new' in library code; use containers, "
-               "std::make_unique or std::make_shared";
-    const std::size_t del_pos = findToken(code, "delete");
-    if (del_pos != std::string::npos &&
-        prevNonSpace(code, del_pos) != '=')
-        return "naked 'delete' in library code; ownership must be "
-               "RAII-managed";
-    return "";
-}
-
-std::string
-matchStdMutex(const std::string &code)
-{
-    static constexpr std::string_view kPrimitives[] = {
-        "std::condition_variable_any", "std::condition_variable",
-        "std::recursive_timed_mutex", "std::recursive_mutex",
-        "std::shared_timed_mutex", "std::shared_mutex",
-        "std::timed_mutex", "std::mutex", "std::lock_guard",
-        "std::unique_lock", "std::scoped_lock", "std::shared_lock",
-    };
-    for (const std::string_view primitive : kPrimitives) {
-        if (findQualifiedToken(code, primitive) != std::string::npos)
-            return quotedMessage(
-                "", primitive,
-                "bypasses the thread-safety-annotated wrappers; use "
-                "util::Mutex / util::LockGuard / util::CondVar "
-                "(util/mutex.h)");
-    }
-    return "";
-}
-
-std::string
-matchRawClock(const std::string &code)
-{
-    static constexpr std::string_view kClocks[] = {
-        "steady_clock", "high_resolution_clock",
-    };
-    for (const std::string_view clock : kClocks) {
-        if (findToken(code, clock) != std::string::npos)
-            return quotedMessage(
-                "raw monotonic clock ", clock,
-                "outside src/obs/ and bench/; read time through the "
-                "obs clock shim (obs/clock.h: monotonicNow, "
-                "monotonicNanos) so traces, metrics and bench timings "
-                "share one epoch");
-    }
-    return "";
-}
-
-bool
-appliesEverywhere(const std::string &path)
-{
-    return path != "src/util/rng.h";
-}
-
-bool
-appliesSrcOnly(const std::string &path)
-{
-    return underDir(path, "src") && path != "src/util/logging.cpp";
-}
-
-bool
-appliesKernels(const std::string &path)
-{
-    return underDir(path, "src/linalg") || underDir(path, "src/stats") ||
-           underDir(path, "src/ml") || underDir(path, "src/simd");
-}
-
-bool
-appliesOutsideSimd(const std::string &path)
-{
-    return !underDir(path, "src/simd");
-}
-
-bool
-appliesSrc(const std::string &path)
-{
-    return underDir(path, "src");
-}
-
-bool
-appliesOutsideMutexWrapper(const std::string &path)
-{
-    return path != "src/util/mutex.h";
-}
-
-bool
-appliesOutsideObsAndBench(const std::string &path)
-{
-    // util/clock.h is the shim itself; obs/clock.h re-exports it.
-    return !underDir(path, "src/obs") && !underDir(path, "bench") &&
-           path != "src/util/clock.h";
-}
-
-const std::vector<Rule> &
-rules()
-{
-    static const std::vector<Rule> kRules = {
-        {"no-raw-rand", appliesEverywhere, matchRawRand},
-        {"no-cout-in-src", appliesSrcOnly, matchCoutInSrc},
-        {"no-float-kernel", appliesKernels, matchFloatKernel},
-        {"no-naked-new", appliesSrc, matchNakedNew},
-        {"no-std-mutex", appliesOutsideMutexWrapper, matchStdMutex},
-        {"no-raw-intrinsics", appliesOutsideSimd, matchRawIntrinsics},
-        {"no-raw-clock", appliesOutsideObsAndBench, matchRawClock},
-    };
-    return kRules;
+    std::vector<Finding> out;
+    out.reserve(findings.size());
+    for (analyze::Finding &finding : findings)
+        out.push_back({std::move(finding.rule),
+                       std::move(finding.file), finding.line,
+                       std::move(finding.message)});
+    return out;
 }
 
 } // namespace
@@ -423,71 +44,22 @@ rules()
 std::string
 formatFinding(const Finding &finding)
 {
-    std::ostringstream out;
-    out << finding.file << ":" << finding.line << ": [" << finding.rule
-        << "] " << finding.message;
-    return out.str();
+    return analyze::formatFinding(
+        {finding.rule, finding.file, finding.line, finding.message});
 }
 
 std::vector<std::string>
 ruleIds()
 {
-    std::vector<std::string> ids;
-    for (const Rule &rule : rules())
-        ids.push_back(rule.id);
-    ids.push_back("pragma-once");
-    return ids;
+    return analyze::ruleIds(analyze::RuleSet::Legacy);
 }
 
 std::vector<Finding>
 lintContent(const std::string &path, const std::string &content)
 {
-    std::vector<Finding> findings;
-    const std::vector<LexedLine> lines = lexLines(content);
-
-    const auto suppressed = [&](std::size_t index,
-                                const std::string &rule) {
-        if (suppresses(lines[index].comment, rule))
-            return true;
-        // A comment-only line suppresses the line below it.
-        if (index > 0 && lines[index - 1].code.find_first_not_of(" \t") ==
-                             std::string::npos &&
-            suppresses(lines[index - 1].comment, rule))
-            return true;
-        return false;
-    };
-
-    for (const Rule &rule : rules()) {
-        if (!rule.applies(path))
-            continue;
-        for (std::size_t i = 0; i < lines.size(); ++i) {
-            const std::string message = rule.match(lines[i].code);
-            if (message.empty() || suppressed(i, rule.id))
-                continue;
-            findings.push_back({rule.id, path, i + 1, message});
-        }
-    }
-
-    if (isHeaderPath(path)) {
-        const bool has_pragma = std::any_of(
-            lines.begin(), lines.end(), [](const LexedLine &line) {
-                return line.code.find("#pragma once") !=
-                       std::string::npos;
-            });
-        if (!has_pragma && !suppresses(lines.front().comment,
-                                       "pragma-once"))
-            findings.push_back(
-                {"pragma-once", path, 1,
-                 "header must contain #pragma once (include-guard "
-                 "macros drift when files move)"});
-    }
-
-    std::sort(findings.begin(), findings.end(),
-              [](const Finding &a, const Finding &b) {
-                  return a.line != b.line ? a.line < b.line
-                                          : a.rule < b.rule;
-              });
-    return findings;
+    return fromEngine(
+        analyze::analyzeContent(path, content,
+                                analyze::RuleSet::Legacy));
 }
 
 std::vector<Finding>
@@ -497,7 +69,8 @@ lintFile(const std::string &root, const std::string &relative_path)
         std::filesystem::path(root) / relative_path;
     std::ifstream in(full, std::ios::binary);
     if (!in)
-        throw util::IoError("dtrank_lint: cannot read " + full.string());
+        throw util::IoError("dtrank_lint: cannot read " +
+                            full.string());
     std::ostringstream buffer;
     buffer << in.rdbuf();
     return lintContent(relative_path, buffer.str());
@@ -506,47 +79,9 @@ lintFile(const std::string &root, const std::string &relative_path)
 std::vector<Finding>
 lintTree(const std::string &root)
 {
-    namespace fs = std::filesystem;
-    static constexpr std::string_view kTopDirs[] = {
-        "src", "tests", "tools", "bench", "examples",
-    };
-    static constexpr std::string_view kExtensions[] = {
-        ".h", ".hpp", ".cpp", ".cc",
-    };
-
-    std::vector<std::string> files;
-    for (const std::string_view top : kTopDirs) {
-        const fs::path dir = fs::path(root) / top;
-        if (!fs::is_directory(dir))
-            continue;
-        auto it = fs::recursive_directory_iterator(dir);
-        for (const fs::directory_entry &entry : it) {
-            const std::string name = entry.path().filename().string();
-            if (entry.is_directory() &&
-                (name == "fixtures" || name == "build")) {
-                it.disable_recursion_pending();
-                continue;
-            }
-            if (!entry.is_regular_file())
-                continue;
-            const std::string ext = entry.path().extension().string();
-            if (std::find(std::begin(kExtensions), std::end(kExtensions),
-                          ext) == std::end(kExtensions))
-                continue;
-            files.push_back(
-                fs::relative(entry.path(), root).generic_string());
-        }
-    }
-    std::sort(files.begin(), files.end());
-
-    std::vector<Finding> findings;
-    for (const std::string &file : files) {
-        std::vector<Finding> file_findings = lintFile(root, file);
-        findings.insert(findings.end(),
-                        std::make_move_iterator(file_findings.begin()),
-                        std::make_move_iterator(file_findings.end()));
-    }
-    return findings;
+    return fromEngine(analyze::analyzeTree(
+        root, {"src", "tests", "tools", "bench", "examples"},
+        analyze::RuleSet::Legacy));
 }
 
 } // namespace dtrank::lint

@@ -2,6 +2,12 @@
  * @file
  * dtrank_lint: source-level enforcement of project invariants.
  *
+ * DEPRECATED: this interface is now a compatibility shim over the
+ * token-stream engine in tools/analyze (dtrank_analyze), which runs
+ * the same rules plus include-graph layering and determinism-contract
+ * checks. New callers should use dtrank::analyze; this header stays
+ * for existing fixtures, suppressions and CI invocations.
+ *
  * The reproduction's headline guarantee — parallel/cached runs are
  * bit-identical to serial — survives only while every stochastic
  * component draws from util::Rng, all output is serialized, and all
