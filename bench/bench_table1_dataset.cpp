@@ -9,7 +9,6 @@
 #include <iostream>
 #include <map>
 
-#include "dataset/synthetic_spec.h"
 #include "experiments/bench_options.h"
 #include "stats/descriptive.h"
 #include "util/cli.h"

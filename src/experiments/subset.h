@@ -12,7 +12,6 @@
 #include <map>
 #include <vector>
 
-#include "experiments/aggregate.h"
 #include "experiments/harness.h"
 
 namespace dtrank::experiments

@@ -1,7 +1,6 @@
 #include "linalg/least_squares.h"
 
 #include "linalg/decompositions.h"
-#include "linalg/vector_ops.h"
 #include "util/error.h"
 
 namespace dtrank::linalg

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "util/clock.h"
+#include "util/error.h"
 
 namespace dtrank::util
 {

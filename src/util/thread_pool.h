@@ -36,7 +36,6 @@
 #include <utility>
 #include <vector>
 
-#include "util/error.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
