@@ -22,10 +22,10 @@ struct HarnessMetrics
     obs::Counter &tasks;
 };
 
-HarnessMetrics &
+const HarnessMetrics &
 harnessMetrics()
 {
-    static HarnessMetrics metrics{
+    static const HarnessMetrics metrics{
         obs::MetricsRegistry::global().counter(
             "dtrank_splits_total",
             "Predictive/target splits evaluated across all protocols"),

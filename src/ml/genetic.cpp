@@ -22,10 +22,10 @@ struct GaMetrics
     obs::Counter &memo_hits;
 };
 
-GaMetrics &
+const GaMetrics &
 gaMetrics()
 {
-    static GaMetrics metrics{
+    static const GaMetrics metrics{
         obs::MetricsRegistry::global().counter(
             "dtrank_ga_generations_total", "GA generations evolved"),
         obs::MetricsRegistry::global().counter(
@@ -197,7 +197,7 @@ GeneticAlgorithm::optimize(const FitnessFn &fitness, util::Rng &rng,
         result.history.push_back(result.bestFitness);
     }
 
-    GaMetrics &metrics = gaMetrics();
+    const GaMetrics &metrics = gaMetrics();
     metrics.generations.inc(config_.generations);
     metrics.evaluations.inc(
         static_cast<std::uint64_t>(result.evaluations));

@@ -24,10 +24,10 @@ struct MlpMetrics
     obs::Counter &retries;
 };
 
-MlpMetrics &
+const MlpMetrics &
 mlpMetrics()
 {
-    static MlpMetrics metrics{
+    static const MlpMetrics metrics{
         obs::MetricsRegistry::global().counter(
             "dtrank_mlp_fits_total", "Completed Mlp::fit calls"),
         obs::MetricsRegistry::global().counter(

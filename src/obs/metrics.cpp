@@ -68,6 +68,8 @@ class PoolMetricsObserver final : public util::ThreadPoolObserver
     }
 };
 
+// Stateless: every member routes to the synchronized registry.
+// dtrank-analyze-ignore(no-unguarded-static)
 PoolMetricsObserver g_pool_observer;
 
 /** Installs the observer before main() runs (pools only exist after). */

@@ -255,6 +255,8 @@ class MetricsRegistry
     static MetricsRegistry &
     global()
     {
+        // Internally synchronized (sharded mutexes):
+        // dtrank-analyze-ignore(no-unguarded-static)
         static MetricsRegistry registry;
         return registry;
     }

@@ -45,6 +45,8 @@ escapeJson(const std::string &s)
 TraceCollector &
 TraceCollector::global()
 {
+    // Internally synchronized (per-thread buffers + mutex):
+    // dtrank-analyze-ignore(no-unguarded-static)
     static TraceCollector collector;
     return collector;
 }
