@@ -15,6 +15,13 @@ MlpTransposition::MlpTransposition(MlpTranspositionConfig config)
 std::vector<double>
 MlpTransposition::predict(const TranspositionProblem &problem)
 {
+    fit(problem);
+    return predictColumns(problem.targetBenchScores);
+}
+
+void
+MlpTransposition::fit(const TranspositionProblem &problem)
+{
     problem.validate();
     const std::size_t n_bench = problem.benchmarkCount();
     const std::size_t n_pred = problem.predictiveMachineCount();
@@ -22,9 +29,6 @@ MlpTransposition::predict(const TranspositionProblem &problem)
 
     auto maybe_log = [&](double v) {
         return config_.logSpace ? std::log2(v) : v;
-    };
-    auto maybe_exp = [&](double v) {
-        return config_.logSpace ? std::exp2(v) : v;
     };
 
     // Training matrix: one row per predictive machine (transposed view
@@ -36,13 +40,10 @@ MlpTransposition::predict(const TranspositionProblem &problem)
             train(p, b) = maybe_log(problem.predictiveBenchScores(b, p));
         targets[p] = maybe_log(problem.predictiveAppScores[p]);
     }
-    linalg::Matrix test(n_target, n_bench);
-    for (std::size_t t = 0; t < n_target; ++t)
-        for (std::size_t b = 0; b < n_bench; ++b)
-            test(t, b) = maybe_log(problem.targetBenchScores(b, t));
 
     ml::MlpConfig mlp_config = config_.mlp;
-    ml::RangeNormalizer target_norm;
+    feature_norm_ = ml::RangeNormalizer{};
+    target_norm_ = ml::RangeNormalizer{};
     if (config_.transductiveNormalization) {
         // Feature scaling over predictive + target machines (all
         // published data). The network's own normalizer would refit on
@@ -51,28 +52,65 @@ MlpTransposition::predict(const TranspositionProblem &problem)
         linalg::Matrix all(n_pred + n_target, n_bench);
         for (std::size_t p = 0; p < n_pred; ++p)
             all.setRow(p, train.row(p));
-        for (std::size_t t = 0; t < n_target; ++t)
-            all.setRow(n_pred + t, test.row(t));
-        ml::RangeNormalizer norm;
-        norm.fit(all);
-        train = norm.transform(train);
-        test = norm.transform(test);
-        target_norm.fitSeries(targets);
+        for (std::size_t t = 0; t < n_target; ++t) {
+            std::vector<double> row(n_bench);
+            for (std::size_t b = 0; b < n_bench; ++b)
+                row[b] = maybe_log(problem.targetBenchScores(b, t));
+            all.setRow(n_pred + t, row);
+        }
+        feature_norm_.fit(all);
+        train = feature_norm_.transform(train);
+        target_norm_.fitSeries(targets);
         for (double &v : targets)
-            v = target_norm.transformScalar(v);
+            v = target_norm_.transformScalar(v);
         mlp_config.normalize = false;
     }
 
-    ml::Mlp network(mlp_config);
-    network.fit(train, targets);
-    last_mse_ = network.trainingMse();
+    network_.emplace(mlp_config);
+    network_->fit(train, targets);
+    last_mse_ = network_->trainingMse();
+}
 
-    // Batched forward pass over all target machines at once.
-    std::vector<double> predictions = network.predict(test);
+std::vector<double>
+MlpTransposition::predictColumns(
+    const linalg::Matrix &target_bench_scores) const
+{
+    util::require(network_.has_value() && network_->trained(),
+                  "MlpTransposition::predictColumns: fit() first");
+    const std::size_t n_bench = target_bench_scores.rows();
+    const std::size_t n_target = target_bench_scores.cols();
+    util::require(n_bench == network_->inputSize(),
+                  "MlpTransposition::predictColumns: benchmark count "
+                  "does not match the fitted network");
+
+    auto maybe_log = [&](double v) {
+        return config_.logSpace ? std::log2(v) : v;
+    };
+    auto maybe_exp = [&](double v) {
+        return config_.logSpace ? std::exp2(v) : v;
+    };
+
+    // Benchmark-major fill: the inner loop streams a whole source row
+    // (contiguous) while writes stride by n_bench, instead of striding
+    // reads by n_target — which, for wide coalesced batches, walks the
+    // source a cache line (or worse, an aliasing 4KiB) apart on every
+    // element. Each entry is still the same maybe_log of the same
+    // element, so the transposed fill is bit-identical.
+    linalg::Matrix test(n_target, n_bench);
+    for (std::size_t b = 0; b < n_bench; ++b) {
+        const double *src = target_bench_scores.rowData(b);
+        for (std::size_t t = 0; t < n_target; ++t)
+            test(t, b) = maybe_log(src[t]);
+    }
+    if (config_.transductiveNormalization)
+        test = feature_norm_.transform(test);
+
+    // Batched forward pass over all requested machines at once.
+    std::vector<double> predictions = network_->predict(test);
     for (std::size_t t = 0; t < n_target; ++t) {
         double raw = predictions[t];
         if (config_.transductiveNormalization)
-            raw = target_norm.inverseTransformScalar(raw);
+            raw = target_norm_.inverseTransformScalar(raw);
         predictions[t] = maybe_exp(raw);
         // SPEC ratios are positive; clamp pathological extrapolations.
         if (!config_.logSpace && predictions[t] <= 0.0)

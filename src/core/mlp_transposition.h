@@ -18,6 +18,7 @@
 
 #include "core/transposition.h"
 #include "ml/mlp.h"
+#include "ml/normalizer.h"
 
 namespace dtrank::core
 {
@@ -45,6 +46,14 @@ struct MlpTranspositionConfig
 /**
  * The MLP^T predictor. A fresh network is trained on every predict()
  * call (each application of interest needs its own model).
+ *
+ * predict() is equivalent to fit() followed by predictColumns() over
+ * the problem's full target matrix; the split exists so a fitted model
+ * can be kept warm and asked about target subsets later (the serving
+ * path). With transductive normalization the feature scaling is fitted
+ * over the predictive machines plus the *fit-time* target universe, so
+ * a predictColumns() call over any subset of those columns returns
+ * exactly the corresponding entries of the full predict() output.
  */
 class MlpTransposition : public TranspositionPredictor
 {
@@ -54,6 +63,28 @@ class MlpTransposition : public TranspositionPredictor
 
     std::vector<double>
     predict(const TranspositionProblem &problem) override;
+
+    /**
+     * Trains the network on the problem's predictive machines (and,
+     * under transductive normalization, fits the feature scaling over
+     * the problem's target universe). Leaves the model ready for
+     * predictColumns().
+     */
+    void fit(const TranspositionProblem &problem);
+
+    /**
+     * Predicts the application score on each column of
+     * `target_bench_scores` (benchmark x machine orientation, same as
+     * TranspositionProblem::targetBenchScores). Requires a prior
+     * fit(); bit-identical to the matching entries of predict() on the
+     * fitted problem. Batching columns from concurrent queries into
+     * one call cannot change any column's result: the forward pass is
+     * a per-row computation (ml::Mlp::predict(Matrix) is bit-identical
+     * to per-row scalar predicts) and the normalization is
+     * per-element.
+     */
+    std::vector<double>
+    predictColumns(const linalg::Matrix &target_bench_scores) const;
 
     std::string name() const override { return "MLP^T"; }
 
@@ -65,6 +96,10 @@ class MlpTransposition : public TranspositionPredictor
   private:
     MlpTranspositionConfig config_;
     std::optional<double> last_mse_;
+    std::optional<ml::Mlp> network_;
+    ml::RangeNormalizer feature_norm_; ///< Transductive scaling (unused
+                                       ///< when the ablation is off).
+    ml::RangeNormalizer target_norm_;
 };
 
 } // namespace dtrank::core

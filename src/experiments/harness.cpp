@@ -56,13 +56,8 @@ hashMlpConfig(util::ContentHasher &hasher, const ml::MlpConfig &cfg)
     hasher.add(cfg.divergenceFactor);
 }
 
-/**
- * Cache key of one (method, held-out benchmark) prediction. Everything
- * the prediction depends on goes in: the method's hyperparameters (the
- * MLP's includes its task-derived seed; the other methods are
- * seed-free, so identical splits reappearing in another protocol hit),
- * the predictive and target score matrices, and the held-out row.
- */
+} // namespace
+
 util::HashKey
 taskPredictionKey(Method method, const MethodSuiteConfig &config,
                   const dataset::PerfDatabase &pred_db,
@@ -104,7 +99,75 @@ taskPredictionKey(Method method, const MethodSuiteConfig &config,
     return hasher.key();
 }
 
-} // namespace
+std::vector<double>
+predictTask(Method method, const MethodSuiteConfig &config,
+            const dataset::PerfDatabase &pred_db,
+            const dataset::PerfDatabase &target_db, std::size_t app,
+            std::uint64_t mlp_seed,
+            const baseline::GaKnnModel *gaknn_model,
+            const linalg::Matrix *characteristics,
+            TrainedModelCache *cache)
+{
+    // Transposition predictions are cached per task; GA-kNN is not
+    // (its per-task prediction is a cheap kNN combine — the expensive
+    // GA training is cached at the split level by the caller).
+    if (method == Method::GaKnn)
+        cache = nullptr;
+    util::HashKey key;
+    std::vector<double> predicted;
+    if (cache != nullptr) {
+        key = taskPredictionKey(method, config, pred_db, target_db, app,
+                                mlp_seed);
+        if (cache->lookup(key, predicted))
+            return predicted;
+    }
+
+    switch (method) {
+      case Method::NnT: {
+        core::LinearTransposition predictor(config.linear);
+        predicted = predictor.predict(
+            core::makeLeaveOneOutProblem(pred_db, target_db, app));
+        break;
+      }
+      case Method::MlpT: {
+        core::MlpTranspositionConfig cfg = config.mlp;
+        cfg.mlp.seed = mlp_seed;
+        core::MlpTransposition predictor(cfg);
+        predicted = predictor.predict(
+            core::makeLeaveOneOutProblem(pred_db, target_db, app));
+        break;
+      }
+      case Method::GaKnn: {
+        // Copy-free leave-one-out: the app's own row is excluded
+        // from the neighbour candidates by index instead of
+        // materializing (N-1)-row copies of the characteristics
+        // and score matrices.
+        DTRANK_ASSERT_MSG(gaknn_model != nullptr &&
+                              characteristics != nullptr,
+                          "predictTask: GA-kNN needs a split model and "
+                          "characteristics");
+        predicted = gaknn_model->predictApp(characteristics->row(app),
+                                            *characteristics,
+                                            target_db.scores(), app);
+        break;
+      }
+      case Method::SplT: {
+        core::SplineTransposition predictor(config.spline);
+        predicted = predictor.predict(
+            core::makeLeaveOneOutProblem(pred_db, target_db, app));
+        break;
+      }
+      case Method::MultiNnT: {
+        core::MultiTransposition predictor(config.multi);
+        predicted = predictor.predict(
+            core::makeLeaveOneOutProblem(pred_db, target_db, app));
+        break;
+      }
+    }
+    if (cache != nullptr)
+        cache->store(key, predicted);
+    return predicted;
+}
 
 std::string
 methodName(Method m)
@@ -247,66 +310,10 @@ SplitEvaluator::runTask(Method method, std::size_t app,
     }
     harnessMetrics().tasks.inc();
 
-    // Task-specific seed: stable regardless of evaluation order.
-    const std::uint64_t mlp_seed =
-        config_.mlpSeedBase + split_tag * 1000003ULL + app * 7919ULL;
-
-    // Transposition predictions are cached per task; GA-kNN is not (its
-    // per-task prediction is a cheap kNN combine — the expensive GA
-    // training is cached at the split level in evaluateSplit()).
-    TrainedModelCache *cache =
-        method == Method::GaKnn ? nullptr : config_.modelCache.get();
-    util::HashKey key;
-    std::vector<double> predicted;
-    bool cached = false;
-    if (cache != nullptr) {
-        key = taskPredictionKey(method, config_, pred_db, target_db, app,
-                                mlp_seed);
-        cached = cache->lookup(key, predicted);
-    }
-
-    if (!cached) {
-        switch (method) {
-          case Method::NnT: {
-            core::LinearTransposition predictor(config_.linear);
-            predicted = predictor.predict(
-                core::makeLeaveOneOutProblem(pred_db, target_db, app));
-            break;
-          }
-          case Method::MlpT: {
-            core::MlpTranspositionConfig cfg = config_.mlp;
-            cfg.mlp.seed = mlp_seed;
-            core::MlpTransposition predictor(cfg);
-            predicted = predictor.predict(
-                core::makeLeaveOneOutProblem(pred_db, target_db, app));
-            break;
-          }
-          case Method::GaKnn: {
-            // Copy-free leave-one-out: the app's own row is excluded
-            // from the neighbour candidates by index instead of
-            // materializing (N-1)-row copies of the characteristics
-            // and score matrices.
-            predicted = gaknn_model.predictApp(characteristics_.row(app),
-                                               characteristics_,
-                                               target_db.scores(), app);
-            break;
-          }
-          case Method::SplT: {
-            core::SplineTransposition predictor(config_.spline);
-            predicted = predictor.predict(
-                core::makeLeaveOneOutProblem(pred_db, target_db, app));
-            break;
-          }
-          case Method::MultiNnT: {
-            core::MultiTransposition predictor(config_.multi);
-            predicted = predictor.predict(
-                core::makeLeaveOneOutProblem(pred_db, target_db, app));
-            break;
-          }
-        }
-        if (cache != nullptr)
-            cache->store(key, predicted);
-    }
+    std::vector<double> predicted = predictTask(
+        method, config_, pred_db, target_db, app,
+        taskMlpSeed(config_, split_tag, app), &gaknn_model,
+        &characteristics_, config_.modelCache.get());
 
     TaskResult task;
     task.benchmark = db_.benchmark(app).name;

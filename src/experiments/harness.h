@@ -77,6 +77,51 @@ struct MethodSuiteConfig
     std::shared_ptr<TrainedModelCache> modelCache;
 };
 
+/**
+ * Task-derived MLP seed: stable regardless of evaluation order, shared
+ * by the offline harness and the serving path (which uses split_tag 0).
+ */
+inline std::uint64_t
+taskMlpSeed(const MethodSuiteConfig &config, std::uint64_t split_tag,
+            std::size_t app)
+{
+    return config.mlpSeedBase + split_tag * 1000003ULL + app * 7919ULL;
+}
+
+/**
+ * Cache key of one (method, held-out benchmark) prediction. Everything
+ * the prediction depends on goes in: the method's hyperparameters (the
+ * MLP's includes its task-derived seed; the other methods are
+ * seed-free, so identical splits reappearing in another protocol hit),
+ * the predictive and target score matrices, and the held-out row.
+ * GA-kNN predictions are not cached (asserts).
+ */
+util::HashKey taskPredictionKey(Method method,
+                                const MethodSuiteConfig &config,
+                                const dataset::PerfDatabase &pred_db,
+                                const dataset::PerfDatabase &target_db,
+                                std::size_t app, std::uint64_t mlp_seed);
+
+/**
+ * Computes one (method, held-out benchmark) prediction over the target
+ * machines: the shared core of SplitEvaluator's tasks and of the
+ * dtrank_serve rank engine, so an online answer is bit-identical to
+ * the offline evaluateSplit() entry by construction.
+ *
+ * @param gaknn_model Split-level GA-kNN model; required (with
+ *        `characteristics`) only when `method` is GaKnn.
+ * @param cache Optional prediction cache, keyed by taskPredictionKey()
+ *        (ignored for GaKnn, whose per-task combine is cheap).
+ */
+std::vector<double>
+predictTask(Method method, const MethodSuiteConfig &config,
+            const dataset::PerfDatabase &pred_db,
+            const dataset::PerfDatabase &target_db, std::size_t app,
+            std::uint64_t mlp_seed,
+            const baseline::GaKnnModel *gaknn_model,
+            const linalg::Matrix *characteristics,
+            TrainedModelCache *cache);
+
 /** Outcome of one (method, application-of-interest) task on a split. */
 struct TaskResult
 {

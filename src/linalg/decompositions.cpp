@@ -34,13 +34,14 @@ Cholesky::Cholesky(const Matrix &a)
             l_(i, j) = acc / l_(j, j);
         }
     }
+    lt_ = l_.transposed();
 }
 
 std::vector<double>
 Cholesky::solve(const std::vector<double> &b) const
 {
     const std::vector<double> y = solveLowerTriangular(l_, b);
-    return solveUpperTriangular(l_.transposed(), y);
+    return solveUpperTriangular(lt_, y);
 }
 
 double

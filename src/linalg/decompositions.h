@@ -36,6 +36,8 @@ class Cholesky
 
   private:
     Matrix l_;
+    Matrix lt_; ///< L^T, materialized once so repeated solves (one
+                ///< ridge system per target) skip the re-transpose.
 };
 
 /**

@@ -208,6 +208,34 @@ class Histogram
         return total;
     }
 
+    /**
+     * Estimated q-quantile (q in [0, 1]) from the merged bucket
+     * counts: the upper bound of the first bucket whose cumulative
+     * count covers q * count(), the standard Prometheus
+     * histogram_quantile estimate rounded up to a bucket boundary.
+     * Observations in the +Inf overflow bucket report the largest
+     * finite bound. Returns 0 on an empty histogram. Scrape path only
+     * (merges every thread slot); the serve SLO reporting reads p99
+     * through this.
+     */
+    double
+    quantile(double q) const
+    {
+        util::require(q >= 0.0 && q <= 1.0,
+                      "Histogram::quantile: q must be in [0, 1]");
+        const std::uint64_t total = count();
+        if (total == 0 || bounds_.empty())
+            return 0.0;
+        const double rank = q * static_cast<double>(total);
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < bounds_.size(); ++b) {
+            cumulative += bucketValue(b);
+            if (static_cast<double>(cumulative) >= rank)
+                return bounds_[b];
+        }
+        return bounds_.back();
+    }
+
     /** Sum of all observed values (scrape path). */
     double
     sum() const

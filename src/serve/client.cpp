@@ -1,0 +1,230 @@
+#include "serve/client.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DTRANK_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define DTRANK_HAVE_SOCKETS 0
+#endif
+
+namespace dtrank::serve
+{
+
+#if DTRANK_HAVE_SOCKETS
+
+#if !defined(MSG_NOSIGNAL)
+#define MSG_NOSIGNAL 0
+#endif
+
+BlockingClient::~BlockingClient() { close(); }
+
+BlockingClient::BlockingClient(BlockingClient &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      reader_(std::move(other.reader_))
+{
+}
+
+BlockingClient &
+BlockingClient::operator=(BlockingClient &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        reader_ = std::move(other.reader_);
+    }
+    return *this;
+}
+
+void
+BlockingClient::connect(const std::string &host, std::uint16_t port)
+{
+    util::require(fd_ < 0, "BlockingClient: already connected");
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw util::IoError("BlockingClient: socket() failed");
+
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const std::string resolved =
+        host == "localhost" ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw util::IoError("BlockingClient: bad IPv4 address " + host);
+    }
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        throw util::IoError("BlockingClient: cannot connect to " +
+                            host + ":" + std::to_string(port));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    fd_ = fd;
+}
+
+void
+BlockingClient::sendBytes(const void *data, std::size_t size)
+{
+    util::require(fd_ >= 0, "BlockingClient: not connected");
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n =
+            ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            throw util::IoError("BlockingClient: send failed");
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+void
+BlockingClient::sendRequest(const Request &request)
+{
+    std::vector<std::uint8_t> frame;
+    appendFrame(frame, encodeRequest(request));
+    sendBytes(frame.data(), frame.size());
+}
+
+Response
+BlockingClient::readResponse()
+{
+    util::require(fd_ >= 0, "BlockingClient: not connected");
+    std::vector<std::uint8_t> payload;
+    while (!reader_.next(payload)) {
+        std::uint8_t chunk[16384];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            throw util::IoError(
+                "BlockingClient: connection closed by peer");
+        reader_.feed(chunk, static_cast<std::size_t>(n));
+    }
+    return decodeResponse(payload.data(), payload.size());
+}
+
+bool
+BlockingClient::tryReadResponse(Response &response, int timeout_ms)
+{
+    util::require(fd_ >= 0, "BlockingClient: not connected");
+    std::vector<std::uint8_t> payload;
+    while (!reader_.next(payload)) {
+        struct pollfd pfd{fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, timeout_ms);
+        if (ready == 0)
+            return false;
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            throw util::IoError("BlockingClient: poll failed");
+        }
+        std::uint8_t chunk[16384];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            throw util::IoError(
+                "BlockingClient: connection closed by peer");
+        reader_.feed(chunk, static_cast<std::size_t>(n));
+    }
+    response = decodeResponse(payload.data(), payload.size());
+    return true;
+}
+
+void
+BlockingClient::shutdownWrite()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+}
+
+void
+BlockingClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+#else // !DTRANK_HAVE_SOCKETS
+
+BlockingClient::~BlockingClient() = default;
+
+BlockingClient::BlockingClient(BlockingClient &&other) noexcept
+    : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+BlockingClient &
+BlockingClient::operator=(BlockingClient &&other) noexcept
+{
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    return *this;
+}
+
+void
+BlockingClient::connect(const std::string &, std::uint16_t)
+{
+    throw util::IoError(
+        "BlockingClient requires POSIX sockets on this platform");
+}
+
+void
+BlockingClient::sendBytes(const void *, std::size_t)
+{
+    throw util::IoError(
+        "BlockingClient requires POSIX sockets on this platform");
+}
+
+void
+BlockingClient::sendRequest(const Request &)
+{
+    throw util::IoError(
+        "BlockingClient requires POSIX sockets on this platform");
+}
+
+Response
+BlockingClient::readResponse()
+{
+    throw util::IoError(
+        "BlockingClient requires POSIX sockets on this platform");
+}
+
+bool
+BlockingClient::tryReadResponse(Response &, int)
+{
+    throw util::IoError(
+        "BlockingClient requires POSIX sockets on this platform");
+}
+
+void
+BlockingClient::shutdownWrite()
+{
+}
+
+void
+BlockingClient::close()
+{
+}
+
+#endif // DTRANK_HAVE_SOCKETS
+
+} // namespace dtrank::serve

@@ -1,0 +1,345 @@
+#include "serve/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+namespace dtrank::serve
+{
+
+namespace
+{
+
+/** Little-endian, bounds-checked byte writer. */
+class ByteWriter
+{
+  public:
+    explicit ByteWriter(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    void
+    u8(std::uint8_t v)
+    {
+        out_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        for (int i = 0; i < 2; ++i)
+            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    void
+    bytes(const void *data, std::size_t size)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        out_.insert(out_.end(), p, p + size);
+    }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+};
+
+/** Little-endian reader; every read throws ProtocolError past the end. */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        need(2);
+        std::uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v = static_cast<std::uint16_t>(
+                v | static_cast<std::uint16_t>(data_[pos_ + static_cast<
+                                                         std::size_t>(i)])
+                        << (8 * i));
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     data_[pos_ + static_cast<std::size_t>(i)])
+                 << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     data_[pos_ + static_cast<std::size_t>(i)])
+                 << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        return std::bit_cast<double>(u64());
+    }
+
+    std::string
+    text(std::size_t size)
+    {
+        need(size);
+        std::string out(reinterpret_cast<const char *>(data_ + pos_),
+                        size);
+        pos_ += size;
+        return out;
+    }
+
+    bool exhausted() const { return pos_ == size_; }
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        if (size_ - pos_ < n)
+            throw ProtocolError("serve protocol: truncated payload");
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+MessageType
+messageType(std::uint8_t raw)
+{
+    switch (raw) {
+      case static_cast<std::uint8_t>(MessageType::Ping):
+        return MessageType::Ping;
+      case static_cast<std::uint8_t>(MessageType::Rank):
+        return MessageType::Rank;
+      case static_cast<std::uint8_t>(MessageType::Metrics):
+        return MessageType::Metrics;
+      default:
+        throw ProtocolError("serve protocol: unknown message type " +
+                            std::to_string(raw));
+    }
+}
+
+} // namespace
+
+void
+appendFrame(std::vector<std::uint8_t> &out,
+            const std::vector<std::uint8_t> &payload)
+{
+    util::require(!payload.empty() && payload.size() <= kMaxFrameBytes,
+                  "appendFrame: payload size out of range");
+    ByteWriter w(out);
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.bytes(payload.data(), payload.size());
+}
+
+std::vector<std::uint8_t>
+encodeRequest(const Request &request)
+{
+    std::vector<std::uint8_t> out;
+    ByteWriter w(out);
+    w.u8(static_cast<std::uint8_t>(request.type));
+    w.u64(request.id);
+    if (request.type == MessageType::Rank) {
+        const RankRequest &r = request.rank;
+        util::require(r.predictive.size() <= 0xffff,
+                      "encodeRequest: too many predictive machines");
+        w.u8(static_cast<std::uint8_t>(r.method));
+        w.u32(r.app);
+        w.u32(r.topK);
+        w.u16(static_cast<std::uint16_t>(r.predictive.size()));
+        for (const auto &[machine, score] : r.predictive) {
+            w.u32(machine);
+            w.f64(score);
+        }
+        w.u32(static_cast<std::uint32_t>(r.targets.size()));
+        for (std::uint32_t t : r.targets)
+            w.u32(t);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+encodeResponse(const Response &response)
+{
+    std::vector<std::uint8_t> out;
+    ByteWriter w(out);
+    w.u8(static_cast<std::uint8_t>(response.type));
+    w.u64(response.id);
+    w.u8(static_cast<std::uint8_t>(response.status));
+    if (response.status != Status::Ok ||
+        response.type == MessageType::Metrics) {
+        w.u32(static_cast<std::uint32_t>(response.text.size()));
+        w.bytes(response.text.data(), response.text.size());
+    } else if (response.type == MessageType::Rank) {
+        w.u32(static_cast<std::uint32_t>(response.ranking.size()));
+        for (const RankedMachine &m : response.ranking) {
+            w.u32(m.machine);
+            w.f64(m.predicted);
+        }
+    }
+    return out;
+}
+
+Request
+decodeRequest(const std::uint8_t *data, std::size_t size)
+{
+    ByteReader r(data, size);
+    Request request;
+    request.type = messageType(r.u8());
+    request.id = r.u64();
+    if (request.type == MessageType::Rank) {
+        RankRequest &rank = request.rank;
+        const std::uint8_t method = r.u8();
+        if (method > static_cast<std::uint8_t>(
+                         experiments::Method::MultiNnT))
+            throw ProtocolError("serve protocol: unknown model id " +
+                                std::to_string(method));
+        rank.method = static_cast<experiments::Method>(method);
+        rank.app = r.u32();
+        rank.topK = r.u32();
+        const std::uint16_t n_pred = r.u16();
+        rank.predictive.reserve(n_pred);
+        for (std::uint16_t i = 0; i < n_pred; ++i) {
+            const std::uint32_t machine = r.u32();
+            const double score = r.f64();
+            rank.predictive.emplace_back(machine, score);
+        }
+        const std::uint32_t n_target = r.u32();
+        // A count that cannot fit in the remaining bytes is malformed;
+        // checking before reserve() keeps a hostile frame from forcing
+        // a huge allocation.
+        if (n_target > r.remaining() / 4)
+            throw ProtocolError("serve protocol: target count exceeds "
+                                "payload");
+        rank.targets.reserve(n_target);
+        for (std::uint32_t i = 0; i < n_target; ++i)
+            rank.targets.push_back(r.u32());
+    }
+    if (!r.exhausted())
+        throw ProtocolError("serve protocol: trailing bytes in payload");
+    return request;
+}
+
+Response
+decodeResponse(const std::uint8_t *data, std::size_t size)
+{
+    ByteReader r(data, size);
+    Response response;
+    response.type = messageType(r.u8());
+    response.id = r.u64();
+    const std::uint8_t status = r.u8();
+    if (status > static_cast<std::uint8_t>(Status::Overloaded))
+        throw ProtocolError("serve protocol: unknown status " +
+                            std::to_string(status));
+    response.status = static_cast<Status>(status);
+    if (response.status != Status::Ok ||
+        response.type == MessageType::Metrics) {
+        const std::uint32_t len = r.u32();
+        if (len > r.remaining())
+            throw ProtocolError("serve protocol: text length exceeds "
+                                "payload");
+        response.text = r.text(len);
+    } else if (response.type == MessageType::Rank) {
+        const std::uint32_t count = r.u32();
+        if (count > r.remaining() / 12)
+            throw ProtocolError("serve protocol: ranking count exceeds "
+                                "payload");
+        response.ranking.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            RankedMachine m;
+            m.machine = r.u32();
+            m.predicted = r.f64();
+            response.ranking.push_back(m);
+        }
+    }
+    if (!r.exhausted())
+        throw ProtocolError("serve protocol: trailing bytes in payload");
+    return response;
+}
+
+void
+FrameReader::feed(const std::uint8_t *data, std::size_t size)
+{
+    // Reclaim consumed space before growing, so long-lived connections
+    // do not accrete every frame they ever received.
+    if (consumed_ > 0 && consumed_ == buffer_.size()) {
+        buffer_.clear();
+        consumed_ = 0;
+    } else if (consumed_ > 4096) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() +
+                          static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+    }
+    buffer_.insert(buffer_.end(), data, data + size);
+}
+
+bool
+FrameReader::next(std::vector<std::uint8_t> &payload)
+{
+    const std::size_t available = buffer_.size() - consumed_;
+    if (available < 4)
+        return false;
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i)
+        length |= static_cast<std::uint32_t>(
+                      buffer_[consumed_ + static_cast<std::size_t>(i)])
+                  << (8 * i);
+    if (length == 0 || length > kMaxFrameBytes)
+        throw ProtocolError("serve protocol: frame length " +
+                            std::to_string(length) + " out of range");
+    if (available < 4 + static_cast<std::size_t>(length))
+        return false;
+    const auto begin = buffer_.begin() +
+                       static_cast<std::ptrdiff_t>(consumed_ + 4);
+    payload.assign(begin, begin + static_cast<std::ptrdiff_t>(length));
+    consumed_ += 4 + static_cast<std::size_t>(length);
+    return true;
+}
+
+} // namespace dtrank::serve

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Wire protocol of the dtrank_serve daemon: length-prefixed binary
+ * frames over TCP.
+ *
+ * Every frame is a little-endian u32 payload length followed by the
+ * payload. A request payload is a u8 message type and a u64 request id
+ * (opaque to the server, echoed verbatim) followed by a type-specific
+ * body; a response payload carries the same type and id plus a u8
+ * status byte. Responses to one connection may arrive in any order —
+ * different worker batches complete independently — so clients must
+ * match on the request id, not on arrival order.
+ *
+ *   request  := u32 length | u8 type | u64 id | body
+ *   response := u32 length | u8 type | u64 id | u8 status | body
+ *
+ * Rank request body (type kMsgRank):
+ *   u8  method          experiments::Method value (0 NN^T, 1 MLP^T,
+ *                       2 GA-kNN, 3 SPL^T, 4 kNN^T)
+ *   u32 app             benchmark index of the application of interest
+ *   u32 topK            truncate the ranking (0 = all requested)
+ *   u16 predictive      count P of machines the client owns, then
+ *   P x (u32 machine, f64 score)
+ *                       the partial score vector: the app's measured
+ *                       score on each owned machine
+ *   u32 targets         count T of candidate machines (0 = every
+ *                       machine outside the predictive set), then
+ *   T x u32 machine
+ *
+ * Rank OK response body: u32 count, then count x (u32 machine,
+ * f64 predicted) sorted by predicted score descending (ties by machine
+ * index ascending). ERROR and OVERLOADED bodies carry a u32-length
+ * UTF-8 message. A metrics OK body is a u32-length Prometheus text
+ * blob; a ping OK body is empty.
+ *
+ * Decoding is defensive: every read is bounds-checked and a malformed
+ * payload throws ProtocolError, which the server converts into an
+ * error response or a connection close — never a crash.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiments/harness.h"
+#include "util/error.h"
+
+namespace dtrank::serve
+{
+
+/** Frames larger than this are rejected before allocation. */
+inline constexpr std::uint32_t kMaxFrameBytes = 4u * 1024u * 1024u;
+
+/** Request/response message types. */
+enum class MessageType : std::uint8_t
+{
+    Ping = 1,    ///< Liveness check; empty body.
+    Rank = 2,    ///< Rank candidate machines for an application.
+    Metrics = 3, ///< Scrape the Prometheus exposition text.
+};
+
+/** Response status byte. */
+enum class Status : std::uint8_t
+{
+    Ok = 0,
+    Error = 1,      ///< Malformed or unsatisfiable request.
+    Overloaded = 2, ///< Shed by admission control; retry with backoff.
+};
+
+/** Thrown on any malformed frame or payload. */
+class ProtocolError : public util::Error
+{
+  public:
+    using util::Error::Error;
+};
+
+/** Decoded rank request body. */
+struct RankRequest
+{
+    experiments::Method method = experiments::Method::NnT;
+    std::uint32_t app = 0;
+    std::uint32_t topK = 0;
+    /** (machine index, measured app score) per owned machine. */
+    std::vector<std::pair<std::uint32_t, double>> predictive;
+    /** Candidate machine indices; empty = all non-predictive. */
+    std::vector<std::uint32_t> targets;
+};
+
+/** One (machine, predicted score) entry of a rank response. */
+struct RankedMachine
+{
+    std::uint32_t machine = 0;
+    double predicted = 0.0;
+};
+
+/** Decoded request payload (header + body). */
+struct Request
+{
+    MessageType type = MessageType::Ping;
+    std::uint64_t id = 0;
+    RankRequest rank; ///< Valid when type == Rank.
+};
+
+/** Decoded response payload (header + body). */
+struct Response
+{
+    MessageType type = MessageType::Ping;
+    std::uint64_t id = 0;
+    Status status = Status::Ok;
+    std::vector<RankedMachine> ranking; ///< Rank + Ok.
+    std::string text; ///< Metrics body, or the error message.
+};
+
+/** Appends the 4-byte length prefix + payload to `out`. */
+void appendFrame(std::vector<std::uint8_t> &out,
+                 const std::vector<std::uint8_t> &payload);
+
+/** Encodes a request payload (no length prefix). */
+std::vector<std::uint8_t> encodeRequest(const Request &request);
+
+/** Encodes a response payload (no length prefix). */
+std::vector<std::uint8_t> encodeResponse(const Response &response);
+
+/**
+ * Decodes a request payload. @throws ProtocolError on truncated or
+ * malformed bytes, unknown message types, or out-of-range counts.
+ */
+Request decodeRequest(const std::uint8_t *data, std::size_t size);
+
+/** Decodes a response payload. @throws ProtocolError when malformed. */
+Response decodeResponse(const std::uint8_t *data, std::size_t size);
+
+/**
+ * Incremental frame splitter for a byte stream: feed received bytes,
+ * pop complete payloads. Rejects a length prefix above kMaxFrameBytes
+ * immediately (before buffering the body) by throwing ProtocolError.
+ */
+class FrameReader
+{
+  public:
+    /** Appends received bytes to the internal buffer. */
+    void feed(const std::uint8_t *data, std::size_t size);
+
+    /**
+     * Moves the next complete payload into `payload`; false when more
+     * bytes are needed. @throws ProtocolError on an oversized or
+     * zero-length prefix.
+     */
+    bool next(std::vector<std::uint8_t> &payload);
+
+    /** Bytes currently buffered (tests). */
+    std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+  private:
+    std::vector<std::uint8_t> buffer_;
+    std::size_t consumed_ = 0;
+};
+
+} // namespace dtrank::serve

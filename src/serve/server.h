@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The dtrank_serve TCP daemon: a blocking poll-driven connection loop
+ * plus a worker pool, both running as long-lived util::ThreadPool
+ * tasks.
+ *
+ * One io task owns every socket: it accepts connections, reads frames
+ * (FrameReader handles partial reads), answers ping and metrics
+ * requests inline, and submits rank requests to the Coalescer keyed by
+ * RankEngine::batchKey. Worker tasks pop (possibly coalesced) batches,
+ * run them through the engine and write the response frames — each
+ * connection has a write mutex, so responses from different batches
+ * interleave safely (clients match on the echoed request id, not on
+ * order).
+ *
+ * Failure policy, exercised by tests/serve: a malformed or oversized
+ * frame gets a best-effort error response and the connection is
+ * closed; a request that fails validation gets an ERROR response on a
+ * healthy connection; a client that disconnects mid-request only
+ * causes its pending responses to be dropped. No input can crash or
+ * wedge a worker. Telemetry goes to the global obs registry
+ * (per-endpoint latency histograms, batch-size histogram, queue-depth
+ * gauge, shed/connection/protocol-error counters) and is scraped over
+ * the socket via MessageType::Metrics.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/coalescer.h"
+#include "serve/rank_engine.h"
+
+namespace dtrank::serve
+{
+
+/** Daemon configuration. */
+struct ServerConfig
+{
+    /** TCP port; 0 binds an ephemeral port (read it back via port()). */
+    std::uint16_t port = 0;
+    /** Bind the loopback interface only (default) or all interfaces. */
+    bool loopbackOnly = true;
+    /** Worker tasks executing rank batches. */
+    std::size_t workers = 4;
+    /** Admission-control and micro-batching knobs. */
+    CoalescerConfig coalescer;
+};
+
+/** The daemon. start() returns immediately; stop() is graceful. */
+class Server
+{
+  public:
+    /** The engine must outlive the server. */
+    Server(RankEngine &engine, ServerConfig config);
+
+    /** Calls stop(). */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Binds, listens and launches the io + worker tasks.
+     * @throws util::IoError when the socket cannot be bound (or on a
+     *         platform without POSIX sockets).
+     */
+    void start();
+
+    /**
+     * Graceful shutdown: stops accepting, sheds everything still
+     * queued with OVERLOADED responses, waits for in-flight batches
+     * and closes every connection. Idempotent.
+     */
+    void stop();
+
+    /** The bound TCP port (valid after start()). */
+    std::uint16_t port() const;
+
+    bool running() const { return running_.load(); }
+
+  private:
+    struct Impl;
+
+    RankEngine &engine_;
+    ServerConfig config_;
+    std::atomic<bool> running_{false};
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace dtrank::serve

@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex> // dtrank-lint-ignore(no-std-mutex): the annotated wrapper itself
 
@@ -80,6 +81,19 @@ class CondVar
      * re-check the predicate in a loop.
      */
     void wait(Mutex &mutex) DTRANK_REQUIRES(mutex) { cv_.wait(mutex); }
+
+    /**
+     * wait() with a deadline: blocks for at most `timeout`. Returns
+     * false when the wait timed out, true when it was notified (or
+     * woke spuriously) — either way the mutex is re-acquired, and the
+     * caller must still re-check its predicate.
+     */
+    bool
+    waitFor(Mutex &mutex, std::chrono::nanoseconds timeout)
+        DTRANK_REQUIRES(mutex)
+    {
+        return cv_.wait_for(mutex, timeout) == std::cv_status::no_timeout;
+    }
 
     void notify_one() { cv_.notify_one(); }
     void notify_all() { cv_.notify_all(); }

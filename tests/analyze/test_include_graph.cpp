@@ -77,7 +77,8 @@ TEST(IncludeGraph, LayerOrderMatchesTheModuleDag)
     EXPECT_LT(moduleLayer("ml"), moduleLayer("baseline"));
     EXPECT_EQ(moduleLayer("baseline"), moduleLayer("core"));
     EXPECT_LT(moduleLayer("core"), moduleLayer("experiments"));
-    EXPECT_LT(moduleLayer("experiments"), moduleLayer("tools"));
+    EXPECT_LT(moduleLayer("experiments"), moduleLayer("serve"));
+    EXPECT_LT(moduleLayer("serve"), moduleLayer("tools"));
     EXPECT_EQ(moduleLayer("nonexistent"), -1);
 }
 

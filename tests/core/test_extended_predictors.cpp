@@ -115,6 +115,43 @@ TEST(MultiTransposition, SingleProxyMatchesNnTClosely)
         EXPECT_NEAR(pm[t], pn[t], 1e-3 * pn[t]);
 }
 
+TEST(MultiTransposition, TiledScanMatchesNaiveBitForBit)
+{
+    // The hoisted/parallel proxy scan reorders nothing arithmetically:
+    // its predictions must equal the naive per-pair scan exactly, at
+    // any thread count, in both linear and log space.
+    const dataset::PerfDatabase db =
+        dataset::SyntheticSpecGenerator().generate();
+    std::vector<std::size_t> predictive;
+    std::vector<std::size_t> targets;
+    for (std::size_t m = 0; m < db.machineCount(); ++m)
+        (m % 5 == 0 ? predictive : targets).push_back(m);
+    const auto problem = core::makeProblemFromSplit(
+        db, predictive, targets, db.benchmark(2).name);
+
+    for (const bool log_space : {false, true}) {
+        core::MultiTranspositionConfig naive_config;
+        naive_config.logSpace = log_space;
+        naive_config.scan = core::ScanMode::Naive;
+        const auto reference =
+            core::MultiTransposition(naive_config).predict(problem);
+
+        for (const std::size_t threads : {1u, 4u}) {
+            core::MultiTranspositionConfig tiled_config;
+            tiled_config.logSpace = log_space;
+            tiled_config.scan = core::ScanMode::Tiled;
+            tiled_config.threads = threads;
+            const auto tiled =
+                core::MultiTransposition(tiled_config).predict(problem);
+            ASSERT_EQ(tiled.size(), reference.size());
+            for (std::size_t t = 0; t < tiled.size(); ++t)
+                EXPECT_EQ(tiled[t], reference[t])
+                    << "log=" << log_space << " threads=" << threads
+                    << " target " << t;
+        }
+    }
+}
+
 TEST(MultiTransposition, CombinesComplementaryProxies)
 {
     // The target is the average of two predictive machines that are

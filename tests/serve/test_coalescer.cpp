@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Coalescer unit tests: micro-batching by key, hold-time behaviour,
+ * admission-control shedding (oldest first), stop/drain semantics and
+ * concurrent submit/consume — the suite the TSan job runs to pin the
+ * queue's locking discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/coalescer.h"
+#include "util/mutex.h"
+#include "util/thread_pool.h"
+
+namespace dtrank::serve
+{
+namespace
+{
+
+CoalescerConfig
+config(std::size_t depth, std::size_t batch_max,
+       std::chrono::nanoseconds hold = std::chrono::milliseconds(50))
+{
+    CoalescerConfig cfg;
+    cfg.queueDepth = depth;
+    cfg.batchMax = batch_max;
+    cfg.batchHold = hold;
+    return cfg;
+}
+
+TEST(Coalescer, SameKeyItemsFormOneBatch)
+{
+    Coalescer<int> queue(config(16, 8), nullptr);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(queue.submit(7, i));
+    const std::vector<int> batch = queue.nextBatch();
+    EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(Coalescer, KeyZeroNeverCoalesces)
+{
+    Coalescer<int> queue(config(16, 8), nullptr);
+    ASSERT_TRUE(queue.submit(0, 1));
+    ASSERT_TRUE(queue.submit(0, 2));
+    EXPECT_EQ(queue.nextBatch(), std::vector<int>{1});
+    EXPECT_EQ(queue.nextBatch(), std::vector<int>{2});
+}
+
+TEST(Coalescer, DifferentKeysStaySeparate)
+{
+    Coalescer<int> queue(config(16, 8), nullptr);
+    ASSERT_TRUE(queue.submit(1, 10));
+    ASSERT_TRUE(queue.submit(2, 20));
+    ASSERT_TRUE(queue.submit(1, 11));
+    // The first batch picks up key 1 and skips over the key-2 item.
+    EXPECT_EQ(queue.nextBatch(), (std::vector<int>{10, 11}));
+    EXPECT_EQ(queue.nextBatch(), std::vector<int>{20});
+}
+
+TEST(Coalescer, BatchMaxBoundsTheBatch)
+{
+    Coalescer<int> queue(config(32, 3), nullptr);
+    for (int i = 0; i < 7; ++i)
+        ASSERT_TRUE(queue.submit(5, i));
+    EXPECT_EQ(queue.nextBatch().size(), 3u);
+    EXPECT_EQ(queue.nextBatch().size(), 3u);
+    EXPECT_EQ(queue.nextBatch().size(), 1u);
+}
+
+TEST(Coalescer, ShedsOldestWhenFull)
+{
+    std::vector<int> shed;
+    Coalescer<int> queue(config(3, 1),
+                         [&](int &&victim) { shed.push_back(victim); });
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(queue.submit(0, i));
+    // Depth 3: items 0 and 1 (the oldest) must have been shed.
+    EXPECT_EQ(shed, (std::vector<int>{0, 1}));
+    EXPECT_EQ(queue.depth(), 3u);
+    EXPECT_EQ(queue.nextBatch(), std::vector<int>{2});
+}
+
+TEST(Coalescer, SubmitAfterStopIsRefused)
+{
+    Coalescer<int> queue(config(4, 1), nullptr);
+    ASSERT_TRUE(queue.submit(0, 1));
+    queue.stop();
+    EXPECT_FALSE(queue.submit(0, 2));
+    // Queued work is still handed out after stop()...
+    EXPECT_EQ(queue.nextBatch(), std::vector<int>{1});
+    // ...and a drained stopped queue returns empty batches.
+    EXPECT_TRUE(queue.nextBatch().empty());
+}
+
+TEST(Coalescer, DrainAndShedRefusesQueuedWork)
+{
+    std::vector<int> shed;
+    Coalescer<int> queue(config(8, 1),
+                         [&](int &&victim) { shed.push_back(victim); });
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(queue.submit(0, i));
+    queue.drainAndShed();
+    EXPECT_EQ(shed, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_TRUE(queue.nextBatch().empty());
+}
+
+TEST(Coalescer, HoldWindowCollectsStragglers)
+{
+    Coalescer<int> queue(config(16, 4, std::chrono::milliseconds(200)),
+                         nullptr);
+    ASSERT_TRUE(queue.submit(9, 0));
+    std::atomic<bool> done{false};
+    std::vector<int> batch;
+    util::ThreadPool pool(1);
+    util::TaskGroup group(pool);
+    group.run([&] {
+        batch = queue.nextBatch();
+        done.store(true);
+    });
+    // The worker holds the partial batch open; stragglers submitted
+    // within the window must join it.
+    while (queue.depth() != 0)
+        std::this_thread::yield();
+    ASSERT_TRUE(queue.submit(9, 1));
+    ASSERT_TRUE(queue.submit(9, 2));
+    ASSERT_TRUE(queue.submit(9, 3)); // fills the batch, ends the hold
+    group.wait();
+    ASSERT_TRUE(done.load());
+    EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Coalescer, ZeroHoldStillBatchesQueuedItems)
+{
+    Coalescer<int> queue(config(16, 8, std::chrono::nanoseconds(0)),
+                         nullptr);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(queue.submit(3, i));
+    // Everything already queued coalesces even with no hold window.
+    EXPECT_EQ(queue.nextBatch().size(), 4u);
+}
+
+TEST(Coalescer, ConcurrentSubmittersAndWorkersLoseNothing)
+{
+    const std::size_t n_submitters = 4;
+    const std::size_t per_submitter = 500;
+    std::atomic<std::size_t> shed_count{0};
+    Coalescer<std::uint64_t> queue(
+        config(64, 8, std::chrono::microseconds(50)),
+        [&](std::uint64_t &&) { shed_count.fetch_add(1); });
+
+    std::set<std::uint64_t> received;
+    util::Mutex received_mutex;
+    util::ThreadPool pool(n_submitters + 2);
+    util::TaskGroup group(pool);
+    for (std::size_t s = 0; s < n_submitters; ++s) {
+        group.run([&, s] {
+            for (std::size_t i = 0; i < per_submitter; ++i)
+                ASSERT_TRUE(queue.submit(
+                    1 + (i % 3),
+                    static_cast<std::uint64_t>(s * per_submitter + i)));
+        });
+    }
+    std::atomic<bool> stop_workers{false};
+    for (std::size_t w = 0; w < 2; ++w) {
+        group.run([&] {
+            while (true) {
+                const std::vector<std::uint64_t> batch =
+                    queue.nextBatch();
+                if (batch.empty()) {
+                    if (stop_workers.load())
+                        return;
+                    continue;
+                }
+                util::LockGuard lock(received_mutex);
+                for (std::uint64_t v : batch)
+                    received.insert(v);
+            }
+        });
+    }
+    // Drain: wait until every submitted item was received or shed.
+    const std::size_t total = n_submitters * per_submitter;
+    while (true) {
+        {
+            util::LockGuard lock(received_mutex);
+            if (received.size() + shed_count.load() >= total)
+                break;
+        }
+        std::this_thread::yield();
+    }
+    stop_workers.store(true);
+    queue.stop();
+    group.wait();
+    util::LockGuard lock(received_mutex);
+    EXPECT_EQ(received.size() + shed_count.load(), total);
+}
+
+} // namespace
+} // namespace dtrank::serve

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Wire-protocol unit tests: encode/decode round trips for every
+ * message type, and defensive decoding — truncated payloads, bad
+ * counts, unknown types and oversized length prefixes must throw
+ * ProtocolError, never crash or over-read.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace dtrank::serve
+{
+namespace
+{
+
+Request
+sampleRankRequest()
+{
+    Request request;
+    request.type = MessageType::Rank;
+    request.id = 0x1122334455667788ULL;
+    request.rank.method = experiments::Method::MlpT;
+    request.rank.app = 7;
+    request.rank.topK = 5;
+    request.rank.predictive = {{3, 12.5}, {9, 0.25}, {41, 7.75}};
+    request.rank.targets = {1, 2, 8, 100};
+    return request;
+}
+
+TEST(ServeProtocol, PingRoundTrip)
+{
+    Request ping;
+    ping.type = MessageType::Ping;
+    ping.id = 42;
+    const std::vector<std::uint8_t> bytes = encodeRequest(ping);
+    const Request decoded = decodeRequest(bytes.data(), bytes.size());
+    EXPECT_EQ(decoded.type, MessageType::Ping);
+    EXPECT_EQ(decoded.id, 42u);
+}
+
+TEST(ServeProtocol, RankRequestRoundTrip)
+{
+    const Request request = sampleRankRequest();
+    const std::vector<std::uint8_t> bytes = encodeRequest(request);
+    const Request decoded = decodeRequest(bytes.data(), bytes.size());
+    EXPECT_EQ(decoded.type, MessageType::Rank);
+    EXPECT_EQ(decoded.id, request.id);
+    EXPECT_EQ(decoded.rank.method, request.rank.method);
+    EXPECT_EQ(decoded.rank.app, request.rank.app);
+    EXPECT_EQ(decoded.rank.topK, request.rank.topK);
+    EXPECT_EQ(decoded.rank.predictive, request.rank.predictive);
+    EXPECT_EQ(decoded.rank.targets, request.rank.targets);
+}
+
+TEST(ServeProtocol, RankResponseRoundTrip)
+{
+    Response response;
+    response.type = MessageType::Rank;
+    response.id = 9;
+    response.status = Status::Ok;
+    response.ranking = {{17, 25.75}, {4, 12.5}, {200, 0.125}};
+    const std::vector<std::uint8_t> bytes = encodeResponse(response);
+    const Response decoded = decodeResponse(bytes.data(), bytes.size());
+    EXPECT_EQ(decoded.id, 9u);
+    EXPECT_EQ(decoded.status, Status::Ok);
+    ASSERT_EQ(decoded.ranking.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(decoded.ranking[i].machine,
+                  response.ranking[i].machine);
+        EXPECT_EQ(decoded.ranking[i].predicted,
+                  response.ranking[i].predicted);
+    }
+}
+
+TEST(ServeProtocol, ErrorResponseCarriesMessage)
+{
+    Response response;
+    response.type = MessageType::Rank;
+    response.id = 3;
+    response.status = Status::Error;
+    response.text = "unknown model id";
+    const std::vector<std::uint8_t> bytes = encodeResponse(response);
+    const Response decoded = decodeResponse(bytes.data(), bytes.size());
+    EXPECT_EQ(decoded.status, Status::Error);
+    EXPECT_EQ(decoded.text, "unknown model id");
+}
+
+TEST(ServeProtocol, EmptyPayloadThrows)
+{
+    EXPECT_THROW(decodeRequest(nullptr, 0), ProtocolError);
+}
+
+TEST(ServeProtocol, UnknownMessageTypeThrows)
+{
+    std::vector<std::uint8_t> bytes = encodeRequest(sampleRankRequest());
+    bytes[0] = 0xEE;
+    EXPECT_THROW(decodeRequest(bytes.data(), bytes.size()),
+                 ProtocolError);
+}
+
+TEST(ServeProtocol, UnknownMethodThrows)
+{
+    Request request = sampleRankRequest();
+    const std::vector<std::uint8_t> good = encodeRequest(request);
+    std::vector<std::uint8_t> bytes = good;
+    // Method byte follows the type (1) and id (8).
+    bytes[9] = 0x7F;
+    EXPECT_THROW(decodeRequest(bytes.data(), bytes.size()),
+                 ProtocolError);
+}
+
+TEST(ServeProtocol, EveryTruncationThrows)
+{
+    const std::vector<std::uint8_t> bytes =
+        encodeRequest(sampleRankRequest());
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+        EXPECT_THROW(decodeRequest(bytes.data(), cut), ProtocolError)
+            << "truncation at byte " << cut << " must throw";
+}
+
+TEST(ServeProtocol, TrailingGarbageThrows)
+{
+    std::vector<std::uint8_t> bytes =
+        encodeRequest(sampleRankRequest());
+    bytes.push_back(0x00);
+    EXPECT_THROW(decodeRequest(bytes.data(), bytes.size()),
+                 ProtocolError);
+}
+
+TEST(ServeProtocol, OverstatedCountThrows)
+{
+    Request request = sampleRankRequest();
+    request.rank.predictive.clear();
+    request.rank.targets.clear();
+    std::vector<std::uint8_t> bytes = encodeRequest(request);
+    // The u16 predictive count sits after type(1) + id(8) + method(1)
+    // + app(4) + topK(4); claim 65535 machines with no bytes behind it.
+    bytes[18] = 0xFF;
+    bytes[19] = 0xFF;
+    EXPECT_THROW(decodeRequest(bytes.data(), bytes.size()),
+                 ProtocolError);
+}
+
+TEST(ServeProtocol, FrameReaderSplitsBackToBackFrames)
+{
+    std::vector<std::uint8_t> stream;
+    const std::vector<std::uint8_t> a =
+        encodeRequest(sampleRankRequest());
+    Request ping;
+    ping.type = MessageType::Ping;
+    ping.id = 2;
+    const std::vector<std::uint8_t> b = encodeRequest(ping);
+    appendFrame(stream, a);
+    appendFrame(stream, b);
+
+    FrameReader reader;
+    std::vector<std::uint8_t> payload;
+    // Feed byte by byte: a frame must complete exactly once all its
+    // bytes arrived, regardless of fragmentation.
+    std::size_t complete = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        reader.feed(&stream[i], 1);
+        while (reader.next(payload)) {
+            ++complete;
+            if (complete == 1)
+                EXPECT_EQ(payload, a);
+            else
+                EXPECT_EQ(payload, b);
+        }
+    }
+    EXPECT_EQ(complete, 2u);
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ServeProtocol, FrameReaderRejectsOversizedPrefix)
+{
+    // 0xFFFFFFFF length prefix: must throw on the prefix alone,
+    // before any body is buffered.
+    const std::uint8_t prefix[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    FrameReader reader;
+    reader.feed(prefix, sizeof prefix);
+    std::vector<std::uint8_t> payload;
+    EXPECT_THROW(reader.next(payload), ProtocolError);
+}
+
+TEST(ServeProtocol, FrameReaderRejectsZeroLengthFrame)
+{
+    const std::uint8_t prefix[4] = {0, 0, 0, 0};
+    FrameReader reader;
+    reader.feed(prefix, sizeof prefix);
+    std::vector<std::uint8_t> payload;
+    EXPECT_THROW(reader.next(payload), ProtocolError);
+}
+
+TEST(ServeProtocol, FrameReaderWaitsForPartialFrame)
+{
+    std::vector<std::uint8_t> stream;
+    appendFrame(stream, encodeRequest(sampleRankRequest()));
+    FrameReader reader;
+    reader.feed(stream.data(), stream.size() - 1);
+    std::vector<std::uint8_t> payload;
+    EXPECT_FALSE(reader.next(payload));
+    reader.feed(stream.data() + stream.size() - 1, 1);
+    EXPECT_TRUE(reader.next(payload));
+}
+
+} // namespace
+} // namespace dtrank::serve

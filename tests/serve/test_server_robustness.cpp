@@ -1,0 +1,233 @@
+/**
+ * @file
+ * End-to-end daemon robustness tests over real sockets: malformed
+ * frames, oversized length prefixes, truncated writes, mid-request
+ * disconnects and validation failures must never crash or wedge the
+ * server — after every abuse the daemon still answers a fresh
+ * connection. The TSan CI job runs these to exercise the io/worker
+ * hand-off under a race detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "dataset/synthetic_spec.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dtrank::serve
+{
+namespace
+{
+
+class ServeRobustness : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        db_ = dataset::SyntheticSpecGenerator().generate();
+        util::Rng rng(5);
+        predictive_ = rng.sampleWithoutReplacement(db_.machineCount(), 8);
+        engine_ = std::make_unique<RankEngine>(db_, std::nullopt,
+                                               RankEngineConfig{});
+        ServerConfig config;
+        config.workers = 2;
+        config.coalescer.batchHold = std::chrono::milliseconds(1);
+        server_ = std::make_unique<Server>(*engine_, config);
+        server_->start();
+        port_ = server_->port();
+    }
+
+    void
+    TearDown() override
+    {
+        server_->stop();
+    }
+
+    Request
+    rankRequest(std::uint64_t id,
+                experiments::Method method = experiments::Method::NnT)
+    {
+        Request request;
+        request.type = MessageType::Rank;
+        request.id = id;
+        request.rank.method = method;
+        request.rank.app = 1;
+        request.rank.topK = 3;
+        for (std::size_t m : predictive_)
+            request.rank.predictive.emplace_back(
+                static_cast<std::uint32_t>(m), db_.scores()(1, m));
+        return request;
+    }
+
+    /** The server must still answer a fresh connection. */
+    void
+    expectServerAlive()
+    {
+        BlockingClient client;
+        client.connect("127.0.0.1", port_);
+        Request ping;
+        ping.type = MessageType::Ping;
+        ping.id = 99;
+        client.sendRequest(ping);
+        const Response pong = client.readResponse();
+        EXPECT_EQ(pong.id, 99u);
+        EXPECT_EQ(pong.status, Status::Ok);
+    }
+
+    /**
+     * Reads until the peer closes; true when an Error response was
+     * seen first. The server sends a best-effort error frame before
+     * closing an abusive connection, but the test must not depend on
+     * that write racing ahead of the close.
+     */
+    bool
+    sawErrorThenEof(BlockingClient &client)
+    {
+        bool saw_error = false;
+        try {
+            for (;;) {
+                const Response response = client.readResponse();
+                if (response.status != Status::Ok)
+                    saw_error = true;
+            }
+        } catch (const util::IoError &) {
+            // Peer closed: the expected terminal state.
+        }
+        return saw_error;
+    }
+
+    dataset::PerfDatabase db_;
+    std::vector<std::size_t> predictive_;
+    std::unique_ptr<RankEngine> engine_;
+    std::unique_ptr<Server> server_;
+    std::uint16_t port_ = 0;
+};
+
+TEST_F(ServeRobustness, MalformedPayloadGetsErrorAndClose)
+{
+    BlockingClient client;
+    client.connect("127.0.0.1", port_);
+    // A well-framed payload that cannot decode (unknown message type).
+    std::vector<std::uint8_t> stream;
+    appendFrame(stream, {0xEE, 0x01, 0x02, 0x03});
+    client.sendBytes(stream.data(), stream.size());
+    client.shutdownWrite();
+    sawErrorThenEof(client);
+    expectServerAlive();
+}
+
+TEST_F(ServeRobustness, TruncatedRankPayloadGetsErrorAndClose)
+{
+    BlockingClient client;
+    client.connect("127.0.0.1", port_);
+    // A frame whose length prefix is honest but whose rank body is cut
+    // short: decodes must fail, the connection must be dropped.
+    std::vector<std::uint8_t> good = encodeRequest(rankRequest(1));
+    good.resize(good.size() / 2);
+    std::vector<std::uint8_t> stream;
+    appendFrame(stream, good);
+    client.sendBytes(stream.data(), stream.size());
+    client.shutdownWrite();
+    sawErrorThenEof(client);
+    expectServerAlive();
+}
+
+TEST_F(ServeRobustness, OversizedLengthPrefixClosesConnection)
+{
+    BlockingClient client;
+    client.connect("127.0.0.1", port_);
+    const std::uint8_t prefix[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    client.sendBytes(prefix, sizeof prefix);
+    sawErrorThenEof(client);
+    expectServerAlive();
+}
+
+TEST_F(ServeRobustness, PartialFrameThenDisconnectIsHarmless)
+{
+    {
+        BlockingClient client;
+        client.connect("127.0.0.1", port_);
+        std::vector<std::uint8_t> stream;
+        appendFrame(stream, encodeRequest(rankRequest(1)));
+        // Leave the frame dangling mid-body and vanish.
+        client.sendBytes(stream.data(), stream.size() - 3);
+    }
+    expectServerAlive();
+}
+
+TEST_F(ServeRobustness, DisconnectAfterSendDropsPendingResponses)
+{
+    // Fire requests and disconnect without reading: the worker's write
+    // fails against a dead socket and must only drop the responses.
+    {
+        BlockingClient client;
+        client.connect("127.0.0.1", port_);
+        for (std::uint64_t i = 0; i < 8; ++i)
+            client.sendRequest(rankRequest(i));
+    }
+    expectServerAlive();
+}
+
+TEST_F(ServeRobustness, UnknownModelIdFailsOnHealthyConnection)
+{
+    BlockingClient client;
+    client.connect("127.0.0.1", port_);
+    // GA-kNN is not loaded in this fixture: a validation error, so the
+    // connection must survive and keep serving.
+    client.sendRequest(rankRequest(7, experiments::Method::GaKnn));
+    const Response error = client.readResponse();
+    EXPECT_EQ(error.id, 7u);
+    EXPECT_EQ(error.status, Status::Error);
+    EXPECT_FALSE(error.text.empty());
+
+    client.sendRequest(rankRequest(8));
+    const Response ok = client.readResponse();
+    EXPECT_EQ(ok.id, 8u);
+    EXPECT_EQ(ok.status, Status::Ok);
+    EXPECT_EQ(ok.ranking.size(), 3u);
+}
+
+TEST_F(ServeRobustness, InvalidAppIndexFailsOnHealthyConnection)
+{
+    BlockingClient client;
+    client.connect("127.0.0.1", port_);
+    Request bad = rankRequest(11);
+    bad.rank.app = 100000;
+    client.sendRequest(bad);
+    const Response error = client.readResponse();
+    EXPECT_EQ(error.status, Status::Error);
+
+    client.sendRequest(rankRequest(12));
+    EXPECT_EQ(client.readResponse().status, Status::Ok);
+}
+
+TEST_F(ServeRobustness, StopShedsQueuedWorkAndUnblocksClients)
+{
+    BlockingClient client;
+    client.connect("127.0.0.1", port_);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        client.sendRequest(rankRequest(i));
+    server_->stop();
+    // Every queued request was either answered or shed with a close;
+    // the client must observe responses and/or EOF, never a hang.
+    try {
+        for (;;) {
+            const Response response = client.readResponse();
+            EXPECT_TRUE(response.status == Status::Ok ||
+                        response.status == Status::Overloaded);
+        }
+    } catch (const util::IoError &) {
+        // EOF after shutdown.
+    }
+    EXPECT_FALSE(server_->running());
+}
+
+} // namespace
+} // namespace dtrank::serve

@@ -23,9 +23,11 @@ layerTable()
         {"linalg", 3},   {"stats", 4},       {"ml", 5},
         {"dataset", 5},  {"baseline", 6},    {"core", 6},
         {"experiments", 7},
+        // The serving layer wraps the experiment harness in a daemon.
+        {"serve", 8},
         // Applications sit on top and may depend on everything.
-        {"tools", 8},    {"tests", 8},       {"bench", 8},
-        {"examples", 8},
+        {"tools", 9},    {"tests", 9},       {"bench", 9},
+        {"examples", 9},
     };
     return layers;
 }

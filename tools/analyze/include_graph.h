@@ -18,7 +18,8 @@
  *     layer 5  ml, dataset
  *     layer 6  baseline, core
  *     layer 7  experiments
- *     layer 8  applications: tools/, tests/, bench/, examples/
+ *     layer 8  serve
+ *     layer 9  applications: tools/, tests/, bench/, examples/
  *
  * Note the deliberate departure from "simd at the top": the SIMD
  * kernels are a leaf provider (linalg dispatches into them through the
