@@ -72,6 +72,12 @@ BlockingClient::connect(const std::string &host, std::uint16_t port)
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+#if defined(SO_NOSIGPIPE)
+    // Platforms without MSG_NOSIGNAL (macOS) deliver SIGPIPE when a
+    // send hits a server-closed socket; suppress it per socket so a
+    // dropped connection surfaces as an IoError, not a killed process.
+    ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
+#endif
     fd_ = fd;
 }
 

@@ -71,7 +71,11 @@ class Coalescer
     /**
      * @param config Tuning knobs (validated here).
      * @param on_shed Invoked with each item dropped by admission
-     *        control, from inside submit() but outside the lock.
+     *        control, from inside submit() but outside the lock. It
+     *        runs on the submitter's thread, so it must not block:
+     *        submitters are typically latency-sensitive (the serve IO
+     *        loop), and sheds happen exactly when the system is
+     *        overloaded.
      */
     Coalescer(const CoalescerConfig &config,
               std::function<void(T &&)> on_shed,

@@ -394,6 +394,24 @@ RankEngine::executeBatch(const std::vector<RankRequest> &batch)
     if (live.empty())
         return outcomes;
 
+    // batchKey is a 64-bit fold of the 128-bit session hash, so a
+    // collision (or a cache eviction between resolves) can put
+    // requests with *different* sessions in one batch; the coalesced
+    // path below sizes slot[] by the lead session's universe, so a
+    // foreign request's positions could index out of bounds. Keep
+    // only requests that resolved to the lead Session and answer the
+    // rest through the per-request path.
+    std::vector<std::size_t> coalesced;
+    const std::shared_ptr<Session> &lead =
+        resolved[live.front()].session;
+    for (std::size_t i : live) {
+        if (resolved[i].session == lead)
+            coalesced.push_back(i);
+        else
+            outcomes[i] = execute(batch[i]);
+    }
+    live = std::move(coalesced);
+
     try {
         Session &session = *resolved[live.front()].session;
         const auto model = fittedMlp(session);

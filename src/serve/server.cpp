@@ -35,6 +35,22 @@ namespace
 #define MSG_NOSIGNAL 0
 #endif
 
+/**
+ * Platforms without MSG_NOSIGNAL (macOS) deliver SIGPIPE when a send
+ * hits a peer-closed socket; suppress it per socket so a client that
+ * disconnects mid-response cannot kill the daemon.
+ */
+void
+disableSigpipe(int fd)
+{
+#if defined(SO_NOSIGPIPE)
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
+#else
+    (void)fd;
+#endif
+}
+
 /** Endpoint label of a rank method (metric names). */
 const char *
 endpointName(experiments::Method method)
@@ -136,6 +152,16 @@ struct Connection
     FrameReader reader;
     util::Mutex writeMutex;
     std::atomic<bool> alive{true};
+
+    // The fd is released only when the last shared_ptr owner drops
+    // the connection: a worker mid-send keeps the fd number reserved,
+    // so accept() cannot recycle it into another client while frame
+    // bytes are still being written.
+    ~Connection()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
 };
 
 /** Best-effort request id of an undecodable payload (type + u64 id). */
@@ -177,6 +203,15 @@ struct ServerWorkItem
 
 struct Server::Impl
 {
+    /**
+     * Stall budget of responses sent inline from the IO thread
+     * (ping/metrics/protocol errors): ~500ms bounds how long one
+     * non-draining client can hold up the shared poll loop, while
+     * still riding out a momentarily full socket buffer on a healthy
+     * one. Worker sends keep the default ~5s budget.
+     */
+    static constexpr int kIoStalls = 5;
+
     Impl(RankEngine &rank_engine, const ServerConfig &server_config)
         : engine(rank_engine), config(server_config),
           pool(server_config.workers + 1), group(pool),
@@ -202,22 +237,27 @@ struct Server::Impl
 
     /**
      * Writes one frame; on a slow client, waits for writability up to
-     * ~5s before declaring the connection dead. Never blocks forever,
-     * so no worker can wedge on an unresponsive peer.
+     * `max_stalls` 100ms intervals (~5s by default) before declaring
+     * the connection dead. Never blocks forever, so no worker can
+     * wedge on an unresponsive peer. Callers on the IO thread must
+     * pass a small budget (kIoStalls for inline responses, 0 for
+     * sheds) so one slow peer cannot freeze the poll loop that every
+     * other connection shares.
      */
     void
-    sendFrame(Connection &conn, const std::vector<std::uint8_t> &payload)
+    sendFrame(Connection &conn, const std::vector<std::uint8_t> &payload,
+              int max_stalls = 50)
     {
         std::vector<std::uint8_t> frame;
         frame.reserve(payload.size() + 4);
         appendFrame(frame, payload);
 
         util::LockGuard lock(conn.writeMutex);
-        if (!conn.alive.load(std::memory_order_relaxed))
-            return;
         std::size_t sent = 0;
         int stalls = 0;
         while (sent < frame.size()) {
+            if (!conn.alive.load(std::memory_order_relaxed))
+                return;
             const ssize_t n =
                 ::send(conn.fd, frame.data() + sent, frame.size() - sent,
                        MSG_NOSIGNAL);
@@ -226,7 +266,7 @@ struct Server::Impl
                 continue;
             }
             if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-                if (++stalls > 50) { // ~5s of 100ms waits
+                if (++stalls > max_stalls) {
                     conn.alive.store(false, std::memory_order_relaxed);
                     return;
                 }
@@ -242,9 +282,10 @@ struct Server::Impl
     }
 
     void
-    sendResponse(Connection &conn, const Response &response)
+    sendResponse(Connection &conn, const Response &response,
+                 int max_stalls = 50)
     {
-        sendFrame(conn, encodeResponse(response));
+        sendFrame(conn, encodeResponse(response), max_stalls);
         switch (response.status) {
           case Status::Ok:
             serveMetrics().okResponses.inc();
@@ -266,7 +307,12 @@ struct Server::Impl
         response.id = item.id;
         response.status = Status::Overloaded;
         response.text = "overloaded: request shed by admission control";
-        sendResponse(*item.conn, response);
+        // Sheds run inline in submit(), i.e. on the IO thread: the
+        // response is best-effort (max_stalls 0) so a slow victim
+        // cannot stall the poll loop exactly when the server is
+        // overloaded. A victim whose socket buffer is full is not
+        // draining responses anyway; it is marked dead instead.
+        sendResponse(*item.conn, response, /*max_stalls=*/0);
     }
 
     void
@@ -276,7 +322,12 @@ struct Server::Impl
         if (it == connections.end())
             return;
         it->second->alive.store(false, std::memory_order_relaxed);
-        ::close(fd);
+        // shutdown() unblocks any worker mid-send (send fails, poll
+        // reports POLLHUP) but keeps the fd number reserved; closing
+        // here would let accept() recycle it while a worker still
+        // writes frame bytes, corrupting another client's stream. The
+        // last shared_ptr owner closes the fd in ~Connection.
+        ::shutdown(fd, SHUT_RDWR);
         connections.erase(it);
     }
 
@@ -297,7 +348,7 @@ struct Server::Impl
             response.id = peekRequestId(payload);
             response.status = Status::Error;
             response.text = e.what();
-            sendResponse(*conn, response);
+            sendResponse(*conn, response, kIoStalls);
             return false;
         }
 
@@ -306,7 +357,7 @@ struct Server::Impl
             Response response;
             response.type = MessageType::Ping;
             response.id = request.id;
-            sendResponse(*conn, response);
+            sendResponse(*conn, response, kIoStalls);
             serveMetrics().latency.at("ping")->observe(
                 util::secondsSince(start));
             return true;
@@ -317,7 +368,7 @@ struct Server::Impl
             response.id = request.id;
             response.text =
                 obs::MetricsRegistry::global().scrapePrometheus();
-            sendResponse(*conn, response);
+            sendResponse(*conn, response, kIoStalls);
             serveMetrics().latency.at("metrics")->observe(
                 util::secondsSince(start));
             return true;
@@ -335,7 +386,7 @@ struct Server::Impl
                 response.id = request.id;
                 response.status = Status::Overloaded;
                 response.text = "overloaded: server is shutting down";
-                sendResponse(*conn, response);
+                sendResponse(*conn, response, kIoStalls);
             }
             return true;
           }
@@ -422,6 +473,7 @@ struct Server::Impl
             if (fd < 0)
                 return; // EAGAIN or transient error: poll again
             setNonBlocking(fd);
+            disableSigpipe(fd);
             auto conn = std::make_shared<Connection>();
             conn->fd = fd;
             connections.emplace(fd, std::move(conn));
@@ -523,9 +575,9 @@ Server::stop()
     // dtrank-analyze-ignore(no-unordered-iteration)
     for (const auto &[fd, conn] : impl_->connections) {
         conn->alive.store(false, std::memory_order_relaxed);
-        ::close(fd);
+        ::shutdown(fd, SHUT_RDWR);
     }
-    impl_->connections.clear();
+    impl_->connections.clear(); // ~Connection closes each fd
     if (impl_->listenFd >= 0)
         ::close(impl_->listenFd);
     impl_.reset();

@@ -161,6 +161,42 @@ TEST_F(RankEngineTest, BatchKeyGroupsOnlySameSessionMlp)
     EXPECT_EQ(engine_->batchKey(nn), 0u);
 }
 
+TEST_F(RankEngineTest, MixedSessionBatchFallsBackPerRequest)
+{
+    // The coalescer keys batches on a 64-bit fold of the 128-bit
+    // session hash, so a collision can hand executeBatch requests
+    // from *different* sessions. Simulate one directly: the lead
+    // request's session has 10 predictive machines while the foreign
+    // request keeps only 3, so the foreign universe is *larger* than
+    // the lead's and its whole-universe positions would index past
+    // the lead-sized slot table if the coalesced path trusted the key.
+    std::vector<RankRequest> batch;
+    batch.push_back(makeRequest(experiments::Method::MlpT, 4));
+    RankRequest foreign = makeRequest(experiments::Method::MlpT, 4);
+    foreign.predictive.resize(3);
+    batch.push_back(std::move(foreign));
+    batch.push_back(makeRequest(experiments::Method::MlpT, 4));
+
+    const std::vector<RankOutcome> batched =
+        engine_->executeBatch(batch);
+    ASSERT_EQ(batched.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_EQ(batched[i].status, Status::Ok) << batched[i].error;
+        const RankOutcome serial = engine_->execute(batch[i]);
+        ASSERT_EQ(serial.ranking.size(), batched[i].ranking.size());
+        for (std::size_t r = 0; r < serial.ranking.size(); ++r) {
+            EXPECT_EQ(serial.ranking[r].machine,
+                      batched[i].ranking[r].machine);
+            EXPECT_EQ(serial.ranking[r].predicted,
+                      batched[i].ranking[r].predicted);
+        }
+    }
+    // The two same-session requests rank the lead universe; the
+    // foreign session's is bigger by the 7 machines it freed up.
+    EXPECT_EQ(batched[1].ranking.size(),
+              batched[0].ranking.size() + 7);
+}
+
 TEST_F(RankEngineTest, InvalidRequestsFailIndividually)
 {
     // Out-of-range app.
