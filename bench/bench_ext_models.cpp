@@ -98,12 +98,8 @@ main(int argc, char **argv)
                 for (const auto &cell : results.cells.at(m)) {
                     if (cell.task.benchmark != bench)
                         continue;
-                    actual.insert(actual.end(),
-                                  cell.task.actual.begin(),
-                                  cell.task.actual.end());
-                    predicted.insert(predicted.end(),
-                                     cell.task.predicted.begin(),
-                                     cell.task.predicted.end());
+                    experiments::appendObservedPairs(cell.task, actual,
+                                                     predicted);
                 }
                 worst = std::max(worst, stats::topNDeficiencyPercent(
                                             actual, predicted, n));

@@ -86,7 +86,8 @@ GaKnnModel::GaKnnModel(GaKnnConfig config) : config_(config)
 void
 GaKnnModel::train(const linalg::Matrix &characteristics,
                   const linalg::Matrix &train_scores,
-                  ml::FitnessMemo *memo)
+                  ml::FitnessMemo *memo,
+                  const dataset::ScoreMask *scores_mask)
 {
     const std::size_t n_bench = characteristics.rows();
     const std::size_t n_char = characteristics.cols();
@@ -100,6 +101,12 @@ GaKnnModel::train(const linalg::Matrix &characteristics,
                   "GaKnnModel::train: needs >= 1 training machine");
 
     const std::size_t n_machine = train_scores.cols();
+    const bool has_mask =
+        scores_mask != nullptr && !scores_mask->dense();
+    if (has_mask)
+        util::require(scores_mask->rows() == n_bench &&
+                          scores_mask->cols() == n_machine,
+                      "GaKnnModel::train: mask shape mismatch");
 
     // Precompute the per-pair, per-characteristic squared differences
     // (flat [i][j][c] table) when they fit the memory budget, so a
@@ -137,6 +144,7 @@ GaKnnModel::train(const linalg::Matrix &characteristics,
     std::vector<double> row_d2(n_bench, 0.0);
     std::vector<double> diff2(n_char, 0.0);
     std::vector<std::size_t> order;
+    std::vector<std::size_t> valid_nn;
     const auto fitness = [&](const std::vector<double> &w) {
         double error_sum = 0.0;
         std::size_t error_count = 0;
@@ -183,13 +191,33 @@ GaKnnModel::train(const linalg::Matrix &characteristics,
             order.resize(take);
 
             for (std::size_t m = 0; m < n_machine; ++m) {
+                // Ragged training data: skip unobserved held-out
+                // cells and combine only the observed neighbour
+                // scores (the filtered list preserves neighbour
+                // order, so an all-valid mask leaves the arithmetic
+                // untouched).
+                if (has_mask && !scores_mask->valid(i, m))
+                    continue;
+                const std::vector<std::size_t> *use = &order;
+                if (has_mask) {
+                    valid_nn.clear();
+                    for (std::size_t j : order)
+                        if (scores_mask->valid(j, m))
+                            valid_nn.push_back(j);
+                    if (valid_nn.empty())
+                        continue;
+                    use = &valid_nn;
+                }
                 const double pred = combineNeighborScores(
-                    order, row_d2, train_scores, m, config_.weighting);
+                    *use, row_d2, train_scores, m, config_.weighting);
                 const double actual = train_scores(i, m);
                 error_sum += std::fabs(pred - actual) / actual * 100.0;
                 ++error_count;
             }
         }
+        util::require(error_count > 0,
+                      "GaKnnModel::train: no observed cell admits a "
+                      "leave-one-out prediction");
         return -error_sum / static_cast<double>(error_count);
     };
 
@@ -253,7 +281,8 @@ std::vector<double>
 GaKnnModel::predictApp(const std::vector<double> &app_characteristics,
                        const linalg::Matrix &candidate_chars,
                        const linalg::Matrix &candidate_scores,
-                       std::size_t exclude_row) const
+                       std::size_t exclude_row,
+                       const dataset::ScoreMask *scores_mask) const
 {
     util::require(trained_, "GaKnnModel: not trained");
     util::require(candidate_chars.rows() == candidate_scores.rows(),
@@ -265,6 +294,60 @@ GaKnnModel::predictApp(const std::vector<double> &app_characteristics,
     DTRANK_ASSERT(!nn.empty());
 
     const std::size_t n_target = candidate_scores.cols();
+
+    if (scores_mask != nullptr && !scores_mask->dense()) {
+        // Ragged candidate scores: per machine, combine the observed
+        // neighbour scores only (filtered in neighbour order, so an
+        // all-valid mask reproduces the reference path — and thereby
+        // the sweep path — bit for bit). Machines where no neighbour
+        // is observed fall back to the column's observed mean.
+        util::require(scores_mask->rows() == candidate_scores.rows() &&
+                          scores_mask->cols() == n_target,
+                      "GaKnnModel::predictApp: mask shape mismatch");
+        std::vector<double> d2(candidate_chars.rows(), 0.0);
+        for (std::size_t i = 0; i < candidate_chars.rows(); ++i)
+            d2[i] = simd::weightedSquaredDistance(
+                app_characteristics.data(), candidate_chars.rowData(i),
+                weights_.data(), candidate_chars.cols());
+
+        std::vector<double> out(n_target, 0.0);
+        const std::size_t tile = config_.predictTile;
+        const std::size_t n_tiles = (n_target + tile - 1) / tile;
+        util::parallelFor(
+            config_.predictThreads, n_tiles, [&](std::size_t ti) {
+                const std::size_t lo = ti * tile;
+                const std::size_t hi = std::min(n_target, lo + tile);
+                std::vector<std::size_t> valid_nn;
+                valid_nn.reserve(nn.size());
+                std::vector<double> col(candidate_scores.rows());
+                for (std::size_t m = lo; m < hi; ++m) {
+                    valid_nn.clear();
+                    for (std::size_t j : nn)
+                        if (scores_mask->valid(j, m))
+                            valid_nn.push_back(j);
+                    if (!valid_nn.empty()) {
+                        out[m] = combineNeighborScores(
+                            valid_nn, d2, candidate_scores, m,
+                            config_.weighting);
+                        continue;
+                    }
+                    const std::size_t observed =
+                        scores_mask->observedInColumn(m);
+                    if (observed == 0) {
+                        out[m] = 1.0; // nothing observed at all
+                        continue;
+                    }
+                    for (std::size_t r = 0;
+                         r < candidate_scores.rows(); ++r)
+                        col[r] = candidate_scores(r, m);
+                    const auto words = scores_mask->columnWords(m);
+                    const double sum = simd::kernels().maskedSum(
+                        col.data(), words.data(), col.size());
+                    out[m] = sum / static_cast<double>(observed);
+                }
+            });
+        return out;
+    }
 
     if (!config_.sweepPredict) {
         // Reference path: per-machine gather over strided score
@@ -349,7 +432,11 @@ GaKnnTransposition::predict(const core::TranspositionProblem &problem)
                   "benchmark characteristics");
     return model_->predictApp(app_characteristics_,
                               bench_characteristics_,
-                              problem.targetBenchScores);
+                              problem.targetBenchScores,
+                              GaKnnModel::kNoExclude,
+                              problem.targetMask.dense()
+                                  ? nullptr
+                                  : &problem.targetMask);
 }
 
 std::string

@@ -93,10 +93,20 @@ class GaKnnModel
      *        re-evaluated every generation, so any memo-backed run
      *        registers hits. Results are bit-identical with and
      *        without a memo.
+     * @param scores_mask Optional validity mask over train_scores
+     *        (benchmarks x machines). Unobserved (i, m) cells are
+     *        skipped by the leave-one-out fitness and unobserved
+     *        neighbour scores are dropped (with renormalization) from
+     *        each prediction. nullptr or an all-valid mask reproduces
+     *        the dense fitness — and therefore the GA trajectory and
+     *        the learned weights — bit for bit. Characteristics are
+     *        never masked: they describe benchmarks, not measurements
+     *        on machines.
      */
     void train(const linalg::Matrix &characteristics,
                const linalg::Matrix &train_scores,
-               ml::FitnessMemo *memo = nullptr);
+               ml::FitnessMemo *memo = nullptr,
+               const dataset::ScoreMask *scores_mask = nullptr);
 
     /**
      * Installs previously learned weights without re-running the GA —
@@ -144,13 +154,20 @@ class GaKnnModel
      * @param exclude_row Optional row excluded from the neighbour
      *        candidates (see neighbors()); row indices of
      *        candidate_chars and candidate_scores must align.
+     * @param scores_mask Optional validity mask over candidate_scores.
+     *        Per machine, unobserved neighbour scores are dropped and
+     *        the combine renormalized over the observed ones; a
+     *        machine where no neighbour is observed falls back to its
+     *        column's observed mean. nullptr or an all-valid mask is
+     *        bit-identical to the dense path.
      * @return One predicted score per machine (T).
      */
     std::vector<double>
     predictApp(const std::vector<double> &app_characteristics,
                const linalg::Matrix &candidate_chars,
                const linalg::Matrix &candidate_scores,
-               std::size_t exclude_row = kNoExclude) const;
+               std::size_t exclude_row = kNoExclude,
+               const dataset::ScoreMask *scores_mask = nullptr) const;
 
     const GaKnnConfig &config() const { return config_; }
 

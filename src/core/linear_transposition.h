@@ -116,6 +116,17 @@ class LinearTransposition : public TranspositionPredictor
     const LinearTranspositionConfig &config() const { return config_; }
 
   private:
+    /**
+     * Best-fit scan for ragged problems: each (target, predictive)
+     * regression is fitted over the jointly observed benchmarks only
+     * (compacted, then passed through SimpleLinearRegression), so an
+     * all-valid mask reproduces the dense scan bit for bit. Candidates
+     * need a valid app score and at least two joint points; targets
+     * with no admissible candidate fall back to the observed mean.
+     */
+    std::vector<double>
+    predictMasked(const TranspositionProblem &problem);
+
     LinearTranspositionConfig config_;
     LinearTranspositionDiagnostics diagnostics_;
 };

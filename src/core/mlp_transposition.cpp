@@ -2,10 +2,37 @@
 
 #include <cmath>
 
+#include "simd/simd.h"
 #include "util/error.h"
 
 namespace dtrank::core
 {
+
+namespace
+{
+
+/**
+ * Per-benchmark (row) mean over the observed cells, in raw score
+ * space; rows with nothing observed fall back to 1.0 (the neutral
+ * SPEC ratio). Requires a materialized mask.
+ */
+std::vector<double>
+observedBenchMeans(const linalg::Matrix &scores,
+                   const dataset::ScoreMask &mask)
+{
+    std::vector<double> means(scores.rows(), 1.0);
+    for (std::size_t b = 0; b < scores.rows(); ++b) {
+        const std::size_t n = mask.observedInRow(b);
+        if (n == 0)
+            continue;
+        const double sum = simd::kernels().maskedSum(
+            scores.rowData(b), mask.rowData(b), scores.cols());
+        means[b] = sum / static_cast<double>(n);
+    }
+    return means;
+}
+
+} // namespace
 
 MlpTransposition::MlpTransposition(MlpTranspositionConfig config)
     : config_(std::move(config))
@@ -16,7 +43,7 @@ std::vector<double>
 MlpTransposition::predict(const TranspositionProblem &problem)
 {
     fit(problem);
-    return predictColumns(problem.targetBenchScores);
+    return predictColumns(problem.targetBenchScores, problem.targetMask);
 }
 
 void
@@ -31,14 +58,36 @@ MlpTransposition::fit(const TranspositionProblem &problem)
         return config_.logSpace ? std::log2(v) : v;
     };
 
-    // Training matrix: one row per predictive machine (transposed view
-    // of the benchmark x machine data — the "data transposition").
-    linalg::Matrix train(n_pred, n_bench);
-    std::vector<double> targets(n_pred);
-    for (std::size_t p = 0; p < n_pred; ++p) {
-        for (std::size_t b = 0; b < n_bench; ++b)
-            train(p, b) = maybe_log(problem.predictiveBenchScores(b, p));
-        targets[p] = maybe_log(problem.predictiveAppScores[p]);
+    // Ragged problems: unobserved features are imputed with their
+    // benchmark's observed mean, and machines whose app score is
+    // unobserved are dropped from the training set. Dense problems
+    // take the exact same loops with every mask query answering true
+    // and the kept-row list being the identity.
+    std::vector<double> pred_means;
+    if (!problem.predictiveMask.dense())
+        pred_means = observedBenchMeans(problem.predictiveBenchScores,
+                                        problem.predictiveMask);
+    std::vector<std::size_t> kept;
+    kept.reserve(n_pred);
+    for (std::size_t p = 0; p < n_pred; ++p)
+        if (problem.appScoreValid(p))
+            kept.push_back(p);
+
+    // Training matrix: one row per (kept) predictive machine
+    // (transposed view of the benchmark x machine data — the "data
+    // transposition").
+    linalg::Matrix train(kept.size(), n_bench);
+    std::vector<double> targets(kept.size());
+    for (std::size_t r = 0; r < kept.size(); ++r) {
+        const std::size_t p = kept[r];
+        for (std::size_t b = 0; b < n_bench; ++b) {
+            const double raw =
+                problem.predictiveMask.valid(b, p)
+                    ? problem.predictiveBenchScores(b, p)
+                    : pred_means[b];
+            train(r, b) = maybe_log(raw);
+        }
+        targets[r] = maybe_log(problem.predictiveAppScores[p]);
     }
 
     ml::MlpConfig mlp_config = config_.mlp;
@@ -49,14 +98,23 @@ MlpTransposition::fit(const TranspositionProblem &problem)
         // published data). The network's own normalizer would refit on
         // the training rows alone and undo this, so normalization is
         // handled entirely here — including the numeric target.
-        linalg::Matrix all(n_pred + n_target, n_bench);
-        for (std::size_t p = 0; p < n_pred; ++p)
-            all.setRow(p, train.row(p));
+        std::vector<double> target_means;
+        if (!problem.targetMask.dense())
+            target_means = observedBenchMeans(problem.targetBenchScores,
+                                              problem.targetMask);
+        linalg::Matrix all(kept.size() + n_target, n_bench);
+        for (std::size_t r = 0; r < kept.size(); ++r)
+            all.setRow(r, train.row(r));
         for (std::size_t t = 0; t < n_target; ++t) {
             std::vector<double> row(n_bench);
-            for (std::size_t b = 0; b < n_bench; ++b)
-                row[b] = maybe_log(problem.targetBenchScores(b, t));
-            all.setRow(n_pred + t, row);
+            for (std::size_t b = 0; b < n_bench; ++b) {
+                const double raw =
+                    problem.targetMask.valid(b, t)
+                        ? problem.targetBenchScores(b, t)
+                        : target_means[b];
+                row[b] = maybe_log(raw);
+            }
+            all.setRow(kept.size() + t, row);
         }
         feature_norm_.fit(all);
         train = feature_norm_.transform(train);
@@ -117,6 +175,30 @@ MlpTransposition::predictColumns(
             predictions[t] = 1e-6;
     }
     return predictions;
+}
+
+std::vector<double>
+MlpTransposition::predictColumns(
+    const linalg::Matrix &target_bench_scores,
+    const dataset::ScoreMask &mask) const
+{
+    if (mask.dense())
+        return predictColumns(target_bench_scores);
+    util::require(mask.rows() == target_bench_scores.rows() &&
+                      mask.cols() == target_bench_scores.cols(),
+                  "MlpTransposition::predictColumns: mask shape "
+                  "mismatch");
+    // Impute unobserved cells, then take the dense path; an all-valid
+    // materialized mask replaces nothing, so the copy is bit-identical
+    // to the input.
+    linalg::Matrix filled = target_bench_scores;
+    const std::vector<double> means =
+        observedBenchMeans(target_bench_scores, mask);
+    for (std::size_t b = 0; b < filled.rows(); ++b)
+        for (std::size_t t = 0; t < filled.cols(); ++t)
+            if (!mask.valid(b, t))
+                filled(b, t) = means[b];
+    return predictColumns(filled);
 }
 
 double

@@ -86,6 +86,17 @@ class MlpTransposition : public TranspositionPredictor
     std::vector<double>
     predictColumns(const linalg::Matrix &target_bench_scores) const;
 
+    /**
+     * Masked predictColumns: unobserved cells of `target_bench_scores`
+     * (per `mask`) are imputed with the column's machine-agnostic
+     * benchmark mean — each benchmark's mean over its observed target
+     * cells — before the forward pass. A dense-sentinel mask makes
+     * this bit-identical to the unmasked overload.
+     */
+    std::vector<double>
+    predictColumns(const linalg::Matrix &target_bench_scores,
+                   const dataset::ScoreMask &mask) const;
+
     std::string name() const override { return "MLP^T"; }
 
     /** Training MSE of the most recently trained network. */

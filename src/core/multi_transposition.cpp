@@ -31,6 +31,11 @@ std::vector<double>
 MultiTransposition::predict(const TranspositionProblem &problem)
 {
     problem.validate();
+    // No native masked path: the multi-proxy ridge solve needs a
+    // complete design matrix, so ragged problems are densified by
+    // imputation first.
+    if (problem.masked())
+        return predict(densifiedProblem(problem));
     const std::size_t n_bench = problem.benchmarkCount();
     const std::size_t n_pred = problem.predictiveMachineCount();
     const std::size_t n_target = problem.targetMachineCount();

@@ -32,6 +32,16 @@ machineFeatureVectors(const dataset::PerfDatabase &db,
     util::require(!machines.empty(),
                   "machineFeatureVectors: empty machine set");
 
+    // Owned-set selection is a heuristic over machine signatures, not
+    // a model: under missingness the NaN-poisoned cells are imputed
+    // with their benchmark's observed mean so the log2 features stay
+    // finite. Training and metrics still see the true mask. A
+    // materialized all-valid mask imputes nothing, so the features —
+    // and the selection — are bit-identical to the dense database's.
+    if (db.masked())
+        return machineFeatureVectors(dataset::imputeObserved(db),
+                                     machines);
+
     // Rows = machines, columns = benchmarks, in log2 space. The
     // per-machine mean is removed so the features describe each
     // machine's architectural signature (which benchmarks it is

@@ -20,6 +20,10 @@ std::vector<double>
 SplineTransposition::predict(const TranspositionProblem &problem)
 {
     problem.validate();
+    // No native masked path: spline knot placement needs complete
+    // columns, so ragged problems are densified by imputation first.
+    if (problem.masked())
+        return predict(densifiedProblem(problem));
     const std::size_t n_bench = problem.benchmarkCount();
     const std::size_t n_pred = problem.predictiveMachineCount();
     const std::size_t n_target = problem.targetMachineCount();

@@ -2,10 +2,23 @@
 
 #include <algorithm>
 
+#include "simd/simd.h"
 #include "util/error.h"
 
 namespace dtrank::core
 {
+
+std::size_t
+TranspositionProblem::observedAppScores() const
+{
+    if (appValid.empty())
+        return predictiveAppScores.size();
+    std::size_t n = 0;
+    for (std::size_t p = 0; p < predictiveAppScores.size(); ++p)
+        if (appScoreValid(p))
+            ++n;
+    return n;
+}
 
 void
 TranspositionProblem::validate() const
@@ -24,10 +37,47 @@ TranspositionProblem::validate() const
                       predictiveBenchScores.rows(),
                   "TranspositionProblem: benchmark row mismatch between "
                   "predictive and target sets");
-    for (double s : predictiveAppScores)
-        util::require(s > 0.0, "TranspositionProblem: scores must be "
-                               "positive");
+    if (!predictiveMask.dense())
+        util::require(predictiveMask.rows() ==
+                              predictiveBenchScores.rows() &&
+                          predictiveMask.cols() ==
+                              predictiveBenchScores.cols(),
+                      "TranspositionProblem: predictive mask shape "
+                      "mismatch");
+    if (!targetMask.dense())
+        util::require(targetMask.rows() == targetBenchScores.rows() &&
+                          targetMask.cols() == targetBenchScores.cols(),
+                      "TranspositionProblem: target mask shape mismatch");
+    if (!appValid.empty()) {
+        util::require(appValid.size() ==
+                          (predictiveAppScores.size() + 63) / 64,
+                      "TranspositionProblem: app validity word count "
+                      "mismatch");
+        util::require(observedAppScores() > 0,
+                      "TranspositionProblem: application of interest "
+                      "has no valid entries (all-missing row)");
+    }
+    for (std::size_t p = 0; p < predictiveAppScores.size(); ++p)
+        if (appScoreValid(p))
+            util::require(predictiveAppScores[p] > 0.0,
+                          "TranspositionProblem: scores must be "
+                          "positive");
 }
+
+namespace
+{
+
+/** Packed validity bits of one benchmark row (empty when dense). */
+std::vector<std::uint64_t>
+appRowValidity(const dataset::PerfDatabase &db, std::size_t app_row)
+{
+    if (!db.masked())
+        return {};
+    const std::uint64_t *words = db.mask().rowData(app_row);
+    return {words, words + db.mask().rowWords()};
+}
+
+} // namespace
 
 TranspositionProblem
 makeProblem(const dataset::PerfDatabase &predictive,
@@ -62,6 +112,9 @@ makeProblem(const dataset::PerfDatabase &predictive,
         predictive.scores().selectRows(pred_rows);
     problem.predictiveAppScores = predictive.benchmarkScores(app_row);
     problem.targetBenchScores = target.scores().selectRows(target_rows);
+    problem.predictiveMask = predictive.mask().selectRows(pred_rows);
+    problem.targetMask = target.mask().selectRows(target_rows);
+    problem.appValid = appRowValidity(predictive, app_row);
     problem.validate();
     return problem;
 }
@@ -89,8 +142,71 @@ makeLeaveOneOutProblem(const dataset::PerfDatabase &predictive,
         predictive.scores().selectRowsExcept(app_row);
     problem.predictiveAppScores = predictive.benchmarkScores(app_row);
     problem.targetBenchScores = target.scores().selectRowsExcept(app_row);
+    problem.predictiveMask = predictive.mask().selectRowsExcept(app_row);
+    problem.targetMask = target.mask().selectRowsExcept(app_row);
+    problem.appValid = appRowValidity(predictive, app_row);
     problem.validate();
     return problem;
+}
+
+namespace
+{
+
+/**
+ * Imputes one matrix's unobserved cells with their row's observed
+ * mean (1.0 when the row has nothing observed). Returns the matrix
+ * unchanged — bit for bit — when the mask is dense or all-valid.
+ */
+linalg::Matrix
+imputeRowMeans(const linalg::Matrix &scores,
+               const dataset::ScoreMask &mask)
+{
+    if (mask.dense())
+        return scores;
+    linalg::Matrix out = scores;
+    for (std::size_t r = 0; r < scores.rows(); ++r) {
+        const std::size_t n = mask.observedInRow(r);
+        double mean = 1.0;
+        if (n > 0) {
+            const double sum = simd::kernels().maskedSum(
+                scores.rowData(r), mask.rowData(r), scores.cols());
+            mean = sum / static_cast<double>(n);
+        }
+        for (std::size_t c = 0; c < scores.cols(); ++c)
+            if (!mask.valid(r, c))
+                out(r, c) = mean;
+    }
+    return out;
+}
+
+} // namespace
+
+TranspositionProblem
+densifiedProblem(const TranspositionProblem &problem)
+{
+    if (!problem.masked())
+        return problem;
+    problem.validate();
+
+    std::vector<std::size_t> kept;
+    kept.reserve(problem.predictiveMachineCount());
+    for (std::size_t p = 0; p < problem.predictiveMachineCount(); ++p)
+        if (problem.appScoreValid(p))
+            kept.push_back(p);
+
+    TranspositionProblem out;
+    out.predictiveBenchScores =
+        imputeRowMeans(problem.predictiveBenchScores,
+                       problem.predictiveMask)
+            .selectColumns(kept);
+    out.predictiveAppScores.reserve(kept.size());
+    for (std::size_t p : kept)
+        out.predictiveAppScores.push_back(
+            problem.predictiveAppScores[p]);
+    out.targetBenchScores =
+        imputeRowMeans(problem.targetBenchScores, problem.targetMask);
+    out.validate();
+    return out;
 }
 
 TranspositionProblem

@@ -13,9 +13,11 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "dataset/masked_matrix.h"
 #include "dataset/perf_database.h"
 #include "linalg/matrix.h"
 
@@ -35,6 +37,17 @@ struct TranspositionProblem
     /** Scores of the N training benchmarks on the T target machines. */
     linalg::Matrix targetBenchScores;
 
+    /**
+     * Validity masks for ragged databases (dense sentinels when fully
+     * observed): predictiveMask/targetMask align with the score
+     * matrices, appValid packs one bit per predictive machine for the
+     * app-score row (empty = all observed). Cells masked invalid hold
+     * NaN poison in the matrices above.
+     */
+    dataset::ScoreMask predictiveMask;
+    dataset::ScoreMask targetMask;
+    std::vector<std::uint64_t> appValid;
+
     std::size_t benchmarkCount() const
     {
         return predictiveBenchScores.rows();
@@ -47,6 +60,24 @@ struct TranspositionProblem
     {
         return targetBenchScores.cols();
     }
+
+    /** True when any of the three score blocks carries a mask. */
+    bool masked() const
+    {
+        return !predictiveMask.dense() || !targetMask.dense() ||
+               !appValid.empty();
+    }
+
+    /** Validity of the app score on predictive machine p. */
+    bool appScoreValid(std::size_t p) const
+    {
+        if (appValid.empty())
+            return true;
+        return ((appValid[p / 64] >> (p % 64)) & 1u) != 0;
+    }
+
+    /** Number of observed app scores across predictive machines. */
+    std::size_t observedAppScores() const;
 
     /** Checks internal consistency; throws InvalidArgument otherwise. */
     void validate() const;
@@ -91,6 +122,17 @@ TranspositionProblem
 makeLeaveOneOutProblem(const dataset::PerfDatabase &predictive,
                        const dataset::PerfDatabase &target,
                        std::size_t app_row);
+
+/**
+ * Dense equivalent of a ragged problem, for predictors without a
+ * native masked path (SPL^T, MultiNN^T): unobserved benchmark scores
+ * are imputed with their benchmark's observed row mean, predictive
+ * machines whose app score is unobserved are dropped, and the masks
+ * cleared. A problem whose masks are all-valid comes back with
+ * bit-identical matrices (and a dense problem is returned unchanged).
+ */
+TranspositionProblem
+densifiedProblem(const TranspositionProblem &problem);
 
 /** Common interface of NN^T, MLP^T (and the GA-kNN baseline adapter). */
 class TranspositionPredictor

@@ -22,7 +22,11 @@ namespace
 {
 
 constexpr char kMagic[8] = {'D', 'T', 'R', 'K', 'C', 'O', 'L', '1'};
-constexpr std::uint32_t kVersion = 1;
+// Version 1 is the dense format; version 2 appends a validity-mask
+// page after the scores. Dense databases still write version 1 so
+// their files stay byte-identical across the format bump.
+constexpr std::uint32_t kVersionDense = 1;
+constexpr std::uint32_t kVersionMasked = 2;
 constexpr std::uint32_t kEndianTag = 0x01020304u;
 constexpr std::size_t kHeaderBytes = 64;
 constexpr std::size_t kScoresAlign = 64;
@@ -188,21 +192,33 @@ saveColumnar(const PerfDatabase &db, const std::string &path)
         for (std::size_t b = 0; b < n_bench; ++b)
             page[b] = scores(b, m);
     }
+    // Masked databases append the ScoreMask words verbatim after the
+    // scores; the mask bytes enter the payload hash in file order.
+    std::vector<unsigned char> mask_bytes;
+    std::uint64_t mask_offset = 0;
+    if (db.masked()) {
+        const std::vector<std::uint64_t> &words = db.mask().words();
+        mask_bytes.resize(words.size() * sizeof(std::uint64_t));
+        std::memcpy(mask_bytes.data(), words.data(), mask_bytes.size());
+        mask_offset = scores_offset + pages.size();
+    }
+
     std::uint64_t hash = kFnvOffset;
     fnvUpdate(hash, meta.data(), meta.size());
     fnvUpdate(hash, pages.data(), pages.size());
+    fnvUpdate(hash, mask_bytes.data(), mask_bytes.size());
 
     std::vector<unsigned char> header;
     header.reserve(kHeaderBytes);
     header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
-    appendU32(header, kVersion);
+    appendU32(header, db.masked() ? kVersionMasked : kVersionDense);
     appendU32(header, kEndianTag);
     appendU64(header, n_bench);
     appendU64(header, n_machines);
     appendU64(header, kHeaderBytes);
     appendU64(header, scores_offset);
     appendU64(header, hash);
-    appendU64(header, 0);
+    appendU64(header, mask_offset);
 
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
@@ -216,6 +232,8 @@ saveColumnar(const PerfDatabase &db, const std::string &path)
     out.write(pad.data(), static_cast<std::streamsize>(pad.size()));
     out.write(reinterpret_cast<const char *>(pages.data()),
               static_cast<std::streamsize>(pages.size()));
+    out.write(reinterpret_cast<const char *>(mask_bytes.data()),
+              static_cast<std::streamsize>(mask_bytes.size()));
     out.flush();
     if (!out)
         throw util::IoError("saveColumnar: write to '" + path +
@@ -278,7 +296,8 @@ ColumnarDatabase::open(const std::string &path)
     const unsigned char *p = db.base();
     if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0)
         corrupt(path, "bad magic (not a columnar database)");
-    if (readU32At(p + 8) != kVersion)
+    const std::uint32_t version = readU32At(p + 8);
+    if (version != kVersionDense && version != kVersionMasked)
         corrupt(path, "unsupported format version");
     // Native-order load: on a big-endian host the little-endian tag
     // reads back permuted and the raw double pages would too, so the
@@ -293,6 +312,7 @@ ColumnarDatabase::open(const std::string &path)
     const std::uint64_t meta_offset = readU64At(p + 32);
     const std::uint64_t scores_offset = readU64At(p + 40);
     const std::uint64_t stored_hash = readU64At(p + 48);
+    const std::uint64_t mask_offset = readU64At(p + 56);
     if (n_bench == 0 || n_machines == 0 || n_bench > kMaxDimension ||
         n_machines > kMaxDimension)
         corrupt(path, "implausible dimensions");
@@ -305,7 +325,20 @@ ColumnarDatabase::open(const std::string &path)
         n_bench * n_machines * sizeof(double);
     if (score_bytes / sizeof(double) / n_bench != n_machines)
         corrupt(path, "score size overflow");
-    if (db.size_ != scores_offset + score_bytes)
+    if (version == kVersionDense && mask_offset != 0)
+        corrupt(path, "version-1 file declares a mask page");
+    std::uint64_t mask_bytes = 0;
+    if (mask_offset != 0) {
+        // The mask page sits directly after the scores: one ScoreMask
+        // row of ceil(n_machines / 64) words per benchmark.
+        if (mask_offset != scores_offset + score_bytes)
+            corrupt(path, "bad mask offset");
+        const std::uint64_t row_words =
+            (n_machines + ScoreMask::kWordBits - 1) /
+            ScoreMask::kWordBits;
+        mask_bytes = n_bench * row_words * sizeof(std::uint64_t);
+    }
+    if (db.size_ != scores_offset + score_bytes + mask_bytes)
         corrupt(path, "file size does not match declared dimensions");
 
     MetaCursor cursor(p + kHeaderBytes, scores_offset - kHeaderBytes,
@@ -337,9 +370,21 @@ ColumnarDatabase::open(const std::string &path)
 
     std::uint64_t hash = kFnvOffset;
     fnvUpdate(hash, p + kHeaderBytes, cursor.consumed());
-    fnvUpdate(hash, p + scores_offset, score_bytes);
+    fnvUpdate(hash, p + scores_offset, score_bytes + mask_bytes);
     if (hash != stored_hash)
         corrupt(path, "payload hash mismatch (corrupted file)");
+
+    if (mask_offset != 0) {
+        std::vector<std::uint64_t> words(mask_bytes /
+                                         sizeof(std::uint64_t));
+        std::memcpy(words.data(), p + mask_offset, mask_bytes);
+        try {
+            db.mask_ = ScoreMask::fromWords(n_bench, n_machines,
+                                            std::move(words));
+        } catch (const util::InvalidArgument &e) {
+            corrupt(path, e.what());
+        }
+    }
 
     db.scores_offset_ = scores_offset;
     return db;
@@ -348,6 +393,7 @@ ColumnarDatabase::open(const std::string &path)
 ColumnarDatabase::ColumnarDatabase(ColumnarDatabase &&other) noexcept
     : benchmarks_(std::move(other.benchmarks_)),
       machines_(std::move(other.machines_)),
+      mask_(std::move(other.mask_)),
       buffer_(std::move(other.buffer_)), map_(other.map_),
       size_(other.size_), scores_offset_(other.scores_offset_),
       mapped_(other.mapped_)
@@ -367,6 +413,7 @@ ColumnarDatabase::operator=(ColumnarDatabase &&other) noexcept
 #endif
         benchmarks_ = std::move(other.benchmarks_);
         machines_ = std::move(other.machines_);
+        mask_ = std::move(other.mask_);
         buffer_ = std::move(other.buffer_);
         map_ = other.map_;
         size_ = other.size_;
@@ -418,7 +465,7 @@ ColumnarDatabase::toDatabase() const
         std::memcpy(machine_major.rowData(m), machineColumn(m),
                     n_bench * sizeof(double));
     return PerfDatabase(benchmarks_, machines_,
-                        machine_major.transposed());
+                        machine_major.transposed(), mask_);
 }
 
 PerfDatabase

@@ -14,23 +14,31 @@
  * Layout (all integers little-endian, doubles raw IEEE-754 bits):
  *
  *     offset  0  8 bytes   magic "DTRKCOL1"
- *     offset  8  u32       format version (1)
+ *     offset  8  u32       format version (1 = dense, 2 adds the mask)
  *     offset 12  u32       endianness tag 0x01020304
  *     offset 16  u64       benchmark count
  *     offset 24  u64       machine count
  *     offset 32  u64       metadata offset (= header size, 64)
  *     offset 40  u64       scores offset (64-byte aligned)
- *     offset 48  u64       FNV-1a hash of metadata + score bytes
- *     offset 56  u64       reserved (0)
+ *     offset 48  u64       FNV-1a hash of metadata + score + mask bytes
+ *     offset 56  u64       validity-mask offset (0 = fully observed)
  *     metadata   benchmark table then machine table, length-prefixed
  *                strings (u32 length + bytes), see columnar_io.cpp
  *     padding    zero bytes up to the scores offset
  *     scores     machineCount() pages of benchmarkCount() doubles
+ *     mask       (version 2, masked only) benchmarkCount() rows of
+ *                ceil(machineCount() / 64) u64 words — the ScoreMask
+ *                storage verbatim, directly after the scores
  *
  * Scores round-trip bit-identically because they are stored as raw
- * IEEE bits. Every load validates magic, version, endianness, declared
- * sizes against the file size, metadata bounds, and the payload hash,
- * so truncated or corrupted files are rejected with util::IoError.
+ * IEEE bits (unobserved cells hold the constructor's NaN poison, and
+ * the mask words round-trip the validity bits exactly). A dense
+ * database still writes a byte-identical version-1 file; version 2 is
+ * emitted only when a mask is present, and readers accept both. Every
+ * load validates magic, version, endianness, declared sizes against
+ * the file size, metadata bounds, mask padding bits, and the payload
+ * hash, so truncated or corrupted files are rejected with
+ * util::IoError.
  */
 
 #pragma once
@@ -88,6 +96,12 @@ class ColumnarDatabase
     /** Score of benchmark b on machine m (bounds-checked). */
     double score(std::size_t b, std::size_t m) const;
 
+    /** Validity mask (the dense sentinel for version-1 files). */
+    const ScoreMask &mask() const { return mask_; }
+
+    /** True when the file carries a validity-mask page. */
+    bool masked() const { return !mask_.dense(); }
+
     /** Materializes a row-major PerfDatabase (copies the scores). */
     PerfDatabase toDatabase() const;
 
@@ -104,6 +118,7 @@ class ColumnarDatabase
 
     std::vector<BenchmarkInfo> benchmarks_;
     std::vector<MachineInfo> machines_;
+    ScoreMask mask_;
     std::vector<unsigned char> buffer_; // fallback storage
     void *map_ = nullptr;               // mmap storage
     std::size_t size_ = 0;

@@ -1,8 +1,10 @@
 #include "dataset/perf_database.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
+#include "simd/simd.h"
 #include "stats/descriptive.h"
 #include "util/csv.h"
 #include "util/error.h"
@@ -20,17 +22,46 @@ MachineInfo::name() const
 PerfDatabase::PerfDatabase(std::vector<BenchmarkInfo> benchmarks,
                            std::vector<MachineInfo> machines,
                            linalg::Matrix scores)
+    : PerfDatabase(std::move(benchmarks), std::move(machines),
+                   std::move(scores), ScoreMask{})
+{
+}
+
+PerfDatabase::PerfDatabase(std::vector<BenchmarkInfo> benchmarks,
+                           std::vector<MachineInfo> machines,
+                           linalg::Matrix scores, ScoreMask mask)
+    : PerfDatabase(SelectionView{}, std::move(benchmarks),
+                   std::move(machines), std::move(scores),
+                   std::move(mask))
+{
+    if (!mask_.dense())
+        mask_.requireNoEmptyLines("PerfDatabase");
+}
+
+PerfDatabase::PerfDatabase(SelectionView,
+                           std::vector<BenchmarkInfo> benchmarks,
+                           std::vector<MachineInfo> machines,
+                           linalg::Matrix scores, ScoreMask mask)
     : benchmarks_(std::move(benchmarks)), machines_(std::move(machines)),
-      scores_(std::move(scores))
+      scores_(std::move(scores)), mask_(std::move(mask))
 {
     util::require(scores_.rows() == benchmarks_.size(),
                   "PerfDatabase: benchmark/row count mismatch");
     util::require(scores_.cols() == machines_.size(),
                   "PerfDatabase: machine/column count mismatch");
+    if (!mask_.dense())
+        util::require(mask_.rows() == scores_.rows() &&
+                          mask_.cols() == scores_.cols(),
+                      "PerfDatabase: mask/score shape mismatch");
     for (std::size_t b = 0; b < scores_.rows(); ++b)
-        for (std::size_t m = 0; m < scores_.cols(); ++m)
-            util::require(scores_(b, m) > 0.0,
-                          "PerfDatabase: scores must be positive");
+        for (std::size_t m = 0; m < scores_.cols(); ++m) {
+            if (mask_.valid(b, m))
+                util::require(scores_(b, m) > 0.0,
+                              "PerfDatabase: scores must be positive");
+            else
+                scores_(b, m) =
+                    std::numeric_limits<double>::quiet_NaN();
+        }
 }
 
 const BenchmarkInfo &
@@ -112,8 +143,9 @@ PerfDatabase::selectMachines(
                       "PerfDatabase::selectMachines: index out of range");
         machines.push_back(machines_[m]);
     }
-    return PerfDatabase(benchmarks_, std::move(machines),
-                        scores_.selectColumns(machine_indices));
+    return PerfDatabase(SelectionView{}, benchmarks_, std::move(machines),
+                        scores_.selectColumns(machine_indices),
+                        mask_.selectColumns(machine_indices));
 }
 
 PerfDatabase
@@ -127,8 +159,9 @@ PerfDatabase::selectBenchmarks(
                       "PerfDatabase::selectBenchmarks: index out of range");
         benchmarks.push_back(benchmarks_[b]);
     }
-    return PerfDatabase(std::move(benchmarks), machines_,
-                        scores_.selectRows(benchmark_indices));
+    return PerfDatabase(SelectionView{}, std::move(benchmarks), machines_,
+                        scores_.selectRows(benchmark_indices),
+                        mask_.selectRows(benchmark_indices));
 }
 
 std::vector<std::size_t>
@@ -189,9 +222,18 @@ PerfDatabase::machineGeometricMeans() const
 {
     std::vector<double> out(machines_.size());
     std::vector<double> column;
+    std::vector<double> observed;
     for (std::size_t m = 0; m < machines_.size(); ++m) {
         machineScoresInto(m, column);
-        out[m] = stats::geometricMean(column);
+        if (!masked()) {
+            out[m] = stats::geometricMean(column);
+            continue;
+        }
+        observed.clear();
+        for (std::size_t b = 0; b < column.size(); ++b)
+            if (mask_.valid(b, m))
+                observed.push_back(column[b]);
+        out[m] = observed.empty() ? 1.0 : stats::geometricMean(observed);
     }
     return out;
 }
@@ -199,6 +241,8 @@ PerfDatabase::machineGeometricMeans() const
 void
 PerfDatabase::saveCsv(const std::string &path) const
 {
+    util::require(!masked(), "PerfDatabase::saveCsv: masked database "
+                             "(use the .dtc columnar format)");
     util::CsvRows rows;
     // Header: benchmark metadata placeholder + encoded machine columns.
     std::vector<std::string> header;
@@ -271,6 +315,43 @@ PerfDatabase::loadCsv(const std::string &path)
             scores(r - 1, c - 1) = util::parseDouble(row[c]);
     }
     return PerfDatabase(std::move(benchmarks), std::move(machines),
+                        std::move(scores));
+}
+
+PerfDatabase
+applyMissingness(const PerfDatabase &db, double fraction,
+                 std::uint64_t seed)
+{
+    util::require(!db.masked(),
+                  "applyMissingness: database is already masked");
+    if (fraction <= 0.0)
+        return db;
+    ScoreMask mask = ScoreMask::sample(db.benchmarkCount(),
+                                       db.machineCount(), fraction, seed);
+    return PerfDatabase(db.benchmarks(), db.machines(), db.scores(),
+                        std::move(mask));
+}
+
+PerfDatabase
+imputeObserved(const PerfDatabase &db)
+{
+    if (!db.masked())
+        return db;
+    const ScoreMask &mask = db.mask();
+    linalg::Matrix scores = db.scores();
+    for (std::size_t b = 0; b < db.benchmarkCount(); ++b) {
+        // Per-benchmark observed mean; requireNoEmptyLines in the
+        // masked constructor guarantees at least one observed cell.
+        const double sum = simd::kernels().maskedSum(
+            db.benchmarkScoresData(b), mask.rowData(b),
+            db.machineCount());
+        const double mean =
+            sum / static_cast<double>(mask.observedInRow(b));
+        for (std::size_t m = 0; m < db.machineCount(); ++m)
+            if (!mask.valid(b, m))
+                scores(b, m) = mean;
+    }
+    return PerfDatabase(db.benchmarks(), db.machines(),
                         std::move(scores));
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "dataset/masked_matrix.h"
 #include "linalg/matrix.h"
 
 namespace dtrank::dataset
@@ -70,6 +71,24 @@ class PerfDatabase
                  std::vector<MachineInfo> machines,
                  linalg::Matrix scores);
 
+    /**
+     * Ragged database: `mask` records which cells were observed
+     * (benchmarks x machines, like `scores`). Only observed cells must
+     * be positive; unobserved cells are overwritten with quiet NaN so
+     * any non-mask-aware consumer visibly corrupts instead of silently
+     * using a stale value — and since model caches hash raw matrix
+     * bytes, the poison makes the mask part of every cache key. A
+     * dense-sentinel mask makes this identical to the dense
+     * constructor. All-missing rows/columns are rejected — but only
+     * here, at top-level construction: selectMachines /
+     * selectBenchmarks views may legitimately carry empty sub-lines
+     * (a benchmark unobserved on every owned machine) and the model
+     * stack treats those as contributing no training data.
+     */
+    PerfDatabase(std::vector<BenchmarkInfo> benchmarks,
+                 std::vector<MachineInfo> machines, linalg::Matrix scores,
+                 ScoreMask mask);
+
     std::size_t benchmarkCount() const { return benchmarks_.size(); }
     std::size_t machineCount() const { return machines_.size(); }
 
@@ -86,6 +105,12 @@ class PerfDatabase
 
     /** Whole score matrix (benchmarks x machines). */
     const linalg::Matrix &scores() const { return scores_; }
+
+    /** Validity mask (the dense sentinel for a fully observed db). */
+    const ScoreMask &mask() const { return mask_; }
+
+    /** True when the database carries a materialized validity mask. */
+    bool masked() const { return !mask_.dense(); }
 
     /** Scores of one benchmark across all machines (a matrix row). */
     std::vector<double> benchmarkScores(std::size_t b) const;
@@ -148,7 +173,11 @@ class PerfDatabase
     /** Sorted unique release years. */
     std::vector<int> releaseYears() const;
 
-    /** Geometric-mean score of each machine across all benchmarks. */
+    /**
+     * Geometric-mean score of each machine across all benchmarks —
+     * the observed ones only under a mask (1.0 for a machine with
+     * nothing observed, possible only in a benchmark selection).
+     */
     std::vector<double> machineGeometricMeans() const;
 
     /** Serializes to CSV (header row + one row per benchmark). */
@@ -158,10 +187,35 @@ class PerfDatabase
     static PerfDatabase loadCsv(const std::string &path);
 
   private:
+    /** Tag for the selection path: shape checks, no empty-line gate. */
+    struct SelectionView
+    {
+    };
+
+    PerfDatabase(SelectionView, std::vector<BenchmarkInfo> benchmarks,
+                 std::vector<MachineInfo> machines, linalg::Matrix scores,
+                 ScoreMask mask);
+
     std::vector<BenchmarkInfo> benchmarks_;
     std::vector<MachineInfo> machines_;
     linalg::Matrix scores_;
+    ScoreMask mask_;
 };
+
+/**
+ * Deterministically drops `fraction` of the cells of a dense database
+ * (ScoreMask::sample with the given seed): the ragged-dataset axis the
+ * --missing option exposes. fraction <= 0 returns the input unchanged.
+ */
+PerfDatabase applyMissingness(const PerfDatabase &db, double fraction,
+                              std::uint64_t seed);
+
+/**
+ * Fills every unobserved cell with its benchmark's observed-mean score
+ * and drops the mask — the serving-side "impute" policy. A dense input
+ * is returned unchanged.
+ */
+PerfDatabase imputeObserved(const PerfDatabase &db);
 
 } // namespace dtrank::dataset
 

@@ -40,6 +40,30 @@ addBenchOptions(util::ArgParser &args)
                    "input database: paper (117x29) or "
                    "scaled:<machines>[x<benchmarks>][:<seed>]",
                    "paper");
+    args.addOption("missing",
+                   "hide a uniform random fraction of score cells: "
+                   "<fraction>[:<seed>] (0 = fully observed; seed "
+                   "defaults to 2011)",
+                   "0");
+}
+
+MissingSpec
+parseMissingSpec(const std::string &value)
+{
+    MissingSpec spec;
+    if (value.empty() || value == "0")
+        return spec;
+    const auto parts = util::split(value, ':');
+    util::require(parts.size() <= 2,
+                  "--missing: expected '<fraction>[:<seed>]', got '" +
+                      value + "'");
+    spec.fraction = util::parseDouble(parts[0]);
+    util::require(spec.fraction >= 0.0 && spec.fraction < 1.0,
+                  "--missing: fraction must be in [0, 1)");
+    if (parts.size() == 2)
+        spec.seed =
+            static_cast<std::uint64_t>(util::parseLong(parts[1]));
+    return spec;
 }
 
 DatasetSpec
@@ -104,6 +128,14 @@ loadDatasetOption(const util::ArgParser &args,
         out.description = "scaled:" + std::to_string(config.machines) +
                           "x" + std::to_string(config.benchmarks) +
                           ":" + std::to_string(config.seed);
+    }
+    const MissingSpec missing = parseMissingSpec(args.get("missing"));
+    if (missing.fraction > 0.0) {
+        out.db = dataset::applyMissingness(out.db, missing.fraction,
+                                           missing.seed);
+        out.description += "+missing:" +
+                           util::formatFixed(missing.fraction, 2) +
+                           ":" + std::to_string(missing.seed);
     }
     if (json != nullptr)
         json->addContext("dataset", out.description);

@@ -28,7 +28,7 @@ namespace dtrank::experiments
 
 /**
  * Registers --model-cache, --model-cache-capacity, --json, --simd,
- * --metrics-out, --trace-out and --dataset.
+ * --metrics-out, --trace-out, --dataset and --missing.
  */
 void addBenchOptions(util::ArgParser &args);
 
@@ -52,6 +52,22 @@ struct DatasetSpec
  */
 DatasetSpec parseDatasetSpec(const std::string &value);
 
+/** Parsed form of a --missing argument. */
+struct MissingSpec
+{
+    /** Fraction of score cells hidden, in [0, 1). 0 = fully observed. */
+    double fraction = 0.0;
+    /** Mask sampling seed. */
+    std::uint64_t seed = 2011;
+};
+
+/**
+ * Parses "<fraction>[:<seed>]" (e.g. "0.3", "0.3:7"); "0" or "" keep
+ * the database fully observed.
+ * @throws util::InvalidArgument on anything else.
+ */
+MissingSpec parseMissingSpec(const std::string &value);
+
 /** A bench's input data: database + matching MICA characteristics. */
 struct BenchDataset
 {
@@ -70,9 +86,11 @@ struct BenchDataset
 /**
  * Builds the database selected by --dataset: the paper dataset (with
  * `fallback_seed`) by default, or a scaled one with matching
- * characteristics derived from its benchmark profiles. When `json` is
- * non-null the canonical dataset description is recorded in the
- * document context.
+ * characteristics derived from its benchmark profiles. A non-zero
+ * --missing fraction then hides that share of score cells behind a
+ * validity mask (dataset::applyMissingness). When `json` is non-null
+ * the canonical dataset description is recorded in the document
+ * context.
  */
 BenchDataset loadDatasetOption(const util::ArgParser &args,
                                std::uint64_t fallback_seed,

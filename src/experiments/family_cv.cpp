@@ -20,10 +20,7 @@ FamilyCvResults::pooledMetrics(Method m, const std::string &bench) const
     for (const FamilyCvCell &c : it->second) {
         if (c.task.benchmark != bench)
             continue;
-        actual.insert(actual.end(), c.task.actual.begin(),
-                      c.task.actual.end());
-        predicted.insert(predicted.end(), c.task.predicted.begin(),
-                         c.task.predicted.end());
+        appendObservedPairs(c.task, actual, predicted);
     }
     util::require(!actual.empty(),
                   "FamilyCvResults: unknown benchmark '" + bench + "'");

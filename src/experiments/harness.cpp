@@ -1,6 +1,7 @@
 #include "experiments/harness.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string_view>
 
 #include "core/transposition.h"
@@ -54,6 +55,14 @@ hashMlpConfig(util::ContentHasher &hasher, const ml::MlpConfig &cfg)
     hasher.add(cfg.shuffleEachEpoch);
     hasher.add(static_cast<std::uint64_t>(cfg.maxRestarts));
     hasher.add(cfg.divergenceFactor);
+    hasher.add(static_cast<std::uint64_t>(cfg.batchSize));
+}
+
+/** Validity words of target row `app`, or null for a dense database. */
+const std::uint64_t *
+targetRowMask(const dataset::PerfDatabase &target_db, std::size_t app)
+{
+    return target_db.masked() ? target_db.mask().rowData(app) : nullptr;
 }
 
 } // namespace
@@ -78,6 +87,14 @@ taskPredictionKey(Method method, const MethodSuiteConfig &config,
         hashMlpConfig(hasher, mlp);
         hasher.add(config.mlp.logSpace);
         hasher.add(config.mlp.transductiveNormalization);
+        break;
+      }
+      case Method::DeepT: {
+        ml::MlpConfig mlp = config.deep.mlp;
+        mlp.seed = mlp_seed;
+        hashMlpConfig(hasher, mlp);
+        hasher.add(config.deep.logSpace);
+        hasher.add(config.deep.transductiveNormalization);
         break;
       }
       case Method::SplT:
@@ -108,6 +125,13 @@ predictTask(Method method, const MethodSuiteConfig &config,
             const linalg::Matrix *characteristics,
             TrainedModelCache *cache)
 {
+    // With the app unobserved on every owned machine there is nothing
+    // for any model to transpose: rank the targets by their overall
+    // observed speed instead. Only reachable under missingness with a
+    // small owned set (a full database never has an empty row).
+    if (pred_db.masked() && pred_db.mask().observedInRow(app) == 0)
+        return target_db.machineGeometricMeans();
+
     // Transposition predictions are cached per task; GA-kNN is not
     // (its per-task prediction is a cheap kNN combine — the expensive
     // GA training is cached at the split level by the caller).
@@ -146,9 +170,10 @@ predictTask(Method method, const MethodSuiteConfig &config,
                               characteristics != nullptr,
                           "predictTask: GA-kNN needs a split model and "
                           "characteristics");
-        predicted = gaknn_model->predictApp(characteristics->row(app),
-                                            *characteristics,
-                                            target_db.scores(), app);
+        predicted = gaknn_model->predictApp(
+            characteristics->row(app), *characteristics,
+            target_db.scores(), app,
+            target_db.masked() ? &target_db.mask() : nullptr);
         break;
       }
       case Method::SplT: {
@@ -163,10 +188,32 @@ predictTask(Method method, const MethodSuiteConfig &config,
             core::makeLeaveOneOutProblem(pred_db, target_db, app));
         break;
       }
+      case Method::DeepT: {
+        core::MlpTranspositionConfig cfg = config.deep;
+        cfg.mlp.seed = mlp_seed;
+        core::MlpTransposition predictor(cfg);
+        predicted = predictor.predict(
+            core::makeLeaveOneOutProblem(pred_db, target_db, app));
+        break;
+      }
     }
     if (cache != nullptr)
         cache->store(key, predicted);
     return predicted;
+}
+
+void
+appendObservedPairs(const TaskResult &task, std::vector<double> &actual,
+                    std::vector<double> &predicted)
+{
+    DTRANK_ASSERT_MSG(task.actual.size() == task.predicted.size(),
+                      "appendObservedPairs: ragged task");
+    for (std::size_t i = 0; i < task.actual.size(); ++i) {
+        if (!std::isfinite(task.actual[i]))
+            continue;
+        actual.push_back(task.actual[i]);
+        predicted.push_back(task.predicted[i]);
+    }
 }
 
 std::string
@@ -183,6 +230,8 @@ methodName(Method m)
         return "SPL^T";
       case Method::MultiNnT:
         return "kNN^T";
+      case Method::DeepT:
+        return "DEEP^T";
     }
     DTRANK_ASSERT_MSG(false, "unknown method");
 }
@@ -199,8 +248,8 @@ const std::vector<Method> &
 extendedMethods()
 {
     static const std::vector<Method> methods = {
-        Method::NnT, Method::MultiNnT, Method::SplT, Method::MlpT,
-        Method::GaKnn};
+        Method::NnT,  Method::MultiNnT, Method::SplT,
+        Method::MlpT, Method::DeepT,    Method::GaKnn};
     return methods;
 }
 
@@ -265,13 +314,17 @@ SplitEvaluator::evaluateSplit(const std::vector<std::size_t> &predictive,
             } else {
                 CachedFitnessMemo memo(*cache, model_key);
                 gaknn_model.train(characteristics_, pred_db.scores(),
-                                  &memo);
+                                  &memo,
+                                  pred_db.masked() ? &pred_db.mask()
+                                                   : nullptr);
                 blob = gaknn_model.weights();
                 blob.push_back(gaknn_model.trainingFitness());
                 cache->store(model_key, std::move(blob));
             }
         } else {
-            gaknn_model.train(characteristics_, pred_db.scores());
+            gaknn_model.train(characteristics_, pred_db.scores(), nullptr,
+                              pred_db.masked() ? &pred_db.mask()
+                                               : nullptr);
         }
     }
 
@@ -321,7 +374,28 @@ SplitEvaluator::runTask(Method method, std::size_t app,
         const double *row = target_db.benchmarkScoresData(app);
         task.actual.assign(row, row + target_db.machineCount());
     }
-    task.metrics = core::evaluatePrediction(task.actual, predicted);
+    // On a ragged database the held-out target row carries NaN poison
+    // in its unobserved cells, so the metrics compare only observed
+    // (actual, predicted) pairs. Fewer than two observed cells cannot
+    // rank machines; such a task keeps zeroed metrics.
+    const std::uint64_t *row_valid = targetRowMask(target_db, app);
+    if (row_valid == nullptr) {
+        task.metrics = core::evaluatePrediction(task.actual, predicted);
+    } else {
+        std::vector<double> actual_obs;
+        std::vector<double> predicted_obs;
+        actual_obs.reserve(task.actual.size());
+        predicted_obs.reserve(task.actual.size());
+        for (std::size_t m = 0; m < task.actual.size(); ++m) {
+            if (((row_valid[m / 64] >> (m % 64)) & 1u) == 0)
+                continue;
+            actual_obs.push_back(task.actual[m]);
+            predicted_obs.push_back(predicted[m]);
+        }
+        if (actual_obs.size() >= 2)
+            task.metrics =
+                core::evaluatePrediction(actual_obs, predicted_obs);
+    }
     task.predicted = std::move(predicted);
     return task;
 }

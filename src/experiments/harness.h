@@ -34,7 +34,8 @@ enum class Method
     MlpT,    ///< Data transposition, multilayer perceptron.
     GaKnn,   ///< Prior art: GA-weighted kNN in workload space.
     SplT,    ///< Extension: best-fit spline transposition.
-    MultiNnT ///< Extension: multi-proxy linear transposition.
+    MultiNnT, ///< Extension: multi-proxy linear transposition.
+    DeepT    ///< Extension: deeper minibatch MLP transposition.
 };
 
 /** Paper-style method name ("NN^T", "MLP^T", "GA-10NN", ...). */
@@ -46,6 +47,21 @@ const std::vector<Method> &allMethods();
 /** The paper's methods plus the repository's extensions. */
 const std::vector<Method> &extendedMethods();
 
+/**
+ * Default configuration of the DEEP^T extension: a deeper multilayer
+ * perceptron (three 16-unit hidden layers, after the deep-net ranking
+ * models of Cengiz et al.) trained with minibatches so the batched GEMM
+ * engine carries the forward/backward passes.
+ */
+inline core::MlpTranspositionConfig
+defaultDeepConfig()
+{
+    core::MlpTranspositionConfig cfg;
+    cfg.mlp.hiddenLayers = {16, 16, 16};
+    cfg.mlp.batchSize = 8;
+    return cfg;
+}
+
 /** Configuration shared by every experiment protocol. */
 struct MethodSuiteConfig
 {
@@ -54,6 +70,7 @@ struct MethodSuiteConfig
     baseline::GaKnnConfig gaKnn;
     core::SplineTranspositionConfig spline;
     core::MultiTranspositionConfig multi;
+    core::MlpTranspositionConfig deep = defaultDeepConfig();
     /**
      * Base seed for the MLP; each (split, benchmark) task derives its
      * own seed so results do not depend on evaluation order.
@@ -137,6 +154,17 @@ struct TaskResult
 
 /** Per-method results of a whole split (one entry per benchmark). */
 using SplitResults = std::map<Method, std::vector<TaskResult>>;
+
+/**
+ * Appends a task's (actual, predicted) pairs to pooled vectors,
+ * skipping target cells whose actual score is unobserved (NaN under a
+ * mask — observed scores are strictly positive, so finiteness is an
+ * exact observedness test). Dense tasks append every pair in order,
+ * which keeps pooled metrics bit-identical to pooling by hand.
+ */
+void appendObservedPairs(const TaskResult &task,
+                         std::vector<double> &actual,
+                         std::vector<double> &predicted);
 
 /**
  * Evaluates methods on machine splits of one database.

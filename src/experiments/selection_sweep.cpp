@@ -38,11 +38,11 @@ SelectionSweep::pooledR2(const std::vector<std::size_t> &predictive,
     // ranking application does not care about.
     std::vector<double> actual;
     std::vector<double> predicted;
-    for (const TaskResult &t : tasks) {
-        for (std::size_t i = 0; i < t.actual.size(); ++i) {
-            actual.push_back(std::log2(t.actual[i]));
-            predicted.push_back(std::log2(std::max(t.predicted[i], 1e-9)));
-        }
+    for (const TaskResult &t : tasks)
+        appendObservedPairs(t, actual, predicted);
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        actual[i] = std::log2(actual[i]);
+        predicted[i] = std::log2(std::max(predicted[i], 1e-9));
     }
     const double r = stats::pearson(actual, predicted);
     return r * r;

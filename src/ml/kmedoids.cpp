@@ -1,6 +1,7 @@
 #include "ml/kmedoids.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "util/error.h"
@@ -30,9 +31,15 @@ KMedoids::clusterFromDistances(const std::vector<std::vector<double>> &dist,
 {
     const std::size_t n = dist.size();
     util::require(n > 0, "KMedoids: empty point set");
-    for (const auto &row : dist)
+    for (const auto &row : dist) {
         util::require(row.size() == n, "KMedoids: distance matrix must be "
                                        "square");
+        // A NaN distance would make every cost comparison false, so no
+        // restart ever wins and `best` stays empty — reject loudly.
+        for (double d : row)
+            util::require(std::isfinite(d),
+                          "KMedoids: non-finite distance");
+    }
     util::require(k >= 1 && k <= n, "KMedoids: k out of range");
 
     KMedoidsResult best;

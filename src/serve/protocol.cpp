@@ -236,7 +236,7 @@ decodeRequest(const std::uint8_t *data, std::size_t size)
         RankRequest &rank = request.rank;
         const std::uint8_t method = r.u8();
         if (method > static_cast<std::uint8_t>(
-                         experiments::Method::MultiNnT))
+                         experiments::Method::DeepT))
             throw ProtocolError("serve protocol: unknown model id " +
                                 std::to_string(method));
         rank.method = static_cast<experiments::Method>(method);

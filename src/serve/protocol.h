@@ -16,7 +16,7 @@
  *
  * Rank request body (type kMsgRank):
  *   u8  method          experiments::Method value (0 NN^T, 1 MLP^T,
- *                       2 GA-kNN, 3 SPL^T, 4 kNN^T)
+ *                       2 GA-kNN, 3 SPL^T, 4 kNN^T, 5 DEEP^T)
  *   u32 app             benchmark index of the application of interest
  *   u32 topK            truncate the ranking (0 = all requested)
  *   u16 predictive      count P of machines the client owns, then

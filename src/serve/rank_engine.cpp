@@ -54,6 +54,9 @@ RankEngine::RankEngine(dataset::PerfDatabase db,
                   "RankEngine: needs >= 3 benchmarks");
     util::require(db_.machineCount() >= 2,
                   "RankEngine: needs >= 2 machines");
+    util::require(!db_.masked(),
+                  "RankEngine: database has unobserved score cells; "
+                  "impute first (dataset::imputeObserved)");
     if (characteristics_.has_value())
         util::require(characteristics_->rows() == db_.benchmarkCount(),
                       "RankEngine: characteristics must have one row "

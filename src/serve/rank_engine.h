@@ -151,7 +151,7 @@ class RankEngine
         std::shared_ptr<const baseline::GaKnnModel> gaknn
             DTRANK_GUARDED_BY(mutex);
         /** Full-universe predictions per method (enum order). */
-        std::array<std::shared_ptr<const std::vector<double>>, 5>
+        std::array<std::shared_ptr<const std::vector<double>>, 6>
             fullPredictions DTRANK_GUARDED_BY(mutex);
     };
 

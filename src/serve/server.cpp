@@ -66,6 +66,8 @@ endpointName(experiments::Method method)
         return "rank_spl_t";
       case experiments::Method::MultiNnT:
         return "rank_multi_nn_t";
+      case experiments::Method::DeepT:
+        return "rank_deep_t";
     }
     return "rank_unknown";
 }
@@ -114,7 +116,8 @@ struct ServeMetrics
         for (experiments::Method method :
              {experiments::Method::NnT, experiments::Method::MlpT,
               experiments::Method::GaKnn, experiments::Method::SplT,
-              experiments::Method::MultiNnT}) {
+              experiments::Method::MultiNnT,
+              experiments::Method::DeepT}) {
             const std::string name = endpointName(method);
             latency.emplace(
                 name, &registry.histogram(

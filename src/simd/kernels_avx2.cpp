@@ -556,6 +556,198 @@ mlpGradAccumAvx2(std::size_t bn, std::size_t out, std::size_t in,
         gradAccumPanelAvx2(bn, out, in, d, ldd, a, lda, gw, c, in - c);
 }
 
+// ---------------------------------------------------------------------
+// Masked reductions. The mask nibble for lanes [i, i+4) is bits
+// (i % 64)..(i % 64 + 3) of valid[i / 64]; i advances in multiples of
+// 4 and 4 divides 64, so a nibble never straddles a word boundary.
+// Each term vector is computed from full (possibly NaN-poisoned) loads
+// and then ANDed with the lane mask: an invalid lane becomes +0.0 bits
+// regardless of its value — the same +0.0 the scalar tier adds — and
+// an all-set mask leaves every term untouched, reproducing the dense
+// kernel bit for bit.
+// ---------------------------------------------------------------------
+
+/** All-ones lane l iff bit l of the nibble is set. */
+inline __m256d
+maskFromNibble(std::uint64_t bits)
+{
+    const __m256i sel = _mm256_setr_epi64x(1, 2, 4, 8);
+    const __m256i hit = _mm256_and_si256(
+        _mm256_set1_epi64x(static_cast<long long>(bits)), sel);
+    return _mm256_castsi256_pd(_mm256_cmpeq_epi64(hit, sel));
+}
+
+inline std::uint64_t
+nibbleAt(const std::uint64_t *valid, std::size_t i)
+{
+    return (valid[i >> 6] >> (i & 63)) & 0xf;
+}
+
+inline bool
+validBit(const std::uint64_t *valid, std::size_t i)
+{
+    return ((valid[i >> 6] >> (i & 63)) & 1u) != 0;
+}
+
+double
+maskedDotAvx2(const double *a, const double *b,
+              const std::uint64_t *valid, std::size_t n)
+{
+    __m256d v0 = _mm256_setzero_pd();
+    __m256d v1 = _mm256_setzero_pd();
+    __m256d v2 = _mm256_setzero_pd();
+    __m256d v3 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock) {
+        const __m256d p0 = _mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                         _mm256_loadu_pd(b + i));
+        const __m256d p1 = _mm256_mul_pd(_mm256_loadu_pd(a + i + 4),
+                                         _mm256_loadu_pd(b + i + 4));
+        const __m256d p2 = _mm256_mul_pd(_mm256_loadu_pd(a + i + 8),
+                                         _mm256_loadu_pd(b + i + 8));
+        const __m256d p3 = _mm256_mul_pd(_mm256_loadu_pd(a + i + 12),
+                                         _mm256_loadu_pd(b + i + 12));
+        v0 = _mm256_add_pd(
+            v0, _mm256_and_pd(p0, maskFromNibble(nibbleAt(valid, i))));
+        v1 = _mm256_add_pd(
+            v1,
+            _mm256_and_pd(p1, maskFromNibble(nibbleAt(valid, i + 4))));
+        v2 = _mm256_add_pd(
+            v2,
+            _mm256_and_pd(p2, maskFromNibble(nibbleAt(valid, i + 8))));
+        v3 = _mm256_add_pd(
+            v3,
+            _mm256_and_pd(p3, maskFromNibble(nibbleAt(valid, i + 12))));
+    }
+    double tail = 0.0;
+    for (; i < n; ++i)
+        tail += validBit(valid, i) ? a[i] * b[i] : 0.0;
+    return foldAccumulators(v0, v1, v2, v3) + tail;
+}
+
+double
+maskedSumAvx2(const double *a, const std::uint64_t *valid, std::size_t n)
+{
+    __m256d v0 = _mm256_setzero_pd();
+    __m256d v1 = _mm256_setzero_pd();
+    __m256d v2 = _mm256_setzero_pd();
+    __m256d v3 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock) {
+        v0 = _mm256_add_pd(
+            v0, _mm256_and_pd(_mm256_loadu_pd(a + i),
+                              maskFromNibble(nibbleAt(valid, i))));
+        v1 = _mm256_add_pd(
+            v1, _mm256_and_pd(_mm256_loadu_pd(a + i + 4),
+                              maskFromNibble(nibbleAt(valid, i + 4))));
+        v2 = _mm256_add_pd(
+            v2, _mm256_and_pd(_mm256_loadu_pd(a + i + 8),
+                              maskFromNibble(nibbleAt(valid, i + 8))));
+        v3 = _mm256_add_pd(
+            v3, _mm256_and_pd(_mm256_loadu_pd(a + i + 12),
+                              maskFromNibble(nibbleAt(valid, i + 12))));
+    }
+    double tail = 0.0;
+    for (; i < n; ++i)
+        tail += validBit(valid, i) ? a[i] : 0.0;
+    return foldAccumulators(v0, v1, v2, v3) + tail;
+}
+
+double
+maskedSquaredDistanceAvx2(const double *a, const double *b,
+                          const std::uint64_t *valid, std::size_t n)
+{
+    __m256d v0 = _mm256_setzero_pd();
+    __m256d v1 = _mm256_setzero_pd();
+    __m256d v2 = _mm256_setzero_pd();
+    __m256d v3 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock) {
+        const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                         _mm256_loadu_pd(b + i));
+        const __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 4),
+                                         _mm256_loadu_pd(b + i + 4));
+        const __m256d d2 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 8),
+                                         _mm256_loadu_pd(b + i + 8));
+        const __m256d d3 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 12),
+                                         _mm256_loadu_pd(b + i + 12));
+        v0 = _mm256_add_pd(
+            v0, _mm256_and_pd(_mm256_mul_pd(d0, d0),
+                              maskFromNibble(nibbleAt(valid, i))));
+        v1 = _mm256_add_pd(
+            v1, _mm256_and_pd(_mm256_mul_pd(d1, d1),
+                              maskFromNibble(nibbleAt(valid, i + 4))));
+        v2 = _mm256_add_pd(
+            v2, _mm256_and_pd(_mm256_mul_pd(d2, d2),
+                              maskFromNibble(nibbleAt(valid, i + 8))));
+        v3 = _mm256_add_pd(
+            v3, _mm256_and_pd(_mm256_mul_pd(d3, d3),
+                              maskFromNibble(nibbleAt(valid, i + 12))));
+    }
+    double tail = 0.0;
+    for (; i < n; ++i) {
+        if (validBit(valid, i)) {
+            const double d = a[i] - b[i];
+            tail += d * d;
+        } else {
+            tail += 0.0;
+        }
+    }
+    return foldAccumulators(v0, v1, v2, v3) + tail;
+}
+
+double
+maskedWeightedSquaredDistanceAvx2(const double *a, const double *b,
+                                  const double *w,
+                                  const std::uint64_t *valid,
+                                  std::size_t n)
+{
+    __m256d v0 = _mm256_setzero_pd();
+    __m256d v1 = _mm256_setzero_pd();
+    __m256d v2 = _mm256_setzero_pd();
+    __m256d v3 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock) {
+        const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                         _mm256_loadu_pd(b + i));
+        const __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 4),
+                                         _mm256_loadu_pd(b + i + 4));
+        const __m256d d2 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 8),
+                                         _mm256_loadu_pd(b + i + 8));
+        const __m256d d3 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 12),
+                                         _mm256_loadu_pd(b + i + 12));
+        const __m256d wd0 = _mm256_mul_pd(_mm256_loadu_pd(w + i), d0);
+        const __m256d wd1 =
+            _mm256_mul_pd(_mm256_loadu_pd(w + i + 4), d1);
+        const __m256d wd2 =
+            _mm256_mul_pd(_mm256_loadu_pd(w + i + 8), d2);
+        const __m256d wd3 =
+            _mm256_mul_pd(_mm256_loadu_pd(w + i + 12), d3);
+        v0 = _mm256_add_pd(
+            v0, _mm256_and_pd(_mm256_mul_pd(wd0, d0),
+                              maskFromNibble(nibbleAt(valid, i))));
+        v1 = _mm256_add_pd(
+            v1, _mm256_and_pd(_mm256_mul_pd(wd1, d1),
+                              maskFromNibble(nibbleAt(valid, i + 4))));
+        v2 = _mm256_add_pd(
+            v2, _mm256_and_pd(_mm256_mul_pd(wd2, d2),
+                              maskFromNibble(nibbleAt(valid, i + 8))));
+        v3 = _mm256_add_pd(
+            v3, _mm256_and_pd(_mm256_mul_pd(wd3, d3),
+                              maskFromNibble(nibbleAt(valid, i + 12))));
+    }
+    double tail = 0.0;
+    for (; i < n; ++i) {
+        if (validBit(valid, i)) {
+            const double d = a[i] - b[i];
+            tail += (w[i] * d) * d;
+        } else {
+            tail += 0.0;
+        }
+    }
+    return foldAccumulators(v0, v1, v2, v3) + tail;
+}
+
 } // namespace
 
 const KernelTable *
@@ -577,6 +769,10 @@ avx2Kernels()
         mlpUpdateLayerAvx2,
         mlpBatchNetsAvx2,
         mlpGradAccumAvx2,
+        maskedDotAvx2,
+        maskedSumAvx2,
+        maskedSquaredDistanceAvx2,
+        maskedWeightedSquaredDistanceAvx2,
     };
     return &kTable;
 }

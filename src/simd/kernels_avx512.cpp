@@ -523,6 +523,133 @@ mlpGradAccumAvx512(std::size_t bn, std::size_t out, std::size_t in,
             static_cast<__mmask8>((1u << (in - c)) - 1u));
 }
 
+// ---------------------------------------------------------------------
+// Masked reductions. The mask byte for lanes [i, i+8) is bits
+// (i % 64)..(i % 64 + 7) of valid[i / 64]; i advances in multiples of
+// 8 and 8 divides 64, so a byte never straddles a word boundary. The
+// zeroing-masked multiply writes +0.0 to masked lanes without running
+// their arithmetic, so NaN-poisoned cells never reach the sum — the
+// same +0.0 the scalar tier adds — and an all-set mask reproduces the
+// dense kernel bit for bit.
+// ---------------------------------------------------------------------
+
+inline __mmask8
+byteAt(const std::uint64_t *valid, std::size_t i)
+{
+    return static_cast<__mmask8>((valid[i >> 6] >> (i & 63)) & 0xff);
+}
+
+inline bool
+validBit(const std::uint64_t *valid, std::size_t i)
+{
+    return ((valid[i >> 6] >> (i & 63)) & 1u) != 0;
+}
+
+double
+maskedDotAvx512(const double *a, const double *b,
+                const std::uint64_t *valid, std::size_t n)
+{
+    __m512d z0 = _mm512_setzero_pd();
+    __m512d z1 = _mm512_setzero_pd();
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock) {
+        z0 = _mm512_add_pd(
+            z0, _mm512_maskz_mul_pd(byteAt(valid, i),
+                                    _mm512_loadu_pd(a + i),
+                                    _mm512_loadu_pd(b + i)));
+        z1 = _mm512_add_pd(
+            z1, _mm512_maskz_mul_pd(byteAt(valid, i + 8),
+                                    _mm512_loadu_pd(a + i + 8),
+                                    _mm512_loadu_pd(b + i + 8)));
+    }
+    double tail = 0.0;
+    for (; i < n; ++i)
+        tail += validBit(valid, i) ? a[i] * b[i] : 0.0;
+    return foldAccumulators(z0, z1) + tail;
+}
+
+double
+maskedSumAvx512(const double *a, const std::uint64_t *valid,
+                std::size_t n)
+{
+    __m512d z0 = _mm512_setzero_pd();
+    __m512d z1 = _mm512_setzero_pd();
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock) {
+        z0 = _mm512_add_pd(
+            z0, _mm512_maskz_loadu_pd(byteAt(valid, i), a + i));
+        z1 = _mm512_add_pd(
+            z1, _mm512_maskz_loadu_pd(byteAt(valid, i + 8), a + i + 8));
+    }
+    double tail = 0.0;
+    for (; i < n; ++i)
+        tail += validBit(valid, i) ? a[i] : 0.0;
+    return foldAccumulators(z0, z1) + tail;
+}
+
+double
+maskedSquaredDistanceAvx512(const double *a, const double *b,
+                            const std::uint64_t *valid, std::size_t n)
+{
+    __m512d z0 = _mm512_setzero_pd();
+    __m512d z1 = _mm512_setzero_pd();
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock) {
+        const __m512d d0 = _mm512_sub_pd(_mm512_loadu_pd(a + i),
+                                         _mm512_loadu_pd(b + i));
+        const __m512d d1 = _mm512_sub_pd(_mm512_loadu_pd(a + i + 8),
+                                         _mm512_loadu_pd(b + i + 8));
+        z0 = _mm512_add_pd(
+            z0, _mm512_maskz_mul_pd(byteAt(valid, i), d0, d0));
+        z1 = _mm512_add_pd(
+            z1, _mm512_maskz_mul_pd(byteAt(valid, i + 8), d1, d1));
+    }
+    double tail = 0.0;
+    for (; i < n; ++i) {
+        if (validBit(valid, i)) {
+            const double d = a[i] - b[i];
+            tail += d * d;
+        } else {
+            tail += 0.0;
+        }
+    }
+    return foldAccumulators(z0, z1) + tail;
+}
+
+double
+maskedWeightedSquaredDistanceAvx512(const double *a, const double *b,
+                                    const double *w,
+                                    const std::uint64_t *valid,
+                                    std::size_t n)
+{
+    __m512d z0 = _mm512_setzero_pd();
+    __m512d z1 = _mm512_setzero_pd();
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock) {
+        const __m512d d0 = _mm512_sub_pd(_mm512_loadu_pd(a + i),
+                                         _mm512_loadu_pd(b + i));
+        const __m512d d1 = _mm512_sub_pd(_mm512_loadu_pd(a + i + 8),
+                                         _mm512_loadu_pd(b + i + 8));
+        const __m512d wd0 = _mm512_mul_pd(_mm512_loadu_pd(w + i), d0);
+        const __m512d wd1 =
+            _mm512_mul_pd(_mm512_loadu_pd(w + i + 8), d1);
+        z0 = _mm512_add_pd(
+            z0, _mm512_maskz_mul_pd(byteAt(valid, i), wd0, d0));
+        z1 = _mm512_add_pd(
+            z1, _mm512_maskz_mul_pd(byteAt(valid, i + 8), wd1, d1));
+    }
+    double tail = 0.0;
+    for (; i < n; ++i) {
+        if (validBit(valid, i)) {
+            const double d = a[i] - b[i];
+            tail += (w[i] * d) * d;
+        } else {
+            tail += 0.0;
+        }
+    }
+    return foldAccumulators(z0, z1) + tail;
+}
+
 } // namespace
 
 const KernelTable *
@@ -544,6 +671,10 @@ avx512Kernels()
         mlpUpdateLayerAvx512,
         mlpBatchNetsAvx512,
         mlpGradAccumAvx512,
+        maskedDotAvx512,
+        maskedSumAvx512,
+        maskedSquaredDistanceAvx512,
+        maskedWeightedSquaredDistanceAvx512,
     };
     return &kTable;
 }

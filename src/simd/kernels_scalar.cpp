@@ -166,6 +166,104 @@ centeredDotScalar(const double *a, const double *b, double ca, double cb,
     return combinePartials(s) + tail;
 }
 
+// Masked reductions: identical block structure and combine tree, with
+// each invalid term zero-substituted. The ternary reads the value only
+// when the bit is set, so NaN-poisoned masked cells never reach the
+// arithmetic. An all-set mask makes every ternary pick the live term,
+// which is literally the dense loop — bit-identity by construction.
+
+inline bool
+validBit(const std::uint64_t *valid, std::size_t i)
+{
+    return ((valid[i >> 6] >> (i & 63)) & 1u) != 0;
+}
+
+double
+maskedDotScalar(const double *a, const double *b,
+                const std::uint64_t *valid, std::size_t n)
+{
+    double s[kBlock] = {};
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock)
+        for (std::size_t j = 0; j < kBlock; ++j)
+            s[j] += validBit(valid, i + j) ? a[i + j] * b[i + j] : 0.0;
+    double tail = 0.0;
+    for (; i < n; ++i)
+        tail += validBit(valid, i) ? a[i] * b[i] : 0.0;
+    return combinePartials(s) + tail;
+}
+
+double
+maskedSumScalar(const double *a, const std::uint64_t *valid,
+                std::size_t n)
+{
+    double s[kBlock] = {};
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock)
+        for (std::size_t j = 0; j < kBlock; ++j)
+            s[j] += validBit(valid, i + j) ? a[i + j] : 0.0;
+    double tail = 0.0;
+    for (; i < n; ++i)
+        tail += validBit(valid, i) ? a[i] : 0.0;
+    return combinePartials(s) + tail;
+}
+
+double
+maskedSquaredDistanceScalar(const double *a, const double *b,
+                            const std::uint64_t *valid, std::size_t n)
+{
+    double s[kBlock] = {};
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock)
+        for (std::size_t j = 0; j < kBlock; ++j) {
+            if (validBit(valid, i + j)) {
+                const double d = a[i + j] - b[i + j];
+                s[j] += d * d;
+            } else {
+                s[j] += 0.0;
+            }
+        }
+    double tail = 0.0;
+    for (; i < n; ++i) {
+        if (validBit(valid, i)) {
+            const double d = a[i] - b[i];
+            tail += d * d;
+        } else {
+            tail += 0.0;
+        }
+    }
+    return combinePartials(s) + tail;
+}
+
+double
+maskedWeightedSquaredDistanceScalar(const double *a, const double *b,
+                                    const double *w,
+                                    const std::uint64_t *valid,
+                                    std::size_t n)
+{
+    double s[kBlock] = {};
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock)
+        for (std::size_t j = 0; j < kBlock; ++j) {
+            if (validBit(valid, i + j)) {
+                const double d = a[i + j] - b[i + j];
+                s[j] += (w[i + j] * d) * d;
+            } else {
+                s[j] += 0.0;
+            }
+        }
+    double tail = 0.0;
+    for (; i < n; ++i) {
+        if (validBit(valid, i)) {
+            const double d = a[i] - b[i];
+            tail += (w[i] * d) * d;
+        } else {
+            tail += 0.0;
+        }
+    }
+    return combinePartials(s) + tail;
+}
+
 void
 mlpLayerNetsScalar(std::size_t in, std::size_t out,
                    const double *__restrict wt,
@@ -297,6 +395,10 @@ scalarKernels()
         mlpUpdateLayerScalar,
         mlpBatchNetsScalar,
         mlpGradAccumScalar,
+        maskedDotScalar,
+        maskedSumScalar,
+        maskedSquaredDistanceScalar,
+        maskedWeightedSquaredDistanceScalar,
     };
     return kTable;
 }

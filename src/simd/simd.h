@@ -50,6 +50,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace dtrank::simd
@@ -182,6 +183,39 @@ struct KernelTable
     void (*mlpGradAccum)(std::size_t bn, std::size_t out, std::size_t in,
                          const double *d, std::size_t ldd,
                          const double *a, std::size_t lda, double *gw);
+
+    // -----------------------------------------------------------------
+    // Masked reductions (ragged score matrices). `valid` is a packed
+    // little-endian bit vector: element i is valid iff bit (i % 64) of
+    // valid[i / 64] is set. Every masked kernel runs the SAME canonical
+    // lane-blocked reduction as its dense sibling with each invalid
+    // term replaced by a literal +0.0 (zero-substitution) — never by
+    // skipping the add — so an all-set mask is bit-identical to the
+    // unmasked kernel by construction, in every tier. Invalid elements
+    // are never read arithmetically in the scalar tier and are crushed
+    // to 0.0 after the multiply in the vector tiers, so NaN-poisoned
+    // masked cells cannot leak into the sum.
+    // -----------------------------------------------------------------
+
+    /** Masked canonical dot: sum over valid i of a[i] * b[i]. */
+    double (*maskedDot)(const double *a, const double *b,
+                        const std::uint64_t *valid, std::size_t n);
+
+    /** Masked canonical sum: sum over valid i of a[i]. */
+    double (*maskedSum)(const double *a, const std::uint64_t *valid,
+                        std::size_t n);
+
+    /** Masked canonical sum over valid i of (a[i] - b[i])^2. */
+    double (*maskedSquaredDistance)(const double *a, const double *b,
+                                    const std::uint64_t *valid,
+                                    std::size_t n);
+
+    /** Masked sum over valid i of (w[i] * (a[i]-b[i])) * (a[i]-b[i]). */
+    double (*maskedWeightedSquaredDistance)(const double *a,
+                                            const double *b,
+                                            const double *w,
+                                            const std::uint64_t *valid,
+                                            std::size_t n);
 };
 
 /** The portable reference tier. Always available. */
@@ -359,6 +393,34 @@ centeredDot(const double *a, const double *b, double ca, double cb,
             std::size_t n)
 {
     return kernels().centeredDot(a, b, ca, cb, n);
+}
+
+inline double
+maskedDot(const double *a, const double *b, const std::uint64_t *valid,
+          std::size_t n)
+{
+    return kernels().maskedDot(a, b, valid, n);
+}
+
+inline double
+maskedSum(const double *a, const std::uint64_t *valid, std::size_t n)
+{
+    return kernels().maskedSum(a, valid, n);
+}
+
+inline double
+maskedSquaredDistance(const double *a, const double *b,
+                      const std::uint64_t *valid, std::size_t n)
+{
+    return kernels().maskedSquaredDistance(a, b, valid, n);
+}
+
+inline double
+maskedWeightedSquaredDistance(const double *a, const double *b,
+                              const double *w,
+                              const std::uint64_t *valid, std::size_t n)
+{
+    return kernels().maskedWeightedSquaredDistance(a, b, w, valid, n);
 }
 
 } // namespace dtrank::simd

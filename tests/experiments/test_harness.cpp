@@ -47,8 +47,9 @@ TEST(MethodNames, ExtensionsAreSuperset)
 {
     EXPECT_EQ(experiments::methodName(Method::SplT), "SPL^T");
     EXPECT_EQ(experiments::methodName(Method::MultiNnT), "kNN^T");
+    EXPECT_EQ(experiments::methodName(Method::DeepT), "DEEP^T");
     const auto &ext = experiments::extendedMethods();
-    EXPECT_EQ(ext.size(), 5u);
+    EXPECT_EQ(ext.size(), 6u);
     for (Method m : experiments::allMethods())
         EXPECT_TRUE(std::find(ext.begin(), ext.end(), m) != ext.end());
 }

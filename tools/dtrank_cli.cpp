@@ -110,6 +110,17 @@ wantsColumnar(const std::string &path)
            path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
 }
 
+/** Applies a non-zero --missing fraction to a database. */
+dataset::PerfDatabase
+applyMissingOption(const util::ArgParser &args, dataset::PerfDatabase db)
+{
+    const experiments::MissingSpec spec =
+        experiments::parseMissingSpec(args.get("missing"));
+    if (spec.fraction <= 0.0)
+        return db;
+    return dataset::applyMissingness(db, spec.fraction, spec.seed);
+}
+
 /** Builds the database selected by --dataset (paper or scaled). */
 dataset::PerfDatabase
 makeDatabaseFromSpec(const util::ArgParser &args)
@@ -118,14 +129,16 @@ makeDatabaseFromSpec(const util::ArgParser &args)
     const experiments::DatasetSpec spec =
         experiments::parseDatasetSpec(args.get("dataset"));
     if (!spec.scaled)
-        return dataset::makePaperDataset(seed);
+        return applyMissingOption(args,
+                                  dataset::makePaperDataset(seed));
     dataset::ScaledSpecConfig config;
     config.machines = spec.machines;
     config.benchmarks = spec.benchmarks > 0
                             ? spec.benchmarks
                             : dataset::benchmarkCatalog().size();
     config.seed = spec.seed != 0 ? spec.seed : seed;
-    return dataset::ScaledSpecGenerator(config).generate();
+    return applyMissingOption(
+        args, dataset::ScaledSpecGenerator(config).generate());
 }
 
 /** Loads --db in either format, reporting which was detected. */
@@ -134,7 +147,7 @@ loadDatabaseArg(const util::ArgParser &args)
 {
     const std::string path = args.get("db");
     util::require(!path.empty(), "--db is required");
-    return dataset::loadDatabaseAuto(path);
+    return applyMissingOption(args, dataset::loadDatabaseAuto(path));
 }
 
 /** Writes `db` to `path`, columnar when the extension asks for it. */
@@ -260,6 +273,9 @@ int
 cmdRank(util::ArgParser &args)
 {
     const dataset::PerfDatabase db = loadDatabaseArg(args);
+    util::require(!args.get("measurements").empty(),
+                  "rank: --measurements <csv> is required "
+                  "('machine,score' rows; see `dtrank_cli info`)");
     const auto [owned, app_scores] =
         loadMeasurements(db, args.get("measurements"));
 
@@ -276,6 +292,10 @@ cmdRank(util::ArgParser &args)
     problem.predictiveBenchScores = pred_db.scores();
     problem.predictiveAppScores = app_scores;
     problem.targetBenchScores = target_db.scores();
+    // Ragged databases carry their masks into the problem; the user's
+    // own measurements are always fully observed.
+    problem.predictiveMask = pred_db.mask();
+    problem.targetMask = target_db.mask();
 
     auto predictor = makePredictor(args.get("method"));
     const auto predicted = predictor->predict(problem);
@@ -372,9 +392,27 @@ cmdEvaluate(util::ArgParser &args)
     const auto problem =
         core::makeProblemFromSplit(db, owned, targets, app);
     auto predictor = makePredictor(args.get("method"));
-    const auto predicted = predictor->predict(problem);
-    const auto actual =
-        db.selectMachines(targets).benchmarkScores(db.benchmarkIndex(app));
+    auto predicted = predictor->predict(problem);
+    const dataset::PerfDatabase target_db = db.selectMachines(targets);
+    const std::size_t app_row = db.benchmarkIndex(app);
+    auto actual = target_db.benchmarkScores(app_row);
+    if (target_db.masked()) {
+        // The held-out row carries NaN in its unobserved cells; the
+        // metrics compare only observed (actual, predicted) pairs.
+        std::vector<double> actual_obs;
+        std::vector<double> predicted_obs;
+        for (std::size_t m = 0; m < actual.size(); ++m) {
+            if (!target_db.mask().valid(app_row, m))
+                continue;
+            actual_obs.push_back(actual[m]);
+            predicted_obs.push_back(predicted[m]);
+        }
+        util::require(actual_obs.size() >= 2,
+                      "evaluate: fewer than 2 observed target scores "
+                      "for '" + app + "'");
+        actual = std::move(actual_obs);
+        predicted = std::move(predicted_obs);
+    }
 
     const auto metrics = core::evaluatePrediction(actual, predicted);
     const auto ci = stats::bootstrapSpearman(actual, predicted);
@@ -429,6 +467,10 @@ main(int argc, char **argv)
                    "generate: paper (117x29) or "
                    "scaled:<machines>[x<benchmarks>][:<seed>]",
                    "paper");
+    args.addOption("missing",
+                   "hide a uniform random fraction of score cells: "
+                   "<fraction>[:<seed>] (0 = fully observed)",
+                   "0");
     args.addOption("measurements",
                    "CSV of 'machine,score' rows for your application",
                    "");

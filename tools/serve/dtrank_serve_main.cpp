@@ -64,6 +64,11 @@ main(int argc, char **argv)
                    "characteristics)",
                    "");
     args.addOption("seed", "scaled dataset seed", "2011");
+    args.addOption("missing-policy",
+                   "ragged database handling: reject (refuse to serve) "
+                   "or impute (fill unobserved cells with their "
+                   "benchmark's observed mean)",
+                   "reject");
     args.addFlag("verbose", "log per-connection progress");
     experiments::addBenchOptions(args);
     if (!args.parse(argc, argv))
@@ -100,6 +105,22 @@ main(int argc, char **argv)
                       << data.db.benchmarkCount() << " benchmarks\n";
             characteristics = std::move(data.characteristics);
             db = std::move(data.db);
+        }
+
+        // The engine serves dense arithmetic; a ragged database is
+        // either refused outright or imputed once at startup.
+        const std::string missing_policy = args.get("missing-policy");
+        util::require(missing_policy == "reject" ||
+                          missing_policy == "impute",
+                      "--missing-policy must be 'reject' or 'impute'");
+        if (db->masked()) {
+            util::require(missing_policy == "impute",
+                          "database has unobserved score cells; rerun "
+                          "with --missing-policy impute or serve a "
+                          "fully observed database");
+            db = dataset::imputeObserved(*db);
+            std::cout << "imputed unobserved cells with per-benchmark "
+                         "observed means (--missing-policy impute)\n";
         }
 
         serve::RankEngine engine(std::move(*db),
